@@ -1,0 +1,96 @@
+// The encoding trade-off frontier, and how access-aware per-partition
+// encoding improves on uniform choices.
+//
+// Two findings framed against the paper:
+//   1. In the paper's 2013 IO-bound environments (Table II), stronger
+//      compression is a pure win — LZMA2 is both the smallest and the
+//      fastest to scan — so uniform COL-LZMA dominates. On a CPU-bound
+//      NVMe-class environment the classic ratio/speed trade-off
+//      re-emerges, and *no* uniform encoding dominates.
+//   2. On the CPU-bound frontier, choosing codecs per partition by
+//      workload access frequency (core/access_aware.h) strictly improves
+//      on every uniform point at equal storage: hot partitions decode
+//      fast, cold ones stay small.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/access_aware.h"
+
+using namespace blot;
+
+int main() {
+  Dataset dataset = bench::MakeSample(60000);
+  const STRange universe = bench::PaperUniverse();
+  const PartitioningSpec spec{.spatial_partitions = 16,
+                              .temporal_partitions = 8};
+
+  // Hotspot-heavy workload: frequent small queries + rare full scans.
+  Workload workload;
+  workload.Add({{universe.Width() * 0.05, universe.Height() * 0.05,
+                 universe.Duration() * 0.05}},
+               20.0);
+  workload.Add({{universe.Width() * 0.3, universe.Height() * 0.3,
+                 universe.Duration() * 0.2}},
+               2.0);
+  workload.Add({universe.Size()}, 0.2);
+
+  std::printf("1. Uniform encodings under two environments "
+              "(expected workload scan cost)\n");
+  std::printf("   %-12s %12s | %16s %16s\n", "encoding", "size(MiB)",
+              "S3+EMR cost(s)", "cpu-bound(s)");
+  const CostModel io_model{EnvironmentModel::AmazonS3Emr()};
+  const CostModel cpu_model{EnvironmentModel::CpuBoundLocal()};
+  double best_io = 1e300, best_cpu = 1e300;
+  std::string best_io_name, best_cpu_name;
+  std::uint64_t floor_bytes = 0, ceil_bytes = 0;
+  for (const char* name :
+       {"ROW-PLAIN", "ROW-SNAPPY", "ROW-GZIP", "ROW-LZMA"}) {
+    const Replica replica = Replica::Build(
+        dataset, {spec, EncodingScheme::FromName(name)}, universe);
+    const ReplicaSketch sketch = ReplicaSketch::FromReplica(replica);
+    const double io = io_model.WorkloadCostMs({sketch}, workload);
+    const double cpu = cpu_model.WorkloadCostMs({sketch}, workload);
+    std::printf("   %-12s %12.2f | %16.1f %16.3f\n", name,
+                double(replica.StorageBytes()) / (1 << 20), io / 1000.0,
+                cpu / 1000.0);
+    if (io < best_io) {
+      best_io = io;
+      best_io_name = name;
+    }
+    if (cpu < best_cpu) {
+      best_cpu = cpu;
+      best_cpu_name = name;
+    }
+    if (std::string(name) == "ROW-LZMA") floor_bytes = replica.StorageBytes();
+    if (std::string(name) == "ROW-PLAIN") ceil_bytes = replica.StorageBytes();
+  }
+  std::printf("   cheapest in S3+EMR: %s (compression is a pure win when "
+              "IO-bound);\n   cheapest cpu-bound: %s (speed wins when "
+              "storage is free)\n\n",
+              best_io_name.c_str(), best_cpu_name.c_str());
+
+  std::printf("2. Access-aware per-partition encoding, cpu-bound "
+              "environment\n");
+  std::printf("   %-22s %12s %16s\n", "plan", "size(MiB)", "cost(s)");
+  for (const double fraction : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+    const std::uint64_t budget =
+        floor_bytes +
+        static_cast<std::uint64_t>(fraction *
+                                   double(ceil_bytes - floor_bytes));
+    const AccessAwareBuildResult result =
+        BuildAccessAwareReplica(dataset, spec, Layout::kRow, universe,
+                                workload, cpu_model, budget);
+    // plan.expected_cost_ms is the per-partition-codec equivalent of
+    // WorkloadCostMs (the single-scheme cost model cannot price a hybrid
+    // replica).
+    std::printf("   budget floor+%3.0f%%    %12.2f %16.3f\n",
+                fraction * 100,
+                double(result.replica.StorageBytes()) / (1 << 20),
+                result.plan.expected_cost_ms / 1000.0);
+  }
+  std::printf("\nThe access-aware plans trace a concave frontier between "
+              "the uniform\nextremes: a little extra storage buys most of "
+              "the speed (hot partitions\nupgrade first), converging to "
+              "uniform ROW-PLAIN performance at full budget.\n");
+  return 0;
+}

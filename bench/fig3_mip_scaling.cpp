@@ -1,0 +1,151 @@
+// Figure 3 reproduction: computation time of the exact MIP solution as a
+// function of (a) workload size and (b) candidate-replica count.
+//
+// The paper's claim: solve time grows sharply (exponentially in the worst
+// case) with both inputs, motivating the input-size reductions of
+// Section III-C and the greedy fallback. Greedy times are printed for
+// contrast; they stay polynomial and effectively flat.
+//
+// Set BLOT_FIG3_LARGE=1 to run the paper-sized grid (up to 400 queries /
+// 150 replicas); default sizes keep the bench under ~2 minutes.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "core/mip_selection.h"
+
+using namespace blot;
+
+namespace {
+
+// A workload of `n` grouped queries with log-uniform range sizes.
+Workload RandomWorkload(const STRange& universe, std::size_t n, Rng& rng) {
+  Workload workload;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fx = std::exp(rng.NextDouble(std::log(0.004), 0.0));
+    const double fy = std::exp(rng.NextDouble(std::log(0.004), 0.0));
+    const double ft = std::exp(rng.NextDouble(std::log(0.002), 0.0));
+    workload.Add({{universe.Width() * fx, universe.Height() * fy,
+                   universe.Duration() * ft}},
+                 rng.NextDouble(0.5, 2.0));
+  }
+  return workload;
+}
+
+// Deterministically subsamples `m` columns of a selection instance.
+SelectionInput Subsample(const SelectionInput& input, std::size_t m,
+                         Rng& rng) {
+  std::vector<std::size_t> keep = rng.Permutation(input.NumReplicas());
+  keep.resize(m);
+  std::sort(keep.begin(), keep.end());
+  return RestrictCandidates(input, keep);
+}
+
+double MinStorage(const SelectionInput& input) {
+  double lowest = input.storage_bytes[0];
+  for (double s : input.storage_bytes) lowest = std::min(lowest, s);
+  return lowest;
+}
+
+}  // namespace
+
+int main() {
+  const bool large = std::getenv("BLOT_FIG3_LARGE") != nullptr;
+  const Dataset sample = bench::MakeSample(8000);
+  const STRange universe = bench::PaperUniverse();
+  const CostModel model{EnvironmentModel::AmazonS3Emr()};
+  const auto ratios =
+      MeasureCompressionRatios(sample, AllEncodingSchemes(), 8000);
+
+  // Candidate pool: k-d tree and grid variants x 7 encodings.
+  std::vector<PartitioningSpec> partitionings = bench::TrimmedPartitionings();
+  {
+    std::vector<PartitioningSpec> grids = bench::TrimmedPartitionings();
+    for (PartitioningSpec& spec : grids) {
+      spec.method = SpatialMethod::kGrid;
+      partitionings.push_back(spec);
+    }
+  }
+
+  const std::vector<std::size_t> workload_sizes =
+      large ? std::vector<std::size_t>{50, 100, 200, 300, 400}
+            : std::vector<std::size_t>{25, 50, 100, 150};
+  const std::vector<std::size_t> replica_counts_a =
+      large ? std::vector<std::size_t>{40, 80, 120}
+            : std::vector<std::size_t>{20, 40, 60};
+  const std::vector<std::size_t> replica_counts_b =
+      large ? std::vector<std::size_t>{30, 60, 90, 120, 150}
+            : std::vector<std::size_t>{20, 40, 60, 80, 100};
+  const std::vector<std::size_t> workload_sizes_b =
+      large ? std::vector<std::size_t>{100, 200, 300}
+            : std::vector<std::size_t>{25, 50, 100};
+
+  Rng rng(333);
+  const std::size_t max_n =
+      std::max(workload_sizes.back(), workload_sizes_b.back());
+  const Workload full_workload = RandomWorkload(universe, max_n, rng);
+
+  std::printf("Building the full cost matrix (%zu queries x %zu "
+              "candidates)...\n\n",
+              max_n, partitionings.size() * 7);
+  const CandidateMatrixResult full = BuildSelectionInputGrouped(
+      sample, universe, partitionings, AllEncodingSchemes(), ratios,
+      bench::kPaperRecords, full_workload, model,
+      /*budget placeholder*/ 1.0);
+
+  const auto make_instance = [&](std::size_t n, std::size_t m) {
+    SelectionInput instance;
+    instance.cost.assign(full.input.cost.begin(),
+                         full.input.cost.begin() + n);
+    instance.weights.assign(full.input.weights.begin(),
+                            full.input.weights.begin() + n);
+    instance.storage_bytes = full.input.storage_bytes;
+    Rng sub_rng(1000 + 7 * n + m);
+    instance.budget_bytes = 1.0;  // replaced below
+    SelectionInput reduced = Subsample(instance, m, sub_rng);
+    reduced.budget_bytes = 3.0 * MinStorage(reduced) + 1e6;
+    return reduced;
+  };
+
+  std::printf("Figure 3a: MIP computation time vs workload size\n");
+  std::printf("%10s", "#queries");
+  for (std::size_t m : replica_counts_a) std::printf(" | m=%3zu: MIP(s) greedy(s) nodes", m);
+  std::printf("\n");
+  bench::PrintRule('-', 100);
+  for (std::size_t n : workload_sizes) {
+    std::printf("%10zu", n);
+    for (std::size_t m : replica_counts_a) {
+      const SelectionInput instance = make_instance(n, m);
+      const SelectionResult mip = SelectMip(instance);
+      const SelectionResult greedy = SelectGreedy(instance);
+      std::printf(" |    %10.2f %9.4f %5zu", mip.solve_seconds,
+                  greedy.solve_seconds, mip.nodes_explored);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFigure 3b: MIP computation time vs candidate replicas\n");
+  std::printf("%10s", "#replicas");
+  for (std::size_t n : workload_sizes_b) std::printf(" | n=%3zu: MIP(s) greedy(s) nodes", n);
+  std::printf("\n");
+  bench::PrintRule('-', 100);
+  for (std::size_t m : replica_counts_b) {
+    std::printf("%10zu", m);
+    for (std::size_t n : workload_sizes_b) {
+      const SelectionInput instance = make_instance(n, m);
+      const SelectionResult mip = SelectMip(instance);
+      const SelectionResult greedy = SelectGreedy(instance);
+      std::printf(" |    %10.2f %9.4f %5zu", mip.solve_seconds,
+                  greedy.solve_seconds, mip.nodes_explored);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape to compare with the paper: MIP time climbs steeply with both\n"
+      "inputs while greedy stays flat — \"when the input workload or the\n"
+      "candidate replica set is too large, it is desirable to switch to the\n"
+      "greedy algorithm\".\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 5 reproduction: measured Cost(q, p) against partition size with
+// the fitted lines of Eq. 6, for both execution environments.
+//
+// The paper's figure plots one point cloud per encoding plus fitted
+// lines; this bench prints, for three representative encodings per
+// environment (as in Fig. 5c/5d), the measured mean cost and the fitted
+// prediction at each partition size, plus the fit quality. The shape to
+// reproduce: costs are linear in partition size, with the S3 environment
+// dominated by its intercept (~30 s) and the local cluster by its slope.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "simenv/measurement.h"
+
+using namespace blot;
+
+int main() {
+  bool well_fitted = true;
+  for (const EnvironmentModel& env :
+       {EnvironmentModel::AmazonS3Emr(), EnvironmentModel::LocalHadoop()}) {
+    std::printf("Figure 5: Cost(q,p) vs partition size — %s\n",
+                env.name().c_str());
+    Simulator sim(env, {.noise_fraction = 0.04, .seed = 55});
+    for (const char* name : {"ROW-PLAIN", "ROW-GZIP", "COL-LZMA"}) {
+      const EncodingScheme scheme = EncodingScheme::FromName(name);
+      const MeasuredScanParams measured = MeasureScanParams(sim, scheme);
+      std::printf("\n  %s   (fit: cost = %.2f ms/krec * size + %.0f ms, "
+                  "R^2 = %.4f)\n",
+                  name, measured.params.scan_ms_per_krecord,
+                  measured.params.extra_ms, measured.r_squared);
+      std::printf("  %14s %16s %16s %10s\n", "size (records)",
+                  "measured (s)", "fitted (s)", "error");
+      for (const auto& [size, mean_ms] : measured.points) {
+        const double fitted_ms =
+            static_cast<double>(size) / 1000.0 *
+                measured.params.scan_ms_per_krecord +
+            measured.params.extra_ms;
+        const double err = std::abs(fitted_ms - mean_ms) / mean_ms;
+        std::printf("  %14llu %16.2f %16.2f %9.2f%%\n",
+                    static_cast<unsigned long long>(size), mean_ms / 1000.0,
+                    fitted_ms / 1000.0, err * 100);
+        if (err > 0.10) well_fitted = false;
+      }
+      if (measured.r_squared < 0.97) well_fitted = false;
+    }
+    bench::PrintRule('=', 64);
+  }
+  std::printf("Cost(q,p) is well fitted by Eq. 6 (paper: \"especially when "
+              "the size of\npartition is relatively large\"): %s\n",
+              well_fitted ? "YES" : "NO");
+  return well_fitted ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Figure 6 reproduction: per-query weighted cost of Single / Greedy / MIP
+// / Ideal on the 8-query synthetic workload, at four dataset scales
+// (3.7 GB, 37 GB, 370 GB, 3,700 GB), in the Amazon S3 + EMR environment.
+//
+// Shapes to reproduce: at 3.7 GB all approaches are close (S3's ~30 s
+// task startup dominates); as the data grows the single replica falls
+// behind on more and more queries while greedy and MIP track the ideal —
+// "when the size of data grows ... the advantages of using diverse
+// replicas become more and more prominent." Approximation ratios (vs
+// ideal) are printed per approach, as in the paper's legends.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "core/mip_selection.h"
+
+using namespace blot;
+
+int main() {
+  // BLOT_TRIMMED=1 uses the smaller candidate space (for quick runs);
+  // the default is the paper's full 25-partitioning space.
+  const bool trimmed = std::getenv("BLOT_TRIMMED") != nullptr;
+  const Dataset sample = bench::MakeSample(15000);
+  const STRange universe = bench::PaperUniverse();
+  const Workload workload = bench::WildlyVariedWorkload(universe);
+  const CostModel model{EnvironmentModel::AmazonS3Emr()};
+  const auto ratios =
+      MeasureCompressionRatios(sample, AllEncodingSchemes(), 15000);
+  const std::vector<PartitioningSpec> partitionings =
+      trimmed ? bench::TrimmedPartitionings() : bench::PaperPartitionings();
+
+  struct Scale {
+    const char* label;
+    std::uint64_t multiplier;
+  };
+  const Scale scales[] = {
+      {"3.7 GB", 1}, {"37 GB", 10}, {"370 GB", 100}, {"3,700 GB", 1000}};
+
+  std::vector<double> single_ratio_by_scale;
+  for (const Scale& scale : scales) {
+    const std::uint64_t total_records =
+        bench::kPaperRecords * scale.multiplier;
+    CandidateMatrixResult matrix = BuildSelectionInputGrouped(
+        sample, universe, partitionings, AllEncodingSchemes(), ratios,
+        total_records, workload, model, /*budget*/ 1.0);
+    // Equal per-query contributions (see EqualizeQueryContributions).
+    bench::EqualizeQueryContributions(matrix.input);
+
+    // Budget = storage of 3 exact copies of the optimal single replica.
+    SelectionInput unconstrained = matrix.input;
+    unconstrained.budget_bytes = 1e18;
+    const SelectionResult best_any = SelectBestSingle(unconstrained);
+    SelectionInput instance = matrix.input;
+    instance.budget_bytes = 3.0 * best_any.storage_used;
+
+    const SelectionResult single = SelectBestSingle(instance);
+    const SelectionResult greedy = SelectGreedy(instance);
+    const SelectionResult mip = SelectMip(instance);
+    const SelectionResult ideal = SelectIdeal(instance);
+
+    const auto ratio = [&](const SelectionResult& r) {
+      return r.workload_cost / ideal.workload_cost;
+    };
+    std::printf("Figure 6, data size %s (%llu M records, budget %.0f GB)\n",
+                scale.label,
+                static_cast<unsigned long long>(total_records / 1000000),
+                instance.budget_bytes / 1e9);
+    std::printf("  Single(%.2f)  Greedy(%.2f)  MIP(%.2f)  Ideal(1.00)"
+                "   [approximation ratios]\n",
+                ratio(single), ratio(greedy), ratio(mip));
+    std::printf("  %-5s | %12s %12s %12s %12s   (per-query cost, s)\n",
+                "query", "Single", "Greedy", "MIP", "Ideal");
+    bench::PrintRule('-', 70);
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      const auto per_query = [&](const SelectionResult& r) {
+        double best = 1e300;
+        for (std::size_t j : r.chosen)
+          best = std::min(best, instance.cost[i][j]);
+        return best / 1000.0;
+      };
+      std::printf("  q%-4zu | %12.0f %12.0f %12.0f %12.0f\n", i + 1,
+                  per_query(single), per_query(greedy), per_query(mip),
+                  per_query(ideal));
+    }
+    std::printf("\n");
+    single_ratio_by_scale.push_back(ratio(single));
+  }
+
+  // The gap widens with scale until the candidate space's finest
+  // granularity saturates (bounded at 4096 x 256 partitions), so a small
+  // dip at the extreme scale is tolerated.
+  bool widens = true;
+  for (std::size_t i = 1; i < single_ratio_by_scale.size(); ++i)
+    if (single_ratio_by_scale[i] < single_ratio_by_scale[i - 1] - 0.15)
+      widens = false;
+  if (single_ratio_by_scale.back() < 1.5) widens = false;
+  std::printf("Single-replica penalty grows with data size (the paper's "
+              "headline trend): %s\n  ratios: ",
+              widens ? "YES" : "NO");
+  for (double r : single_ratio_by_scale) std::printf("%.2f  ", r);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Microbenchmarks for the auxiliary access paths: partition-index lookup
+// (temporal bucketing), trajectory retrieval (object-digest pruning),
+// shared-scan batch execution, and segment-store persistence.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench_common.h"
+#include "blot/batch.h"
+#include "blot/segment_store.h"
+#include "blot/trajectory.h"
+#include "core/workload.h"
+
+namespace blot {
+namespace {
+
+const Dataset& Fleet() {
+  static const Dataset dataset = bench::MakeSample(80000);
+  return dataset;
+}
+
+const Replica& SharedReplica() {
+  static const Replica replica = Replica::Build(
+      Fleet(),
+      {{.spatial_partitions = 64, .temporal_partitions = 32},
+       EncodingScheme::FromName("COL-GZIP")},
+      bench::PaperUniverse());
+  return replica;
+}
+
+// Index with many partitions, to expose the bucketing win.
+const PartitionIndex& BigIndex() {
+  static const PartitionIndex index = [] {
+    PartitionedData pd = PartitionDataset(
+        Fleet(),
+        {.spatial_partitions = 1024, .temporal_partitions = 64},
+        bench::PaperUniverse());
+    return PartitionIndex(std::move(pd.ranges));
+  }();
+  return index;
+}
+
+void BM_IndexLookupTimeSelective(benchmark::State& state) {
+  const STRange universe = bench::PaperUniverse();
+  Rng rng(1);
+  const double time_frac = static_cast<double>(state.range(0)) / 100.0;
+  const STRange query = SampleQueryInstance(
+      {{universe.Width() * 0.2, universe.Height() * 0.2,
+        universe.Duration() * time_frac}},
+      universe, rng);
+  for (auto _ : state) {
+    auto involved = BigIndex().InvolvedPartitions(query);
+    benchmark::DoNotOptimize(involved);
+  }
+  state.counters["partitions"] =
+      static_cast<double>(BigIndex().NumPartitions());
+}
+BENCHMARK(BM_IndexLookupTimeSelective)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_TrajectoryIndexBuild(benchmark::State& state) {
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    TrajectoryIndex index(SharedReplica(), &pool);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_TrajectoryIndexBuild);
+
+void BM_TrajectoryQuery(benchmark::State& state) {
+  const TrajectoryIndex index(SharedReplica());
+  const std::int64_t t0 =
+      static_cast<std::int64_t>(bench::PaperUniverse().t_min());
+  std::size_t scanned = 0;
+  for (auto _ : state) {
+    const auto result =
+        index.Query(SharedReplica(), 7, t0, t0 + 86400 * 7);
+    scanned += result.partitions_scanned;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["scanned_per_query"] =
+      static_cast<double>(scanned) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TrajectoryQuery);
+
+void BM_BatchVsSequentialGrid(benchmark::State& state) {
+  const STRange universe = bench::PaperUniverse();
+  const int cells = static_cast<int>(state.range(0));
+  std::vector<STRange> queries;
+  for (int gx = 0; gx < cells; ++gx)
+    for (int gy = 0; gy < cells; ++gy)
+      queries.push_back(STRange::FromBounds(
+          universe.x_min() + universe.Width() * gx / cells,
+          universe.x_min() + universe.Width() * (gx + 1) / cells,
+          universe.y_min() + universe.Height() * gy / cells,
+          universe.y_min() + universe.Height() * (gy + 1) / cells,
+          universe.t_min(), universe.t_max()));
+  double sharing = 0;
+  for (auto _ : state) {
+    const BatchResult batch = ExecuteBatch(SharedReplica(), queries);
+    sharing = static_cast<double>(batch.naive_partition_scans) /
+              static_cast<double>(batch.stats.partitions_scanned);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.counters["sharing_factor"] = sharing;
+}
+BENCHMARK(BM_BatchVsSequentialGrid)->Arg(4)->Arg(8);
+
+void BM_SegmentStoreSave(benchmark::State& state) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "blot_bench_segment_store";
+  for (auto _ : state) {
+    SegmentStore::Save(SharedReplica(), dir);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * SharedReplica().StorageBytes()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SegmentStoreSave);
+
+void BM_SegmentStoreLoad(benchmark::State& state) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "blot_bench_segment_store2";
+  SegmentStore::Save(SharedReplica(), dir);
+  for (auto _ : state) {
+    Replica replica = SegmentStore::Load(dir);
+    benchmark::DoNotOptimize(replica);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * SharedReplica().StorageBytes()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SegmentStoreLoad);
+
+}  // namespace
+}  // namespace blot
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Table II reproduction: measuring 1/ScanRate and ExtraCost for every
+// encoding scheme in both execution environments using the procedure of
+// Section V-B (5 partition sets x 20 partitions, average, then linear
+// regression), against the environments' ground-truth constants.
+//
+// The check is methodological: the fitted parameters must recover the
+// environment's true constants through realistic measurement noise.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "simenv/measurement.h"
+
+using namespace blot;
+
+int main() {
+  bool all_accurate = true;
+  for (const EnvironmentModel& env :
+       {EnvironmentModel::AmazonS3Emr(), EnvironmentModel::LocalHadoop()}) {
+    std::printf("Table II: %s\n", env.name().c_str());
+    std::printf("%-12s | %14s %14s | %14s %14s | %6s\n", "encoding",
+                "1/ScanRate(ms)", "fitted", "ExtraCost(ms)", "fitted",
+                "R^2");
+    bench::PrintRule('-', 88);
+    Simulator sim(env, {.noise_fraction = 0.04, .seed = 1113});
+    for (const EncodingScheme& scheme : AllEncodingSchemes()) {
+      const ScanCostParams& truth = env.Params(scheme);
+      const MeasuredScanParams measured = MeasureScanParams(sim, scheme);
+      const double scan_err =
+          std::abs(measured.params.scan_ms_per_krecord -
+                   truth.scan_ms_per_krecord) /
+          truth.scan_ms_per_krecord;
+      const double extra_err =
+          std::abs(measured.params.extra_ms - truth.extra_ms) /
+          truth.extra_ms;
+      std::printf("%-12s | %14.2f %14.2f | %14.0f %14.0f | %6.4f\n",
+                  scheme.Name().c_str(), truth.scan_ms_per_krecord,
+                  measured.params.scan_ms_per_krecord, truth.extra_ms,
+                  measured.params.extra_ms, measured.r_squared);
+      if (scan_err > 0.15 || extra_err > 0.25 || measured.r_squared < 0.97)
+        all_accurate = false;
+    }
+    bench::PrintRule('-', 88);
+    std::printf("\n");
+  }
+  std::printf("Fitted parameters recover ground truth within tolerance: "
+              "%s\n",
+              all_accurate ? "YES" : "NO");
+  return all_accurate ? 0 : 1;
+}

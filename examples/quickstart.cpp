@@ -1,0 +1,71 @@
+// Quickstart: build a BLOT store with two diverse replicas over a synthetic
+// taxi trace, route range queries through the cost model, and show why
+// different queries prefer different physical organizations.
+//
+// Run: ./quickstart
+#include <cstdio>
+
+#include "core/store.h"
+#include "core/workload.h"
+#include "gen/taxi_generator.h"
+
+using namespace blot;
+
+int main() {
+  // 1. A month of GPS data from a small taxi fleet (deterministic).
+  TaxiFleetConfig fleet;
+  fleet.num_taxis = 150;
+  fleet.samples_per_taxi = 2000;
+  std::printf("Generating %zu records from %zu taxis...\n",
+              fleet.TotalRecords(), fleet.num_taxis);
+  Dataset dataset = GenerateTaxiFleet(fleet);
+  const STRange universe = fleet.Universe();
+
+  // 2. A store with two diverse replicas: coarse partitions in a fast row
+  // format, and fine partitions in a compact column format.
+  BlotStore store(std::move(dataset), universe);
+  ThreadPool pool(4);
+  const ReplicaConfig coarse{
+      {.spatial_partitions = 4, .temporal_partitions = 4},
+      EncodingScheme::FromName("ROW-SNAPPY")};
+  const ReplicaConfig fine{
+      {.spatial_partitions = 64, .temporal_partitions = 16},
+      EncodingScheme::FromName("COL-GZIP")};
+  store.AddReplica(coarse, &pool);
+  store.AddReplica(fine, &pool);
+  std::printf("Replica 0: %-22s %8.2f MiB\n", coarse.Name().c_str(),
+              double(store.replica(0).StorageBytes()) / (1 << 20));
+  std::printf("Replica 1: %-22s %8.2f MiB\n", fine.Name().c_str(),
+              double(store.replica(1).StorageBytes()) / (1 << 20));
+
+  // 3. Route queries of very different sizes; the cost model (local
+  // Hadoop environment) picks the cheapest replica for each.
+  const CostModel model{EnvironmentModel::LocalHadoop()};
+  Rng rng(2024);
+  struct NamedQuery {
+    const char* label;
+    double fraction;  // of each universe dimension
+  };
+  const NamedQuery queries[] = {{"city block, one hour", 0.01},
+                                {"district, one day", 0.1},
+                                {"half city, one week", 0.45},
+                                {"whole city, whole month", 1.0}};
+  std::printf("\n%-26s %-22s %12s %10s\n", "query", "routed to",
+              "est. cost(s)", "records");
+  for (const NamedQuery& q : queries) {
+    const STRange range = SampleQueryInstance(
+        {{universe.Width() * q.fraction, universe.Height() * q.fraction,
+          universe.Duration() * q.fraction}},
+        universe, rng);
+    const BlotStore::RoutedResult routed = store.Execute(range, model, &pool);
+    std::printf("%-26s %-22s %12.1f %10zu\n", q.label,
+                store.replica(routed.replica_index).config().Name().c_str(),
+                routed.estimated_cost_ms / 1000.0,
+                routed.result.records.size());
+  }
+  std::printf(
+      "\nSmall queries route to the finely-partitioned replica (better\n"
+      "pruning); large queries route to the coarse one (fewer per-partition\n"
+      "startup costs). That gap is what diverse replicas exploit.\n");
+  return 0;
+}

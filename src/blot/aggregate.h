@@ -1,0 +1,49 @@
+// Aggregate range queries over a replica.
+//
+// The paper motivates BLOT systems with analytical workloads ("simple
+// statistics for each grid cell", Section III-C1). This module evaluates
+// the common statistics directly during the partition scan, so analytics
+// never materialize full result sets: each involved partition is decoded
+// once, filtered by range, and folded into a running aggregate.
+#ifndef BLOT_BLOT_AGGREGATE_H_
+#define BLOT_BLOT_AGGREGATE_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "blot/replica.h"
+
+namespace blot {
+
+// Statistics of the records inside a range.
+struct RangeStatistics {
+  std::uint64_t count = 0;
+  std::uint64_t occupied = 0;        // records with status == 1
+  std::uint64_t distinct_objects = 0;
+  double speed_sum = 0.0;
+  double fare_cents_sum = 0.0;       // over occupied records
+  std::int64_t first_time = std::numeric_limits<std::int64_t>::max();
+  std::int64_t last_time = std::numeric_limits<std::int64_t>::min();
+
+  double MeanSpeed() const {
+    return count == 0 ? 0.0 : speed_sum / static_cast<double>(count);
+  }
+  double OccupancyRate() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(occupied) /
+                            static_cast<double>(count);
+  }
+
+  // Execution accounting, as in QueryResult.
+  QueryStats stats;
+};
+
+// Computes RangeStatistics for `query` on `replica`, scanning involved
+// partitions (in parallel when `pool` is non-null) without materializing
+// matching records.
+RangeStatistics AggregateRange(const Replica& replica, const STRange& query,
+                               ThreadPool* pool = nullptr);
+
+}  // namespace blot
+
+#endif  // BLOT_BLOT_AGGREGATE_H_

@@ -1,0 +1,61 @@
+#include "blot/batch.h"
+
+#include <algorithm>
+#include <map>
+
+namespace blot {
+
+BatchResult ExecuteBatch(const Replica& replica,
+                         std::span<const STRange> queries,
+                         ThreadPool* pool) {
+  BatchResult result;
+  result.per_query.resize(queries.size());
+
+  // Invert: partition -> queries interested in it.
+  std::map<std::size_t, std::vector<std::size_t>> interested;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::vector<std::size_t> involved =
+        replica.index().InvolvedPartitions(queries[q]);
+    result.naive_partition_scans += involved.size();
+    for (std::size_t p : involved) interested[p].push_back(q);
+  }
+
+  // One decode per partition; filter into every interested query.
+  std::vector<std::pair<std::size_t, std::vector<std::size_t>>> work(
+      interested.begin(), interested.end());
+  std::vector<std::vector<std::vector<Record>>> partial(
+      work.size(), std::vector<std::vector<Record>>());
+  std::vector<QueryStats> stats(work.size());
+  const auto scan_one = [&](std::size_t k) {
+    const auto& [p, query_ids] = work[k];
+    const std::vector<Record> records = replica.DecodePartitionRecords(p);
+    stats[k].records_scanned = records.size();
+    stats[k].bytes_read = replica.partition(p).data.size();
+    partial[k].resize(query_ids.size());
+    for (const Record& r : records) {
+      const STPoint position = r.Position();
+      for (std::size_t j = 0; j < query_ids.size(); ++j)
+        if (queries[query_ids[j]].Contains(position))
+          partial[k][j].push_back(r);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(work.size(), scan_one);
+  } else {
+    for (std::size_t k = 0; k < work.size(); ++k) scan_one(k);
+  }
+
+  result.stats.partitions_scanned = work.size();
+  for (std::size_t k = 0; k < work.size(); ++k) {
+    result.stats.records_scanned += stats[k].records_scanned;
+    result.stats.bytes_read += stats[k].bytes_read;
+    const auto& query_ids = work[k].second;
+    for (std::size_t j = 0; j < query_ids.size(); ++j) {
+      auto& out = result.per_query[query_ids[j]];
+      out.insert(out.end(), partial[k][j].begin(), partial[k][j].end());
+    }
+  }
+  return result;
+}
+
+}  // namespace blot

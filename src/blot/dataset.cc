@@ -1,0 +1,132 @@
+#include "blot/dataset.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "util/bytes.h"
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace blot {
+
+void Dataset::Append(const Dataset& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+}
+
+STRange Dataset::BoundingBox() const {
+  if (records_.empty()) return STRange();
+  double x_min = records_[0].x, x_max = records_[0].x;
+  double y_min = records_[0].y, y_max = records_[0].y;
+  double t_min = static_cast<double>(records_[0].time);
+  double t_max = t_min;
+  for (const Record& r : records_) {
+    x_min = std::min(x_min, r.x);
+    x_max = std::max(x_max, r.x);
+    y_min = std::min(y_min, r.y);
+    y_max = std::max(y_max, r.y);
+    t_min = std::min(t_min, static_cast<double>(r.time));
+    t_max = std::max(t_max, static_cast<double>(r.time));
+  }
+  return STRange::FromBounds(x_min, x_max, y_min, y_max, t_min, t_max);
+}
+
+Dataset Dataset::Sample(std::size_t n, Rng& rng) const {
+  if (n >= size()) return *this;
+  // Partial Fisher-Yates over an index array: first n entries are a
+  // uniform sample without replacement.
+  std::vector<std::size_t> indices(size());
+  for (std::size_t i = 0; i < size(); ++i) indices[i] = i;
+  std::vector<Record> sample;
+  sample.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i + rng.NextUint64(size() - i);
+    std::swap(indices[i], indices[j]);
+    sample.push_back(records_[indices[i]]);
+  }
+  return Dataset(std::move(sample));
+}
+
+std::vector<Record> Dataset::FilterByRange(const STRange& range) const {
+  std::vector<Record> result;
+  for (const Record& r : records_)
+    if (range.Contains(r.Position())) result.push_back(r);
+  return result;
+}
+
+void Dataset::SortByObjectAndTime() {
+  std::sort(records_.begin(), records_.end(),
+            [](const Record& a, const Record& b) {
+              if (a.oid != b.oid) return a.oid < b.oid;
+              return a.time < b.time;
+            });
+}
+
+void Dataset::SortByTime() {
+  std::stable_sort(
+      records_.begin(), records_.end(),
+      [](const Record& a, const Record& b) { return a.time < b.time; });
+}
+
+void Dataset::WriteCsv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.WriteRow(RecordFieldNames());
+  for (const Record& r : records_) writer.WriteRow(RecordToCsv(r));
+}
+
+Dataset Dataset::ReadCsv(std::istream& in) {
+  CsvReader reader(in);
+  std::vector<std::string> fields;
+  validate(reader.ReadRow(fields), "Dataset::ReadCsv: missing header");
+  validate(fields == RecordFieldNames(),
+           "Dataset::ReadCsv: unexpected header");
+  Dataset dataset;
+  while (reader.ReadRow(fields)) dataset.Append(RecordFromCsv(fields));
+  return dataset;
+}
+
+void Dataset::WriteBinary(std::ostream& out) const {
+  ByteWriter w;
+  w.PutU64(records_.size());
+  for (const Record& r : records_) {
+    w.PutU32(r.oid);
+    w.PutI64(r.time);
+    w.PutF64(r.x);
+    w.PutF64(r.y);
+    w.PutF32(r.speed);
+    w.PutU16(r.heading);
+    w.PutU8(r.status);
+    w.PutU8(r.passengers);
+    w.PutU32(r.fare_cents);
+  }
+  const Bytes& buf = w.buffer();
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+}
+
+Dataset Dataset::ReadBinary(std::istream& in) {
+  Bytes buf((std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+  ByteReader r(buf);
+  const std::uint64_t count = r.GetU64();
+  validate(r.remaining() == count * kRecordRowBytes,
+           "Dataset::ReadBinary: size mismatch");
+  Dataset dataset;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Record record;
+    record.oid = r.GetU32();
+    record.time = r.GetI64();
+    record.x = r.GetF64();
+    record.y = r.GetF64();
+    record.speed = r.GetF32();
+    record.heading = r.GetU16();
+    record.status = r.GetU8();
+    record.passengers = r.GetU8();
+    record.fare_cents = r.GetU32();
+    dataset.Append(record);
+  }
+  return dataset;
+}
+
+}  // namespace blot

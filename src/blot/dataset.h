@@ -1,0 +1,66 @@
+// An in-memory location-tracking dataset D.
+//
+// Holds the logical view shared by every replica: a flat vector of
+// records. Provides bounding-box computation (the universe U of
+// Definition 1), text/binary interchange, sampling (the paper builds its
+// cost model from "a small portion of the data"), and query filtering by
+// brute force (ground truth for tests).
+#ifndef BLOT_BLOT_DATASET_H_
+#define BLOT_BLOT_DATASET_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "blot/record.h"
+#include "util/range.h"
+#include "util/rng.h"
+
+namespace blot {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Record> records)
+      : records_(std::move(records)) {}
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  void Append(const Record& record) { records_.push_back(record); }
+  void Append(const Dataset& other);
+
+  // The tight spatio-temporal bounding box of all records; empty range for
+  // an empty dataset.
+  STRange BoundingBox() const;
+
+  // Uniform sample without replacement of min(n, size()) records.
+  Dataset Sample(std::size_t n, Rng& rng) const;
+
+  // All records inside `range` (closed bounds), in dataset order. This is
+  // the semantic ground truth every replica's query path must match.
+  std::vector<Record> FilterByRange(const STRange& range) const;
+
+  // Sorts records by (oid, time) — trajectory order.
+  void SortByObjectAndTime();
+  // Sorts records by time only.
+  void SortByTime();
+
+  // Uncompressed CSV interchange (the paper's baseline format), with a
+  // header row.
+  void WriteCsv(std::ostream& out) const;
+  static Dataset ReadCsv(std::istream& in);
+
+  // Compact binary interchange (fixed-width rows, little-endian).
+  void WriteBinary(std::ostream& out) const;
+  static Dataset ReadBinary(std::istream& in);
+
+  friend bool operator==(const Dataset&, const Dataset&) = default;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_BLOT_DATASET_H_

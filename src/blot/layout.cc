@@ -1,0 +1,162 @@
+#include "blot/layout.h"
+
+#include "codec/columnar.h"
+#include "util/error.h"
+
+namespace blot {
+
+std::string_view LayoutName(Layout layout) {
+  switch (layout) {
+    case Layout::kRow:
+      return "ROW";
+    case Layout::kColumn:
+      return "COL";
+  }
+  throw InvalidArgument("LayoutName: unknown layout");
+}
+
+Layout LayoutFromName(std::string_view name) {
+  if (name == "ROW") return Layout::kRow;
+  if (name == "COL") return Layout::kColumn;
+  throw InvalidArgument("LayoutFromName: unknown layout name: " +
+                        std::string(name));
+}
+
+namespace {
+
+Bytes SerializeRows(std::span<const Record> records) {
+  ByteWriter w;
+  w.PutVarint(records.size());
+  for (const Record& r : records) {
+    w.PutU32(r.oid);
+    w.PutI64(r.time);
+    w.PutF64(r.x);
+    w.PutF64(r.y);
+    w.PutF32(r.speed);
+    w.PutU16(r.heading);
+    w.PutU8(r.status);
+    w.PutU8(r.passengers);
+    w.PutU32(r.fare_cents);
+  }
+  return w.Take();
+}
+
+std::vector<Record> DeserializeRows(ByteReader& in, std::size_t count) {
+  std::vector<Record> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Record r;
+    r.oid = in.GetU32();
+    r.time = in.GetI64();
+    r.x = in.GetF64();
+    r.y = in.GetF64();
+    r.speed = in.GetF32();
+    r.heading = in.GetU16();
+    r.status = in.GetU8();
+    r.passengers = in.GetU8();
+    r.fare_cents = in.GetU32();
+    records.push_back(r);
+  }
+  return records;
+}
+
+Bytes SerializeColumns(std::span<const Record> records) {
+  ByteWriter w;
+  w.PutVarint(records.size());
+  const std::size_t n = records.size();
+
+  std::vector<std::int64_t> ints(n);
+  for (std::size_t i = 0; i < n; ++i) ints[i] = records[i].oid;
+  EncodeDeltaColumn(w, ints);
+  for (std::size_t i = 0; i < n; ++i) ints[i] = records[i].time;
+  EncodeDeltaColumn(w, ints);
+
+  std::vector<double> doubles(n);
+  for (std::size_t i = 0; i < n; ++i) doubles[i] = records[i].x;
+  EncodeAdaptiveDoubleColumn(w, doubles);
+  for (std::size_t i = 0; i < n; ++i) doubles[i] = records[i].y;
+  EncodeAdaptiveDoubleColumn(w, doubles);
+
+  std::vector<float> floats(n);
+  for (std::size_t i = 0; i < n; ++i) floats[i] = records[i].speed;
+  EncodeF32Column(w, floats);
+
+  for (std::size_t i = 0; i < n; ++i) ints[i] = records[i].heading;
+  EncodeDeltaColumn(w, ints);
+
+  std::vector<std::uint8_t> bytes(n);
+  for (std::size_t i = 0; i < n; ++i) bytes[i] = records[i].status;
+  EncodeRleColumn(w, bytes);
+  for (std::size_t i = 0; i < n; ++i) bytes[i] = records[i].passengers;
+  EncodeRleColumn(w, bytes);
+
+  for (std::size_t i = 0; i < n; ++i) ints[i] = records[i].fare_cents;
+  EncodeDeltaColumn(w, ints);
+  return w.Take();
+}
+
+std::vector<Record> DeserializeColumns(ByteReader& in, std::size_t count) {
+  std::vector<Record> records(count);
+  const auto oids = DecodeDeltaColumn(in, count);
+  const auto times = DecodeDeltaColumn(in, count);
+  const auto xs = DecodeAdaptiveDoubleColumn(in, count);
+  const auto ys = DecodeAdaptiveDoubleColumn(in, count);
+  const auto speeds = DecodeF32Column(in, count);
+  const auto headings = DecodeDeltaColumn(in, count);
+  const auto statuses = DecodeRleColumn(in, count);
+  const auto passengers = DecodeRleColumn(in, count);
+  const auto fares = DecodeDeltaColumn(in, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    validate(oids[i] >= 0 && oids[i] <= 0xFFFFFFFFll,
+             "DeserializeColumns: oid out of range");
+    validate(headings[i] >= 0 && headings[i] <= 0xFFFFll,
+             "DeserializeColumns: heading out of range");
+    validate(fares[i] >= 0 && fares[i] <= 0xFFFFFFFFll,
+             "DeserializeColumns: fare out of range");
+    records[i].oid = static_cast<std::uint32_t>(oids[i]);
+    records[i].time = times[i];
+    records[i].x = xs[i];
+    records[i].y = ys[i];
+    records[i].speed = speeds[i];
+    records[i].heading = static_cast<std::uint16_t>(headings[i]);
+    records[i].status = statuses[i];
+    records[i].passengers = passengers[i];
+    records[i].fare_cents = static_cast<std::uint32_t>(fares[i]);
+  }
+  return records;
+}
+
+}  // namespace
+
+Bytes SerializeRecords(std::span<const Record> records, Layout layout) {
+  switch (layout) {
+    case Layout::kRow:
+      return SerializeRows(records);
+    case Layout::kColumn:
+      return SerializeColumns(records);
+  }
+  throw InvalidArgument("SerializeRecords: unknown layout");
+}
+
+std::vector<Record> DeserializeRecords(BytesView data, Layout layout) {
+  ByteReader in(data);
+  const std::uint64_t count64 = in.GetVarint();
+  validate(count64 <= data.size(),
+           "DeserializeRecords: implausible record count");
+  const std::size_t count = static_cast<std::size_t>(count64);
+  std::vector<Record> records;
+  switch (layout) {
+    case Layout::kRow:
+      records = DeserializeRows(in, count);
+      break;
+    case Layout::kColumn:
+      records = DeserializeColumns(in, count);
+      break;
+    default:
+      throw InvalidArgument("DeserializeRecords: unknown layout");
+  }
+  validate(in.AtEnd(), "DeserializeRecords: trailing bytes");
+  return records;
+}
+
+}  // namespace blot

@@ -1,0 +1,38 @@
+// Physical record layouts within a partition (Section II-C).
+//
+//   kRow    — fixed-width binary rows, the "binary format instead of text
+//             format" baseline; fastest to scan.
+//   kColumn — column-major with per-column transforms ("organize the data
+//             in column fashion and then apply column-wise encoding
+//             schemes (e.g., delta encoding and run-length encoding)"):
+//             delta+varint integers, XOR-coded doubles, RLE flags.
+//
+// Both layouts are lossless; a general-purpose codec is applied on top by
+// the encoding scheme. Serialized partitions begin with a varint record
+// count so decoders are self-contained.
+#ifndef BLOT_BLOT_LAYOUT_H_
+#define BLOT_BLOT_LAYOUT_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "blot/record.h"
+#include "util/bytes.h"
+
+namespace blot {
+
+enum class Layout { kRow, kColumn };
+
+std::string_view LayoutName(Layout layout);
+Layout LayoutFromName(std::string_view name);
+
+// Serializes records under the given layout.
+Bytes SerializeRecords(std::span<const Record> records, Layout layout);
+
+// Inverse of SerializeRecords; throws CorruptData on malformed input.
+std::vector<Record> DeserializeRecords(BytesView data, Layout layout);
+
+}  // namespace blot
+
+#endif  // BLOT_BLOT_LAYOUT_H_

@@ -1,0 +1,223 @@
+#include "blot/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace blot {
+
+std::string SpatialMethodName(SpatialMethod method) {
+  switch (method) {
+    case SpatialMethod::kKdTree:
+      return "KD";
+    case SpatialMethod::kGrid:
+      return "GRID";
+  }
+  throw InvalidArgument("SpatialMethodName: unknown method");
+}
+
+std::string PartitioningSpec::Name() const {
+  return SpatialMethodName(method) + std::to_string(spatial_partitions) +
+         "xT" + std::to_string(temporal_partitions);
+}
+
+namespace {
+
+struct Box2D {
+  double x_min, x_max, y_min, y_max;
+};
+
+// Equal-count k-d decomposition of `indices` into `leaves` cells,
+// alternating the split axis by depth. Appends (box, member list) pairs.
+void KdSplit(const Dataset& dataset, std::vector<std::uint32_t>& indices,
+             std::size_t begin, std::size_t end, std::size_t leaves,
+             const Box2D& box, int depth,
+             std::vector<Box2D>& out_boxes,
+             std::vector<std::vector<std::uint32_t>>& out_members) {
+  if (leaves == 1) {
+    out_boxes.push_back(box);
+    out_members.emplace_back(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                             indices.begin() + static_cast<std::ptrdiff_t>(end));
+    return;
+  }
+  const std::size_t left_leaves = leaves / 2;
+  const std::size_t right_leaves = leaves - left_leaves;
+  const std::size_t count = end - begin;
+  // Allocate records proportionally to leaf counts so every leaf ends up
+  // with ~|D|/#leaves records even when `leaves` is odd.
+  const std::size_t left_count =
+      count * left_leaves / leaves;
+  const bool split_x = (depth % 2) == 0;
+
+  const auto axis_less = [&dataset, split_x](std::uint32_t a,
+                                             std::uint32_t b) {
+    const Record& ra = dataset.records()[a];
+    const Record& rb = dataset.records()[b];
+    return split_x ? ra.x < rb.x : ra.y < rb.y;
+  };
+  double boundary;
+  if (count == 0) {
+    // No data to take a median from: split the box geometrically.
+    boundary = split_x ? (box.x_min + box.x_max) / 2
+                       : (box.y_min + box.y_max) / 2;
+  } else {
+    const auto nth =
+        indices.begin() + static_cast<std::ptrdiff_t>(begin + left_count);
+    std::nth_element(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                     nth == indices.begin() + static_cast<std::ptrdiff_t>(end)
+                         ? nth - 1
+                         : nth,
+                     indices.begin() + static_cast<std::ptrdiff_t>(end),
+                     axis_less);
+    const std::size_t pivot_index =
+        left_count == count ? count - 1 : left_count;
+    const Record& pivot = dataset.records()[indices[begin + pivot_index]];
+    boundary = split_x ? pivot.x : pivot.y;
+    // Keep the boundary inside the box so child boxes stay valid even for
+    // duplicate coordinates.
+    if (split_x)
+      boundary = std::clamp(boundary, box.x_min, box.x_max);
+    else
+      boundary = std::clamp(boundary, box.y_min, box.y_max);
+  }
+
+  Box2D left_box = box;
+  Box2D right_box = box;
+  if (split_x) {
+    left_box.x_max = boundary;
+    right_box.x_min = boundary;
+  } else {
+    left_box.y_max = boundary;
+    right_box.y_min = boundary;
+  }
+  KdSplit(dataset, indices, begin, begin + left_count, left_leaves, left_box,
+          depth + 1, out_boxes, out_members);
+  KdSplit(dataset, indices, begin + left_count, end, right_leaves, right_box,
+          depth + 1, out_boxes, out_members);
+}
+
+// Factors n into the pair (a, b), a*b == n, with a <= b and a maximal —
+// the most-square grid decomposition.
+std::pair<std::size_t, std::size_t> SquarestFactors(std::size_t n) {
+  std::size_t a = static_cast<std::size_t>(std::sqrt(double(n)));
+  while (a > 1 && n % a != 0) --a;
+  return {a, n / a};
+}
+
+// Splits each spatial cell's members into `slices` equal-count time
+// slices; boundaries tile [universe.t_min, universe.t_max].
+void TemporalSplit(const Dataset& dataset, const STRange& universe,
+                   const Box2D& box, std::vector<std::uint32_t>& members,
+                   std::size_t slices, std::vector<STRange>& out_ranges,
+                   std::vector<std::vector<std::uint32_t>>& out_members) {
+  std::sort(members.begin(), members.end(),
+            [&dataset](std::uint32_t a, std::uint32_t b) {
+              return dataset.records()[a].time < dataset.records()[b].time;
+            });
+  const std::size_t count = members.size();
+  double prev_boundary = universe.t_min();
+  std::size_t prev_offset = 0;
+  for (std::size_t s = 0; s < slices; ++s) {
+    const std::size_t next_offset = count * (s + 1) / slices;
+    double next_boundary;
+    if (s + 1 == slices) {
+      next_boundary = universe.t_max();
+    } else if (count == 0) {
+      next_boundary =
+          universe.t_min() +
+          universe.Duration() * static_cast<double>(s + 1) /
+              static_cast<double>(slices);
+    } else {
+      const std::size_t split =
+          std::min(next_offset, count - 1);
+      next_boundary =
+          static_cast<double>(dataset.records()[members[split]].time);
+      next_boundary =
+          std::clamp(next_boundary, prev_boundary, universe.t_max());
+    }
+    out_ranges.push_back(STRange::FromBounds(box.x_min, box.x_max, box.y_min,
+                                             box.y_max, prev_boundary,
+                                             next_boundary));
+    out_members.emplace_back(
+        members.begin() + static_cast<std::ptrdiff_t>(prev_offset),
+        members.begin() + static_cast<std::ptrdiff_t>(next_offset));
+    prev_boundary = next_boundary;
+    prev_offset = next_offset;
+  }
+}
+
+}  // namespace
+
+PartitionedData PartitionDataset(const Dataset& dataset,
+                                 const PartitioningSpec& spec,
+                                 const STRange& universe) {
+  require(spec.spatial_partitions >= 1 && spec.temporal_partitions >= 1,
+          "PartitionDataset: partition counts must be positive");
+  require(!universe.empty(), "PartitionDataset: empty universe");
+  for (const Record& r : dataset.records())
+    require(universe.Contains(r.Position()),
+            "PartitionDataset: record outside universe");
+
+  std::vector<Box2D> boxes;
+  std::vector<std::vector<std::uint32_t>> cell_members;
+  const Box2D root{universe.x_min(), universe.x_max(), universe.y_min(),
+                   universe.y_max()};
+
+  if (spec.method == SpatialMethod::kKdTree) {
+    std::vector<std::uint32_t> indices(dataset.size());
+    for (std::size_t i = 0; i < dataset.size(); ++i)
+      indices[i] = static_cast<std::uint32_t>(i);
+    KdSplit(dataset, indices, 0, indices.size(), spec.spatial_partitions,
+            root, 0, boxes, cell_members);
+  } else {
+    const auto [gx, gy] = SquarestFactors(spec.spatial_partitions);
+    const double dx = universe.Width() / static_cast<double>(gx);
+    const double dy = universe.Height() / static_cast<double>(gy);
+    for (std::size_t ix = 0; ix < gx; ++ix) {
+      for (std::size_t iy = 0; iy < gy; ++iy) {
+        boxes.push_back({universe.x_min() + dx * static_cast<double>(ix),
+                         universe.x_min() + dx * static_cast<double>(ix + 1),
+                         universe.y_min() + dy * static_cast<double>(iy),
+                         universe.y_min() + dy * static_cast<double>(iy + 1)});
+        cell_members.emplace_back();
+      }
+    }
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      const Record& r = dataset.records()[i];
+      std::size_t ix = dx > 0 ? static_cast<std::size_t>(
+                                    (r.x - universe.x_min()) / dx)
+                              : 0;
+      std::size_t iy = dy > 0 ? static_cast<std::size_t>(
+                                    (r.y - universe.y_min()) / dy)
+                              : 0;
+      ix = std::min(ix, gx - 1);
+      iy = std::min(iy, gy - 1);
+      cell_members[ix * gy + iy].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  PartitionedData result;
+  result.ranges.reserve(spec.TotalPartitions());
+  result.members.reserve(spec.TotalPartitions());
+  for (std::size_t cell = 0; cell < boxes.size(); ++cell) {
+    TemporalSplit(dataset, universe, boxes[cell], cell_members[cell],
+                  spec.temporal_partitions, result.ranges, result.members);
+  }
+  ensure(result.NumPartitions() == spec.TotalPartitions(),
+         "PartitionDataset: produced wrong partition count");
+  return result;
+}
+
+double PartitionSkew(const PartitionedData& partitioned,
+                     std::size_t dataset_size) {
+  if (dataset_size == 0 || partitioned.NumPartitions() == 0) return 1.0;
+  const double expected = static_cast<double>(dataset_size) /
+                          static_cast<double>(partitioned.NumPartitions());
+  double max_count = 0;
+  for (const auto& members : partitioned.members)
+    max_count = std::max(max_count, static_cast<double>(members.size()));
+  return expected > 0 ? max_count / expected : 1.0;
+}
+
+}  // namespace blot

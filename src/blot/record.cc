@@ -1,0 +1,70 @@
+#include "blot/record.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+double ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  validate(end == s.c_str() + s.size() && !s.empty(),
+           "RecordFromCsv: bad floating-point field: " + s);
+  return v;
+}
+
+template <typename T>
+T ParseInteger(const std::string& s) {
+  T v{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  validate(ec == std::errc() && ptr == s.data() + s.size(),
+           "RecordFromCsv: bad integer field: " + s);
+  return v;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RecordFieldNames() {
+  static const std::vector<std::string> names = {
+      "oid",     "time",       "lon",    "lat",       "speed",
+      "heading", "status",     "passengers", "fare_cents"};
+  return names;
+}
+
+std::vector<std::string> RecordToCsv(const Record& r) {
+  char buffer[64];
+  const auto format_double = [&buffer](double v) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    return std::string(buffer);
+  };
+  return {std::to_string(r.oid),
+          std::to_string(r.time),
+          format_double(r.x),
+          format_double(r.y),
+          format_double(r.speed),
+          std::to_string(r.heading),
+          std::to_string(r.status),
+          std::to_string(r.passengers),
+          std::to_string(r.fare_cents)};
+}
+
+Record RecordFromCsv(const std::vector<std::string>& fields) {
+  validate(fields.size() == RecordFieldNames().size(),
+           "RecordFromCsv: wrong field count");
+  Record r;
+  r.oid = ParseInteger<std::uint32_t>(fields[0]);
+  r.time = ParseInteger<std::int64_t>(fields[1]);
+  r.x = ParseDouble(fields[2]);
+  r.y = ParseDouble(fields[3]);
+  r.speed = static_cast<float>(ParseDouble(fields[4]));
+  r.heading = ParseInteger<std::uint16_t>(fields[5]);
+  r.status = ParseInteger<std::uint8_t>(fields[6]);
+  r.passengers = ParseInteger<std::uint8_t>(fields[7]);
+  r.fare_cents = ParseInteger<std::uint32_t>(fields[8]);
+  return r;
+}
+
+}  // namespace blot

@@ -1,0 +1,142 @@
+#include "blot/replica.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace blot {
+
+Replica Replica::Build(const Dataset& dataset, const ReplicaConfig& config,
+                       const STRange& universe, ThreadPool* pool) {
+  Replica replica;
+  replica.config_ = config;
+  replica.universe_ = universe;
+  replica.num_records_ = dataset.size();
+
+  PartitionedData partitioned =
+      PartitionDataset(dataset, config.partitioning, universe);
+  replica.index_ = PartitionIndex(std::move(partitioned.ranges));
+  replica.partitions_.resize(partitioned.members.size());
+
+  const auto encode_one = [&](std::size_t i) {
+    const auto& members = partitioned.members[i];
+    std::vector<Record> records;
+    records.reserve(members.size());
+    for (std::uint32_t index : members)
+      records.push_back(dataset.records()[index]);
+    StoredPartition& stored = replica.partitions_[i];
+    stored.num_records = records.size();
+    if (config.policy == EncodingPolicy::kBestCodecPerPartition) {
+      // Try every codec over the replica's layout and keep the smallest.
+      const Bytes serialized = SerializeRecords(records,
+                                                config.encoding.layout);
+      stored.codec = CodecKind::kNone;
+      stored.data = GetCodec(CodecKind::kNone).Compress(serialized);
+      for (const CodecKind kind : AllCodecKinds()) {
+        if (kind == CodecKind::kNone) continue;
+        Bytes candidate = GetCodec(kind).Compress(serialized);
+        if (candidate.size() < stored.data.size()) {
+          stored.data = std::move(candidate);
+          stored.codec = kind;
+        }
+      }
+    } else {
+      stored.codec = config.encoding.codec;
+      stored.data = EncodePartition(records, config.encoding);
+    }
+    stored.checksum = Fnv1a64(stored.data);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(replica.partitions_.size(), encode_one);
+  } else {
+    for (std::size_t i = 0; i < replica.partitions_.size(); ++i)
+      encode_one(i);
+  }
+
+  replica.storage_bytes_ = 0;
+  for (const StoredPartition& p : replica.partitions_)
+    replica.storage_bytes_ += p.data.size();
+  return replica;
+}
+
+std::vector<Record> Replica::DecodePartitionRecords(
+    std::size_t partition) const {
+  require(partition < partitions_.size(),
+          "Replica::DecodePartitionRecords: bad partition");
+  const StoredPartition& stored = partitions_[partition];
+  validate(Fnv1a64(stored.data) == stored.checksum,
+           "Replica: partition checksum mismatch (corrupt storage unit)");
+  std::vector<Record> records = DecodePartition(
+      stored.data, {config_.encoding.layout, stored.codec});
+  validate(records.size() == stored.num_records,
+           "Replica: decoded record count mismatch");
+  return records;
+}
+
+QueryResult Replica::Execute(const STRange& query, ThreadPool* pool) const {
+  const std::vector<std::size_t> involved = index_.InvolvedPartitions(query);
+  QueryResult result;
+  result.stats.partitions_scanned = involved.size();
+
+  std::vector<std::vector<Record>> matches(involved.size());
+  std::vector<QueryStats> stats(involved.size());
+  const auto scan_one = [&](std::size_t k) {
+    const std::size_t p = involved[k];
+    const std::vector<Record> records = DecodePartitionRecords(p);
+    stats[k].records_scanned = records.size();
+    stats[k].bytes_read = partitions_[p].data.size();
+    for (const Record& r : records)
+      if (query.Contains(r.Position())) matches[k].push_back(r);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(involved.size(), scan_one);
+  } else {
+    for (std::size_t k = 0; k < involved.size(); ++k) scan_one(k);
+  }
+
+  for (std::size_t k = 0; k < involved.size(); ++k) {
+    result.stats.records_scanned += stats[k].records_scanned;
+    result.stats.bytes_read += stats[k].bytes_read;
+    result.records.insert(result.records.end(), matches[k].begin(),
+                          matches[k].end());
+  }
+  return result;
+}
+
+Dataset Replica::Reconstruct() const {
+  Dataset dataset;
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    for (const Record& r : DecodePartitionRecords(p)) dataset.Append(r);
+  }
+  return dataset;
+}
+
+Replica Replica::FromParts(const ReplicaConfig& config,
+                           const STRange& universe,
+                           std::vector<STRange> ranges,
+                           std::vector<StoredPartition> partitions) {
+  require(ranges.size() == partitions.size(),
+          "Replica::FromParts: range/partition count mismatch");
+  require(ranges.size() == config.partitioning.TotalPartitions(),
+          "Replica::FromParts: partition count does not match config");
+  Replica replica;
+  replica.config_ = config;
+  replica.universe_ = universe;
+  replica.index_ = PartitionIndex(std::move(ranges));
+  replica.partitions_ = std::move(partitions);
+  replica.storage_bytes_ = 0;
+  replica.num_records_ = 0;
+  for (const StoredPartition& p : replica.partitions_) {
+    replica.storage_bytes_ += p.data.size();
+    replica.num_records_ += p.num_records;
+  }
+  return replica;
+}
+
+Replica RecoverReplica(const Replica& source,
+                       const ReplicaConfig& target_config, ThreadPool* pool) {
+  return Replica::Build(source.Reconstruct(), target_config,
+                        source.universe(), pool);
+}
+
+}  // namespace blot

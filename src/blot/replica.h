@@ -1,0 +1,141 @@
+// A replica r = <D, P, E>: one physical organization of the dataset
+// (Definition 4) — records partitioned by a partitioning scheme and each
+// partition encoded by an encoding scheme, plus the partitioning index.
+//
+// Replicas answer range queries by scanning involved partitions
+// (Section II-D) and expose their storage size (Definition 5). Because
+// every replica stores the same logical record set, any replica can be
+// reconstructed from any other (Section II-E's fault-tolerance argument);
+// Reconstruct() returns that logical view.
+#ifndef BLOT_BLOT_REPLICA_H_
+#define BLOT_BLOT_REPLICA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blot/dataset.h"
+#include "blot/encoding_scheme.h"
+#include "blot/partition_index.h"
+#include "blot/partitioner.h"
+#include "util/thread_pool.h"
+
+namespace blot {
+
+// Per-partition encoding policy. The paper's base definition encodes all
+// partitions of a replica identically but notes the analysis "can be
+// easily generalized for BLOT systems that allow a separate encoding
+// scheme for each partition"; kBestCodecPerPartition implements that
+// generalization by picking, for every partition, the codec that
+// minimizes its encoded size (the layout stays replica-wide).
+enum class EncodingPolicy { kUniform, kBestCodecPerPartition };
+
+// A candidate replica configuration: partitioning scheme x encoding
+// scheme. This is the unit the replica selection problem chooses among.
+struct ReplicaConfig {
+  PartitioningSpec partitioning;
+  EncodingScheme encoding;
+  EncodingPolicy policy = EncodingPolicy::kUniform;
+
+  // Stable identifier, e.g. "KD64xT32/ROW-GZIP" (suffix "+HYBRID" under
+  // the per-partition policy).
+  std::string Name() const {
+    std::string name = partitioning.Name() + "/" + encoding.Name();
+    if (policy == EncodingPolicy::kBestCodecPerPartition) name += "+HYBRID";
+    return name;
+  }
+
+  friend bool operator==(const ReplicaConfig&, const ReplicaConfig&) = default;
+};
+
+// One storage unit: an encoded partition plus integrity metadata. `codec`
+// is the replica's codec under the uniform policy, or this partition's
+// chosen codec under kBestCodecPerPartition.
+struct StoredPartition {
+  std::uint64_t num_records = 0;
+  Bytes data;               // encoded (layout + codec) bytes
+  std::uint64_t checksum = 0;  // FNV-1a of `data`
+  CodecKind codec = CodecKind::kNone;
+};
+
+// Per-query execution accounting, the raw inputs of the cost model:
+// Cost(q, r) is driven by records scanned and partitions touched (Eq. 7).
+struct QueryStats {
+  std::size_t partitions_scanned = 0;
+  std::uint64_t records_scanned = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+struct QueryResult {
+  std::vector<Record> records;
+  QueryStats stats;
+};
+
+class Replica {
+ public:
+  // Builds the physical replica. Every record of `dataset` must lie in
+  // `universe`. When `pool` is non-null, partitions are encoded in
+  // parallel.
+  static Replica Build(const Dataset& dataset, const ReplicaConfig& config,
+                       const STRange& universe, ThreadPool* pool = nullptr);
+
+  const ReplicaConfig& config() const { return config_; }
+  const PartitionIndex& index() const { return index_; }
+  const STRange& universe() const { return universe_; }
+
+  std::size_t NumPartitions() const { return partitions_.size(); }
+  std::uint64_t NumRecords() const { return num_records_; }
+
+  // Total encoded bytes across partitions: Storage(r) of Definition 5.
+  std::uint64_t StorageBytes() const { return storage_bytes_; }
+
+  // Answers a range query: scans involved partitions, decodes them, and
+  // filters records by `query` (Section II-D). Partitions are scanned in
+  // parallel when `pool` is non-null.
+  QueryResult Execute(const STRange& query, ThreadPool* pool = nullptr) const;
+
+  // Decodes one partition, verifying its checksum first; throws
+  // CorruptData on integrity failure.
+  std::vector<Record> DecodePartitionRecords(std::size_t partition) const;
+
+  const StoredPartition& partition(std::size_t i) const {
+    return partitions_[i];
+  }
+
+  // Mutable partition access for failure-injection tests and recovery
+  // tooling; production query paths never mutate partitions.
+  StoredPartition& MutablePartition(std::size_t i) { return partitions_[i]; }
+
+  // The shared logical view: every stored record, in partition order.
+  // Any other replica can be rebuilt from this (replica recovery).
+  Dataset Reconstruct() const;
+
+  // Reassembles a replica from previously persisted parts (see
+  // SegmentStore). `ranges` and `partitions` must be index-aligned;
+  // counts and checksums are trusted here and re-verified on every read.
+  static Replica FromParts(const ReplicaConfig& config,
+                           const STRange& universe,
+                           std::vector<STRange> ranges,
+                           std::vector<StoredPartition> partitions);
+
+ private:
+  Replica() = default;
+
+  ReplicaConfig config_;
+  STRange universe_;
+  PartitionIndex index_;
+  std::vector<StoredPartition> partitions_;
+  std::uint64_t storage_bytes_ = 0;
+  std::uint64_t num_records_ = 0;
+};
+
+// Rebuilds a replica with `target_config` from the logical view of
+// `source` — the diverse-replica recovery path of Section II-E: "diverse
+// replicas can recover each other when failures occur because they share
+// the same logical view of the data."
+Replica RecoverReplica(const Replica& source, const ReplicaConfig& target_config,
+                       ThreadPool* pool = nullptr);
+
+}  // namespace blot
+
+#endif  // BLOT_BLOT_REPLICA_H_

@@ -1,0 +1,90 @@
+#include "blot/trajectory.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+// Two cheap independent hashes into [0, 64).
+std::uint64_t BloomMask(std::uint32_t oid) {
+  const std::uint64_t h1 = (oid * 0x9E3779B1ull) >> 26;        // top 6 bits
+  const std::uint64_t h2 = (oid * 0x85EBCA77ull + 0x165667B1ull) >> 26;
+  return (std::uint64_t{1} << (h1 & 63)) | (std::uint64_t{1} << (h2 & 63));
+}
+
+}  // namespace
+
+ObjectDigest ObjectDigest::Build(std::span<const Record> records) {
+  ObjectDigest digest;
+  for (const Record& r : records) {
+    digest.min_oid = std::min(digest.min_oid, r.oid);
+    digest.max_oid = std::max(digest.max_oid, r.oid);
+    digest.bloom |= BloomMask(r.oid);
+  }
+  return digest;
+}
+
+bool ObjectDigest::MayContain(std::uint32_t oid) const {
+  if (empty()) return false;
+  if (oid < min_oid || oid > max_oid) return false;
+  const std::uint64_t mask = BloomMask(oid);
+  return (bloom & mask) == mask;
+}
+
+TrajectoryIndex::TrajectoryIndex(const Replica& replica, ThreadPool* pool)
+    : digests_(replica.NumPartitions()) {
+  const auto build_one = [&](std::size_t p) {
+    digests_[p] = ObjectDigest::Build(replica.DecodePartitionRecords(p));
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(digests_.size(), build_one);
+  } else {
+    for (std::size_t p = 0; p < digests_.size(); ++p) build_one(p);
+  }
+}
+
+TrajectoryIndex::Result TrajectoryIndex::Query(const Replica& replica,
+                                               std::uint32_t oid,
+                                               std::int64_t t_min,
+                                               std::int64_t t_max,
+                                               ThreadPool* pool) const {
+  require(digests_.size() == replica.NumPartitions(),
+          "TrajectoryIndex: index does not match replica");
+  require(t_min <= t_max, "TrajectoryIndex::Query: bad time window");
+
+  Result result;
+  std::vector<std::size_t> candidates;
+  for (std::size_t p = 0; p < replica.NumPartitions(); ++p) {
+    const STRange& range = replica.index().Range(p);
+    if (range.t_max() < static_cast<double>(t_min) ||
+        range.t_min() > static_cast<double>(t_max))
+      continue;
+    ++result.partitions_considered;
+    if (digests_[p].MayContain(oid)) candidates.push_back(p);
+  }
+  result.partitions_scanned = candidates.size();
+
+  std::vector<std::vector<Record>> matches(candidates.size());
+  const auto scan_one = [&](std::size_t k) {
+    for (const Record& r :
+         replica.DecodePartitionRecords(candidates[k])) {
+      if (r.oid == oid && r.time >= t_min && r.time <= t_max)
+        matches[k].push_back(r);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(candidates.size(), scan_one);
+  } else {
+    for (std::size_t k = 0; k < candidates.size(); ++k) scan_one(k);
+  }
+  for (const auto& m : matches)
+    result.records.insert(result.records.end(), m.begin(), m.end());
+  std::stable_sort(
+      result.records.begin(), result.records.end(),
+      [](const Record& a, const Record& b) { return a.time < b.time; });
+  return result;
+}
+
+}  // namespace blot

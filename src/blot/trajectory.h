@@ -1,0 +1,70 @@
+// Object-trajectory retrieval over a replica.
+//
+// OID is a core attribute of the BLOT data model (Section II-A), and
+// retrieving one object's trajectory over a time window is the classic
+// access path of the trajectory stores BLOT generalizes (TrajStore,
+// CloST). Spatio-temporal partitioning gives no spatial constraint for
+// such queries — the object may be anywhere — so a naive scan touches
+// every partition whose time slice intersects the window.
+//
+// TrajectoryIndex adds a small per-partition object digest (min/max OID
+// plus a 64-bit Bloom filter) to the partitioning index so that
+// partitions that cannot contain the object are pruned without being
+// decoded. Digests are conservative: false positives cost an extra scan,
+// never a missed record.
+#ifndef BLOT_BLOT_TRAJECTORY_H_
+#define BLOT_BLOT_TRAJECTORY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blot/replica.h"
+
+namespace blot {
+
+// Compact membership summary of the OIDs in one partition.
+struct ObjectDigest {
+  std::uint32_t min_oid = 0xFFFFFFFFu;
+  std::uint32_t max_oid = 0;
+  std::uint64_t bloom = 0;  // two hash functions over a 64-bit field
+
+  static ObjectDigest Build(std::span<const Record> records);
+
+  // Never false-negative: returns true for every OID present.
+  bool MayContain(std::uint32_t oid) const;
+
+  bool empty() const { return min_oid > max_oid; }
+};
+
+class TrajectoryIndex {
+ public:
+  // Builds digests by decoding each partition once (in parallel when
+  // `pool` is non-null). The index is only valid for the replica it was
+  // built from.
+  explicit TrajectoryIndex(const Replica& replica,
+                           ThreadPool* pool = nullptr);
+
+  struct Result {
+    // Records of the object within the window, ordered by time.
+    std::vector<Record> records;
+    std::size_t partitions_considered = 0;  // time-intersecting
+    std::size_t partitions_scanned = 0;     // after digest pruning
+  };
+
+  // All records of `oid` with time in [t_min, t_max].
+  Result Query(const Replica& replica, std::uint32_t oid,
+               std::int64_t t_min, std::int64_t t_max,
+               ThreadPool* pool = nullptr) const;
+
+  const ObjectDigest& digest(std::size_t partition) const {
+    return digests_[partition];
+  }
+
+ private:
+  std::vector<ObjectDigest> digests_;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_BLOT_TRAJECTORY_H_

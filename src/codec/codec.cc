@@ -1,0 +1,81 @@
+#include "codec/codec.h"
+
+#include "codec/gzip_like.h"
+#include "codec/lzma_like.h"
+#include "codec/snappy_like.h"
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+// Identity codec: frames the input with its size so that Decompress can
+// still validate framing, but performs no transformation.
+class IdentityCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kNone; }
+
+  Bytes Compress(BytesView input) const override {
+    ByteWriter out;
+    out.PutVarint(input.size());
+    out.PutBytes(input);
+    return out.Take();
+  }
+
+  Bytes Decompress(BytesView input) const override {
+    ByteReader in(input);
+    const std::uint64_t size = in.GetVarint();
+    BytesView payload = in.GetBytes(static_cast<std::size_t>(size));
+    validate(in.AtEnd(), "Identity: trailing bytes");
+    return Bytes(payload.begin(), payload.end());
+  }
+};
+
+}  // namespace
+
+std::string_view CodecKindName(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kNone:
+      return "PLAIN";
+    case CodecKind::kSnappyLike:
+      return "SNAPPY";
+    case CodecKind::kGzipLike:
+      return "GZIP";
+    case CodecKind::kLzmaLike:
+      return "LZMA";
+  }
+  throw InvalidArgument("CodecKindName: unknown codec kind");
+}
+
+CodecKind CodecKindFromName(std::string_view name) {
+  if (name == "PLAIN") return CodecKind::kNone;
+  if (name == "SNAPPY") return CodecKind::kSnappyLike;
+  if (name == "GZIP") return CodecKind::kGzipLike;
+  if (name == "LZMA") return CodecKind::kLzmaLike;
+  throw InvalidArgument("CodecKindFromName: unknown codec name: " +
+                        std::string(name));
+}
+
+std::vector<CodecKind> AllCodecKinds() {
+  return {CodecKind::kNone, CodecKind::kSnappyLike, CodecKind::kGzipLike,
+          CodecKind::kLzmaLike};
+}
+
+const Codec& GetCodec(CodecKind kind) {
+  static const IdentityCodec identity;
+  static const SnappyLikeCodec snappy;
+  static const GzipLikeCodec gzip;
+  static const LzmaLikeCodec lzma;
+  switch (kind) {
+    case CodecKind::kNone:
+      return identity;
+    case CodecKind::kSnappyLike:
+      return snappy;
+    case CodecKind::kGzipLike:
+      return gzip;
+    case CodecKind::kLzmaLike:
+      return lzma;
+  }
+  throw InvalidArgument("GetCodec: unknown codec kind");
+}
+
+}  // namespace blot

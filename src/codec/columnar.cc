@@ -1,0 +1,165 @@
+#include "codec/columnar.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace blot {
+
+void EncodeDeltaColumn(ByteWriter& out,
+                       std::span<const std::int64_t> values) {
+  std::int64_t prev = 0;
+  for (std::int64_t v : values) {
+    out.PutSignedVarint(v - prev);
+    prev = v;
+  }
+}
+
+std::vector<std::int64_t> DecodeDeltaColumn(ByteReader& in,
+                                            std::size_t count) {
+  std::vector<std::int64_t> values;
+  values.reserve(count);
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    prev += in.GetSignedVarint();
+    values.push_back(prev);
+  }
+  return values;
+}
+
+void EncodeRleColumn(ByteWriter& out, std::span<const std::uint8_t> values) {
+  std::size_t i = 0;
+  while (i < values.size()) {
+    std::size_t run = 1;
+    while (i + run < values.size() && values[i + run] == values[i]) ++run;
+    out.PutU8(values[i]);
+    out.PutVarint(run);
+    i += run;
+  }
+}
+
+std::vector<std::uint8_t> DecodeRleColumn(ByteReader& in, std::size_t count) {
+  std::vector<std::uint8_t> values;
+  values.reserve(count);
+  while (values.size() < count) {
+    const std::uint8_t v = in.GetU8();
+    const std::uint64_t run = in.GetVarint();
+    validate(run > 0 && values.size() + run <= count,
+             "DecodeRleColumn: run overflows column");
+    values.insert(values.end(), static_cast<std::size_t>(run), v);
+  }
+  return values;
+}
+
+void EncodeQuantizedColumn(ByteWriter& out, std::span<const double> values,
+                           double scale) {
+  require(scale > 0, "EncodeQuantizedColumn: scale must be positive");
+  std::int64_t prev = 0;
+  for (double v : values) {
+    const std::int64_t q = static_cast<std::int64_t>(std::llround(v / scale));
+    out.PutSignedVarint(q - prev);
+    prev = q;
+  }
+}
+
+std::vector<double> DecodeQuantizedColumn(ByteReader& in, std::size_t count,
+                                          double scale) {
+  require(scale > 0, "DecodeQuantizedColumn: scale must be positive");
+  std::vector<double> values;
+  values.reserve(count);
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    prev += in.GetSignedVarint();
+    values.push_back(static_cast<double>(prev) * scale);
+  }
+  return values;
+}
+
+void EncodeXorColumn(ByteWriter& out, std::span<const double> values) {
+  std::uint64_t prev = 0;
+  for (double v : values) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    out.PutVarint(bits ^ prev);
+    prev = bits;
+  }
+}
+
+std::vector<double> DecodeXorColumn(ByteReader& in, std::size_t count) {
+  std::vector<double> values;
+  values.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    prev ^= in.GetVarint();
+    values.push_back(std::bit_cast<double>(prev));
+  }
+  return values;
+}
+
+namespace {
+
+constexpr std::uint8_t kDoubleModeXor = 0;
+constexpr std::uint8_t kDoubleModeQuantized = 1;
+
+}  // namespace
+
+void EncodeAdaptiveDoubleColumn(ByteWriter& out,
+                                std::span<const double> values,
+                                double denominator) {
+  require(denominator > 0,
+          "EncodeAdaptiveDoubleColumn: denominator must be positive");
+  bool exact = true;
+  std::vector<std::int64_t> quantized;
+  quantized.reserve(values.size());
+  for (double v : values) {
+    const double scaled = v * denominator;
+    if (!(std::abs(scaled) < 9.0e15)) {  // llround domain, rejects NaN/inf
+      exact = false;
+      break;
+    }
+    const std::int64_t q = std::llround(scaled);
+    if (static_cast<double>(q) / denominator != v) {
+      exact = false;
+      break;
+    }
+    quantized.push_back(q);
+  }
+  if (exact) {
+    out.PutU8(kDoubleModeQuantized);
+    out.PutF64(denominator);
+    EncodeDeltaColumn(out, quantized);
+  } else {
+    out.PutU8(kDoubleModeXor);
+    EncodeXorColumn(out, values);
+  }
+}
+
+std::vector<double> DecodeAdaptiveDoubleColumn(ByteReader& in,
+                                               std::size_t count) {
+  const std::uint8_t mode = in.GetU8();
+  if (mode == kDoubleModeXor) return DecodeXorColumn(in, count);
+  validate(mode == kDoubleModeQuantized,
+           "DecodeAdaptiveDoubleColumn: unknown mode");
+  const double denominator = in.GetF64();
+  validate(denominator > 0,
+           "DecodeAdaptiveDoubleColumn: bad denominator");
+  const std::vector<std::int64_t> quantized = DecodeDeltaColumn(in, count);
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::int64_t q : quantized)
+    values.push_back(static_cast<double>(q) / denominator);
+  return values;
+}
+
+void EncodeF32Column(ByteWriter& out, std::span<const float> values) {
+  for (float v : values) out.PutF32(v);
+}
+
+std::vector<float> DecodeF32Column(ByteReader& in, std::size_t count) {
+  std::vector<float> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) values.push_back(in.GetF32());
+  return values;
+}
+
+}  // namespace blot

@@ -1,0 +1,26 @@
+// DEFLATE-style codec (Gzip design point): LZSS tokens over a 32 KiB
+// window, entropy-coded with two canonical Huffman alphabets.
+//
+// The token stream follows DEFLATE's alphabets — literal/length symbols
+// 0..285 (256 terminates the block; 257..285 select a match length in
+// 3..258 with extra bits) and distance symbols 0..29 (distances 1..32768
+// with extra bits) — but frames a single dynamic block whose code lengths
+// are stored uncompressed in the header. Inputs that do not shrink are
+// stored raw.
+#ifndef BLOT_CODEC_GZIP_LIKE_H_
+#define BLOT_CODEC_GZIP_LIKE_H_
+
+#include "codec/codec.h"
+
+namespace blot {
+
+class GzipLikeCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kGzipLike; }
+  Bytes Compress(BytesView input) const override;
+  Bytes Decompress(BytesView input) const override;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_CODEC_GZIP_LIKE_H_

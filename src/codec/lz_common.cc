@@ -1,0 +1,74 @@
+#include "codec/lz_common.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+constexpr std::size_t kHashBits = 16;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+
+}  // namespace
+
+HashChainMatcher::HashChainMatcher(BytesView input, const Options& options)
+    : input_(input),
+      options_(options),
+      head_(kHashSize, -1),
+      prev_(input.size(), -1) {
+  require(options_.min_match >= 3, "HashChainMatcher: min_match must be >= 3");
+  require(options_.max_match >= options_.min_match,
+          "HashChainMatcher: max_match < min_match");
+  require(options_.window_size > 0, "HashChainMatcher: empty window");
+}
+
+std::uint32_t HashChainMatcher::HashAt(std::size_t pos) const {
+  // Multiplicative hash of the next 4 bytes (padded reads are guarded by
+  // callers: FindMatch/Insert skip positions within 4 bytes of the end).
+  std::uint32_t v = static_cast<std::uint32_t>(input_[pos]) |
+                    (static_cast<std::uint32_t>(input_[pos + 1]) << 8) |
+                    (static_cast<std::uint32_t>(input_[pos + 2]) << 16) |
+                    (static_cast<std::uint32_t>(input_[pos + 3]) << 24);
+  return (v * 0x9E3779B1u) >> (32 - kHashBits);
+}
+
+LzMatch HashChainMatcher::FindMatch(std::size_t pos) const {
+  LzMatch best;
+  if (pos + 4 > input_.size()) return best;
+  const std::size_t max_len = std::min<std::size_t>(
+      options_.max_match, input_.size() - pos);
+  if (max_len < options_.min_match) return best;
+
+  std::int64_t candidate = head_[HashAt(pos)];
+  const std::int64_t window_start =
+      static_cast<std::int64_t>(pos) -
+      static_cast<std::int64_t>(options_.window_size);
+  std::uint32_t probes = options_.max_chain;
+  while (candidate >= 0 && candidate >= window_start && probes-- > 0) {
+    const std::size_t c = static_cast<std::size_t>(candidate);
+    // Cheap reject: compare the byte just past the current best length.
+    if (best.length == 0 ||
+        (best.length < max_len &&
+         input_[c + best.length] == input_[pos + best.length])) {
+      std::size_t len = 0;
+      while (len < max_len && input_[c + len] == input_[pos + len]) ++len;
+      if (len >= options_.min_match && len > best.length) {
+        best.length = static_cast<std::uint32_t>(len);
+        best.distance = static_cast<std::uint32_t>(pos - c);
+        if (len == max_len) break;
+      }
+    }
+    candidate = prev_[c];
+  }
+  return best;
+}
+
+void HashChainMatcher::Insert(std::size_t pos) {
+  if (pos + 4 > input_.size()) return;
+  const std::uint32_t h = HashAt(pos);
+  prev_[pos] = head_[h];
+  head_[h] = static_cast<std::int64_t>(pos);
+}
+
+}  // namespace blot

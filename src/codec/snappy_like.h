@@ -1,0 +1,27 @@
+// Fast byte-oriented LZ codec (Snappy design point).
+//
+// Greedy LZ77 over a 64 KiB window with byte-aligned output and no entropy
+// coding stage: tag bytes distinguish literal runs from copies, exactly the
+// trade-off Snappy makes — very fast scans, modest ratio.
+//
+// Frame layout: varint uncompressed size, then a sequence of elements:
+//   literal: tag ll...ll00 (run length 1..60 in the tag, 61/62 select one
+//            or two extension length bytes), followed by the bytes;
+//   copy:    tag llllll10 (length 4..67), followed by a 2-byte LE distance.
+#ifndef BLOT_CODEC_SNAPPY_LIKE_H_
+#define BLOT_CODEC_SNAPPY_LIKE_H_
+
+#include "codec/codec.h"
+
+namespace blot {
+
+class SnappyLikeCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kSnappyLike; }
+  Bytes Compress(BytesView input) const override;
+  Bytes Decompress(BytesView input) const override;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_CODEC_SNAPPY_LIKE_H_

@@ -1,0 +1,75 @@
+// Access-aware per-partition encoding.
+//
+// The paper notes its analysis "can be easily generalized for BLOT
+// systems that allow a separate encoding scheme for each partition"; the
+// kBestCodecPerPartition policy minimizes *size* per partition. This
+// module goes further and minimizes expected *scan cost* under a storage
+// budget: partitions a workload touches often get a fast codec, cold
+// partitions get the smallest one. The access frequency of a partition
+// falls straight out of the cost model — it is the workload-weighted
+// involvement probability of Eq. 12.
+//
+// The plan is a multiple-choice knapsack (one codec per partition,
+// total bytes <= budget) solved greedily: start from the smallest codec
+// everywhere, then repeatedly apply the upgrade with the best
+// cost-reduction per extra byte. Dominating upgrades (faster AND not
+// larger) are applied unconditionally.
+#ifndef BLOT_CORE_ACCESS_AWARE_H_
+#define BLOT_CORE_ACCESS_AWARE_H_
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/workload.h"
+
+namespace blot {
+
+// Expected scans of each partition per unit workload weight:
+// access[p] = sum_i w_i * P(q_i involves p)  (Eq. 12 per query).
+std::vector<double> PartitionAccessFrequencies(const PartitionIndex& index,
+                                               const STRange& universe,
+                                               const Workload& workload);
+
+struct AccessAwarePlan {
+  std::vector<CodecKind> codecs;  // chosen codec per partition
+  double expected_cost_ms = 0.0;  // workload-weighted expected scan cost
+  std::uint64_t total_bytes = 0;
+};
+
+// Inputs for planning: per-codec encoded sizes per partition, per-codec
+// scan parameters, and the per-partition access frequencies and record
+// counts.
+struct AccessAwareInputs {
+  std::vector<CodecKind> codec_choices;
+  // sizes[c][p]: encoded bytes of partition p under codec_choices[c].
+  std::vector<std::vector<std::uint64_t>> sizes;
+  // params[c]: scan cost parameters of codec_choices[c] (for the
+  // replica's layout) in the target environment.
+  std::vector<ScanCostParams> params;
+  std::vector<double> access;        // per partition
+  std::vector<std::uint64_t> counts; // records per partition
+};
+
+// Chooses one codec per partition minimizing expected cost subject to
+// total_bytes <= budget. Throws InvalidArgument if even the all-smallest
+// assignment exceeds the budget.
+AccessAwarePlan PlanAccessAwareEncoding(const AccessAwareInputs& inputs,
+                                        std::uint64_t budget_bytes);
+
+// End-to-end: partitions `dataset`, trials every codec per partition,
+// plans against `workload` in `model`'s environment, and materializes the
+// replica with the chosen per-partition codecs. The returned replica
+// reports the planning policy in its config name.
+struct AccessAwareBuildResult {
+  Replica replica;
+  AccessAwarePlan plan;
+};
+AccessAwareBuildResult BuildAccessAwareReplica(
+    const Dataset& dataset, const PartitioningSpec& partitioning,
+    Layout layout, const STRange& universe, const Workload& workload,
+    const CostModel& model, std::uint64_t budget_bytes,
+    ThreadPool* pool = nullptr);
+
+}  // namespace blot
+
+#endif  // BLOT_CORE_ACCESS_AWARE_H_

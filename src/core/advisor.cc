@@ -1,0 +1,70 @@
+#include "core/advisor.h"
+
+#include "util/error.h"
+
+namespace blot {
+
+AdvisorReport AdviseReplicas(const Dataset& dataset, const STRange& universe,
+                             std::uint64_t total_records,
+                             const Workload& workload, const CostModel& model,
+                             double budget_bytes,
+                             const AdvisorOptions& options) {
+  require(!dataset.empty(), "AdviseReplicas: empty dataset");
+  require(!workload.empty(), "AdviseReplicas: empty workload");
+  require(budget_bytes > 0, "AdviseReplicas: non-positive budget");
+
+  Rng rng(options.seed);
+  AdvisorReport report;
+
+  // 1-2. Sample and measure compression ratios.
+  const Dataset sample = dataset.Sample(options.sample_records, rng);
+  report.compression_ratios = MeasureCompressionRatios(
+      sample, options.candidate_space.encodings, options.sample_records,
+      rng());
+
+  // 3. Candidate sketches.
+  const std::vector<ReplicaConfig> configs =
+      EnumerateReplicaConfigs(options.candidate_space);
+  std::vector<ReplicaSketch> sketches = BuildCandidateSketches(
+      sample, universe, configs, total_records, report.compression_ratios);
+  report.candidates_before_pruning = sketches.size();
+
+  // 4. Workload reduction.
+  Workload effective = workload;
+  if (options.max_workload_size > 0 &&
+      workload.size() > options.max_workload_size)
+    effective = ReduceWorkload(workload, options.max_workload_size, rng);
+
+  // 5. Cost matrix (and optional dominance pruning on it).
+  SelectionInput input =
+      BuildSelectionInput(sketches, effective, model, budget_bytes);
+  std::vector<std::size_t> kept(sketches.size());
+  for (std::size_t j = 0; j < sketches.size(); ++j) kept[j] = j;
+  if (options.prune_dominated) {
+    kept = PruneDominated(input);
+    input = RestrictCandidates(input, kept);
+  }
+  report.candidates.reserve(kept.size());
+  for (std::size_t j : kept) report.candidates.push_back(configs[j]);
+
+  // 6. Selection.
+  switch (options.algorithm) {
+    case SelectionAlgorithm::kGreedy:
+      report.selection = SelectGreedy(input);
+      break;
+    case SelectionAlgorithm::kMip:
+      report.selection = SelectMip(input, options.mip_options);
+      break;
+    case SelectionAlgorithm::kBestSingle:
+      report.selection = SelectBestSingle(input);
+      break;
+  }
+  for (std::size_t j : report.selection.chosen)
+    report.chosen.push_back(report.candidates[j]);
+
+  report.best_single_cost_ms = SelectBestSingle(input).workload_cost;
+  report.ideal_cost_ms = SelectIdeal(input).workload_cost;
+  return report;
+}
+
+}  // namespace blot

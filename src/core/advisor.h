@@ -1,0 +1,66 @@
+// ReplicaAdvisor: the end-to-end replica-selection pipeline.
+//
+// Ties the pieces together the way the paper's system would run them:
+//   1. sample the dataset;
+//   2. measure per-encoding compression ratios (storage estimates);
+//   3. enumerate candidate replicas and sketch them from the sample;
+//   4. optionally reduce the workload (k-means over range sizes) and
+//      prune dominated candidates;
+//   5. estimate the cost matrix with the cost model;
+//   6. select a replica set under the storage budget (greedy or MIP).
+#ifndef BLOT_CORE_ADVISOR_H_
+#define BLOT_CORE_ADVISOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/mip_selection.h"
+#include "core/selection.h"
+
+namespace blot {
+
+enum class SelectionAlgorithm { kGreedy, kMip, kBestSingle };
+
+struct AdvisorOptions {
+  CandidateSpaceConfig candidate_space;
+  std::size_t sample_records = 50000;
+  // Reduce the workload to at most this many grouped queries (0 = off).
+  std::size_t max_workload_size = 0;
+  bool prune_dominated = true;
+  SelectionAlgorithm algorithm = SelectionAlgorithm::kGreedy;
+  MipSelectionOptions mip_options;
+  std::uint64_t seed = 97;
+};
+
+struct AdvisorReport {
+  // Chosen configurations, in candidate order.
+  std::vector<ReplicaConfig> chosen;
+  SelectionResult selection;         // indices refer to `candidates`
+  std::vector<ReplicaConfig> candidates;  // post-pruning candidate list
+  std::size_t candidates_before_pruning = 0;
+  double best_single_cost_ms = 0.0;  // baseline for speedup reporting
+  double ideal_cost_ms = 0.0;        // unreachable lower bound
+  std::map<std::string, double> compression_ratios;
+
+  double SpeedupOverSingle() const {
+    return selection.workload_cost > 0
+               ? best_single_cost_ms / selection.workload_cost
+               : 0.0;
+  }
+};
+
+// Runs the pipeline for a dataset of `total_records` records distributed
+// like `dataset` (pass the full dataset and its size for an exact run, or
+// a sample plus the full count for a scaled run).
+AdvisorReport AdviseReplicas(const Dataset& dataset, const STRange& universe,
+                             std::uint64_t total_records,
+                             const Workload& workload, const CostModel& model,
+                             double budget_bytes,
+                             const AdvisorOptions& options = {});
+
+}  // namespace blot
+
+#endif  // BLOT_CORE_ADVISOR_H_

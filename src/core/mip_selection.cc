@@ -1,0 +1,123 @@
+#include "core/mip_selection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+// Variable layout: x_j at j (j < m); y_ij at m + i*m + j.
+std::size_t YVar(std::size_t m, std::size_t i, std::size_t j) {
+  return m + i * m + j;
+}
+
+}  // namespace
+
+MipProblem BuildSelectionMip(const SelectionInput& input,
+                             bool use_disaggregated_constraints) {
+  input.Check();
+  const std::size_t n = input.NumQueries();
+  const std::size_t m = input.NumReplicas();
+  require(n > 0 && m > 0, "BuildSelectionMip: empty instance");
+
+  MipProblem mip{LpProblem(m + n * m), {}};
+  for (std::size_t j = 0; j < m; ++j) mip.binary_variables.push_back(j);
+
+  // Objective (5): sum of weighted assignment costs.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      mip.lp.SetObjective(YVar(m, i, j), input.weights[i] * input.cost[i][j]);
+
+  // (1) storage budget.
+  LpConstraint storage{{}, Relation::kLessEqual, input.budget_bytes};
+  for (std::size_t j = 0; j < m; ++j)
+    storage.terms.emplace_back(j, input.storage_bytes[j]);
+  mip.lp.AddConstraint(storage);
+
+  // (2) each query processed on exactly one replica.
+  for (std::size_t i = 0; i < n; ++i) {
+    LpConstraint assign{{}, Relation::kEqual, 1.0};
+    for (std::size_t j = 0; j < m; ++j)
+      assign.terms.emplace_back(YVar(m, i, j), 1.0);
+    mip.lp.AddConstraint(assign);
+  }
+
+  if (use_disaggregated_constraints) {
+    // (3) y_ij <= x_j, n*m constraints.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < m; ++j)
+        mip.lp.AddConstraint({{{YVar(m, i, j), 1.0}, {j, -1.0}},
+                              Relation::kLessEqual,
+                              0.0});
+  } else {
+    // (4) Σ_i y_ij <= n x_j, m constraints.
+    for (std::size_t j = 0; j < m; ++j) {
+      LpConstraint link{{}, Relation::kLessEqual, 0.0};
+      for (std::size_t i = 0; i < n; ++i)
+        link.terms.emplace_back(YVar(m, i, j), 1.0);
+      link.terms.emplace_back(j, -static_cast<double>(n));
+      mip.lp.AddConstraint(link);
+    }
+  }
+
+  // Binary bounds x_j <= 1 (y_ij <= 1 is implied by (2)).
+  for (std::size_t j = 0; j < m; ++j)
+    mip.lp.AddConstraint({{{j, 1.0}}, Relation::kLessEqual, 1.0});
+
+  return mip;
+}
+
+SelectionResult SelectMip(const SelectionInput& input,
+                          const MipSelectionOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t m = input.NumReplicas();
+  const MipProblem mip =
+      BuildSelectionMip(input, options.use_disaggregated_constraints);
+
+  SelectionResult greedy;
+  std::optional<double> incumbent;
+  if (options.warm_start_with_greedy) {
+    greedy = SelectGreedy(input);
+    if (std::isfinite(greedy.workload_cost))
+      incumbent = greedy.workload_cost;
+  }
+
+  const MipSolution solution = SolveMip(mip, options.mip, incumbent);
+
+  SelectionResult result;
+  result.nodes_explored = solution.nodes_explored;
+  result.optimal = solution.status == MipStatus::kOptimal;
+  if (!solution.values.empty()) {
+    for (std::size_t j = 0; j < m; ++j)
+      if (solution.values[j] > 0.5) result.chosen.push_back(j);
+    result.workload_cost = SubsetWorkloadCost(input, result.chosen);
+  } else if (solution.status == MipStatus::kOptimal && incumbent) {
+    // The branch and bound proved the greedy incumbent optimal without
+    // re-deriving an assignment; reuse the greedy set.
+    result.chosen = greedy.chosen;
+    result.workload_cost = greedy.workload_cost;
+  } else if (incumbent) {
+    // Node limit without an incumbent of its own: fall back to greedy,
+    // honestly marked non-optimal.
+    result.chosen = greedy.chosen;
+    result.workload_cost = greedy.workload_cost;
+    result.optimal = false;
+  } else {
+    require(solution.status != MipStatus::kInfeasible,
+            "SelectMip: instance infeasible (budget below every replica?)");
+    result.optimal = false;
+    result.workload_cost = std::numeric_limits<double>::infinity();
+  }
+  for (std::size_t j : result.chosen)
+    result.storage_used += input.storage_bytes[j];
+  result.solve_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return result;
+}
+
+}  // namespace blot

@@ -1,0 +1,44 @@
+// The exact replica-selection solver: the 0-1 MIP of Section III-B.
+//
+// Variables: x_j (replica r_j present) and y_ij (query q_i processed on
+// replica r_j). Constraints (paper's equation numbers):
+//   (1)  Σ_j Storage(r_j) x_j <= b
+//   (2)  Σ_j y_ij = 1                       for all i
+//   (4)  Σ_i y_ij <= n x_j                  for all j
+// using the m aggregated constraints of Eq. 4 rather than the n*m
+// constraints of Eq. 3 — "slightly relaxed but do not change the optimal
+// solution" (verified in tests). Objective (5): Σ_ij w_i c_ij y_ij.
+//
+// Only the x_j are branched on: once x is integral the LP assigns each
+// query wholly to its cheapest open replica, so y integrality is free.
+#ifndef BLOT_CORE_MIP_SELECTION_H_
+#define BLOT_CORE_MIP_SELECTION_H_
+
+#include "core/selection.h"
+#include "mip/mip.h"
+
+namespace blot {
+
+struct MipSelectionOptions {
+  MipOptions mip;
+  // Seed the branch-and-bound incumbent with the greedy solution.
+  bool warm_start_with_greedy = true;
+  // Use the n*m disaggregated linking constraints of Eq. 3 instead of the
+  // m aggregated constraints of Eq. 4 (for the equivalence tests and the
+  // constraint-count ablation; the paper argues for Eq. 4).
+  bool use_disaggregated_constraints = false;
+};
+
+// Builds the MIP of Eq. 1-5 for `input`. Exposed separately for tests and
+// the Figure 3 scaling bench.
+MipProblem BuildSelectionMip(const SelectionInput& input,
+                             bool use_disaggregated_constraints = false);
+
+// Solves replica selection exactly. `result.optimal` reflects whether
+// optimality was proven within the node budget.
+SelectionResult SelectMip(const SelectionInput& input,
+                          const MipSelectionOptions& options = {});
+
+}  // namespace blot
+
+#endif  // BLOT_CORE_MIP_SELECTION_H_

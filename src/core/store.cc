@@ -1,0 +1,226 @@
+#include "core/store.h"
+
+#include <fstream>
+#include <limits>
+#include <map>
+
+#include "blot/batch.h"
+#include "blot/segment_store.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace blot {
+
+BlotStore::BlotStore(Dataset dataset, std::optional<STRange> universe)
+    : dataset_(std::move(dataset)) {
+  require(!dataset_.empty(), "BlotStore: empty dataset");
+  universe_ = universe.value_or(dataset_.BoundingBox());
+  for (const Record& r : dataset_.records())
+    require(universe_.Contains(r.Position()),
+            "BlotStore: record outside universe");
+}
+
+std::size_t BlotStore::AddReplica(const ReplicaConfig& config,
+                                  ThreadPool* pool) {
+  for (const Replica& existing : replicas_)
+    require(!(existing.config() == config &&
+              existing.universe() == universe_),
+            "BlotStore::AddReplica: duplicate replica " + config.Name());
+  replicas_.push_back(Replica::Build(dataset_, config, universe_, pool));
+  sketches_.push_back(ReplicaSketch::FromReplica(replicas_.back()));
+  return replicas_.size() - 1;
+}
+
+std::size_t BlotStore::AddPartialReplica(const ReplicaConfig& config,
+                                         const STRange& coverage,
+                                         ThreadPool* pool) {
+  require(universe_.Contains(coverage),
+          "BlotStore::AddPartialReplica: coverage outside universe");
+  require(!(coverage == universe_),
+          "BlotStore::AddPartialReplica: coverage is the whole universe; "
+          "use AddReplica");
+  const Dataset covered(dataset_.FilterByRange(coverage));
+  replicas_.push_back(Replica::Build(covered, config, coverage, pool));
+  sketches_.push_back(ReplicaSketch::FromReplica(replicas_.back()));
+  return replicas_.size() - 1;
+}
+
+bool BlotStore::IsFullReplica(std::size_t i) const {
+  require(i < replicas_.size(), "BlotStore::IsFullReplica: bad index");
+  return replicas_[i].universe() == universe_;
+}
+
+const Replica& BlotStore::replica(std::size_t i) const {
+  require(i < replicas_.size(), "BlotStore::replica: bad index");
+  return replicas_[i];
+}
+
+std::uint64_t BlotStore::TotalStorageBytes() const {
+  std::uint64_t total = 0;
+  for (const Replica& r : replicas_) total += r.StorageBytes();
+  return total;
+}
+
+std::size_t BlotStore::RouteQuery(const STRange& query,
+                                  const CostModel& model) const {
+  require(!replicas_.empty(), "BlotStore::RouteQuery: no replicas");
+  std::size_t best = sketches_.size();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < sketches_.size(); ++i) {
+    // Full replicas can serve anything; partial replicas only queries
+    // entirely inside their coverage.
+    if (!IsFullReplica(i) && !replicas_[i].universe().Contains(query))
+      continue;
+    const double cost = model.QueryCostMs(sketches_[i], query);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  require(best < sketches_.size(),
+          "BlotStore::RouteQuery: no replica can serve the query (add a "
+          "full replica)");
+  return best;
+}
+
+BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
+                                           const CostModel& model,
+                                           ThreadPool* pool) const {
+  RoutedResult routed;
+  routed.replica_index = RouteQuery(query, model);
+  routed.estimated_cost_ms =
+      model.QueryCostMs(sketches_[routed.replica_index], query);
+  routed.result = replicas_[routed.replica_index].Execute(query, pool);
+  return routed;
+}
+
+BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
+    std::span<const STRange> queries, const CostModel& model,
+    ThreadPool* pool) const {
+  RoutedBatchResult result;
+  result.per_query.resize(queries.size());
+  result.replica_of.resize(queries.size());
+
+  // Group queries by routed replica, preserving original indices.
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::size_t replica = RouteQuery(queries[q], model);
+    result.replica_of[q] = replica;
+    groups[replica].push_back(q);
+  }
+  for (const auto& [replica, query_ids] : groups) {
+    std::vector<STRange> group;
+    group.reserve(query_ids.size());
+    for (std::size_t q : query_ids) group.push_back(queries[q]);
+    BatchResult batch = ::blot::ExecuteBatch(replicas_[replica], group, pool);
+    for (std::size_t j = 0; j < query_ids.size(); ++j)
+      result.per_query[query_ids[j]] = std::move(batch.per_query[j]);
+    result.stats.partitions_scanned += batch.stats.partitions_scanned;
+    result.stats.records_scanned += batch.stats.records_scanned;
+    result.stats.bytes_read += batch.stats.bytes_read;
+    result.naive_partition_scans += batch.naive_partition_scans;
+  }
+  return result;
+}
+
+namespace {
+
+constexpr std::uint64_t kStoreMagic = 0x315252544F4C42ull;  // "BLOTRR1"
+const char* kStoreManifest = "store.blot";
+const char* kStoreDataset = "dataset.bin";
+
+std::string ReplicaDirName(std::size_t i) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "replica_%03zu", i);
+  return name;
+}
+
+}  // namespace
+
+void BlotStore::Save(const std::filesystem::path& directory) const {
+  std::filesystem::create_directories(directory);
+  {
+    std::ofstream out(directory / kStoreDataset,
+                      std::ios::binary | std::ios::trunc);
+    require(out.good(), "BlotStore::Save: cannot write dataset");
+    dataset_.WriteBinary(out);
+  }
+  for (std::size_t i = 0; i < replicas_.size(); ++i)
+    SegmentStore::Save(replicas_[i], directory / ReplicaDirName(i));
+
+  ByteWriter manifest;
+  manifest.PutU64(kStoreMagic);
+  manifest.PutF64(universe_.x_min());
+  manifest.PutF64(universe_.x_max());
+  manifest.PutF64(universe_.y_min());
+  manifest.PutF64(universe_.y_max());
+  manifest.PutF64(universe_.t_min());
+  manifest.PutF64(universe_.t_max());
+  manifest.PutVarint(replicas_.size());
+  const std::filesystem::path tmp =
+      directory / (std::string(kStoreManifest) + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    require(out.good(), "BlotStore::Save: cannot write manifest");
+    out.write(reinterpret_cast<const char*>(manifest.buffer().data()),
+              static_cast<std::streamsize>(manifest.size()));
+  }
+  std::filesystem::rename(tmp, directory / kStoreManifest);
+}
+
+BlotStore BlotStore::Load(const std::filesystem::path& directory) {
+  require(std::filesystem::exists(directory / kStoreManifest),
+          "BlotStore::Load: no store manifest in " + directory.string());
+  std::ifstream manifest_in(directory / kStoreManifest, std::ios::binary);
+  const Bytes manifest_bytes((std::istreambuf_iterator<char>(manifest_in)),
+                             std::istreambuf_iterator<char>());
+  ByteReader manifest(manifest_bytes);
+  validate(manifest.GetU64() == kStoreMagic,
+           "BlotStore::Load: bad store magic");
+  const double x_min = manifest.GetF64();
+  const double x_max = manifest.GetF64();
+  const double y_min = manifest.GetF64();
+  const double y_max = manifest.GetF64();
+  const double t_min = manifest.GetF64();
+  const double t_max = manifest.GetF64();
+  validate(x_min <= x_max && y_min <= y_max && t_min <= t_max,
+           "BlotStore::Load: malformed universe");
+  const std::uint64_t num_replicas = manifest.GetVarint();
+  validate(manifest.AtEnd(), "BlotStore::Load: trailing manifest bytes");
+
+  std::ifstream dataset_in(directory / kStoreDataset, std::ios::binary);
+  require(dataset_in.good(), "BlotStore::Load: missing dataset file");
+  BlotStore store(Dataset::ReadBinary(dataset_in),
+                  STRange::FromBounds(x_min, x_max, y_min, y_max, t_min,
+                                      t_max));
+  for (std::uint64_t i = 0; i < num_replicas; ++i) {
+    Replica replica = SegmentStore::Load(directory / ReplicaDirName(i));
+    validate(store.universe_.Contains(replica.universe()),
+             "BlotStore::Load: replica outside store universe");
+    store.replicas_.push_back(std::move(replica));
+    store.sketches_.push_back(
+        ReplicaSketch::FromReplica(store.replicas_.back()));
+  }
+  return store;
+}
+
+std::uint64_t BlotStore::RecoverReplicaFrom(std::size_t i, std::size_t source,
+                                            ThreadPool* pool) {
+  require(i < replicas_.size() && source < replicas_.size(),
+          "BlotStore::RecoverReplicaFrom: bad index");
+  require(i != source, "BlotStore::RecoverReplicaFrom: source == target");
+  // The source must cover everything the lost replica stored: any full
+  // replica recovers anything; a partial replica can only recover
+  // replicas whose universe lies within its coverage.
+  const STRange target_universe = replicas_[i].universe();
+  require(replicas_[source].universe().Contains(target_universe),
+          "BlotStore::RecoverReplicaFrom: source does not cover target");
+  const ReplicaConfig config = replicas_[i].config();
+  const Dataset logical = replicas_[source].Reconstruct();
+  const Dataset covered(logical.FilterByRange(target_universe));
+  replicas_[i] = Replica::Build(covered, config, target_universe, pool);
+  sketches_[i] = ReplicaSketch::FromReplica(replicas_[i]);
+  return replicas_[i].NumRecords();
+}
+
+}  // namespace blot

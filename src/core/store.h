@@ -1,0 +1,103 @@
+// BlotStore: a BLOT storage system with diverse replicas (Figure 2).
+//
+// Holds the dataset's materialized replicas, routes each range query to
+// the replica with the least estimated cost ("query cost estimation helps
+// the system to determine which one of the existing replicas is supposed
+// to have the least processing time for the issued query"), executes it
+// for real, and recovers lost replicas from any healthy one.
+#ifndef BLOT_CORE_STORE_H_
+#define BLOT_CORE_STORE_H_
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "util/thread_pool.h"
+
+namespace blot {
+
+class BlotStore {
+ public:
+  // `universe` defaults to the dataset's bounding box.
+  explicit BlotStore(Dataset dataset,
+                     std::optional<STRange> universe = std::nullopt);
+
+  const Dataset& dataset() const { return dataset_; }
+  const STRange& universe() const { return universe_; }
+
+  // Builds and adds a replica; returns its index. Rejects duplicates.
+  std::size_t AddReplica(const ReplicaConfig& config,
+                         ThreadPool* pool = nullptr);
+
+  // Builds and adds a partial replica materializing only the records
+  // inside `coverage` (Section VII's partial replication). Partial
+  // replicas only serve queries fully contained in their coverage; at
+  // least one full replica must exist before partials can be routed to.
+  std::size_t AddPartialReplica(const ReplicaConfig& config,
+                                const STRange& coverage,
+                                ThreadPool* pool = nullptr);
+
+  // True if replica `i` covers the whole universe.
+  bool IsFullReplica(std::size_t i) const;
+
+  std::size_t NumReplicas() const { return replicas_.size(); }
+  const Replica& replica(std::size_t i) const;
+  std::uint64_t TotalStorageBytes() const;
+
+  struct RoutedResult {
+    QueryResult result;
+    std::size_t replica_index = 0;
+    double estimated_cost_ms = 0.0;
+  };
+
+  // Routes `query` to the cheapest replica under `model` and executes it.
+  // Requires at least one replica.
+  RoutedResult Execute(const STRange& query, const CostModel& model,
+                       ThreadPool* pool = nullptr) const;
+
+  struct RoutedBatchResult {
+    // per_query[i]: records matching queries[i].
+    std::vector<std::vector<Record>> per_query;
+    // replica_of[i]: replica each query was routed to.
+    std::vector<std::size_t> replica_of;
+    QueryStats stats;                   // shared-scan accounting
+    std::size_t naive_partition_scans = 0;
+  };
+
+  // Routes every query to its cheapest replica, then executes each
+  // replica's group as one shared scan (each involved partition decoded
+  // once per replica, blot/batch.h).
+  RoutedBatchResult ExecuteBatch(std::span<const STRange> queries,
+                                 const CostModel& model,
+                                 ThreadPool* pool = nullptr) const;
+
+  // Index of the replica `model` estimates cheapest for `query`.
+  std::size_t RouteQuery(const STRange& query, const CostModel& model) const;
+
+  // Simulates losing replica `i` and rebuilding it from replica `source`
+  // (diverse-replica recovery, Section II-E). Returns the number of
+  // records restored.
+  std::uint64_t RecoverReplicaFrom(std::size_t i, std::size_t source,
+                                   ThreadPool* pool = nullptr);
+
+  // Persists the whole store: the logical dataset plus every replica
+  // (each in its own SegmentStore subdirectory) under `directory`.
+  void Save(const std::filesystem::path& directory) const;
+
+  // Loads a store persisted by Save. Throws CorruptData on malformed
+  // contents and InvalidArgument when `directory` holds no store.
+  static BlotStore Load(const std::filesystem::path& directory);
+
+ private:
+  Dataset dataset_;
+  STRange universe_;
+  std::vector<Replica> replicas_;
+  std::vector<ReplicaSketch> sketches_;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_CORE_STORE_H_

@@ -1,0 +1,98 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace blot {
+
+std::string GroupedQuery::ToString() const {
+  std::ostringstream os;
+  os << "<W=" << size.w << ",H=" << size.h << ",T=" << size.t << ">";
+  return os.str();
+}
+
+Workload::Workload(std::vector<WeightedQuery> queries)
+    : queries_(std::move(queries)) {
+  for (const WeightedQuery& wq : queries_)
+    require(wq.weight >= 0, "Workload: negative weight");
+}
+
+void Workload::Add(const GroupedQuery& query, double weight) {
+  require(weight >= 0, "Workload::Add: negative weight");
+  queries_.push_back({query, weight});
+}
+
+double Workload::TotalWeight() const {
+  double total = 0;
+  for (const WeightedQuery& wq : queries_) total += wq.weight;
+  return total;
+}
+
+Workload Workload::Normalized() const {
+  const double total = TotalWeight();
+  require(total > 0, "Workload::Normalized: total weight must be positive");
+  Workload normalized;
+  for (const WeightedQuery& wq : queries_)
+    normalized.Add(wq.query, wq.weight / total);
+  return normalized;
+}
+
+Workload ReduceWorkload(const Workload& workload, std::size_t k, Rng& rng) {
+  require(k >= 1, "ReduceWorkload: k must be positive");
+  if (workload.size() <= k) return workload;
+
+  std::vector<std::vector<double>> points;
+  points.reserve(workload.size());
+  for (const WeightedQuery& wq : workload.queries()) {
+    const RangeSize& s = wq.query.size;
+    require(s.w > 0 && s.h > 0 && s.t > 0,
+            "ReduceWorkload: query sizes must be positive for log clustering");
+    points.push_back({std::log(s.w), std::log(s.h), std::log(s.t)});
+  }
+  const KMeansResult clusters = KMeans(points, k, rng);
+
+  // Weighted log-space centroid per cluster.
+  std::vector<std::vector<double>> sums(k, std::vector<double>(3, 0.0));
+  std::vector<double> weights(k, 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::size_t c = clusters.assignment[i];
+    const double w = workload.queries()[i].weight;
+    weights[c] += w;
+    for (int d = 0; d < 3; ++d) sums[c][d] += w * points[i][d];
+  }
+  Workload reduced;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (weights[c] <= 0) continue;  // empty or zero-weight cluster
+    const RangeSize size = {std::exp(sums[c][0] / weights[c]),
+                            std::exp(sums[c][1] / weights[c]),
+                            std::exp(sums[c][2] / weights[c])};
+    reduced.Add({size}, weights[c]);
+  }
+  ensure(!reduced.empty(), "ReduceWorkload: produced empty workload");
+  return reduced;
+}
+
+STRange SampleQueryInstance(const GroupedQuery& query, const STRange& universe,
+                            Rng& rng) {
+  require(!universe.empty(), "SampleQueryInstance: empty universe");
+  const RangeSize& s = query.size;
+  const auto sample_axis = [&rng](double lo, double hi, double extent) {
+    // Centroid uniform in [lo + extent/2, hi - extent/2]; if the query
+    // covers the whole axis, center it.
+    const double c_lo = lo + extent / 2;
+    const double c_hi = hi - extent / 2;
+    if (c_lo >= c_hi) return (lo + hi) / 2;
+    return rng.NextDouble(c_lo, c_hi);
+  };
+  const STPoint centroid = {
+      sample_axis(universe.x_min(), universe.x_max(), s.w),
+      sample_axis(universe.y_min(), universe.y_max(), s.h),
+      sample_axis(universe.t_min(), universe.t_max(), s.t)};
+  return STRange::FromCentroid(s, centroid);
+}
+
+}  // namespace blot

@@ -1,0 +1,74 @@
+// Queries and workloads (Definition 6) and workload-size reduction
+// (Section III-C1).
+//
+// A grouped query Q_G = <W, H, T> stands for all range queries of that
+// size; per the paper's observation that "queries with the same size of
+// range often occur many times", the workload is a weighted set of
+// grouped queries. When the number of distinct range sizes is large,
+// ReduceWorkload clusters them with k-means and represents each cluster
+// by its centroid, giving "full control of the value of m by manipulating
+// the number of clusters."
+#ifndef BLOT_CORE_WORKLOAD_H_
+#define BLOT_CORE_WORKLOAD_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/range.h"
+#include "util/rng.h"
+
+namespace blot {
+
+// A grouped query: only the range size is specified; the position is
+// assumed uniformly distributed (Section IV-B).
+struct GroupedQuery {
+  RangeSize size;
+
+  std::string ToString() const;
+
+  friend bool operator==(const GroupedQuery&, const GroupedQuery&) = default;
+};
+
+struct WeightedQuery {
+  GroupedQuery query;
+  double weight = 1.0;
+};
+
+// W = {(q1, w1), ..., (qn, wn)}.
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::vector<WeightedQuery> queries);
+
+  void Add(const GroupedQuery& query, double weight = 1.0);
+
+  const std::vector<WeightedQuery>& queries() const { return queries_; }
+  std::size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+  double TotalWeight() const;
+
+  // Scales weights so they sum to 1 (the paper's normalized form).
+  // Requires positive total weight.
+  Workload Normalized() const;
+
+ private:
+  std::vector<WeightedQuery> queries_;
+};
+
+// Reduces a workload to at most `k` grouped queries by k-means clustering
+// of the (W, H, T) range sizes in log space (sizes span orders of
+// magnitude); each cluster contributes its weighted-centroid size with
+// the cluster's total weight.
+Workload ReduceWorkload(const Workload& workload, std::size_t k, Rng& rng);
+
+// Draws one concrete query instance of `query`: a cuboid of the grouped
+// size whose centroid is uniform in the centroid range CR(Q_G) (the
+// position model of Section IV-B). Dimensions where the query size
+// exceeds the universe are centered on the universe.
+STRange SampleQueryInstance(const GroupedQuery& query, const STRange& universe,
+                            Rng& rng);
+
+}  // namespace blot
+
+#endif  // BLOT_CORE_WORKLOAD_H_

@@ -1,0 +1,158 @@
+#include "gen/taxi_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace blot {
+
+STRange TaxiFleetConfig::Universe() const {
+  return STRange::FromBounds(x_min, x_max, y_min, y_max,
+                             static_cast<double>(t_start),
+                             static_cast<double>(t_start + duration_seconds));
+}
+
+namespace {
+
+struct Hotspot {
+  double x, y;
+  double spread;  // Gaussian sigma, degrees
+};
+
+// Diurnal activity factor in [0.3, 1]: quiet at 4am, busy at rush hours.
+double DiurnalFactor(std::int64_t time) {
+  const double hour =
+      static_cast<double>(time % 86400) / 3600.0;
+  const double morning = std::exp(-std::pow(hour - 8.5, 2) / 8.0);
+  const double evening = std::exp(-std::pow(hour - 18.5, 2) / 10.0);
+  return 0.3 + 0.7 * std::min(1.0, morning + evening + 0.25);
+}
+
+}  // namespace
+
+Dataset GenerateTaxiFleet(const TaxiFleetConfig& config) {
+  require(config.num_taxis > 0 && config.samples_per_taxi > 0,
+          "GenerateTaxiFleet: need taxis and samples");
+  require(config.x_min < config.x_max && config.y_min < config.y_max,
+          "GenerateTaxiFleet: bad spatial domain");
+  require(config.duration_seconds > 0, "GenerateTaxiFleet: bad duration");
+  require(config.hotspot_bias >= 0.0 && config.hotspot_bias <= 1.0,
+          "GenerateTaxiFleet: hotspot_bias must be in [0, 1]");
+
+  Rng master(config.seed);
+  const double width = config.x_max - config.x_min;
+  const double height = config.y_max - config.y_min;
+
+  std::vector<Hotspot> hotspots;
+  for (std::size_t h = 0; h < config.num_hotspots; ++h) {
+    hotspots.push_back({
+        master.NextDouble(config.x_min + 0.15 * width,
+                          config.x_max - 0.15 * width),
+        master.NextDouble(config.y_min + 0.15 * height,
+                          config.y_max - 0.15 * height),
+        master.NextDouble(0.02, 0.08) * std::min(width, height),
+    });
+  }
+
+  const auto clamp_x = [&](double v) {
+    return std::clamp(v, config.x_min, config.x_max);
+  };
+  const auto clamp_y = [&](double v) {
+    return std::clamp(v, config.y_min, config.y_max);
+  };
+
+  Dataset dataset;
+  for (std::size_t taxi = 0; taxi < config.num_taxis; ++taxi) {
+    Rng rng = master.Fork();
+
+    // Sampling interval chosen so each taxi spans the whole month.
+    const double interval =
+        static_cast<double>(config.duration_seconds) /
+        static_cast<double>(config.samples_per_taxi);
+
+    const auto pick_destination = [&](double& dx, double& dy) {
+      if (!hotspots.empty() && rng.NextBool(config.hotspot_bias)) {
+        const Hotspot& h = hotspots[rng.NextUint64(hotspots.size())];
+        dx = clamp_x(h.x + rng.NextGaussian() * h.spread);
+        dy = clamp_y(h.y + rng.NextGaussian() * h.spread);
+      } else {
+        dx = rng.NextDouble(config.x_min, config.x_max);
+        dy = rng.NextDouble(config.y_min, config.y_max);
+      }
+    };
+
+    double x, y;
+    pick_destination(x, y);
+    double dest_x, dest_y;
+    pick_destination(dest_x, dest_y);
+
+    bool occupied = rng.NextBool(0.4);
+    std::uint8_t passengers =
+        occupied ? static_cast<std::uint8_t>(1 + rng.NextUint64(3)) : 0;
+    std::uint32_t fare = occupied ? 1100 : 0;  // flag fall, cents
+    double speed_kmh = rng.NextDouble(10, 50);
+
+    double t = static_cast<double>(config.t_start) +
+               rng.NextDouble() * interval;
+    for (std::size_t s = 0; s < config.samples_per_taxi; ++s) {
+      // Move towards the destination; ~1 degree latitude = 111 km.
+      const double dist_deg = std::hypot(dest_x - x, dest_y - y);
+      const double step_hours = interval / 3600.0;
+      const double activity = DiurnalFactor(static_cast<std::int64_t>(t));
+      const double step_deg =
+          speed_kmh * activity * step_hours / 111.0;
+      double heading_rad;
+      if (dist_deg <= step_deg || dist_deg < 1e-9) {
+        // Arrived: end of trip — toggle occupancy, pick a new destination.
+        x = dest_x;
+        y = dest_y;
+        pick_destination(dest_x, dest_y);
+        occupied = !occupied;
+        if (occupied) {
+          passengers = static_cast<std::uint8_t>(1 + rng.NextUint64(3));
+          fare = 1100;
+        } else {
+          passengers = 0;
+          fare = 0;
+        }
+        heading_rad = std::atan2(dest_y - y, dest_x - x);
+      } else {
+        const double jitter = rng.NextGaussian() * 0.15;
+        heading_rad = std::atan2(dest_y - y, dest_x - x) + jitter;
+        x = clamp_x(x + std::cos(heading_rad) * step_deg);
+        y = clamp_y(y + std::sin(heading_rad) * step_deg);
+        if (occupied)
+          fare += static_cast<std::uint32_t>(
+              speed_kmh * activity * step_hours * 240.0);  // ~2.4 yuan/km
+      }
+      speed_kmh = std::clamp(speed_kmh + rng.NextGaussian() * 5.0, 0.0, 90.0);
+
+      Record r;
+      r.oid = static_cast<std::uint32_t>(taxi);
+      r.time = static_cast<std::int64_t>(t);
+      // Quantize to GPS-like 1e-6 degree precision.
+      r.x = std::round(x * 1e6) / 1e6;
+      r.y = std::round(y * 1e6) / 1e6;
+      r.speed = static_cast<float>(speed_kmh * activity);
+      const double heading_deg =
+          std::fmod(heading_rad * 180.0 / std::numbers::pi + 360.0, 360.0);
+      r.heading = static_cast<std::uint16_t>(heading_deg);
+      r.status = occupied ? 1 : 0;
+      r.passengers = passengers;
+      r.fare_cents = fare;
+      dataset.Append(r);
+
+      t += interval * rng.NextDouble(0.6, 1.4);
+      const double t_end =
+          static_cast<double>(config.t_start + config.duration_seconds);
+      if (t > t_end) t = t_end;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace blot

@@ -1,0 +1,352 @@
+#include "mip/lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace blot {
+
+void LpProblem::SetObjective(std::size_t variable, double coefficient) {
+  require(variable < num_variables(), "LpProblem::SetObjective: bad variable");
+  objective_[variable] = coefficient;
+}
+
+void LpProblem::AddConstraint(LpConstraint constraint) {
+  for (const auto& [variable, coeff] : constraint.terms) {
+    require(variable < num_variables(),
+            "LpProblem::AddConstraint: bad variable");
+    (void)coeff;
+  }
+  constraints_.push_back(std::move(constraint));
+}
+
+std::string LpStatusName(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Internal tableau state for the two-phase revised simplex.
+class SimplexSolver {
+ public:
+  SimplexSolver(const LpProblem& problem, const LpOptions& options);
+
+  LpSolution Solve();
+
+ private:
+  enum class StepResult { kOptimal, kUnbounded, kContinue };
+
+  StepResult Step(const std::vector<double>& costs);
+  void Pivot(std::size_t row, std::size_t entering,
+             const std::vector<double>& direction);
+  double ReducedCost(std::size_t column, const std::vector<double>& y) const;
+  std::vector<double> DualPrices(const std::vector<double>& costs) const;
+
+  const LpOptions options_;
+  std::size_t num_structural_;
+  std::size_t num_rows_;
+  std::size_t num_columns_;  // structural + slacks + artificials
+  std::size_t first_artificial_;
+
+  // Sparse columns of the standard-form matrix.
+  std::vector<std::vector<std::pair<std::size_t, double>>> columns_;
+  std::vector<double> rhs_;
+  std::vector<double> phase2_costs_;
+
+  std::vector<std::size_t> basis_;     // per row: basic column
+  std::vector<bool> is_basic_;         // per column
+  std::vector<double> basis_inverse_;  // dense num_rows x num_rows
+  std::vector<double> basic_values_;   // x_B
+
+  std::size_t iterations_ = 0;
+  std::size_t degenerate_streak_ = 0;
+  bool phase2_ = false;
+
+  double& Binv(std::size_t i, std::size_t j) {
+    return basis_inverse_[i * num_rows_ + j];
+  }
+  double Binv(std::size_t i, std::size_t j) const {
+    return basis_inverse_[i * num_rows_ + j];
+  }
+};
+
+SimplexSolver::SimplexSolver(const LpProblem& problem,
+                             const LpOptions& options)
+    : options_(options),
+      num_structural_(problem.num_variables()),
+      num_rows_(problem.num_constraints()) {
+  // Build standard form: normalize rhs >= 0, then append one slack per
+  // inequality and one artificial per >=/== row.
+  columns_.resize(num_structural_);
+  for (std::size_t j = 0; j < num_structural_; ++j) columns_[j].clear();
+  rhs_.resize(num_rows_);
+
+  struct RowInfo {
+    Relation relation;
+    double sign;  // +1 or -1 applied to the original row
+  };
+  std::vector<RowInfo> rows(num_rows_);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const LpConstraint& c = problem.constraints()[i];
+    double sign = 1.0;
+    Relation relation = c.relation;
+    if (c.rhs < 0) {
+      sign = -1.0;
+      if (relation == Relation::kLessEqual)
+        relation = Relation::kGreaterEqual;
+      else if (relation == Relation::kGreaterEqual)
+        relation = Relation::kLessEqual;
+    }
+    rows[i] = {relation, sign};
+    rhs_[i] = sign * c.rhs;
+    for (const auto& [variable, coeff] : c.terms)
+      if (coeff != 0.0) columns_[variable].emplace_back(i, sign * coeff);
+  }
+
+  // Slacks (for <=) and surpluses (for >=).
+  std::vector<std::int64_t> slack_of_row(num_rows_, -1);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    if (rows[i].relation == Relation::kEqual) continue;
+    const double coeff =
+        rows[i].relation == Relation::kLessEqual ? 1.0 : -1.0;
+    slack_of_row[i] = static_cast<std::int64_t>(columns_.size());
+    columns_.push_back({{i, coeff}});
+  }
+  first_artificial_ = columns_.size();
+  // Artificials for >= and == rows start in the basis; <= rows use their
+  // slack directly.
+  std::vector<std::size_t> basic_of_row(num_rows_);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    if (rows[i].relation == Relation::kLessEqual) {
+      basic_of_row[i] = static_cast<std::size_t>(slack_of_row[i]);
+    } else {
+      basic_of_row[i] = columns_.size();
+      columns_.push_back({{i, 1.0}});
+    }
+  }
+  num_columns_ = columns_.size();
+
+  phase2_costs_.assign(num_columns_, 0.0);
+  for (std::size_t j = 0; j < num_structural_; ++j)
+    phase2_costs_[j] = problem.objective(j);
+
+  basis_ = std::move(basic_of_row);
+  is_basic_.assign(num_columns_, false);
+  for (std::size_t col : basis_) is_basic_[col] = true;
+
+  basis_inverse_.assign(num_rows_ * num_rows_, 0.0);
+  for (std::size_t i = 0; i < num_rows_; ++i) Binv(i, i) = 1.0;
+  basic_values_ = rhs_;
+}
+
+std::vector<double> SimplexSolver::DualPrices(
+    const std::vector<double>& costs) const {
+  std::vector<double> y(num_rows_, 0.0);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const double cb = costs[basis_[i]];
+    if (cb == 0.0) continue;
+    for (std::size_t j = 0; j < num_rows_; ++j) y[j] += cb * Binv(i, j);
+  }
+  return y;
+}
+
+double SimplexSolver::ReducedCost(std::size_t column,
+                                  const std::vector<double>& y) const {
+  double d = phase2_ ? phase2_costs_[column]
+                     : (column >= first_artificial_ ? 1.0 : 0.0);
+  for (const auto& [row, coeff] : columns_[column]) d -= y[row] * coeff;
+  return d;
+}
+
+SimplexSolver::StepResult SimplexSolver::Step(
+    const std::vector<double>& costs) {
+  const std::vector<double> y = DualPrices(costs);
+
+  // Entering column: Dantzig rule normally; Bland's rule (first eligible)
+  // after a long degenerate streak, which guarantees termination.
+  const bool use_bland = degenerate_streak_ > 2 * num_rows_ + 16;
+  std::size_t entering = num_columns_;
+  double best = -options_.tolerance;
+  for (std::size_t j = 0; j < num_columns_; ++j) {
+    if (is_basic_[j]) continue;
+    // Artificials may never re-enter once phase 2 begins.
+    if (phase2_ && j >= first_artificial_) continue;
+    const double d = ReducedCost(j, y);
+    if (d < best) {
+      entering = j;
+      if (use_bland) break;
+      best = d;
+    }
+  }
+  if (entering == num_columns_) return StepResult::kOptimal;
+
+  // Direction u = B^-1 * A_entering.
+  std::vector<double> direction(num_rows_, 0.0);
+  for (const auto& [row, coeff] : columns_[entering])
+    for (std::size_t i = 0; i < num_rows_; ++i)
+      direction[i] += Binv(i, row) * coeff;
+
+  // Ratio test; prefer kicking artificials out of the basis on ties.
+  //
+  // A basic artificial surviving into phase 2 sits at value zero; letting
+  // it move in either direction would violate the original constraints, so
+  // whenever the entering column touches such a row (either sign), that
+  // artificial leaves immediately via a degenerate pivot.
+  if (phase2_) {
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (basis_[i] >= first_artificial_ &&
+          std::abs(direction[i]) > options_.tolerance) {
+        degenerate_streak_ += 1;
+        Pivot(i, entering, direction);
+        return StepResult::kContinue;
+      }
+    }
+  }
+  std::size_t leaving_row = num_rows_;
+  double best_ratio = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    if (direction[i] <= options_.tolerance) continue;
+    const double ratio = basic_values_[i] / direction[i];
+    constexpr double kTieTolerance = 1e-12;
+    if (ratio < best_ratio - kTieTolerance) {
+      best_ratio = ratio;
+      leaving_row = i;
+    } else if (ratio < best_ratio + kTieTolerance &&
+               leaving_row < num_rows_) {
+      const bool current_artificial =
+          basis_[leaving_row] >= first_artificial_;
+      const bool candidate_artificial = basis_[i] >= first_artificial_;
+      if ((candidate_artificial && !current_artificial) ||
+          (candidate_artificial == current_artificial &&
+           basis_[i] < basis_[leaving_row])) {
+        leaving_row = i;
+      }
+    }
+  }
+  if (leaving_row == num_rows_) return StepResult::kUnbounded;
+
+  degenerate_streak_ =
+      best_ratio <= options_.tolerance ? degenerate_streak_ + 1 : 0;
+  Pivot(leaving_row, entering, direction);
+  return StepResult::kContinue;
+}
+
+void SimplexSolver::Pivot(std::size_t row, std::size_t entering,
+                          const std::vector<double>& direction) {
+  const double pivot = direction[row];
+  ensure(std::abs(pivot) > 1e-14, "SimplexSolver: zero pivot");
+  for (std::size_t j = 0; j < num_rows_; ++j) Binv(row, j) /= pivot;
+  basic_values_[row] /= pivot;
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    if (i == row) continue;
+    const double factor = direction[i];
+    if (factor == 0.0) continue;
+    for (std::size_t j = 0; j < num_rows_; ++j)
+      Binv(i, j) -= factor * Binv(row, j);
+    basic_values_[i] -= factor * basic_values_[row];
+  }
+  is_basic_[basis_[row]] = false;
+  is_basic_[entering] = true;
+  basis_[row] = entering;
+}
+
+LpSolution SimplexSolver::Solve() {
+  LpSolution solution;
+
+  // Phase 1: minimize the sum of artificials (cost vector selected inside
+  // ReducedCost/DualPrices by phase flag).
+  std::vector<double> phase1_costs(num_columns_, 0.0);
+  for (std::size_t j = first_artificial_; j < num_columns_; ++j)
+    phase1_costs[j] = 1.0;
+
+  bool any_artificial_basic = false;
+  for (std::size_t col : basis_)
+    if (col >= first_artificial_) any_artificial_basic = true;
+
+  if (any_artificial_basic) {
+    for (;;) {
+      if (++iterations_ > options_.max_iterations) {
+        solution.status = LpStatus::kIterationLimit;
+        solution.iterations = iterations_;
+        return solution;
+      }
+      const StepResult result = Step(phase1_costs);
+      if (result == StepResult::kOptimal) break;
+      ensure(result != StepResult::kUnbounded,
+             "SimplexSolver: phase-1 problem cannot be unbounded");
+    }
+    double infeasibility = 0.0;
+    for (std::size_t i = 0; i < num_rows_; ++i)
+      if (basis_[i] >= first_artificial_) infeasibility += basic_values_[i];
+    if (infeasibility > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      solution.iterations = iterations_;
+      return solution;
+    }
+  }
+
+  phase2_ = true;
+  degenerate_streak_ = 0;
+  for (;;) {
+    if (++iterations_ > options_.max_iterations) {
+      solution.status = LpStatus::kIterationLimit;
+      solution.iterations = iterations_;
+      return solution;
+    }
+    const StepResult result = Step(phase2_costs_);
+    if (result == StepResult::kOptimal) break;
+    if (result == StepResult::kUnbounded) {
+      solution.status = LpStatus::kUnbounded;
+      solution.iterations = iterations_;
+      return solution;
+    }
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.iterations = iterations_;
+  solution.values.assign(num_structural_, 0.0);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    if (basis_[i] < num_structural_)
+      solution.values[basis_[i]] = std::max(0.0, basic_values_[i]);
+  }
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < num_structural_; ++j)
+    solution.objective += phase2_costs_[j] * solution.values[j];
+  return solution;
+}
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem, const LpOptions& options) {
+  if (problem.num_constraints() == 0) {
+    // With x >= 0 only, the optimum sets every variable with positive cost
+    // to zero; any negative cost makes the problem unbounded.
+    LpSolution solution;
+    for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+      if (problem.objective(j) < 0) {
+        solution.status = LpStatus::kUnbounded;
+        return solution;
+      }
+    }
+    solution.status = LpStatus::kOptimal;
+    solution.objective = 0.0;
+    solution.values.assign(problem.num_variables(), 0.0);
+    return solution;
+  }
+  SimplexSolver solver(problem, options);
+  return solver.Solve();
+}
+
+}  // namespace blot

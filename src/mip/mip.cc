@@ -1,0 +1,123 @@
+#include "mip/mip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+// Fixings applied along one branch of the tree: variable -> 0 or 1.
+using Fixings = std::vector<std::pair<std::size_t, double>>;
+
+struct Node {
+  double bound;  // parent LP objective (lower bound for minimization)
+  Fixings fixings;
+
+  bool operator>(const Node& other) const { return bound > other.bound; }
+};
+
+LpProblem WithFixings(const LpProblem& base, const Fixings& fixings) {
+  LpProblem lp = base;
+  for (const auto& [variable, value] : fixings)
+    lp.AddConstraint({.terms = {{variable, 1.0}},
+                      .relation = Relation::kEqual,
+                      .rhs = value});
+  return lp;
+}
+
+// Index of the binary variable whose LP value is farthest from integral,
+// or nullopt if all are integral within tolerance.
+std::optional<std::size_t> MostFractional(
+    const std::vector<double>& values,
+    const std::vector<std::size_t>& binaries, double tolerance) {
+  std::optional<std::size_t> best;
+  double best_distance = tolerance;
+  for (std::size_t variable : binaries) {
+    const double v = values[variable];
+    const double distance = std::abs(v - std::round(v));
+    if (distance > best_distance) {
+      best_distance = distance;
+      best = variable;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipSolution SolveMip(const MipProblem& problem, const MipOptions& options,
+                     std::optional<double> incumbent_objective) {
+  for (std::size_t variable : problem.binary_variables)
+    require(variable < problem.lp.num_variables(),
+            "SolveMip: binary variable out of range");
+
+  MipSolution solution;
+  double incumbent =
+      incumbent_objective.value_or(std::numeric_limits<double>::infinity());
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
+  open.push({-std::numeric_limits<double>::infinity(), {}});
+
+  bool proved_infeasible_root = false;
+  while (!open.empty()) {
+    if (solution.nodes_explored >= options.max_nodes) {
+      solution.status = solution.values.empty() ? MipStatus::kNoSolution
+                                                : MipStatus::kNodeLimit;
+      return solution;
+    }
+    const Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent - options.absolute_gap) continue;
+    ++solution.nodes_explored;
+
+    const LpProblem lp = WithFixings(problem.lp, node.fixings);
+    const LpSolution relaxed = SolveLp(lp, options.lp_options);
+    solution.lp_iterations += relaxed.iterations;
+    if (relaxed.status == LpStatus::kInfeasible) {
+      if (node.fixings.empty()) proved_infeasible_root = true;
+      continue;
+    }
+    ensure(relaxed.status == LpStatus::kOptimal,
+           "SolveMip: relaxation neither optimal nor infeasible: " +
+               LpStatusName(relaxed.status));
+    if (relaxed.objective >= incumbent - options.absolute_gap) continue;
+
+    const std::optional<std::size_t> branch_variable = MostFractional(
+        relaxed.values, problem.binary_variables,
+        options.integrality_tolerance);
+    if (!branch_variable.has_value()) {
+      // Integral solution: new incumbent.
+      incumbent = relaxed.objective;
+      solution.objective = relaxed.objective;
+      solution.values = relaxed.values;
+      for (std::size_t variable : problem.binary_variables)
+        solution.values[variable] = std::round(solution.values[variable]);
+      continue;
+    }
+
+    for (double value : {0.0, 1.0}) {
+      Fixings child = node.fixings;
+      child.emplace_back(*branch_variable, value);
+      open.push({relaxed.objective, std::move(child)});
+    }
+  }
+
+  if (!solution.values.empty()) {
+    solution.status = MipStatus::kOptimal;
+  } else if (incumbent_objective.has_value() &&
+             std::isfinite(*incumbent_objective) && !proved_infeasible_root) {
+    // Tree exhausted without beating the seed incumbent: the seed is
+    // optimal but its assignment lives with the caller.
+    solution.status = MipStatus::kOptimal;
+    solution.objective = *incumbent_objective;
+  } else {
+    solution.status = MipStatus::kInfeasible;
+  }
+  return solution;
+}
+
+}  // namespace blot

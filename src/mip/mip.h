@@ -1,0 +1,57 @@
+// 0-1 mixed integer programming by LP-based branch and bound.
+//
+// The replica selection MIP (Eq. 1-5 of the paper) is a minimization over
+// binary variables whose LP relaxation — the same relaxation used for the
+// uncapacitated facility location problem — is tight in practice, so a
+// best-first branch and bound with simplex bounds explores few nodes on
+// typical instances while remaining exact.
+#ifndef BLOT_MIP_MIP_H_
+#define BLOT_MIP_MIP_H_
+
+#include <optional>
+#include <vector>
+
+#include "mip/lp.h"
+
+namespace blot {
+
+// A 0-1 MIP: the LP plus the list of variables restricted to {0, 1}.
+// Callers must already include the x <= 1 bound for each binary variable
+// as an LP constraint (the relaxation needs it).
+struct MipProblem {
+  LpProblem lp;
+  std::vector<std::size_t> binary_variables;
+};
+
+enum class MipStatus {
+  kOptimal,
+  kInfeasible,
+  kNodeLimit,   // best incumbent returned, optimality not proven
+  kNoSolution,  // node limit hit before any incumbent was found
+};
+
+struct MipSolution {
+  MipStatus status = MipStatus::kNoSolution;
+  double objective = 0.0;
+  std::vector<double> values;
+  std::size_t nodes_explored = 0;
+  std::size_t lp_iterations = 0;
+};
+
+struct MipOptions {
+  std::size_t max_nodes = 100000;
+  double integrality_tolerance = 1e-6;
+  // Prune nodes whose bound is within this absolute gap of the incumbent.
+  double absolute_gap = 1e-9;
+  LpOptions lp_options;
+};
+
+// Solves the 0-1 MIP. `incumbent_objective`, when provided, seeds the
+// upper bound (e.g. from a greedy heuristic) so provably-worse subtrees
+// are pruned immediately; it must be achievable or +inf.
+MipSolution SolveMip(const MipProblem& problem, const MipOptions& options = {},
+                     std::optional<double> incumbent_objective = std::nullopt);
+
+}  // namespace blot
+
+#endif  // BLOT_MIP_MIP_H_

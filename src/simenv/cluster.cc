@@ -1,0 +1,237 @@
+#include "simenv/cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace blot {
+
+SimCluster::SimCluster(EnvironmentModel environment,
+                       const ClusterConfig& config)
+    : environment_(std::move(environment)), config_(config),
+      rng_(config.seed) {
+  require(config_.num_nodes >= 1, "SimCluster: need at least one node");
+  require(config_.map_slots_per_node >= 1,
+          "SimCluster: need at least one slot per node");
+  require(config_.replication >= 1, "SimCluster: replication must be >= 1");
+  require(config_.remote_read_penalty >= 1.0,
+          "SimCluster: remote penalty must be >= 1");
+  require(config_.locality_wait_fraction >= 0,
+          "SimCluster: locality wait must be non-negative");
+  require(config_.slow_factor >= 1.0,
+          "SimCluster: slow factor must be >= 1");
+  require(config_.noise_fraction >= 0 && config_.noise_fraction < 1,
+          "SimCluster: noise fraction out of range");
+}
+
+SimCluster::Placement SimCluster::PlaceReplica(const ReplicaSketch& replica) {
+  const std::size_t copies =
+      std::min(config_.replication, config_.num_nodes);
+  Placement placement(replica.index.NumPartitions());
+  for (auto& nodes : placement) {
+    // Distinct nodes per storage unit: first `copies` entries of a random
+    // permutation (rack-awareness is out of scope).
+    const std::vector<std::size_t> perm = rng_.Permutation(config_.num_nodes);
+    nodes.assign(perm.begin(),
+                 perm.begin() + static_cast<std::ptrdiff_t>(copies));
+  }
+  return placement;
+}
+
+double SimCluster::TaskDuration(const ReplicaSketch& replica,
+                                std::size_t partition, bool local,
+                                std::size_t node) {
+  double duration = environment_.PartitionScanMs(
+      replica.config.encoding, replica.counts[partition]);
+  if (!local) duration *= config_.remote_read_penalty;
+  if (node == config_.slow_node) duration *= config_.slow_factor;
+  if (config_.noise_fraction > 0)
+    duration *= std::max(0.1, 1.0 + rng_.NextGaussian() *
+                                        config_.noise_fraction);
+  return duration;
+}
+
+SimCluster::JobResult SimCluster::RunQuery(
+    const ReplicaSketch& replica, const Placement& placement,
+    const STRange& query, std::optional<FailureInjection> failure) {
+  require(placement.size() == replica.index.NumPartitions(),
+          "SimCluster::RunQuery: placement does not match replica");
+  if (failure)
+    require(failure->node < config_.num_nodes,
+            "SimCluster::RunQuery: bad failure node");
+
+  // slot_free[n][k]: time the k-th slot of node n becomes available.
+  std::vector<std::vector<double>> slot_free(
+      config_.num_nodes,
+      std::vector<double>(config_.map_slots_per_node, 0.0));
+
+  JobResult result;
+  const std::vector<std::size_t> involved =
+      replica.index.InvolvedPartitions(query);
+  result.tasks = involved.size();
+
+  // Picks the best slot for a task; `not_before` constrains the start
+  // time (used for re-execution after the failure) and `exclude` bars the
+  // dead node. Returns (node, slot, start, local) or nullopt if no node
+  // is usable.
+  struct Choice {
+    std::size_t node, slot;
+    double start;
+    bool local;
+  };
+  const auto pick_slot = [&](const std::vector<std::size_t>& holders,
+                             double not_before,
+                             std::optional<std::size_t> exclude,
+                             double local_duration_hint)
+      -> std::optional<Choice> {
+    std::optional<Choice> best_local, best_any;
+    for (std::size_t n = 0; n < config_.num_nodes; ++n) {
+      if (exclude && n == *exclude) continue;
+      const bool is_holder =
+          std::find(holders.begin(), holders.end(), n) != holders.end();
+      for (std::size_t k = 0; k < config_.map_slots_per_node; ++k) {
+        double start = std::max(slot_free[n][k], not_before);
+        // A slot on the to-fail node cannot start work at/after the
+        // failure instant.
+        if (failure && n == failure->node && start >= failure->at_ms &&
+            !exclude)
+          continue;
+        const Choice choice{n, k, start, is_holder};
+        if (is_holder && (!best_local || start < best_local->start))
+          best_local = choice;
+        if (!best_any || start < best_any->start) best_any = choice;
+      }
+    }
+    // Delay scheduling: take the local slot unless waiting for it costs
+    // more than the configured fraction of the task's local duration.
+    if (best_local && best_any &&
+        best_local->start <=
+            best_any->start +
+                config_.locality_wait_fraction * local_duration_hint + 1e-9)
+      return best_local;
+    return best_any;
+  };
+
+  // True when every copy of partition p lives on the failed node.
+  const auto all_copies_on_failed = [&](std::size_t p) {
+    if (!failure) return false;
+    for (std::size_t holder : placement[p])
+      if (holder != failure->node) return false;
+    return true;
+  };
+
+  struct ExecutedTask {
+    std::size_t partition;
+    std::vector<std::size_t> holders;
+    double start, duration, end, expected;
+  };
+  std::vector<ExecutedTask> executed;
+  executed.reserve(involved.size());
+
+  for (const std::size_t p : involved) {
+    const double local_hint = environment_.PartitionScanMs(
+        replica.config.encoding, replica.counts[p]);
+    const auto first = pick_slot(placement[p], 0.0, std::nullopt, local_hint);
+    ensure(first.has_value(), "SimCluster: no schedulable slot");
+    // A task starting after the failure cannot read data whose only
+    // copies died with the node.
+    if (failure && first->start >= failure->at_ms &&
+        all_copies_on_failed(p)) {
+      result.completed = false;
+      continue;
+    }
+    double duration = TaskDuration(replica, p, first->local, first->node);
+    double end = first->start + duration;
+
+    const bool interrupted = failure && first->node == failure->node &&
+                             first->start < failure->at_ms &&
+                             end > failure->at_ms;
+    if (!interrupted) {
+      slot_free[first->node][first->slot] = end;
+      result.total_task_ms += duration;
+      result.makespan_ms = std::max(result.makespan_ms, end);
+      if (first->local) ++result.local_tasks;
+      executed.push_back(
+          {p, placement[p], first->start, duration, end, local_hint});
+      continue;
+    }
+
+    // The node died mid-task: the partial work is lost and the task
+    // re-executes on a surviving node, reading a surviving copy. The dead
+    // slot is occupied up to the failure instant (afterwards pick_slot
+    // rejects it).
+    slot_free[first->node][first->slot] = failure->at_ms;
+    result.total_task_ms += failure->at_ms - first->start;  // wasted work
+    ++result.reexecuted_tasks;
+    std::vector<std::size_t> surviving_holders;
+    for (std::size_t holder : placement[p])
+      if (holder != failure->node) surviving_holders.push_back(holder);
+    if (surviving_holders.empty()) {
+      // Sole copy died: without diverse/exact replicas the job fails.
+      result.completed = false;
+      continue;
+    }
+    const auto retry = pick_slot(surviving_holders, failure->at_ms,
+                                 failure->node, local_hint);
+    ensure(retry.has_value(), "SimCluster: no surviving slot");
+    duration = TaskDuration(replica, p, retry->local, retry->node);
+    end = retry->start + duration;
+    slot_free[retry->node][retry->slot] = end;
+    result.total_task_ms += duration;
+    result.makespan_ms = std::max(result.makespan_ms, end);
+    if (retry->local) ++result.local_tasks;
+    executed.push_back(
+        {p, surviving_holders, retry->start, duration, end, local_hint});
+  }
+
+  if (config_.speculative_execution && !executed.empty()) {
+    // Straggler mitigation: tasks in the job's tail that have overrun
+    // their expected duration get a backup attempt on the
+    // earliest-available other slot; the first finisher wins (the loser
+    // is killed, so the backup slot is occupied only until the win time).
+    double makespan = result.makespan_ms;
+    std::vector<std::size_t> order(executed.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return executed[a].end > executed[b].end;
+    });
+    double new_makespan = 0;
+    for (std::size_t i : order) {
+      const ExecutedTask& task = executed[i];
+      const double launch =
+          task.start + task.expected * config_.speculation_after;
+      const bool straggler = task.end > makespan * 0.8 && task.end > launch;
+      if (!straggler) {
+        new_makespan = std::max(new_makespan, task.end);
+        continue;
+      }
+      const auto backup =
+          pick_slot(task.holders, launch,
+                    failure ? std::optional<std::size_t>(failure->node)
+                            : std::nullopt,
+                    task.expected);
+      // Only launch when the backup is projected to beat the original;
+      // mid-job there is rarely an idle slot early enough, which is why
+      // real speculation fires in the final wave.
+      if (!backup || backup->start + task.expected >= task.end) {
+        new_makespan = std::max(new_makespan, task.end);
+        continue;
+      }
+      ++result.speculative_backups;
+      const double backup_duration =
+          TaskDuration(replica, task.partition, backup->local,
+                       backup->node);
+      const double backup_end = backup->start + backup_duration;
+      const double effective_end = std::min(task.end, backup_end);
+      slot_free[backup->node][backup->slot] = effective_end;
+      result.total_task_ms += effective_end - backup->start;
+      if (backup_end < task.end) ++result.speculative_wins;
+      new_makespan = std::max(new_makespan, effective_end);
+    }
+    result.makespan_ms = new_makespan;
+  }
+  return result;
+}
+
+}  // namespace blot

@@ -1,0 +1,109 @@
+// A discrete-event cluster simulator for parallel BLOT query processing.
+//
+// The paper executes queries as map-only MapReduce jobs: "we launch a
+// map-only MapReduce job ... with each mapper scanning exactly one of the
+// involved partitions" (Section V-A), and notes that parallel processing
+// over partitions is straightforward (Section II-D). EnvironmentModel
+// captures the per-task cost; this module adds the cluster-level
+// behaviors a distributed deployment exhibits:
+//
+//   * data placement — every storage unit is placed on `replication`
+//     distinct nodes, HDFS-style;
+//   * slot scheduling — each node runs a bounded number of concurrent
+//     map tasks; tasks are assigned to the earliest-available slot,
+//     preferring nodes that hold a copy of the partition (locality);
+//   * remote reads — a task scheduled off-copy pays a read penalty;
+//   * node failure — a node can fail mid-job: its in-flight tasks are
+//     re-executed on surviving nodes, and partitions all of whose copies
+//     died make the job fail (which is why replication matters — and why
+//     diverse replicas can stand in for exact copies, Section II-E).
+//
+// The simulator reports both the makespan (parallel completion time) and
+// the total task time (the Eq. 7 sum the cost model estimates).
+#ifndef BLOT_SIMENV_CLUSTER_H_
+#define BLOT_SIMENV_CLUSTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "simenv/environment.h"
+#include "simenv/replica_sketch.h"
+#include "util/rng.h"
+
+namespace blot {
+
+struct ClusterConfig {
+  std::size_t num_nodes = 8;
+  std::size_t map_slots_per_node = 2;
+  // Copies per storage unit (HDFS-style block replication).
+  std::size_t replication = 3;
+  // Scan-time multiplier for a task reading a partition it does not host.
+  double remote_read_penalty = 1.5;
+  // Delay scheduling (Zaharia et al.): wait up to this fraction of the
+  // task's local duration for a data-local slot before going remote.
+  double locality_wait_fraction = 0.5;
+  // Per-task multiplicative noise; 0 disables.
+  double noise_fraction = 0.05;
+  // Node heterogeneity: tasks on `slow_node` (if < num_nodes) run
+  // `slow_factor`x longer — an overloaded or degraded machine, the
+  // classic cause of stragglers that speculation exists to absorb.
+  std::size_t slow_node = static_cast<std::size_t>(-1);
+  double slow_factor = 1.0;
+  // Speculative execution (Hadoop's straggler mitigation): tasks still
+  // running near the end of the job get a backup attempt on an idle slot;
+  // the earlier finisher wins. 0 disables.
+  bool speculative_execution = false;
+  // A backup launches once the original has run for this multiple of its
+  // expected duration.
+  double speculation_after = 1.0;
+  std::uint64_t seed = 13;
+};
+
+// A node failure injected at a simulated time (ms from job start).
+struct FailureInjection {
+  std::size_t node = 0;
+  double at_ms = 0.0;
+};
+
+class SimCluster {
+ public:
+  SimCluster(EnvironmentModel environment, const ClusterConfig& config);
+
+  const ClusterConfig& config() const { return config_; }
+
+  // Placement of one replica's partitions across nodes. placement[p] is
+  // the list of nodes holding partition p (size = min(replication,
+  // num_nodes), distinct).
+  using Placement = std::vector<std::vector<std::size_t>>;
+  Placement PlaceReplica(const ReplicaSketch& replica);
+
+  struct JobResult {
+    bool completed = true;       // false if data was lost entirely
+    double makespan_ms = 0.0;    // parallel completion time
+    double total_task_ms = 0.0;  // sum of task durations (Eq. 7 view)
+    std::size_t tasks = 0;
+    std::size_t local_tasks = 0;     // scheduled on a copy-holding node
+    std::size_t reexecuted_tasks = 0;  // re-run after the node failure
+    std::size_t speculative_backups = 0;  // backups launched
+    std::size_t speculative_wins = 0;     // backups that finished first
+  };
+
+  // Runs a map-only job scanning the partitions `query` involves, with an
+  // optional mid-job node failure.
+  JobResult RunQuery(const ReplicaSketch& replica, const Placement& placement,
+                     const STRange& query,
+                     std::optional<FailureInjection> failure = std::nullopt);
+
+ private:
+  double TaskDuration(const ReplicaSketch& replica, std::size_t partition,
+                      bool local, std::size_t node);
+
+  EnvironmentModel environment_;
+  ClusterConfig config_;
+  Rng rng_;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_SIMENV_CLUSTER_H_

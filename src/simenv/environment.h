@@ -1,0 +1,72 @@
+// Execution-environment models (Section IV-A, Table II).
+//
+// The paper reduces each deployment environment to two per-encoding
+// constants: ScanRate (records scanned per unit time) and ExtraTime (the
+// fixed cost of initializing a scan — task startup, locating the storage
+// unit, loading the decoder). Both evaluation environments are modeled:
+//
+//   * Amazon S3 + EMR — partitions are S3 objects scanned by EMR map
+//     tasks: huge ExtraTime (~30 s task startup), scan rate bounded by
+//     network transfer of compressed bytes;
+//   * local Hadoop cluster — partitions are HDFS files: small ExtraTime
+//     (~5 s), scan rate bounded by disk transfer.
+//
+// The default constants are the paper's Table II measurements, with
+// 1/ScanRate interpreted as milliseconds per thousand records (the only
+// reading consistent with Figure 5's cost-vs-partition-size axes).
+#ifndef BLOT_SIMENV_ENVIRONMENT_H_
+#define BLOT_SIMENV_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "blot/encoding_scheme.h"
+
+namespace blot {
+
+// The two constants of Eq. 6 for one encoding scheme in one environment.
+struct ScanCostParams {
+  double scan_ms_per_krecord = 0.0;  // 1/ScanRate, ms per 1000 records
+  double extra_ms = 0.0;             // ExtraTime, ms
+};
+
+class EnvironmentModel {
+ public:
+  EnvironmentModel(std::string name,
+                   std::map<std::string, ScanCostParams> params_by_encoding);
+
+  // The paper's Table II environments.
+  static EnvironmentModel AmazonS3Emr();
+  static EnvironmentModel LocalHadoop();
+
+  // A third, post-paper design point: local NVMe storage whose bandwidth
+  // exceeds decompression throughput, so scanning is CPU-bound. In the
+  // paper's 2013 environments compression is a pure win (fewer bytes
+  // through the bottleneck: LZMA2 is both smallest AND fastest in Table
+  // II); on this environment the classic ratio/speed trade-off
+  // re-emerges. ScanRates are derived from this repository's codec
+  // microbenchmarks (records/s of DecodePartition on taxi data).
+  static EnvironmentModel CpuBoundLocal();
+
+  const std::string& name() const { return name_; }
+
+  // Parameters for one encoding scheme; throws InvalidArgument for
+  // schemes the environment does not support (e.g. COL-PLAIN, which the
+  // paper excludes).
+  const ScanCostParams& Params(const EncodingScheme& scheme) const;
+  bool Supports(const EncodingScheme& scheme) const;
+
+  // Ground-truth cost of scanning one partition of `records` records
+  // under `scheme` (Eq. 6), in milliseconds, noise-free.
+  double PartitionScanMs(const EncodingScheme& scheme,
+                         std::uint64_t records) const;
+
+ private:
+  std::string name_;
+  std::map<std::string, ScanCostParams> params_by_encoding_;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_SIMENV_ENVIRONMENT_H_

@@ -1,0 +1,34 @@
+#include "simenv/measurement.h"
+
+#include "util/error.h"
+
+namespace blot {
+
+MeasuredScanParams MeasureScanParams(Simulator& simulator,
+                                     const EncodingScheme& scheme,
+                                     const MeasurementOptions& options) {
+  require(options.partition_sizes.size() >= 2,
+          "MeasureScanParams: need at least two partition sizes");
+  require(options.partitions_per_set >= 1,
+          "MeasureScanParams: need at least one partition per set");
+
+  MeasuredScanParams measured;
+  std::vector<double> xs, ys;
+  for (const std::uint64_t size : options.partition_sizes) {
+    double total_ms = 0.0;
+    for (std::size_t i = 0; i < options.partitions_per_set; ++i)
+      total_ms += simulator.PartitionScanMs(scheme, size);
+    const double mean_ms =
+        total_ms / static_cast<double>(options.partitions_per_set);
+    measured.points.emplace_back(size, mean_ms);
+    xs.push_back(static_cast<double>(size) / 1000.0);  // kilorecords
+    ys.push_back(mean_ms);
+  }
+  const LinearFit fit = FitLinear(xs, ys);
+  measured.params.scan_ms_per_krecord = fit.slope;
+  measured.params.extra_ms = fit.intercept;
+  measured.r_squared = fit.r_squared;
+  return measured;
+}
+
+}  // namespace blot

@@ -1,0 +1,45 @@
+// The ScanRate / ExtraTime measurement procedure of Section V-B.
+//
+// "For each measurement, we generate 5 sets of partitions with each set
+// containing 20 partitions. ... we compute the average processing time of
+// all mappers and use it as the (measured) value of Cost(q, p). ... In the
+// last step, we perform linear regression to fit the measured points and
+// use the fitted parameters as 1/ScanRate and ExtraTime."
+//
+// This module runs that exact procedure against the simulator and returns
+// the fitted parameters; the Table II bench compares them to the
+// environment's ground truth, and the cost model can be driven by either.
+#ifndef BLOT_SIMENV_MEASUREMENT_H_
+#define BLOT_SIMENV_MEASUREMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simenv/simulator.h"
+#include "util/stats.h"
+
+namespace blot {
+
+struct MeasuredScanParams {
+  ScanCostParams params;  // fitted 1/ScanRate and ExtraTime
+  double r_squared = 0.0;
+  // The averaged data points (partition size in records, mean cost in ms).
+  std::vector<std::pair<std::uint64_t, double>> points;
+};
+
+struct MeasurementOptions {
+  // Partition sizes (records) of the 5 sets; defaults span the sizes the
+  // candidate partitioning schemes actually produce.
+  std::vector<std::uint64_t> partition_sizes = {20000, 60000, 120000, 200000,
+                                                300000};
+  std::size_t partitions_per_set = 20;
+};
+
+// Measures one encoding scheme in `simulator`'s environment.
+MeasuredScanParams MeasureScanParams(Simulator& simulator,
+                                     const EncodingScheme& scheme,
+                                     const MeasurementOptions& options = {});
+
+}  // namespace blot
+
+#endif  // BLOT_SIMENV_MEASUREMENT_H_

@@ -1,0 +1,56 @@
+#include "simenv/simulator.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace blot {
+
+Simulator::Simulator(EnvironmentModel environment,
+                     const SimulatorOptions& options)
+    : environment_(std::move(environment)),
+      options_(options),
+      rng_(options.seed) {
+  require(options_.noise_fraction >= 0 && options_.noise_fraction < 1,
+          "Simulator: noise_fraction must be in [0, 1)");
+  require(options_.num_mappers >= 1, "Simulator: need at least one mapper");
+}
+
+double Simulator::Noise() {
+  if (options_.noise_fraction == 0) return 1.0;
+  return std::max(0.1, 1.0 + rng_.NextGaussian() * options_.noise_fraction);
+}
+
+double Simulator::PartitionScanMs(const EncodingScheme& scheme,
+                                  std::uint64_t records) {
+  return environment_.PartitionScanMs(scheme, records) * Noise();
+}
+
+SimQueryResult Simulator::ExecuteQuery(const ReplicaSketch& replica,
+                                       const STRange& query) {
+  SimQueryResult result;
+  const std::vector<std::size_t> involved =
+      replica.index.InvolvedPartitions(query);
+  result.partitions_scanned = involved.size();
+
+  // Mapper pool: a min-heap of slot completion times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> slots;
+  for (std::size_t p : involved) {
+    const std::uint64_t records = replica.counts[p];
+    result.records_scanned += records;
+    const double scan_ms =
+        PartitionScanMs(replica.config.encoding, records);
+    result.total_cost_ms += scan_ms;
+    double start = 0.0;
+    if (slots.size() >= options_.num_mappers) {
+      start = slots.top();
+      slots.pop();
+    }
+    slots.push(start + scan_ms);
+    result.makespan_ms = std::max(result.makespan_ms, start + scan_ms);
+  }
+  return result;
+}
+
+}  // namespace blot

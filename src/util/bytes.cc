@@ -1,0 +1,91 @@
+#include "util/bytes.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace blot {
+
+void ByteWriter::PutF32(float v) { PutU32(std::bit_cast<std::uint32_t>(v)); }
+
+void ByteWriter::PutF64(double v) { PutU64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::PutSignedVarint(std::int64_t v) {
+  PutVarint(ZigZagEncode(v));
+}
+
+void ByteWriter::PutBytes(BytesView data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::PutLengthPrefixed(BytesView data) {
+  PutVarint(data.size());
+  PutBytes(data);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void ByteReader::CheckAvailable(std::size_t n) const {
+  validate(remaining() >= n, "ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::GetU8() { return GetFixed<std::uint8_t>(); }
+std::uint16_t ByteReader::GetU16() { return GetFixed<std::uint16_t>(); }
+std::uint32_t ByteReader::GetU32() { return GetFixed<std::uint32_t>(); }
+std::uint64_t ByteReader::GetU64() { return GetFixed<std::uint64_t>(); }
+
+float ByteReader::GetF32() { return std::bit_cast<float>(GetU32()); }
+double ByteReader::GetF64() { return std::bit_cast<double>(GetU64()); }
+
+std::uint64_t ByteReader::GetVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    CheckAvailable(1);
+    const std::uint8_t byte = data_[position_++];
+    validate(shift < 64, "ByteReader: varint overflow");
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+BytesView ByteReader::GetBytes(std::size_t n) {
+  CheckAvailable(n);
+  BytesView view = data_.subspan(position_, n);
+  position_ += n;
+  return view;
+}
+
+BytesView ByteReader::GetLengthPrefixed() {
+  const std::uint64_t n = GetVarint();
+  validate(n <= remaining(), "ByteReader: length prefix exceeds input");
+  return GetBytes(static_cast<std::size_t>(n));
+}
+
+std::string ByteReader::GetString() {
+  BytesView view = GetLengthPrefixed();
+  return std::string(reinterpret_cast<const char*>(view.data()), view.size());
+}
+
+std::uint64_t Fnv1a64(BytesView data) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace blot

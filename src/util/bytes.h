@@ -1,0 +1,120 @@
+// Byte-buffer serialization primitives.
+//
+// All physical storage layouts (row, column, compressed partitions) are
+// serialized through ByteWriter / ByteReader, which provide little-endian
+// fixed-width encoding plus LEB128 varints and zig-zag transforms. Readers
+// bound-check every access and throw CorruptData on truncated input.
+#ifndef BLOT_UTIL_BYTES_H_
+#define BLOT_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blot {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+// Maps a signed integer to an unsigned one so that small-magnitude values
+// (of either sign) become small unsigned values, as required for efficient
+// varint coding of deltas.
+constexpr std::uint64_t ZigZagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t ZigZagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+// Appends values to a growable byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(std::uint8_t v) { buffer_.push_back(v); }
+  void PutU16(std::uint16_t v) { PutFixed(v); }
+  void PutU32(std::uint32_t v) { PutFixed(v); }
+  void PutU64(std::uint64_t v) { PutFixed(v); }
+  void PutI64(std::int64_t v) { PutFixed(static_cast<std::uint64_t>(v)); }
+  void PutF32(float v);
+  void PutF64(double v);
+
+  // Unsigned LEB128.
+  void PutVarint(std::uint64_t v);
+  // Zig-zag + LEB128.
+  void PutSignedVarint(std::int64_t v);
+
+  void PutBytes(BytesView data);
+  // Length-prefixed (varint) byte string.
+  void PutLengthPrefixed(BytesView data);
+  void PutString(std::string_view s);
+
+  std::size_t size() const { return buffer_.size(); }
+  const Bytes& buffer() const { return buffer_; }
+  Bytes Take() { return std::move(buffer_); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  Bytes buffer_;
+};
+
+// Sequentially consumes values from a byte span. Throws CorruptData when
+// the input is exhausted or malformed.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::uint8_t GetU8();
+  std::uint16_t GetU16();
+  std::uint32_t GetU32();
+  std::uint64_t GetU64();
+  std::int64_t GetI64() { return static_cast<std::int64_t>(GetU64()); }
+  float GetF32();
+  double GetF64();
+
+  std::uint64_t GetVarint();
+  std::int64_t GetSignedVarint() { return ZigZagDecode(GetVarint()); }
+
+  // Returns a view of the next `n` bytes and advances past them.
+  BytesView GetBytes(std::size_t n);
+  BytesView GetLengthPrefixed();
+  std::string GetString();
+
+  std::size_t remaining() const { return data_.size() - position_; }
+  std::size_t position() const { return position_; }
+  bool AtEnd() const { return position_ == data_.size(); }
+
+ private:
+  void CheckAvailable(std::size_t n) const;
+
+  template <typename T>
+  T GetFixed() {
+    CheckAvailable(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v |= static_cast<T>(data_[position_ + i]) << (8 * i);
+    position_ += sizeof(T);
+    return v;
+  }
+
+  BytesView data_;
+  std::size_t position_ = 0;
+};
+
+// FNV-1a 64-bit hash, used as a cheap content checksum on encoded
+// partitions.
+std::uint64_t Fnv1a64(BytesView data);
+
+}  // namespace blot
+
+#endif  // BLOT_UTIL_BYTES_H_

@@ -1,0 +1,79 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace blot {
+
+std::vector<std::string> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  validate(!in_quotes, "ParseCsvLine: unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    const std::string& f = fields[i];
+    const bool needs_quotes =
+        f.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+      line += f;
+      continue;
+    }
+    line.push_back('"');
+    for (char c : f) {
+      if (c == '"') line.push_back('"');
+      line.push_back(c);
+    }
+    line.push_back('"');
+  }
+  return line;
+}
+
+bool CsvReader::ReadRow(std::vector<std::string>& fields) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    fields = ParseCsvLine(line);
+    return true;
+  }
+  return false;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  out_ << FormatCsvLine(fields) << '\n';
+}
+
+}  // namespace blot

@@ -1,0 +1,51 @@
+// Minimal CSV reading and writing.
+//
+// Location-tracking datasets are traditionally interchanged as CSV (the
+// paper's 3.7 GB dataset is "uncompressed CSV format"); Dataset uses this
+// module for text import/export. The dialect is simple: comma separator,
+// optional double-quote quoting with "" escapes, and \n or \r\n line ends.
+#ifndef BLOT_UTIL_CSV_H_
+#define BLOT_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blot {
+
+// Splits one CSV line into fields, honoring quoting. Throws CorruptData on
+// unterminated quotes.
+std::vector<std::string> ParseCsvLine(std::string_view line);
+
+// Joins fields into one CSV line (no trailing newline), quoting fields
+// that contain separators, quotes, or newlines.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+// Streaming CSV reader over an istream.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+
+  // Reads the next row into `fields`; returns false at end of input.
+  // Empty lines are skipped.
+  bool ReadRow(std::vector<std::string>& fields);
+
+ private:
+  std::istream& in_;
+};
+
+// Streaming CSV writer over an ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_UTIL_CSV_H_

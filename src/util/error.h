@@ -1,0 +1,57 @@
+// Error types and invariant checking for the BLOT library.
+//
+// The library signals unrecoverable API misuse and data corruption through
+// exceptions derived from blot::Error. Invariants inside algorithms are
+// checked with ensure(), which throws InternalError so that a violated
+// invariant surfaces as a catchable, testable condition rather than UB.
+#ifndef BLOT_UTIL_ERROR_H_
+#define BLOT_UTIL_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace blot {
+
+// Base class for all errors thrown by the BLOT library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// An argument passed to a public API violated its documented contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+// Encoded data failed validation (bad magic, truncation, checksum mismatch).
+class CorruptData : public Error {
+ public:
+  explicit CorruptData(const std::string& what) : Error(what) {}
+};
+
+// An internal invariant did not hold; indicates a bug in the library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+// Throws InvalidArgument with `message` unless `condition` holds.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw InvalidArgument(std::string(message));
+}
+
+// Throws InternalError with `message` unless `condition` holds.
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) throw InternalError(std::string(message));
+}
+
+// Throws CorruptData with `message` unless `condition` holds.
+inline void validate(bool condition, std::string_view message) {
+  if (!condition) throw CorruptData(std::string(message));
+}
+
+}  // namespace blot
+
+#endif  // BLOT_UTIL_ERROR_H_

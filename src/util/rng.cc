@@ -1,0 +1,116 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextUint64(std::uint64_t bound) {
+  require(bound > 0, "Rng::NextUint64: bound must be positive");
+  // Lemire's unbiased bounded generation with rejection.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInt64(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::NextInt64: lo must not exceed hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());
+  return lo + static_cast<std::int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  require(lo <= hi, "Rng::NextDouble: lo must not exceed hi");
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::NextBool(double p) {
+  require(p >= 0.0 && p <= 1.0, "Rng::NextBool: p must be in [0, 1]");
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double rate) {
+  require(rate > 0.0, "Rng::NextExponential: rate must be positive");
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::NextZipf(std::size_t n, double s) {
+  require(n > 0, "Rng::NextZipf: n must be positive");
+  require(s >= 0.0, "Rng::NextZipf: exponent must be non-negative");
+  double norm = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+  double u = NextDouble() * norm;
+  for (std::size_t k = 1; k <= n; ++k) {
+    u -= 1.0 / std::pow(double(k), s);
+    if (u <= 0.0) return k - 1;
+  }
+  return n - 1;
+}
+
+std::vector<std::size_t> Rng::Permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = NextUint64(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::Fork() {
+  return Rng((*this)() ^ (0xA0761D6478BD642Full * ++fork_counter_));
+}
+
+}  // namespace blot

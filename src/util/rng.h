@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (data generators, workload
+// generators, Monte-Carlo validators) draw from Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256++, seeded via SplitMix64.
+#ifndef BLOT_UTIL_RNG_H_
+#define BLOT_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace blot {
+
+// xoshiro256++ generator with convenience distributions.
+//
+// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+// with <random> distributions where needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  // Next raw 64-bit value.
+  std::uint64_t operator()();
+
+  // Uniform integer in [0, bound). `bound` must be positive.
+  std::uint64_t NextUint64(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInt64(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi). Requires lo <= hi.
+  double NextDouble(double lo, double hi);
+
+  // Standard normal variate (Box-Muller, one value per call).
+  double NextGaussian();
+
+  // Bernoulli draw with success probability p in [0, 1].
+  bool NextBool(double p = 0.5);
+
+  // Exponential variate with the given rate (> 0).
+  double NextExponential(double rate);
+
+  // Zipf-distributed rank in [0, n) with exponent s >= 0. Uses the
+  // normalized inverse-CDF over n ranks; O(n) setup is avoided by
+  // rejection-free linear scan acceptable for small n.
+  std::size_t NextZipf(std::size_t n, double s);
+
+  // Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> Permutation(std::size_t n);
+
+  // Derives an independent child generator; successive calls yield
+  // distinct streams.
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t fork_counter_ = 0;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_UTIL_RNG_H_

@@ -1,0 +1,168 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace blot {
+
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "FitLinear: size mismatch");
+  require(x.size() >= 2, "FitLinear: need at least two samples");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double var_x = sxx - sx * sx / n;
+  require(var_x > 0, "FitLinear: x values are constant");
+  LinearFit fit;
+  fit.slope = (sxy - sx * sy / n) / var_x;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0) {
+    fit.r_squared = 1.0;
+  } else {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+Summary Summarize(std::span<const double> values) {
+  require(!values.empty(), "Summarize: empty sample");
+  Summary s;
+  s.count = values.size();
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double ssd = 0;
+  for (double v : values) ssd += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ssd / static_cast<double>(s.count));
+  return s;
+}
+
+namespace {
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, Rng& rng, std::size_t max_iterations) {
+  require(!points.empty(), "KMeans: empty input");
+  require(k >= 1 && k <= points.size(), "KMeans: k out of range");
+  const std::size_t n = points.size();
+  const std::size_t dim = points[0].size();
+  require(dim >= 1, "KMeans: zero-dimensional points");
+  for (const auto& p : points)
+    require(p.size() == dim, "KMeans: inconsistent point dimensions");
+
+  KMeansResult result;
+  // k-means++ seeding.
+  result.centroids.push_back(points[rng.NextUint64(n)]);
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  while (result.centroids.size() < k) {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dist2[i] = std::min(dist2[i],
+                          SquaredDistance(points[i], result.centroids.back()));
+      total += dist2[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0) {
+      double target = rng.NextDouble() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= dist2[i];
+        if (target <= 0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.NextUint64(n);
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  result.assignment.assign(n, 0);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      counts[result.assignment[i]]++;
+      for (std::size_t d = 0; d < dim; ++d)
+        sums[result.assignment[i]][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point to keep k clusters.
+        result.centroids[c] = points[rng.NextUint64(n)];
+        changed = true;
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d)
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.inertia = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    result.inertia +=
+        SquaredDistance(points[i], result.centroids[result.assignment[i]]);
+  return result;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  require(!values.empty(), "Percentile: empty sample");
+  require(p >= 0 && p <= 100, "Percentile: p out of range");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+}  // namespace blot

@@ -1,0 +1,60 @@
+// Small statistics toolkit: ordinary least squares, k-means clustering,
+// and summary statistics.
+//
+// These back two parts of the reproduction: the ScanRate/ExtraTime
+// measurement procedure of Section V-B (linear regression of measured
+// partition-scan costs against partition sizes) and the workload-size
+// reduction of Section III-C (k-means over query range sizes).
+#ifndef BLOT_UTIL_STATS_H_
+#define BLOT_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace blot {
+
+// Result of a simple linear fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // coefficient of determination
+};
+
+// Ordinary least squares over paired samples. Requires at least two
+// samples and non-constant x.
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y);
+
+// Summary statistics of a sample.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  std::size_t count = 0;
+};
+
+// Computes summary statistics; requires a non-empty sample.
+Summary Summarize(std::span<const double> values);
+
+// Result of k-means clustering of d-dimensional points.
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  // k x d
+  std::vector<std::size_t> assignment;         // per point, cluster index
+  double inertia = 0.0;  // total squared distance to assigned centroids
+  std::size_t iterations = 0;
+};
+
+// Lloyd's k-means with k-means++ seeding. `points` is n x d (all rows the
+// same dimension, d >= 1). Requires 1 <= k <= n. Deterministic given `rng`.
+KMeansResult KMeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, Rng& rng, std::size_t max_iterations = 100);
+
+// Weighted percentile (nearest-rank) of a sample; p in [0, 100].
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace blot
+
+#endif  // BLOT_UTIL_STATS_H_

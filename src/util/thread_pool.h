@@ -1,0 +1,66 @@
+// Fixed-size thread pool for parallel partition scans.
+//
+// BLOT query processing is embarrassingly parallel over involved
+// partitions ("it is straightforward to conduct parallel query processing
+// by scanning multiple partitions simultaneously", Section II-D). The
+// executor uses this pool to decode and filter partitions concurrently.
+#ifndef BLOT_UTIL_THREAD_POOL_H_
+#define BLOT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace blot {
+
+class ThreadPool {
+ public:
+  // Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  // Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task and returns a future for its result. Tasks may not
+  // enqueue further tasks and wait on them (no nested blocking).
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  // Exceptions from tasks are rethrown (the first one encountered).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_UTIL_THREAD_POOL_H_

@@ -1,0 +1,120 @@
+#include "blot/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/workload.h"
+#include "gen/taxi_generator.h"
+
+namespace blot {
+namespace {
+
+std::vector<Record> Sorted(std::vector<Record> records) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return std::tie(a.oid, a.time, a.x, a.y, a.speed, a.heading,
+                              a.status, a.passengers, a.fare_cents) <
+                     std::tie(b.oid, b.time, b.x, b.y, b.speed, b.heading,
+                              b.status, b.passengers, b.fare_cents);
+            });
+  return records;
+}
+
+struct Fixture {
+  Dataset dataset;
+  STRange universe;
+  Replica replica;
+
+  Fixture()
+      : replica(Build()) {}
+
+  Replica Build() {
+    TaxiFleetConfig config;
+    config.num_taxis = 12;
+    config.samples_per_taxi = 300;
+    dataset = GenerateTaxiFleet(config);
+    universe = config.Universe();
+    return Replica::Build(
+        dataset,
+        {{.spatial_partitions = 16, .temporal_partitions = 8},
+         EncodingScheme::FromName("COL-GZIP")},
+        universe);
+  }
+
+  // An overlapping grid of queries, like a heat-map computation.
+  std::vector<STRange> GridQueries(int cells) const {
+    std::vector<STRange> queries;
+    for (int gx = 0; gx < cells; ++gx) {
+      for (int gy = 0; gy < cells; ++gy) {
+        queries.push_back(STRange::FromBounds(
+            universe.x_min() + universe.Width() * gx / cells,
+            universe.x_min() + universe.Width() * (gx + 1) / cells,
+            universe.y_min() + universe.Height() * gy / cells,
+            universe.y_min() + universe.Height() * (gy + 1) / cells,
+            universe.t_min(), universe.t_max()));
+      }
+    }
+    return queries;
+  }
+};
+
+TEST(ExecuteBatchTest, MatchesPerQueryExecution) {
+  const Fixture f;
+  const std::vector<STRange> queries = f.GridQueries(4);
+  const BatchResult batch = ExecuteBatch(f.replica, queries);
+  ASSERT_EQ(batch.per_query.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(Sorted(batch.per_query[q]),
+              Sorted(f.replica.Execute(queries[q]).records))
+        << "query " << q;
+  }
+}
+
+TEST(ExecuteBatchTest, SharedScanBeatsNaiveScanCount) {
+  const Fixture f;
+  // Whole-month grid cells: each partition is involved in several cells'
+  // queries, so sharing must be substantial.
+  const std::vector<STRange> queries = f.GridQueries(6);
+  const BatchResult batch = ExecuteBatch(f.replica, queries);
+  EXPECT_GT(batch.naive_partition_scans, batch.stats.partitions_scanned);
+  EXPECT_LE(batch.stats.partitions_scanned, f.replica.NumPartitions());
+  // 36 overlapping queries over 128 partitions: at least 2x sharing.
+  EXPECT_GT(static_cast<double>(batch.naive_partition_scans) /
+                static_cast<double>(batch.stats.partitions_scanned),
+            2.0);
+}
+
+TEST(ExecuteBatchTest, EmptyBatch) {
+  const Fixture f;
+  const BatchResult batch = ExecuteBatch(f.replica, {});
+  EXPECT_TRUE(batch.per_query.empty());
+  EXPECT_EQ(batch.stats.partitions_scanned, 0u);
+}
+
+TEST(ExecuteBatchTest, DisjointQueriesStillCorrect) {
+  const Fixture f;
+  const std::vector<STRange> queries = {
+      STRange::FromBounds(0, 1, 0, 1, 0, 1),  // far away: no matches
+      f.universe,                              // everything
+  };
+  const BatchResult batch = ExecuteBatch(f.replica, queries);
+  EXPECT_TRUE(batch.per_query[0].empty());
+  EXPECT_EQ(batch.per_query[1].size(), f.dataset.size());
+}
+
+TEST(ExecuteBatchTest, ParallelMatchesSerial) {
+  const Fixture f;
+  ThreadPool pool(4);
+  const std::vector<STRange> queries = f.GridQueries(3);
+  const BatchResult serial = ExecuteBatch(f.replica, queries);
+  const BatchResult parallel = ExecuteBatch(f.replica, queries, &pool);
+  ASSERT_EQ(serial.per_query.size(), parallel.per_query.size());
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    EXPECT_EQ(Sorted(serial.per_query[q]), Sorted(parallel.per_query[q]));
+  EXPECT_EQ(serial.stats.records_scanned, parallel.stats.records_scanned);
+}
+
+}  // namespace
+}  // namespace blot

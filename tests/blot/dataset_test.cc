@@ -1,0 +1,115 @@
+#include "blot/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "gen/taxi_generator.h"
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+Dataset SmallFleet() {
+  TaxiFleetConfig config;
+  config.num_taxis = 10;
+  config.samples_per_taxi = 200;
+  return GenerateTaxiFleet(config);
+}
+
+TEST(DatasetTest, BoundingBoxCoversAllRecords) {
+  const Dataset d = SmallFleet();
+  const STRange box = d.BoundingBox();
+  for (const Record& r : d.records())
+    EXPECT_TRUE(box.Contains(r.Position()));
+}
+
+TEST(DatasetTest, BoundingBoxOfEmptyDatasetIsEmpty) {
+  EXPECT_TRUE(Dataset().BoundingBox().empty());
+}
+
+TEST(DatasetTest, SampleWithoutReplacement) {
+  const Dataset d = SmallFleet();
+  Rng rng(3);
+  const Dataset sample = d.Sample(500, rng);
+  EXPECT_EQ(sample.size(), 500u);
+  // All sampled records occur in the original.
+  std::multiset<std::int64_t> times;
+  for (const Record& r : d.records()) times.insert(r.time);
+  for (const Record& r : sample.records())
+    EXPECT_TRUE(times.contains(r.time));
+}
+
+TEST(DatasetTest, SampleLargerThanDatasetReturnsAll) {
+  const Dataset d = SmallFleet();
+  Rng rng(3);
+  EXPECT_EQ(d.Sample(d.size() * 2, rng).size(), d.size());
+}
+
+TEST(DatasetTest, FilterByRangeMatchesManualScan) {
+  const Dataset d = SmallFleet();
+  const STRange box = d.BoundingBox();
+  const STRange query = STRange::FromCentroid(
+      {box.Width() / 4, box.Height() / 4, box.Duration() / 4},
+      box.Centroid());
+  const auto filtered = d.FilterByRange(query);
+  std::size_t expected = 0;
+  for (const Record& r : d.records())
+    if (query.Contains(r.Position())) ++expected;
+  EXPECT_EQ(filtered.size(), expected);
+  EXPECT_GT(filtered.size(), 0u);
+  EXPECT_LT(filtered.size(), d.size());
+}
+
+TEST(DatasetTest, SortByObjectAndTime) {
+  Dataset d = SmallFleet();
+  d.SortByObjectAndTime();
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    const Record& a = d.records()[i - 1];
+    const Record& b = d.records()[i];
+    EXPECT_TRUE(a.oid < b.oid || (a.oid == b.oid && a.time <= b.time));
+  }
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Dataset d = SmallFleet();
+  std::stringstream buffer;
+  d.WriteCsv(buffer);
+  EXPECT_EQ(Dataset::ReadCsv(buffer), d);
+}
+
+TEST(DatasetTest, CsvRejectsBadHeader) {
+  std::stringstream buffer("a,b,c\n1,2,3\n");
+  EXPECT_THROW(Dataset::ReadCsv(buffer), CorruptData);
+}
+
+TEST(DatasetTest, BinaryRoundTrip) {
+  Dataset d = SmallFleet();
+  std::stringstream buffer;
+  d.WriteBinary(buffer);
+  EXPECT_EQ(Dataset::ReadBinary(buffer), d);
+}
+
+TEST(DatasetTest, BinaryRejectsTruncation) {
+  Dataset d = SmallFleet();
+  std::stringstream buffer;
+  d.WriteBinary(buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 7);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(Dataset::ReadBinary(truncated), CorruptData);
+}
+
+TEST(DatasetTest, AppendDataset) {
+  Dataset a = SmallFleet();
+  const std::size_t original = a.size();
+  Dataset b;
+  b.Append(Record{.oid = 99});
+  a.Append(b);
+  EXPECT_EQ(a.size(), original + 1);
+  EXPECT_EQ(a.records().back().oid, 99u);
+}
+
+}  // namespace
+}  // namespace blot

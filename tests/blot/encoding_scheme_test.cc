@@ -1,0 +1,108 @@
+#include "blot/encoding_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/taxi_generator.h"
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+std::vector<Record> FleetRecords() {
+  TaxiFleetConfig config;
+  config.num_taxis = 8;
+  config.samples_per_taxi = 500;
+  Dataset d = GenerateTaxiFleet(config);
+  d.SortByTime();
+  return d.records();
+}
+
+TEST(EncodingSchemeTest, PaperCandidateSetHasSevenSchemes) {
+  const auto schemes = AllEncodingSchemes();
+  EXPECT_EQ(schemes.size(), 7u);
+  // COL-PLAIN is excluded.
+  for (const EncodingScheme& s : schemes)
+    EXPECT_FALSE(s.layout == Layout::kColumn && s.codec == CodecKind::kNone);
+  // ROW-PLAIN is included.
+  bool has_row_plain = false;
+  for (const EncodingScheme& s : schemes)
+    if (s.layout == Layout::kRow && s.codec == CodecKind::kNone)
+      has_row_plain = true;
+  EXPECT_TRUE(has_row_plain);
+}
+
+TEST(EncodingSchemeTest, NamesRoundTrip) {
+  for (const EncodingScheme& s : AllEncodingSchemes())
+    EXPECT_EQ(EncodingScheme::FromName(s.Name()), s);
+  EXPECT_EQ(EncodingScheme({Layout::kRow, CodecKind::kGzipLike}).Name(),
+            "ROW-GZIP");
+  EXPECT_THROW(EncodingScheme::FromName("ROWGZIP"), InvalidArgument);
+  EXPECT_THROW(EncodingScheme::FromName("ROW-ZSTD"), InvalidArgument);
+}
+
+class EncodingSchemeRoundTripTest
+    : public ::testing::TestWithParam<EncodingScheme> {};
+
+TEST_P(EncodingSchemeRoundTripTest, EncodeDecodeRoundTrip) {
+  const std::vector<Record> records = FleetRecords();
+  const Bytes encoded = EncodePartition(records, GetParam());
+  EXPECT_EQ(DecodePartition(encoded, GetParam()), records);
+}
+
+TEST_P(EncodingSchemeRoundTripTest, EmptyPartition) {
+  const Bytes encoded = EncodePartition({}, GetParam());
+  EXPECT_TRUE(DecodePartition(encoded, GetParam()).empty());
+}
+
+TEST_P(EncodingSchemeRoundTripTest, CorruptedBytesThrow) {
+  const std::vector<Record> records = FleetRecords();
+  Bytes encoded = EncodePartition(records, GetParam());
+  encoded.resize(encoded.size() / 2);
+  EXPECT_THROW(DecodePartition(encoded, GetParam()), CorruptData);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, EncodingSchemeRoundTripTest,
+    ::testing::ValuesIn(AllEncodingSchemes()),
+    [](const ::testing::TestParamInfo<EncodingScheme>& info) {
+      std::string name = info.param.Name();
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(CompressionRatioTest, TableIOrderingHolds) {
+  // Table I's structure: compression lowers the ratio, the column layout
+  // beats the row layout under every codec, and stronger codecs compress
+  // more: SNAPPY > GZIP > LZMA (in ratio) per layout.
+  const std::vector<Record> records = FleetRecords();
+  const auto ratio = [&](const char* name) {
+    return MeasureCompressionRatio(records,
+                                   EncodingScheme::FromName(name));
+  };
+  const double row_plain = ratio("ROW-PLAIN");
+  const double row_snappy = ratio("ROW-SNAPPY");
+  const double row_gzip = ratio("ROW-GZIP");
+  const double row_lzma = ratio("ROW-LZMA");
+  const double col_snappy = ratio("COL-SNAPPY");
+  const double col_gzip = ratio("COL-GZIP");
+  const double col_lzma = ratio("COL-LZMA");
+
+  EXPECT_NEAR(row_plain, 1.0, 0.01);  // raw rows ~= baseline
+  EXPECT_LT(row_snappy, row_plain);
+  EXPECT_LT(row_gzip, row_snappy);
+  EXPECT_LT(row_lzma, row_gzip);
+  EXPECT_LT(col_snappy, row_snappy);
+  EXPECT_LT(col_gzip, row_gzip);
+  EXPECT_LT(col_lzma, row_lzma);
+  EXPECT_LT(col_lzma, col_gzip);
+}
+
+TEST(CompressionRatioTest, RejectsEmptySample) {
+  EXPECT_THROW(
+      MeasureCompressionRatio({}, {Layout::kRow, CodecKind::kNone}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace blot

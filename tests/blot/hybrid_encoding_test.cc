@@ -1,0 +1,126 @@
+// Tests for the per-partition encoding policy (the paper's "separate
+// encoding scheme for each partition" generalization).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "blot/replica.h"
+#include "gen/taxi_generator.h"
+
+namespace blot {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  STRange universe;
+
+  Fixture() {
+    TaxiFleetConfig config;
+    config.num_taxis = 10;
+    config.samples_per_taxi = 400;
+    dataset = GenerateTaxiFleet(config);
+    universe = config.Universe();
+  }
+};
+
+TEST(HybridEncodingTest, NameCarriesPolicySuffix) {
+  const ReplicaConfig uniform{
+      {.spatial_partitions = 4, .temporal_partitions = 4},
+      EncodingScheme::FromName("COL-GZIP")};
+  EXPECT_EQ(uniform.Name(), "KD4xT4/COL-GZIP");
+  const ReplicaConfig hybrid{
+      {.spatial_partitions = 4, .temporal_partitions = 4},
+      EncodingScheme::FromName("COL-GZIP"),
+      EncodingPolicy::kBestCodecPerPartition};
+  EXPECT_EQ(hybrid.Name(), "KD4xT4/COL-GZIP+HYBRID");
+}
+
+TEST(HybridEncodingTest, RoundTripsLogicalView) {
+  const Fixture f;
+  const Replica hybrid = Replica::Build(
+      f.dataset,
+      {{.spatial_partitions = 8, .temporal_partitions = 8},
+       EncodingScheme::FromName("COL-PLAIN"),
+       EncodingPolicy::kBestCodecPerPartition},
+      f.universe);
+  const auto totally_sorted = [](std::vector<Record> records) {
+    std::sort(records.begin(), records.end(),
+              [](const Record& a, const Record& b) {
+                return std::tie(a.oid, a.time, a.x, a.y, a.speed, a.heading,
+                                a.status, a.passengers, a.fare_cents) <
+                       std::tie(b.oid, b.time, b.x, b.y, b.speed, b.heading,
+                                b.status, b.passengers, b.fare_cents);
+              });
+    return records;
+  };
+  EXPECT_EQ(totally_sorted(hybrid.Reconstruct().records()),
+            totally_sorted(f.dataset.records()));
+}
+
+TEST(HybridEncodingTest, NeverLargerThanAnyUniformCodec) {
+  // Per-partition best-of-all-codecs is at most the size of every uniform
+  // choice over the same layout (plus nothing: identical serialization).
+  const Fixture f;
+  const PartitioningSpec spec{.spatial_partitions = 8,
+                              .temporal_partitions = 4};
+  const Replica hybrid = Replica::Build(
+      f.dataset,
+      {spec, {Layout::kColumn, CodecKind::kGzipLike},
+       EncodingPolicy::kBestCodecPerPartition},
+      f.universe);
+  for (const CodecKind kind :
+       {CodecKind::kSnappyLike, CodecKind::kGzipLike, CodecKind::kLzmaLike}) {
+    const Replica uniform = Replica::Build(
+        f.dataset, {spec, {Layout::kColumn, kind}}, f.universe);
+    EXPECT_LE(hybrid.StorageBytes(), uniform.StorageBytes())
+        << CodecKindName(kind);
+  }
+}
+
+TEST(HybridEncodingTest, PartitionsRecordChosenCodec) {
+  const Fixture f;
+  const Replica hybrid = Replica::Build(
+      f.dataset,
+      {{.spatial_partitions = 8, .temporal_partitions = 4},
+       EncodingScheme::FromName("COL-GZIP"),
+       EncodingPolicy::kBestCodecPerPartition},
+      f.universe);
+  std::set<CodecKind> used;
+  for (std::size_t p = 0; p < hybrid.NumPartitions(); ++p)
+    used.insert(hybrid.partition(p).codec);
+  // Compressible taxi data never keeps the identity codec.
+  EXPECT_FALSE(used.contains(CodecKind::kNone));
+  EXPECT_GE(used.size(), 1u);
+}
+
+TEST(HybridEncodingTest, QueriesReturnGroundTruth) {
+  const Fixture f;
+  const Replica hybrid = Replica::Build(
+      f.dataset,
+      {{.spatial_partitions = 16, .temporal_partitions = 4},
+       EncodingScheme::FromName("ROW-PLAIN"),
+       EncodingPolicy::kBestCodecPerPartition},
+      f.universe);
+  const STRange query = STRange::FromCentroid(
+      {f.universe.Width() / 4, f.universe.Height() / 4,
+       f.universe.Duration() / 4},
+      f.universe.Centroid());
+  EXPECT_EQ(hybrid.Execute(query).records.size(),
+            f.dataset.FilterByRange(query).size());
+}
+
+TEST(HybridEncodingTest, UniformPolicyStoresConfiguredCodec) {
+  const Fixture f;
+  const Replica uniform = Replica::Build(
+      f.dataset,
+      {{.spatial_partitions = 4, .temporal_partitions = 4},
+       EncodingScheme::FromName("ROW-SNAPPY")},
+      f.universe);
+  for (std::size_t p = 0; p < uniform.NumPartitions(); ++p)
+    EXPECT_EQ(uniform.partition(p).codec, CodecKind::kSnappyLike);
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,120 @@
+#include "blot/partition_index.h"
+
+#include <gtest/gtest.h>
+
+#include "blot/partitioner.h"
+#include "core/workload.h"
+#include "gen/taxi_generator.h"
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+PartitionIndex FleetIndex(STRange& universe_out) {
+  TaxiFleetConfig config;
+  config.num_taxis = 15;
+  config.samples_per_taxi = 300;
+  const Dataset d = GenerateTaxiFleet(config);
+  universe_out = config.Universe();
+  PartitionedData pd = PartitionDataset(
+      d, {.spatial_partitions = 16, .temporal_partitions = 8}, universe_out);
+  return PartitionIndex(std::move(pd.ranges));
+}
+
+TEST(PartitionIndexTest, InvolvedMatchesBruteForce) {
+  STRange universe;
+  const PartitionIndex index = FleetIndex(universe);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const GroupedQuery q{{universe.Width() * rng.NextDouble(0.01, 0.8),
+                          universe.Height() * rng.NextDouble(0.01, 0.8),
+                          universe.Duration() * rng.NextDouble(0.01, 0.8)}};
+    const STRange query = SampleQueryInstance(q, universe, rng);
+    const auto involved = index.InvolvedPartitions(query);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < index.NumPartitions(); ++i)
+      if (index.Range(i).Intersects(query)) expected.push_back(i);
+    EXPECT_EQ(involved, expected);
+    EXPECT_EQ(index.CountInvolved(query), expected.size());
+  }
+}
+
+TEST(PartitionIndexTest, FullUniverseQueryInvolvesAllPartitions) {
+  STRange universe;
+  const PartitionIndex index = FleetIndex(universe);
+  EXPECT_EQ(index.CountInvolved(universe), index.NumPartitions());
+}
+
+TEST(PartitionIndexTest, DisjointQueryInvolvesNone) {
+  STRange universe;
+  const PartitionIndex index = FleetIndex(universe);
+  const STRange far = STRange::FromBounds(500, 501, 500, 501, 0, 1);
+  EXPECT_EQ(index.CountInvolved(far), 0u);
+  EXPECT_TRUE(index.InvolvedPartitions(far).empty());
+}
+
+TEST(PartitionIndexTest, CoverEqualsUniverseForTilingSchemes) {
+  STRange universe;
+  const PartitionIndex index = FleetIndex(universe);
+  const STRange cover = index.Cover();
+  EXPECT_NEAR(cover.x_min(), universe.x_min(), 1e-12);
+  EXPECT_NEAR(cover.x_max(), universe.x_max(), 1e-12);
+  EXPECT_NEAR(cover.t_min(), universe.t_min(), 1e-9);
+  EXPECT_NEAR(cover.t_max(), universe.t_max(), 1e-9);
+}
+
+TEST(PartitionIndexTest, RandomNonTilingRangesMatchBruteForce) {
+  // The temporal bucketing must be correct for arbitrary (overlapping,
+  // gappy, skewed-duration) range sets, not just partitioner tilings.
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<STRange> ranges;
+    const std::size_t n = 1 + rng.NextUint64(400);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x0 = rng.NextDouble(0, 100);
+      const double y0 = rng.NextDouble(0, 100);
+      const double t0 = rng.NextDouble(0, 1000);
+      ranges.push_back(STRange::FromBounds(
+          x0, x0 + rng.NextDouble(0, 30), y0, y0 + rng.NextDouble(0, 30),
+          t0, t0 + rng.NextExponential(0.01)));
+    }
+    const PartitionIndex index(ranges);
+    for (int q = 0; q < 30; ++q) {
+      const double x0 = rng.NextDouble(-10, 110);
+      const double y0 = rng.NextDouble(-10, 110);
+      const double t0 = rng.NextDouble(-100, 1100);
+      const STRange query = STRange::FromBounds(
+          x0, x0 + rng.NextDouble(0, 50), y0, y0 + rng.NextDouble(0, 50),
+          t0, t0 + rng.NextDouble(0, 500));
+      std::vector<std::size_t> expected;
+      for (std::size_t i = 0; i < ranges.size(); ++i)
+        if (ranges[i].Intersects(query)) expected.push_back(i);
+      ASSERT_EQ(index.InvolvedPartitions(query), expected)
+          << "trial " << trial << " query " << q;
+    }
+  }
+}
+
+TEST(PartitionIndexTest, ZeroDurationUniverse) {
+  // All partitions at the same instant: bucketing degenerates to one
+  // bucket and must still work.
+  std::vector<STRange> ranges;
+  for (int i = 0; i < 10; ++i)
+    ranges.push_back(
+        STRange::FromBounds(i, i + 1, 0, 1, 42, 42));
+  const PartitionIndex index(ranges);
+  EXPECT_EQ(index.CountInvolved(STRange::FromBounds(0, 100, 0, 1, 42, 42)),
+            10u);
+  EXPECT_EQ(index.CountInvolved(STRange::FromBounds(0, 100, 0, 1, 43, 44)),
+            0u);
+}
+
+TEST(PartitionIndexTest, EmptyIndex) {
+  const PartitionIndex index;
+  EXPECT_EQ(index.NumPartitions(), 0u);
+  EXPECT_TRUE(index.Cover().empty());
+  EXPECT_EQ(index.CountInvolved(STRange::FromBounds(0, 1, 0, 1, 0, 1)), 0u);
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,192 @@
+#include "blot/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "gen/taxi_generator.h"
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+struct FleetFixture {
+  Dataset dataset;
+  STRange universe;
+
+  FleetFixture() {
+    TaxiFleetConfig config;
+    config.num_taxis = 20;
+    config.samples_per_taxi = 500;
+    dataset = GenerateTaxiFleet(config);
+    universe = config.Universe();
+  }
+};
+
+class PartitionerTest : public ::testing::TestWithParam<PartitioningSpec> {};
+
+TEST_P(PartitionerTest, ProducesExactPartitionCount) {
+  const FleetFixture f;
+  const PartitionedData pd = PartitionDataset(f.dataset, GetParam(),
+                                              f.universe);
+  EXPECT_EQ(pd.NumPartitions(), GetParam().TotalPartitions());
+  EXPECT_EQ(pd.members.size(), pd.ranges.size());
+}
+
+TEST_P(PartitionerTest, EveryRecordAssignedExactlyOnce) {
+  const FleetFixture f;
+  const PartitionedData pd = PartitionDataset(f.dataset, GetParam(),
+                                              f.universe);
+  std::vector<int> seen(f.dataset.size(), 0);
+  for (const auto& members : pd.members)
+    for (std::uint32_t i : members) seen[i]++;
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    ASSERT_EQ(seen[i], 1) << "record " << i;
+}
+
+TEST_P(PartitionerTest, MembersLieInsidePartitionRange) {
+  const FleetFixture f;
+  const PartitionedData pd = PartitionDataset(f.dataset, GetParam(),
+                                              f.universe);
+  for (std::size_t p = 0; p < pd.NumPartitions(); ++p)
+    for (std::uint32_t i : pd.members[p])
+      ASSERT_TRUE(
+          pd.ranges[p].Contains(f.dataset.records()[i].Position()))
+          << "partition " << p << " record " << i;
+}
+
+TEST_P(PartitionerTest, RangesStayWithinUniverse) {
+  const FleetFixture f;
+  const PartitionedData pd = PartitionDataset(f.dataset, GetParam(),
+                                              f.universe);
+  for (const STRange& r : pd.ranges) EXPECT_TRUE(f.universe.Contains(r));
+}
+
+TEST_P(PartitionerTest, RangesCoverUniverseVolume) {
+  // Tiling: partition volumes sum to the universe volume (no gaps or
+  // overlapping interiors beyond shared boundaries).
+  const FleetFixture f;
+  const PartitionedData pd = PartitionDataset(f.dataset, GetParam(),
+                                              f.universe);
+  double total = 0;
+  for (const STRange& r : pd.ranges) total += r.Volume();
+  EXPECT_NEAR(total / f.universe.Volume(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, PartitionerTest,
+    ::testing::Values(
+        PartitioningSpec{.spatial_partitions = 4, .temporal_partitions = 4},
+        PartitioningSpec{.spatial_partitions = 16, .temporal_partitions = 8},
+        PartitioningSpec{.spatial_partitions = 64, .temporal_partitions = 16},
+        PartitioningSpec{.spatial_partitions = 7, .temporal_partitions = 3},
+        PartitioningSpec{.spatial_partitions = 1, .temporal_partitions = 32},
+        PartitioningSpec{.spatial_partitions = 32, .temporal_partitions = 1},
+        PartitioningSpec{.spatial_partitions = 16,
+                         .temporal_partitions = 4,
+                         .method = SpatialMethod::kGrid},
+        PartitioningSpec{.spatial_partitions = 12,
+                         .temporal_partitions = 6,
+                         .method = SpatialMethod::kGrid}),
+    [](const ::testing::TestParamInfo<PartitioningSpec>& info) {
+      return info.param.Name();
+    });
+
+TEST(PartitionerSkewTest, KdTreeIsNearlyBalancedOnClusteredData) {
+  // The k-d scheme's equal-count splits must keep skew near 1 even though
+  // taxi data is spatially clustered (the cost model's assumption).
+  const FleetFixture f;
+  const PartitioningSpec spec{.spatial_partitions = 64,
+                              .temporal_partitions = 8};
+  const PartitionedData pd = PartitionDataset(f.dataset, spec, f.universe);
+  EXPECT_LT(PartitionSkew(pd, f.dataset.size()), 1.25);
+}
+
+TEST(PartitionerSkewTest, GridIsSkewedOnClusteredData) {
+  const FleetFixture f;
+  const PartitioningSpec spec{.spatial_partitions = 64,
+                              .temporal_partitions = 8,
+                              .method = SpatialMethod::kGrid};
+  const PartitionedData pd = PartitionDataset(f.dataset, spec, f.universe);
+  // Hotspot clustering concentrates records in few cells.
+  EXPECT_GT(PartitionSkew(pd, f.dataset.size()), 2.0);
+}
+
+TEST(PartitionerEdgeTest, EmptyDatasetYieldsUniformTiling) {
+  const STRange universe = STRange::FromBounds(0, 1, 0, 1, 0, 1);
+  const PartitioningSpec spec{.spatial_partitions = 4,
+                              .temporal_partitions = 4};
+  const PartitionedData pd = PartitionDataset(Dataset(), spec, universe);
+  EXPECT_EQ(pd.NumPartitions(), 16u);
+  double total = 0;
+  for (const STRange& r : pd.ranges) total += r.Volume();
+  EXPECT_NEAR(total, universe.Volume(), 1e-12);
+}
+
+TEST(PartitionerEdgeTest, SinglePartition) {
+  const FleetFixture f;
+  const PartitioningSpec spec{.spatial_partitions = 1,
+                              .temporal_partitions = 1};
+  const PartitionedData pd = PartitionDataset(f.dataset, spec, f.universe);
+  ASSERT_EQ(pd.NumPartitions(), 1u);
+  EXPECT_EQ(pd.members[0].size(), f.dataset.size());
+  EXPECT_EQ(pd.ranges[0], f.universe);
+}
+
+TEST(PartitionerEdgeTest, DuplicatePositionsHandled) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    Record r;
+    r.oid = static_cast<std::uint32_t>(i);
+    r.time = 500;
+    r.x = 0.5;
+    r.y = 0.5;
+    d.Append(r);
+  }
+  const STRange universe = STRange::FromBounds(0, 1, 0, 1, 0, 1000);
+  const PartitioningSpec spec{.spatial_partitions = 8,
+                              .temporal_partitions = 4};
+  const PartitionedData pd = PartitionDataset(d, spec, universe);
+  std::size_t assigned = 0;
+  for (const auto& members : pd.members) assigned += members.size();
+  EXPECT_EQ(assigned, 100u);
+  for (std::size_t p = 0; p < pd.NumPartitions(); ++p)
+    for (std::uint32_t i : pd.members[p])
+      ASSERT_TRUE(pd.ranges[p].Contains(d.records()[i].Position()));
+}
+
+TEST(PartitionerEdgeTest, ValidatesArguments) {
+  const STRange universe = STRange::FromBounds(0, 1, 0, 1, 0, 1);
+  EXPECT_THROW(
+      PartitionDataset(Dataset(), {.spatial_partitions = 0}, universe),
+      InvalidArgument);
+  EXPECT_THROW(PartitionDataset(Dataset(),
+                                {.spatial_partitions = 2,
+                                 .temporal_partitions = 0},
+                                universe),
+               InvalidArgument);
+  Dataset outside;
+  Record r;
+  r.x = 5;  // outside [0,1]
+  r.y = 0.5;
+  r.time = 0;
+  outside.Append(r);
+  EXPECT_THROW(PartitionDataset(outside, {.spatial_partitions = 2},
+                                universe),
+               InvalidArgument);
+}
+
+TEST(PartitionerSpecTest, NameIsStable) {
+  const PartitioningSpec spec{.spatial_partitions = 64,
+                              .temporal_partitions = 32};
+  EXPECT_EQ(spec.Name(), "KD64xT32");
+  const PartitioningSpec grid{.spatial_partitions = 16,
+                              .temporal_partitions = 8,
+                              .method = SpatialMethod::kGrid};
+  EXPECT_EQ(grid.Name(), "GRID16xT8");
+  EXPECT_EQ(spec.TotalPartitions(), 2048u);
+}
+
+}  // namespace
+}  // namespace blot

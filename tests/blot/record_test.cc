@@ -1,0 +1,67 @@
+#include "blot/record.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+Record SampleRecord() {
+  Record r;
+  r.oid = 1234;
+  r.time = 1193875265;
+  r.x = 121.4737123;
+  r.y = 31.2304567;
+  r.speed = 42.5f;
+  r.heading = 270;
+  r.status = 1;
+  r.passengers = 2;
+  r.fare_cents = 2350;
+  return r;
+}
+
+TEST(RecordTest, HasEightAttributes) {
+  // 3 core (oid, time, loc) + 5 common; loc spans two CSV columns.
+  EXPECT_EQ(RecordFieldNames().size(), 9u);
+}
+
+TEST(RecordTest, RowBytesMatchesSchema) {
+  EXPECT_EQ(kRecordRowBytes, 40u);
+}
+
+TEST(RecordTest, CsvRoundTripIsExact) {
+  const Record r = SampleRecord();
+  EXPECT_EQ(RecordFromCsv(RecordToCsv(r)), r);
+}
+
+TEST(RecordTest, CsvRoundTripPreservesFullDoublePrecision) {
+  Record r = SampleRecord();
+  r.x = 121.47371230000001;
+  r.y = 0.1 + 0.2;  // not representable exactly
+  EXPECT_EQ(RecordFromCsv(RecordToCsv(r)), r);
+}
+
+TEST(RecordTest, CsvRejectsWrongFieldCount) {
+  EXPECT_THROW(RecordFromCsv({"1", "2"}), CorruptData);
+}
+
+TEST(RecordTest, CsvRejectsMalformedNumbers) {
+  auto fields = RecordToCsv(SampleRecord());
+  fields[0] = "not-a-number";
+  EXPECT_THROW(RecordFromCsv(fields), CorruptData);
+  fields = RecordToCsv(SampleRecord());
+  fields[1] = "12.5x";
+  EXPECT_THROW(RecordFromCsv(fields), CorruptData);
+}
+
+TEST(RecordTest, PositionProjectsCoreAttributes) {
+  const Record r = SampleRecord();
+  const STPoint p = r.Position();
+  EXPECT_DOUBLE_EQ(p.x, r.x);
+  EXPECT_DOUBLE_EQ(p.y, r.y);
+  EXPECT_DOUBLE_EQ(p.t, static_cast<double>(r.time));
+}
+
+}  // namespace
+}  // namespace blot

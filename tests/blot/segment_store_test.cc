@@ -1,0 +1,166 @@
+#include "blot/segment_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/taxi_generator.h"
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SegmentStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("blot_segment_store_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+
+    TaxiFleetConfig config;
+    config.num_taxis = 8;
+    config.samples_per_taxi = 300;
+    dataset_ = GenerateTaxiFleet(config);
+    universe_ = config.Universe();
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  Replica BuildReplica(const char* encoding = "COL-GZIP",
+                       EncodingPolicy policy = EncodingPolicy::kUniform) {
+    return Replica::Build(
+        dataset_,
+        {{.spatial_partitions = 8, .temporal_partitions = 4},
+         EncodingScheme::FromName(encoding),
+         policy},
+        universe_);
+  }
+
+  fs::path dir_;
+  Dataset dataset_;
+  STRange universe_;
+};
+
+TEST_F(SegmentStoreTest, SaveLoadRoundTrip) {
+  const Replica original = BuildReplica();
+  SegmentStore::Save(original, dir_);
+  ASSERT_TRUE(SegmentStore::Exists(dir_));
+  const Replica loaded = SegmentStore::Load(dir_);
+
+  EXPECT_EQ(loaded.config(), original.config());
+  EXPECT_EQ(loaded.universe(), original.universe());
+  EXPECT_EQ(loaded.NumPartitions(), original.NumPartitions());
+  EXPECT_EQ(loaded.NumRecords(), original.NumRecords());
+  EXPECT_EQ(loaded.StorageBytes(), original.StorageBytes());
+  for (std::size_t p = 0; p < original.NumPartitions(); ++p) {
+    EXPECT_EQ(loaded.partition(p).data, original.partition(p).data);
+    EXPECT_EQ(loaded.index().Range(p), original.index().Range(p));
+  }
+  EXPECT_EQ(loaded.Reconstruct(), original.Reconstruct());
+}
+
+TEST_F(SegmentStoreTest, LoadedReplicaAnswersQueries) {
+  SegmentStore::Save(BuildReplica(), dir_);
+  const Replica loaded = SegmentStore::Load(dir_);
+  const STRange query = STRange::FromCentroid(
+      {universe_.Width() / 3, universe_.Height() / 3,
+       universe_.Duration() / 3},
+      universe_.Centroid());
+  EXPECT_EQ(loaded.Execute(query).records.size(),
+            dataset_.FilterByRange(query).size());
+}
+
+TEST_F(SegmentStoreTest, HybridPolicyRoundTrips) {
+  const Replica original =
+      BuildReplica("ROW-PLAIN", EncodingPolicy::kBestCodecPerPartition);
+  SegmentStore::Save(original, dir_);
+  const Replica loaded = SegmentStore::Load(dir_);
+  EXPECT_EQ(loaded.config().policy,
+            EncodingPolicy::kBestCodecPerPartition);
+  for (std::size_t p = 0; p < original.NumPartitions(); ++p)
+    EXPECT_EQ(loaded.partition(p).codec, original.partition(p).codec);
+  EXPECT_EQ(loaded.Reconstruct(), original.Reconstruct());
+}
+
+TEST_F(SegmentStoreTest, SaveOverwritesAtomically) {
+  SegmentStore::Save(BuildReplica("ROW-SNAPPY"), dir_);
+  const Replica second = BuildReplica("COL-LZMA");
+  SegmentStore::Save(second, dir_);
+  const Replica loaded = SegmentStore::Load(dir_);
+  EXPECT_EQ(loaded.config().encoding.Name(), "COL-LZMA");
+  // No stray temporary files remain.
+  for (const auto& entry : fs::directory_iterator(dir_))
+    EXPECT_EQ(entry.path().extension(), entry.path().extension() == ".tmp"
+                                            ? ""
+                                            : entry.path().extension());
+}
+
+TEST_F(SegmentStoreTest, MissingDirectoryThrows) {
+  EXPECT_FALSE(SegmentStore::Exists(dir_));
+  EXPECT_THROW(SegmentStore::Load(dir_), InvalidArgument);
+  EXPECT_THROW(SegmentStore::DiskBytes(dir_), InvalidArgument);
+}
+
+TEST_F(SegmentStoreTest, CorruptManifestDetected) {
+  SegmentStore::Save(BuildReplica(), dir_);
+  const fs::path manifest = dir_ / "manifest.blot";
+  std::fstream file(manifest,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(64);
+  file.put('\xFF');
+  file.close();
+  EXPECT_THROW(SegmentStore::Load(dir_), CorruptData);
+}
+
+TEST_F(SegmentStoreTest, TruncatedSegmentsDetectedOnRead) {
+  SegmentStore::Save(BuildReplica(), dir_);
+  const fs::path segments = dir_ / "segments.dat";
+  const auto size = fs::file_size(segments);
+  fs::resize_file(segments, size / 2);
+  // Either the load itself or the first partition read must fail.
+  try {
+    const Replica loaded = SegmentStore::Load(dir_);
+    EXPECT_THROW(
+        {
+          for (std::size_t p = 0; p < loaded.NumPartitions(); ++p)
+            loaded.DecodePartitionRecords(p);
+        },
+        CorruptData);
+  } catch (const CorruptData&) {
+    SUCCEED();
+  }
+}
+
+TEST_F(SegmentStoreTest, FlippedSegmentByteCaughtByChecksum) {
+  SegmentStore::Save(BuildReplica(), dir_);
+  const fs::path segments = dir_ / "segments.dat";
+  std::fstream file(segments,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(static_cast<std::streamoff>(fs::file_size(segments) / 2));
+  file.put('\x5A');
+  file.close();
+  const Replica loaded = SegmentStore::Load(dir_);
+  EXPECT_THROW(
+      {
+        for (std::size_t p = 0; p < loaded.NumPartitions(); ++p)
+          loaded.DecodePartitionRecords(p);
+      },
+      CorruptData);
+}
+
+TEST_F(SegmentStoreTest, DiskBytesAccountsBothFiles) {
+  const Replica replica = BuildReplica();
+  SegmentStore::Save(replica, dir_);
+  EXPECT_GT(SegmentStore::DiskBytes(dir_), replica.StorageBytes());
+}
+
+}  // namespace
+}  // namespace blot

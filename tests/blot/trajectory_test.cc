@@ -1,0 +1,168 @@
+#include "blot/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/taxi_generator.h"
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  STRange universe;
+  Replica replica;
+
+  Fixture()
+      : replica(Build()) {}
+
+  Replica Build() {
+    TaxiFleetConfig config;
+    config.num_taxis = 30;
+    config.samples_per_taxi = 300;
+    dataset = GenerateTaxiFleet(config);
+    universe = config.Universe();
+    return Replica::Build(
+        dataset,
+        {{.spatial_partitions = 32, .temporal_partitions = 8},
+         EncodingScheme::FromName("COL-GZIP")},
+        universe);
+  }
+
+  std::vector<Record> BruteForce(std::uint32_t oid, std::int64_t t0,
+                                 std::int64_t t1) const {
+    std::vector<Record> out;
+    for (const Record& r : dataset.records())
+      if (r.oid == oid && r.time >= t0 && r.time <= t1) out.push_back(r);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Record& a, const Record& b) {
+                       return a.time < b.time;
+                     });
+    return out;
+  }
+};
+
+TEST(ObjectDigestTest, NeverFalseNegative) {
+  Rng rng(1);
+  std::vector<Record> records;
+  std::set<std::uint32_t> present;
+  for (int i = 0; i < 200; ++i) {
+    Record r;
+    r.oid = static_cast<std::uint32_t>(rng.NextUint64(10000));
+    present.insert(r.oid);
+    records.push_back(r);
+  }
+  const ObjectDigest digest = ObjectDigest::Build(records);
+  for (std::uint32_t oid : present) EXPECT_TRUE(digest.MayContain(oid));
+}
+
+TEST(ObjectDigestTest, PrunesOutOfRangeAndMostAbsentOids) {
+  std::vector<Record> records;
+  for (std::uint32_t oid = 100; oid < 110; ++oid) {
+    Record r;
+    r.oid = oid;
+    records.push_back(r);
+  }
+  const ObjectDigest digest = ObjectDigest::Build(records);
+  EXPECT_FALSE(digest.MayContain(99));
+  EXPECT_FALSE(digest.MayContain(110));
+  EXPECT_TRUE(digest.MayContain(105));
+}
+
+TEST(ObjectDigestTest, EmptyDigestContainsNothing) {
+  const ObjectDigest digest = ObjectDigest::Build({});
+  EXPECT_TRUE(digest.empty());
+  EXPECT_FALSE(digest.MayContain(0));
+}
+
+TEST(ObjectDigestTest, BloomFalsePositiveRateIsBounded) {
+  // 10 distinct oids set <= 20 of 64 bits; absent oids within [min,max]
+  // should usually be rejected.
+  std::vector<Record> records;
+  for (std::uint32_t oid = 0; oid < 5000; oid += 500) {
+    Record r;
+    r.oid = oid;
+    records.push_back(r);
+  }
+  const ObjectDigest digest = ObjectDigest::Build(records);
+  int false_positives = 0, probes = 0;
+  for (std::uint32_t oid = 1; oid < 5000; ++oid) {
+    if (oid % 500 == 0) continue;
+    ++probes;
+    if (digest.MayContain(oid)) ++false_positives;
+  }
+  EXPECT_LT(static_cast<double>(false_positives) / probes, 0.25);
+}
+
+TEST(TrajectoryIndexTest, QueryMatchesBruteForce) {
+  const Fixture f;
+  const TrajectoryIndex index(f.replica);
+  for (const std::uint32_t oid : {0u, 7u, 29u}) {
+    const std::int64_t t0 = f.dataset.records()[0].time + 86400;
+    const std::int64_t t1 = t0 + 86400 * 7;
+    const auto result = index.Query(f.replica, oid, t0, t1);
+    const auto expected = f.BruteForce(oid, t0, t1);
+    ASSERT_EQ(result.records.size(), expected.size()) << "oid " << oid;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_EQ(result.records[i], expected[i]);
+  }
+}
+
+TEST(TrajectoryIndexTest, WholeWindowReturnsFullTrajectory) {
+  const Fixture f;
+  const TrajectoryIndex index(f.replica);
+  const auto result =
+      index.Query(f.replica, 5, std::numeric_limits<std::int64_t>::min(),
+                  std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(result.records.size(), 300u);
+  // Ordered by time.
+  for (std::size_t i = 1; i < result.records.size(); ++i)
+    EXPECT_LE(result.records[i - 1].time, result.records[i].time);
+}
+
+TEST(TrajectoryIndexTest, DigestPruningSkipsPartitions) {
+  const Fixture f;
+  const TrajectoryIndex index(f.replica);
+  const std::int64_t t0 = f.dataset.records()[0].time;
+  const auto result = index.Query(f.replica, 3, t0, t0 + 86400 * 3);
+  EXPECT_GT(result.partitions_considered, 0u);
+  // One taxi visits few of the 32 spatial cells in 3 days: pruning must
+  // bite hard.
+  EXPECT_LT(result.partitions_scanned,
+            result.partitions_considered / 2);
+  EXPECT_GT(result.records.size(), 0u);
+}
+
+TEST(TrajectoryIndexTest, UnknownObjectScansLittleAndReturnsNothing) {
+  const Fixture f;
+  const TrajectoryIndex index(f.replica);
+  const auto result = index.Query(
+      f.replica, 9999, std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max());
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.partitions_scanned, 0u);  // min/max prunes everything
+}
+
+TEST(TrajectoryIndexTest, ParallelMatchesSerial) {
+  const Fixture f;
+  ThreadPool pool(4);
+  const TrajectoryIndex serial(f.replica);
+  const TrajectoryIndex parallel(f.replica, &pool);
+  const std::int64_t t0 = f.dataset.records()[0].time;
+  const auto a = serial.Query(f.replica, 11, t0, t0 + 86400 * 5);
+  const auto b = parallel.Query(f.replica, 11, t0, t0 + 86400 * 5, &pool);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.partitions_scanned, b.partitions_scanned);
+}
+
+TEST(TrajectoryIndexTest, ValidatesArguments) {
+  const Fixture f;
+  const TrajectoryIndex index(f.replica);
+  EXPECT_THROW(index.Query(f.replica, 1, 100, 50), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace blot

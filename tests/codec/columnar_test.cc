@@ -1,0 +1,208 @@
+#include "codec/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+TEST(DeltaColumnTest, RoundTripMonotonicTimestamps) {
+  Rng rng(1);
+  std::vector<std::int64_t> times;
+  std::int64_t t = 1193875200;
+  for (int i = 0; i < 10000; ++i) {
+    t += rng.NextInt64(0, 120);
+    times.push_back(t);
+  }
+  ByteWriter w;
+  EncodeDeltaColumn(w, times);
+  const Bytes buf = w.Take();
+  // Monotonic small deltas should use ~1-2 bytes per value, far below the
+  // 8 bytes of raw storage.
+  EXPECT_LT(buf.size(), times.size() * 3);
+  ByteReader r(buf);
+  EXPECT_EQ(DecodeDeltaColumn(r, times.size()), times);
+}
+
+TEST(DeltaColumnTest, RoundTripExtremeValues) {
+  const std::vector<std::int64_t> values = {
+      0, std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min(), -1, 1, 0};
+  ByteWriter w;
+  EncodeDeltaColumn(w, values);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(DecodeDeltaColumn(r, values.size()), values);
+}
+
+TEST(DeltaColumnTest, EmptyColumn) {
+  ByteWriter w;
+  EncodeDeltaColumn(w, {});
+  const Bytes buf = w.Take();
+  EXPECT_TRUE(buf.empty());
+  ByteReader r(buf);
+  EXPECT_TRUE(DecodeDeltaColumn(r, 0).empty());
+}
+
+TEST(RleColumnTest, RoundTripLowCardinality) {
+  Rng rng(2);
+  std::vector<std::uint8_t> values;
+  while (values.size() < 5000) {
+    const std::uint8_t v = static_cast<std::uint8_t>(rng.NextUint64(3));
+    const std::size_t run = 1 + rng.NextUint64(200);
+    values.insert(values.end(), run, v);
+  }
+  ByteWriter w;
+  EncodeRleColumn(w, values);
+  const Bytes buf = w.Take();
+  EXPECT_LT(buf.size(), values.size() / 10);
+  ByteReader r(buf);
+  EXPECT_EQ(DecodeRleColumn(r, values.size()), values);
+}
+
+TEST(RleColumnTest, WorstCaseAlternating) {
+  std::vector<std::uint8_t> values;
+  for (int i = 0; i < 1000; ++i)
+    values.push_back(static_cast<std::uint8_t>(i & 1));
+  ByteWriter w;
+  EncodeRleColumn(w, values);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(DecodeRleColumn(r, values.size()), values);
+}
+
+TEST(RleColumnTest, RunOverflowingCountThrows) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutVarint(10);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_THROW(DecodeRleColumn(r, 5), CorruptData);
+}
+
+TEST(QuantizedColumnTest, RoundTripWithinHalfScale) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.NextDouble(120, 122));
+  const double scale = 1e-6;
+  ByteWriter w;
+  EncodeQuantizedColumn(w, values, scale);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  const auto decoded = DecodeQuantizedColumn(r, values.size(), scale);
+  ASSERT_EQ(decoded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(decoded[i], values[i], scale / 2 + 1e-12);
+}
+
+TEST(QuantizedColumnTest, NearbyValuesAreCompact) {
+  // A taxi trajectory: consecutive positions differ by ~1e-4 degrees.
+  std::vector<double> values;
+  double x = 121.4737;
+  for (int i = 0; i < 10000; ++i) {
+    x += 1e-4;
+    values.push_back(x);
+  }
+  ByteWriter w;
+  EncodeQuantizedColumn(w, values, 1e-6);
+  EXPECT_LT(w.size(), values.size() * 3);
+}
+
+TEST(QuantizedColumnTest, RejectsBadScale) {
+  ByteWriter w;
+  EXPECT_THROW(EncodeQuantizedColumn(w, {}, 0.0), InvalidArgument);
+  const Bytes buf;
+  ByteReader r(buf);
+  EXPECT_THROW(DecodeQuantizedColumn(r, 0, -1.0), InvalidArgument);
+}
+
+TEST(XorColumnTest, LosslessRoundTripIncludingSpecials) {
+  std::vector<double> values = {0.0, -0.0, 1.5, -2.25,
+                                std::numeric_limits<double>::infinity(),
+                                -std::numeric_limits<double>::infinity(),
+                                std::numeric_limits<double>::denorm_min(),
+                                121.473700001};
+  ByteWriter w;
+  EncodeXorColumn(w, values);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  const auto decoded = DecodeXorColumn(r, values.size());
+  ASSERT_EQ(decoded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded[i]),
+              std::bit_cast<std::uint64_t>(values[i]));
+  }
+}
+
+TEST(XorColumnTest, IdenticalValuesAreOneBytePerEntry) {
+  const std::vector<double> values(1000, 121.4737);
+  ByteWriter w;
+  EncodeXorColumn(w, values);
+  // First value costs up to 10 varint bytes; repeats XOR to zero = 1 byte.
+  EXPECT_LE(w.size(), 1010u);
+}
+
+TEST(AdaptiveDoubleColumnTest, QuantizedPathRoundTripsGpsData) {
+  // Values produced like the taxi generator: exact multiples of 1e-6 (in
+  // the round-then-divide sense), which should take the compact path.
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i)
+    values.push_back(std::round((121.4 + i * 1e-4) * 1e6) / 1e6);
+  ByteWriter w;
+  EncodeAdaptiveDoubleColumn(w, values);
+  const Bytes buf = w.Take();
+  EXPECT_LT(buf.size(), values.size() * 3);  // far below 8 B/value
+  ByteReader r(buf);
+  const auto decoded = DecodeAdaptiveDoubleColumn(r, values.size());
+  ASSERT_EQ(decoded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded[i]),
+              std::bit_cast<std::uint64_t>(values[i]));
+}
+
+TEST(AdaptiveDoubleColumnTest, XorFallbackForArbitraryDoubles) {
+  Rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i)
+    values.push_back(rng.NextGaussian() * 1e-9);  // not 1e-6 multiples
+  values.push_back(std::numeric_limits<double>::infinity());
+  values.push_back(0.1 + 0.2);
+  ByteWriter w;
+  EncodeAdaptiveDoubleColumn(w, values);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  const auto decoded = DecodeAdaptiveDoubleColumn(r, values.size());
+  ASSERT_EQ(decoded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded[i]),
+              std::bit_cast<std::uint64_t>(values[i]));
+}
+
+TEST(AdaptiveDoubleColumnTest, EmptyColumnTakesQuantizedPath) {
+  ByteWriter w;
+  EncodeAdaptiveDoubleColumn(w, {});
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_TRUE(DecodeAdaptiveDoubleColumn(r, 0).empty());
+}
+
+TEST(F32ColumnTest, RoundTrip) {
+  Rng rng(4);
+  std::vector<float> values;
+  for (int i = 0; i < 1000; ++i)
+    values.push_back(static_cast<float>(rng.NextDouble(0, 120)));
+  ByteWriter w;
+  EncodeF32Column(w, values);
+  const Bytes buf = w.Take();
+  EXPECT_EQ(buf.size(), values.size() * 4);
+  ByteReader r(buf);
+  EXPECT_EQ(DecodeF32Column(r, values.size()), values);
+}
+
+}  // namespace
+}  // namespace blot

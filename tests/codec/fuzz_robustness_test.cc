@@ -1,0 +1,146 @@
+// Adversarial robustness: decoders fed corrupted frames must either throw
+// CorruptData or produce some output — never crash, hang, or read out of
+// bounds. Every mutation class is exercised against every codec and both
+// record layouts. (Run under ASan/UBSan for full effect; the assertions
+// here pin down the no-crash and bounded-output contracts.)
+#include <gtest/gtest.h>
+
+#include "blot/layout.h"
+#include "codec/codec.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+Bytes CompressibleInput(Rng& rng, std::size_t n) {
+  Bytes data;
+  std::uint32_t value = 1193875200;
+  while (data.size() < n) {
+    value += static_cast<std::uint32_t>(rng.NextUint64(32));
+    for (int i = 0; i < 4; ++i)
+      data.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  data.resize(n);
+  return data;
+}
+
+// Applies one random mutation; returns false if the mutation was a no-op.
+bool Mutate(Rng& rng, Bytes& frame) {
+  if (frame.empty()) return false;
+  switch (rng.NextUint64(4)) {
+    case 0: {  // bit flip
+      const std::size_t i = rng.NextUint64(frame.size());
+      frame[i] ^= static_cast<std::uint8_t>(1u << rng.NextUint64(8));
+      return true;
+    }
+    case 1: {  // truncation
+      const std::size_t keep = rng.NextUint64(frame.size());
+      frame.resize(keep);
+      return true;
+    }
+    case 2: {  // byte overwrite run
+      const std::size_t start = rng.NextUint64(frame.size());
+      const std::size_t len =
+          std::min(frame.size() - start, 1 + rng.NextUint64(16));
+      for (std::size_t i = 0; i < len; ++i)
+        frame[start + i] = static_cast<std::uint8_t>(rng.NextUint64(256));
+      return true;
+    }
+    default: {  // garbage append
+      const std::size_t extra = 1 + rng.NextUint64(16);
+      for (std::size_t i = 0; i < extra; ++i)
+        frame.push_back(static_cast<std::uint8_t>(rng.NextUint64(256)));
+      return true;
+    }
+  }
+}
+
+class CodecFuzzTest : public ::testing::TestWithParam<CodecKind> {};
+
+TEST_P(CodecFuzzTest, CorruptedFramesNeverCrash) {
+  Rng rng(2024);
+  const Codec& codec = GetCodec(GetParam());
+  const Bytes input = CompressibleInput(rng, 20000);
+  const Bytes frame = codec.Compress(input);
+  int threw = 0, decoded = 0;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Bytes mutated = frame;
+    if (!Mutate(rng, mutated)) continue;
+    try {
+      const Bytes output = codec.Decompress(mutated);
+      ++decoded;
+      // Whatever decodes must stay within the declared-size regime: no
+      // unbounded growth from a corrupt frame.
+      EXPECT_LE(output.size(), input.size() * 4 + 1024);
+    } catch (const CorruptData&) {
+      ++threw;
+    }
+  }
+  // Most mutations must be detected; some may decode (size field intact,
+  // payload altered) — both are acceptable, crashes are not.
+  EXPECT_GT(threw, 0);
+  EXPECT_EQ(threw + decoded, kTrials);
+}
+
+TEST_P(CodecFuzzTest, RandomGarbageInputNeverCrashes) {
+  Rng rng(7);
+  const Codec& codec = GetCodec(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes garbage(rng.NextUint64(2000));
+    for (auto& b : garbage)
+      b = static_cast<std::uint8_t>(rng.NextUint64(256));
+    try {
+      const Bytes output = codec.Decompress(garbage);
+      EXPECT_LE(output.size(), 1u << 24);
+    } catch (const CorruptData&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecFuzzTest,
+    ::testing::Values(CodecKind::kNone, CodecKind::kSnappyLike,
+                      CodecKind::kGzipLike, CodecKind::kLzmaLike),
+    [](const ::testing::TestParamInfo<CodecKind>& info) {
+      return std::string(CodecKindName(info.param));
+    });
+
+class LayoutFuzzTest : public ::testing::TestWithParam<Layout> {};
+
+TEST_P(LayoutFuzzTest, CorruptedSerializationNeverCrashes) {
+  Rng rng(9);
+  std::vector<Record> records;
+  for (int i = 0; i < 500; ++i) {
+    Record r;
+    r.oid = static_cast<std::uint32_t>(rng.NextUint64(100));
+    r.time = 1193875200 + static_cast<std::int64_t>(rng.NextUint64(86400));
+    r.x = rng.NextDouble(120, 122);
+    r.y = rng.NextDouble(30, 32);
+    records.push_back(r);
+  }
+  const Bytes frame = SerializeRecords(records, GetParam());
+  int threw = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes mutated = frame;
+    if (!Mutate(rng, mutated)) continue;
+    try {
+      const auto decoded = DeserializeRecords(mutated, GetParam());
+      EXPECT_LE(decoded.size(), records.size() * 4 + 1024);
+    } catch (const CorruptData&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothLayouts, LayoutFuzzTest,
+    ::testing::Values(Layout::kRow, Layout::kColumn),
+    [](const ::testing::TestParamInfo<Layout>& info) {
+      return std::string(LayoutName(info.param));
+    });
+
+}  // namespace
+}  // namespace blot

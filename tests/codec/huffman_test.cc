@@ -1,0 +1,125 @@
+#include "codec/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+// Kraft sum in units of 2^-kMaxHuffmanBits; a valid prefix code needs
+// sum(2^(max-len)) <= 2^max.
+std::uint64_t KraftSum(const std::vector<std::uint8_t>& lengths) {
+  std::uint64_t sum = 0;
+  for (std::uint8_t len : lengths)
+    if (len > 0) sum += std::uint64_t{1} << (kMaxHuffmanBits - len);
+  return sum;
+}
+
+TEST(HuffmanTest, LengthsSatisfyKraftInequality) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> freq(286);
+    for (auto& f : freq) f = rng.NextUint64(1000);
+    const auto lengths = BuildHuffmanCodeLengths(freq);
+    EXPECT_LE(KraftSum(lengths),
+              std::uint64_t{1} << kMaxHuffmanBits);
+    for (std::size_t s = 0; s < freq.size(); ++s) {
+      if (freq[s] > 0)
+        EXPECT_GT(lengths[s], 0) << "symbol " << s;
+      else
+        EXPECT_EQ(lengths[s], 0) << "symbol " << s;
+    }
+  }
+}
+
+TEST(HuffmanTest, LengthLimitHoldsUnderExtremeSkew) {
+  // Fibonacci-like frequencies drive unconstrained Huffman depths far
+  // beyond 15 bits; the builder must cap them.
+  std::vector<std::uint64_t> freq(40);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freq) {
+    f = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = BuildHuffmanCodeLengths(freq);
+  for (std::uint8_t len : lengths) EXPECT_LE(len, kMaxHuffmanBits);
+  EXPECT_LE(KraftSum(lengths), std::uint64_t{1} << kMaxHuffmanBits);
+}
+
+TEST(HuffmanTest, SingleSymbolGetsLengthOne) {
+  std::vector<std::uint64_t> freq(10, 0);
+  freq[3] = 7;
+  const auto lengths = BuildHuffmanCodeLengths(freq);
+  EXPECT_EQ(lengths[3], 1);
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    if (s != 3) {
+      EXPECT_EQ(lengths[s], 0);
+    }
+  }
+}
+
+TEST(HuffmanTest, FrequentSymbolsGetShorterCodes) {
+  std::vector<std::uint64_t> freq = {1000, 1, 1, 1, 1, 1, 1, 1};
+  const auto lengths = BuildHuffmanCodeLengths(freq);
+  for (std::size_t s = 1; s < freq.size(); ++s)
+    EXPECT_LE(lengths[0], lengths[s]);
+}
+
+TEST(HuffmanTest, EncodeDecodeRoundTrip) {
+  Rng rng(2);
+  std::vector<std::uint64_t> freq(100);
+  for (auto& f : freq) f = 1 + rng.NextUint64(500);
+  const auto lengths = BuildHuffmanCodeLengths(freq);
+  const HuffmanEncoder encoder(lengths);
+  const HuffmanDecoder decoder(lengths);
+
+  std::vector<std::size_t> symbols;
+  for (int i = 0; i < 5000; ++i)
+    symbols.push_back(rng.NextUint64(freq.size()));
+  BitWriter w;
+  for (std::size_t s : symbols) encoder.Write(w, s);
+  const Bytes buf = w.Finish();
+  BitReader r(buf);
+  for (std::size_t s : symbols) EXPECT_EQ(decoder.Read(r), s);
+}
+
+TEST(HuffmanTest, CodedSizeBeatsFixedWidthOnSkewedData) {
+  Rng rng(3);
+  // Zipf-ish skew over 64 symbols.
+  std::vector<std::size_t> symbols;
+  for (int i = 0; i < 20000; ++i) symbols.push_back(rng.NextZipf(64, 1.2));
+  std::vector<std::uint64_t> freq(64, 0);
+  for (std::size_t s : symbols) freq[s]++;
+  const auto lengths = BuildHuffmanCodeLengths(freq);
+  const HuffmanEncoder encoder(lengths);
+  BitWriter w;
+  for (std::size_t s : symbols) encoder.Write(w, s);
+  const std::size_t coded_bits = w.BitCount();
+  EXPECT_LT(coded_bits, symbols.size() * 6);  // fixed width would be 6 bits
+}
+
+TEST(HuffmanTest, DecoderRejectsOversubscribedLengths) {
+  // Three symbols of length 1 cannot form a prefix code.
+  std::vector<std::uint8_t> lengths = {1, 1, 1};
+  EXPECT_THROW(HuffmanDecoder{lengths}, CorruptData);
+}
+
+TEST(HuffmanTest, DecoderRejectsTooLongLength) {
+  std::vector<std::uint8_t> lengths = {1, 16};
+  EXPECT_THROW(HuffmanDecoder{lengths}, CorruptData);
+}
+
+TEST(HuffmanTest, AllZeroFrequenciesYieldNoCodes) {
+  const auto lengths = BuildHuffmanCodeLengths(std::vector<std::uint64_t>(8));
+  for (std::uint8_t len : lengths) EXPECT_EQ(len, 0);
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,181 @@
+// Parameterized round-trip and robustness tests across all block codecs,
+// plus the ratio/effort-ordering property the replica-selection evaluation
+// depends on (Table I).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "codec/codec.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+Bytes RandomBytes(Rng& rng, std::size_t n) {
+  Bytes data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.NextUint64(256));
+  return data;
+}
+
+Bytes RepetitiveBytes(Rng& rng, std::size_t n) {
+  // Concatenation of repeated short phrases: highly compressible.
+  const std::string phrases[] = {"taxi-0042,", "31.2304,121.4737,",
+                                 "2007-11-0", "occupied,"};
+  Bytes data;
+  while (data.size() < n) {
+    const std::string& p = phrases[rng.NextUint64(4)];
+    data.insert(data.end(), p.begin(), p.end());
+  }
+  data.resize(n);
+  return data;
+}
+
+// Binary rows resembling encoded GPS records: small deltas, many shared
+// byte prefixes.
+Bytes RecordLikeBytes(Rng& rng, std::size_t n) {
+  Bytes data;
+  std::uint32_t time = 1193875200;
+  std::uint32_t lat = 31000000, lon = 121000000;
+  while (data.size() < n) {
+    time += static_cast<std::uint32_t>(rng.NextUint64(60));
+    lat += static_cast<std::uint32_t>(rng.NextInt64(-500, 500));
+    lon += static_cast<std::uint32_t>(rng.NextInt64(-500, 500));
+    for (std::uint32_t v : {time, lat, lon})
+      for (int i = 0; i < 4; ++i)
+        data.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  data.resize(n);
+  return data;
+}
+
+class CodecRoundTripTest : public ::testing::TestWithParam<CodecKind> {};
+
+TEST_P(CodecRoundTripTest, EmptyInput) {
+  const Codec& codec = GetCodec(GetParam());
+  const Bytes compressed = codec.Compress({});
+  EXPECT_TRUE(codec.Decompress(compressed).empty());
+}
+
+TEST_P(CodecRoundTripTest, SingleByte) {
+  const Codec& codec = GetCodec(GetParam());
+  const Bytes input = {0x42};
+  EXPECT_EQ(codec.Decompress(codec.Compress(input)), input);
+}
+
+TEST_P(CodecRoundTripTest, AllByteValues) {
+  const Codec& codec = GetCodec(GetParam());
+  Bytes input(256);
+  for (std::size_t i = 0; i < 256; ++i)
+    input[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(codec.Decompress(codec.Compress(input)), input);
+}
+
+TEST_P(CodecRoundTripTest, LongConstantRun) {
+  const Codec& codec = GetCodec(GetParam());
+  const Bytes input(100000, 0xAA);
+  const Bytes compressed = codec.Compress(input);
+  EXPECT_EQ(codec.Decompress(compressed), input);
+  if (GetParam() != CodecKind::kNone) {
+    EXPECT_LT(compressed.size(), input.size() / 10);
+  }
+}
+
+TEST_P(CodecRoundTripTest, RandomIncompressibleData) {
+  Rng rng(101);
+  const Codec& codec = GetCodec(GetParam());
+  const Bytes input = RandomBytes(rng, 50000);
+  const Bytes compressed = codec.Compress(input);
+  EXPECT_EQ(codec.Decompress(compressed), input);
+  // Random data may expand, but only within a small framing overhead.
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 8 + 1024);
+}
+
+TEST_P(CodecRoundTripTest, RepetitiveTextCompresses) {
+  Rng rng(103);
+  const Codec& codec = GetCodec(GetParam());
+  const Bytes input = RepetitiveBytes(rng, 80000);
+  const Bytes compressed = codec.Compress(input);
+  EXPECT_EQ(codec.Decompress(compressed), input);
+  if (GetParam() != CodecKind::kNone) {
+    EXPECT_LT(compressed.size(), input.size() / 2);
+  }
+}
+
+TEST_P(CodecRoundTripTest, RecordLikeBinary) {
+  Rng rng(107);
+  const Codec& codec = GetCodec(GetParam());
+  const Bytes input = RecordLikeBytes(rng, 120000);
+  EXPECT_EQ(codec.Decompress(codec.Compress(input)), input);
+}
+
+TEST_P(CodecRoundTripTest, ManySizesSweep) {
+  Rng rng(109);
+  const Codec& codec = GetCodec(GetParam());
+  for (std::size_t size : {2u, 3u, 7u, 63u, 64u, 65u, 255u, 256u, 257u,
+                           4095u, 4096u, 70000u}) {
+    const Bytes random = RandomBytes(rng, size);
+    EXPECT_EQ(codec.Decompress(codec.Compress(random)), random)
+        << "random size " << size;
+    const Bytes repetitive = RepetitiveBytes(rng, size);
+    EXPECT_EQ(codec.Decompress(codec.Compress(repetitive)), repetitive)
+        << "repetitive size " << size;
+  }
+}
+
+TEST_P(CodecRoundTripTest, TruncatedFrameThrows) {
+  Rng rng(113);
+  const Codec& codec = GetCodec(GetParam());
+  const Bytes input = RepetitiveBytes(rng, 10000);
+  Bytes compressed = codec.Compress(input);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_THROW(codec.Decompress(compressed), CorruptData);
+}
+
+TEST_P(CodecRoundTripTest, EmptyFrameThrows) {
+  const Codec& codec = GetCodec(GetParam());
+  EXPECT_THROW(codec.Decompress({}), CorruptData);
+}
+
+TEST_P(CodecRoundTripTest, NameRoundTrips) {
+  const Codec& codec = GetCodec(GetParam());
+  EXPECT_EQ(CodecKindFromName(codec.name()), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecRoundTripTest,
+    ::testing::Values(CodecKind::kNone, CodecKind::kSnappyLike,
+                      CodecKind::kGzipLike, CodecKind::kLzmaLike),
+    [](const ::testing::TestParamInfo<CodecKind>& info) {
+      return std::string(CodecKindName(info.param));
+    });
+
+// The replica-selection evaluation relies on the codecs occupying ordered
+// points on the ratio frontier: PLAIN >= SNAPPY >= GZIP >= LZMA in size on
+// compressible data (Table I's ordering).
+TEST(CodecFrontierTest, RatioOrderingOnRecordLikeData) {
+  Rng rng(127);
+  const Bytes input = RecordLikeBytes(rng, 400000);
+  const std::size_t plain = GetCodec(CodecKind::kNone).Compress(input).size();
+  const std::size_t snappy =
+      GetCodec(CodecKind::kSnappyLike).Compress(input).size();
+  const std::size_t gzip =
+      GetCodec(CodecKind::kGzipLike).Compress(input).size();
+  const std::size_t lzma =
+      GetCodec(CodecKind::kLzmaLike).Compress(input).size();
+  EXPECT_GT(plain, snappy);
+  EXPECT_GT(snappy, gzip);
+  EXPECT_GT(gzip, lzma);
+}
+
+TEST(CodecFrontierTest, UnknownNameThrows) {
+  EXPECT_THROW(CodecKindFromName("BROTLI"), InvalidArgument);
+}
+
+TEST(CodecFrontierTest, AllCodecKindsListsFour) {
+  EXPECT_EQ(AllCodecKinds().size(), 4u);
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,147 @@
+// End-to-end pipeline test: sample -> ratios -> candidates -> cost matrix
+// -> selection, on synthetic taxi data, for both solvers.
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/taxi_generator.h"
+
+namespace blot {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  STRange universe;
+  Workload workload;
+  CostModel model{EnvironmentModel::AmazonS3Emr()};
+  AdvisorOptions options;
+  // Advise for a paper-scale dataset (65M records) distributed like the
+  // generated sample: at toy scales ExtraTime dominates every query and
+  // partitioning granularity stops mattering.
+  std::uint64_t total_records = 65'000'000;
+
+  Fixture() {
+    TaxiFleetConfig config;
+    config.num_taxis = 20;
+    config.samples_per_taxi = 500;
+    dataset = GenerateTaxiFleet(config);
+    universe = config.Universe();
+
+    // "Wildly varied range sizes" as in Section V-C.
+    for (const double frac : {0.01, 0.05, 0.1, 0.3, 0.6, 0.9})
+      workload.Add({{universe.Width() * frac, universe.Height() * frac,
+                     universe.Duration() * frac}},
+                   1.0);
+
+    // A trimmed candidate space keeps the test fast.
+    options.candidate_space.spatial_counts = {4, 16, 64, 256};
+    options.candidate_space.temporal_counts = {4, 16};
+    options.sample_records = 5000;
+  }
+
+  double ThreeReplicaBudget() const {
+    // The paper's budget: 3x the storage of the optimal single replica —
+    // approximated here as 3x the ROW-PLAIN storage.
+    return 3.0 * static_cast<double>(total_records) * kRecordRowBytes;
+  }
+};
+
+TEST(AdvisorTest, GreedyPipelineSelectsDiverseReplicas) {
+  const Fixture f;
+  const AdvisorReport report =
+      AdviseReplicas(f.dataset, f.universe, f.total_records, f.workload,
+                     f.model, f.ThreeReplicaBudget(), f.options);
+  EXPECT_FALSE(report.chosen.empty());
+  EXPECT_TRUE(std::isfinite(report.selection.workload_cost));
+  // Sanity: selection cost bracketed by ideal and best-single.
+  EXPECT_GE(report.selection.workload_cost, report.ideal_cost_ms - 1e-6);
+  EXPECT_LE(report.selection.workload_cost,
+            report.best_single_cost_ms + 1e-6);
+  // Diverse replicas must beat the single-configuration baseline.
+  EXPECT_LT(report.selection.workload_cost, report.best_single_cost_ms);
+  EXPECT_GT(report.SpeedupOverSingle(), 1.0);
+  // Budget respected.
+  EXPECT_LE(report.selection.storage_used, f.ThreeReplicaBudget());
+  // Compression ratios were measured for all 7 schemes.
+  EXPECT_EQ(report.compression_ratios.size(), 7u);
+}
+
+TEST(AdvisorTest, MipMatchesOrBeatsGreedy) {
+  const Fixture f;
+  AdvisorOptions greedy_options = f.options;
+  greedy_options.algorithm = SelectionAlgorithm::kGreedy;
+  AdvisorOptions mip_options = f.options;
+  mip_options.algorithm = SelectionAlgorithm::kMip;
+
+  const AdvisorReport greedy =
+      AdviseReplicas(f.dataset, f.universe, f.total_records, f.workload,
+                     f.model, f.ThreeReplicaBudget(), greedy_options);
+  const AdvisorReport mip =
+      AdviseReplicas(f.dataset, f.universe, f.total_records, f.workload,
+                     f.model, f.ThreeReplicaBudget(), mip_options);
+  EXPECT_TRUE(mip.selection.optimal);
+  EXPECT_LE(mip.selection.workload_cost,
+            greedy.selection.workload_cost + 1e-6);
+  EXPECT_GE(mip.selection.workload_cost, mip.ideal_cost_ms - 1e-6);
+}
+
+TEST(AdvisorTest, DominancePruningShrinksCandidates) {
+  const Fixture f;
+  const AdvisorReport report =
+      AdviseReplicas(f.dataset, f.universe, f.total_records, f.workload,
+                     f.model, f.ThreeReplicaBudget(), f.options);
+  EXPECT_EQ(report.candidates_before_pruning, 4u * 2u * 7u);
+  EXPECT_LT(report.candidates.size(), report.candidates_before_pruning);
+  EXPECT_GE(report.candidates.size(), 1u);
+}
+
+TEST(AdvisorTest, WorkloadReductionKeepsPipelineWorking) {
+  Fixture f;
+  // Blow the workload up to 60 queries, then reduce to 6 clusters.
+  Workload big;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const double frac = std::exp(rng.NextDouble(std::log(0.01), 0.0));
+    big.Add({{f.universe.Width() * frac, f.universe.Height() * frac,
+              f.universe.Duration() * frac}},
+            rng.NextDouble(0.5, 2.0));
+  }
+  f.options.max_workload_size = 6;
+  const AdvisorReport report =
+      AdviseReplicas(f.dataset, f.universe, f.total_records, big, f.model,
+                     f.ThreeReplicaBudget(), f.options);
+  EXPECT_FALSE(report.chosen.empty());
+  EXPECT_TRUE(std::isfinite(report.selection.workload_cost));
+}
+
+TEST(AdvisorTest, LargerBudgetNeverHurts) {
+  const Fixture f;
+  const AdvisorReport tight =
+      AdviseReplicas(f.dataset, f.universe, f.total_records, f.workload,
+                     f.model, f.ThreeReplicaBudget() * 0.5, f.options);
+  const AdvisorReport loose =
+      AdviseReplicas(f.dataset, f.universe, f.total_records, f.workload,
+                     f.model, f.ThreeReplicaBudget() * 2.0, f.options);
+  EXPECT_LE(loose.selection.workload_cost,
+            tight.selection.workload_cost + 1e-6);
+}
+
+TEST(AdvisorTest, ScaledRunFromSampleWorks) {
+  // Pass a sample dataset but a 100x total record count (the Figure 6
+  // scaling mode).
+  const Fixture f;
+  const std::uint64_t scaled_total = f.dataset.size() * 100;
+  const AdvisorReport report =
+      AdviseReplicas(f.dataset, f.universe, scaled_total, f.workload,
+                     f.model,
+                     3.0 * static_cast<double>(scaled_total) * kRecordRowBytes,
+                     f.options);
+  EXPECT_FALSE(report.chosen.empty());
+  EXPECT_GT(report.selection.storage_used,
+            static_cast<double>(scaled_total));  // scaled storage
+}
+
+}  // namespace
+}  // namespace blot

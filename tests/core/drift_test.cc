@@ -1,0 +1,137 @@
+#include "core/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+RangeSize Small() { return {0.01, 0.01, 3600}; }
+RangeSize Large() { return {1.0, 1.0, 86400.0 * 7} ; }
+
+TEST(WorkloadTrackerTest, ValidatesConstruction) {
+  EXPECT_THROW(WorkloadTracker(0.0), InvalidArgument);
+  EXPECT_THROW(WorkloadTracker(1.5), InvalidArgument);
+  EXPECT_THROW(WorkloadTracker(0.9, 2), InvalidArgument);
+}
+
+TEST(WorkloadTrackerTest, SnapshotReflectsObservations) {
+  WorkloadTracker tracker;
+  for (int i = 0; i < 30; ++i) tracker.Observe(Small());
+  for (int i = 0; i < 10; ++i) tracker.Observe(Large());
+  EXPECT_EQ(tracker.observations(), 40u);
+  const Workload snapshot = tracker.Snapshot(2);
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_NEAR(snapshot.TotalWeight(), 1.0, 1e-9);
+  // The small-query cluster carries roughly 3x the weight.
+  const bool first_small =
+      snapshot.queries()[0].query.size.w < snapshot.queries()[1].query.size.w;
+  const double small_weight =
+      snapshot.queries()[first_small ? 0 : 1].weight;
+  EXPECT_GT(small_weight, 0.6);
+}
+
+TEST(WorkloadTrackerTest, DecayForgetsOldRegime) {
+  WorkloadTracker tracker(0.9);
+  for (int i = 0; i < 50; ++i) tracker.Observe(Small());
+  for (int i = 0; i < 100; ++i) tracker.Observe(Large());
+  const Workload snapshot = tracker.Snapshot(2);
+  // After 100 large observations at decay 0.9, the small cluster's mass
+  // is ~0.9^100 of each large observation: effectively gone.
+  double large_weight = 0;
+  for (const WeightedQuery& wq : snapshot.queries())
+    if (wq.query.size.w > 0.5) large_weight += wq.weight;
+  EXPECT_GT(large_weight, 0.99);
+}
+
+TEST(WorkloadTrackerTest, CompactionBoundsMemoryWithoutLosingShape) {
+  WorkloadTracker tracker(1.0, 64);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double jitter = std::exp(rng.NextGaussian() * 0.1);
+    if (i % 2 == 0) {
+      tracker.Observe({0.01 * jitter, 0.01 * jitter, 3600 * jitter});
+    } else {
+      tracker.Observe({0.5 * jitter, 0.5 * jitter, 86400.0 * jitter});
+    }
+  }
+  const Workload snapshot = tracker.Snapshot(2);
+  ASSERT_EQ(snapshot.size(), 2u);
+  // Both modes survive compaction with roughly equal mass.
+  EXPECT_NEAR(snapshot.queries()[0].weight, 0.5, 0.15);
+}
+
+TEST(WorkloadTrackerTest, EmptyTrackerSnapshotsEmpty) {
+  const WorkloadTracker tracker;
+  EXPECT_TRUE(tracker.Snapshot().empty());
+}
+
+TEST(WorkloadDistanceTest, IdenticalWorkloadsAtZero) {
+  Workload w;
+  w.Add({Small()}, 1.0);
+  w.Add({Large()}, 2.0);
+  EXPECT_NEAR(WorkloadDistance(w, w), 0.0, 1e-12);
+}
+
+TEST(WorkloadDistanceTest, GrowsWithSizeShift) {
+  Workload a, b, c;
+  a.Add({Small()}, 1.0);
+  b.Add({{Small().w * 2, Small().h * 2, Small().t * 2}}, 1.0);
+  c.Add({{Small().w * 100, Small().h * 100, Small().t * 100}}, 1.0);
+  const double near = WorkloadDistance(a, b);
+  const double far = WorkloadDistance(a, c);
+  EXPECT_GT(near, 0.0);
+  EXPECT_GT(far, near * 3);
+  EXPECT_NEAR(WorkloadDistance(a, b), WorkloadDistance(b, a), 1e-12);
+}
+
+TEST(WorkloadDistanceTest, WeightShiftMatters) {
+  Workload mostly_small, mostly_large;
+  mostly_small.Add({Small()}, 9.0);
+  mostly_small.Add({Large()}, 1.0);
+  mostly_large.Add({Small()}, 1.0);
+  mostly_large.Add({Large()}, 9.0);
+  // Supports are identical, so nearest-neighbour distance is zero — the
+  // metric tracks size drift, not pure weight drift (weight drift shows
+  // up once sizes move).
+  EXPECT_NEAR(WorkloadDistance(mostly_small, mostly_large), 0.0, 1e-12);
+}
+
+TEST(DriftMonitorTest, DetectsRegimeChange) {
+  Workload reference;
+  reference.Add({Small()}, 1.0);
+  const DriftMonitor monitor(reference, 0.5);
+
+  Workload same;
+  same.Add({{Small().w * 1.1, Small().h * 0.9, Small().t}}, 1.0);
+  EXPECT_FALSE(monitor.HasDrifted(same));
+
+  Workload shifted;
+  shifted.Add({Large()}, 1.0);
+  EXPECT_TRUE(monitor.HasDrifted(shifted));
+  EXPECT_GT(monitor.DistanceTo(shifted), monitor.DistanceTo(same));
+}
+
+TEST(DriftMonitorTest, RebaseResetsReference) {
+  Workload reference;
+  reference.Add({Small()}, 1.0);
+  DriftMonitor monitor(reference, 0.5);
+  Workload shifted;
+  shifted.Add({Large()}, 1.0);
+  ASSERT_TRUE(monitor.HasDrifted(shifted));
+  monitor.Rebase(shifted);
+  EXPECT_FALSE(monitor.HasDrifted(shifted));
+}
+
+TEST(DriftMonitorTest, ValidatesArguments) {
+  EXPECT_THROW(DriftMonitor(Workload(), 0.5), InvalidArgument);
+  Workload w;
+  w.Add({Small()}, 1.0);
+  EXPECT_THROW(DriftMonitor(w, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,112 @@
+// Exercises Theorem 1's reduction: any set-cover decision instance maps to
+// a replica-selection instance such that the cover exists iff the optimal
+// workload cost is zero. Running the reduction against our exact solvers
+// on random instances validates both the construction and the solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/mip_selection.h"
+#include "core/selection.h"
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+struct SetCoverInstance {
+  std::size_t num_elements;
+  std::vector<std::set<std::size_t>> sets;
+  std::size_t k;  // cover size bound
+};
+
+// Theorem 1's construction, with +infinity replaced by a finite penalty
+// (solvers require finite costs): the optimal cost is zero iff a cover of
+// size <= k exists, and >= kPenalty otherwise.
+constexpr double kPenalty = 1e6;
+
+SelectionInput BuildReduction(const SetCoverInstance& instance) {
+  SelectionInput input;
+  const std::size_t n = instance.num_elements;
+  const std::size_t m = instance.sets.size();
+  input.weights.assign(n, 1.0);
+  input.storage_bytes.assign(m, 1.0);
+  input.budget_bytes = static_cast<double>(instance.k);
+  input.cost.assign(n, std::vector<double>(m, kPenalty));
+  for (std::size_t j = 0; j < m; ++j)
+    for (std::size_t element : instance.sets[j])
+      input.cost[element][j] = 0.0;
+  return input;
+}
+
+bool BruteForceCoverExists(const SetCoverInstance& instance) {
+  const std::size_t m = instance.sets.size();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
+    if (static_cast<std::size_t>(std::popcount(mask)) > instance.k) continue;
+    std::set<std::size_t> covered;
+    for (std::size_t j = 0; j < m; ++j)
+      if (mask & (std::uint64_t{1} << j))
+        covered.insert(instance.sets[j].begin(), instance.sets[j].end());
+    if (covered.size() == instance.num_elements) return true;
+  }
+  return false;
+}
+
+SetCoverInstance RandomInstance(Rng& rng) {
+  SetCoverInstance instance;
+  instance.num_elements = 3 + rng.NextUint64(4);
+  const std::size_t num_sets = 3 + rng.NextUint64(5);
+  for (std::size_t j = 0; j < num_sets; ++j) {
+    std::set<std::size_t> s;
+    const std::size_t size = 1 + rng.NextUint64(instance.num_elements);
+    for (std::size_t i = 0; i < size; ++i)
+      s.insert(rng.NextUint64(instance.num_elements));
+    instance.sets.push_back(std::move(s));
+  }
+  instance.k = 1 + rng.NextUint64(num_sets);
+  return instance;
+}
+
+TEST(SetCoverReductionTest, FeasibleCoverYieldsZeroCost) {
+  // U = {0,1,2}, sets {0,1}, {1,2}, {2}; k = 2 -> cover {0,1}+{1,2}.
+  SetCoverInstance instance{3, {{0, 1}, {1, 2}, {2}}, 2};
+  const SelectionInput input = BuildReduction(instance);
+  const SelectionResult r = SelectExhaustive(input);
+  EXPECT_NEAR(r.workload_cost, 0.0, 1e-9);
+  EXPECT_LE(r.chosen.size(), 2u);
+}
+
+TEST(SetCoverReductionTest, InfeasibleCoverYieldsPenaltyCost) {
+  // Element 2 is only in set {2}; with k = 1 no single set covers all.
+  SetCoverInstance instance{3, {{0, 1}, {1}, {2}}, 1};
+  const SelectionInput input = BuildReduction(instance);
+  const SelectionResult r = SelectExhaustive(input);
+  EXPECT_GE(r.workload_cost, kPenalty - 1e-9);
+}
+
+TEST(SetCoverReductionTest, ExhaustiveDecidesRandomInstances) {
+  Rng rng(59);
+  for (int t = 0; t < 40; ++t) {
+    const SetCoverInstance instance = RandomInstance(rng);
+    const bool expected = BruteForceCoverExists(instance);
+    const SelectionResult r =
+        SelectExhaustive(BuildReduction(instance));
+    const bool decided = r.workload_cost < kPenalty / 2;
+    EXPECT_EQ(decided, expected) << "trial " << t;
+  }
+}
+
+TEST(SetCoverReductionTest, MipDecidesRandomInstances) {
+  Rng rng(61);
+  for (int t = 0; t < 20; ++t) {
+    const SetCoverInstance instance = RandomInstance(rng);
+    const bool expected = BruteForceCoverExists(instance);
+    const SelectionResult r = SelectMip(BuildReduction(instance));
+    ASSERT_TRUE(r.optimal) << "trial " << t;
+    EXPECT_EQ(r.workload_cost < kPenalty / 2, expected) << "trial " << t;
+  }
+}
+
+}  // namespace
+}  // namespace blot

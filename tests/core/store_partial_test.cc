@@ -1,0 +1,151 @@
+// BlotStore integration tests for partial replicas (Section VII).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/partial.h"
+#include "core/store.h"
+#include "gen/taxi_generator.h"
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  STRange universe;
+  STRange hotspot;
+  CostModel model{EnvironmentModel::LocalHadoop()};
+
+  Fixture() {
+    TaxiFleetConfig config;
+    config.num_taxis = 15;
+    config.samples_per_taxi = 400;
+    dataset = GenerateTaxiFleet(config);
+    universe = config.Universe();
+    hotspot = DensestSpatialBox(dataset, universe, 0.5);
+  }
+};
+
+TEST(StorePartialTest, PartialReplicaStoresOnlyCoveredRecords) {
+  const Fixture f;
+  BlotStore store(f.dataset, f.universe);
+  store.AddReplica({{.spatial_partitions = 4, .temporal_partitions = 4},
+                    EncodingScheme::FromName("ROW-SNAPPY")});
+  const std::size_t partial = store.AddPartialReplica(
+      {{.spatial_partitions = 16, .temporal_partitions = 8},
+       EncodingScheme::FromName("COL-GZIP")},
+      f.hotspot);
+  EXPECT_FALSE(store.IsFullReplica(partial));
+  EXPECT_TRUE(store.IsFullReplica(0));
+  EXPECT_EQ(store.replica(partial).NumRecords(),
+            f.dataset.FilterByRange(f.hotspot).size());
+  EXPECT_LT(store.replica(partial).NumRecords(), f.dataset.size());
+}
+
+TEST(StorePartialTest, RoutingHonorsCoverage) {
+  const Fixture f;
+  // Scan-dominated parameters so the partial replica's smaller partitions
+  // are clearly cheaper (at toy record counts the Table II ExtraTime
+  // constants would flatten the difference; routing logic is what is
+  // under test here).
+  std::map<std::string, ScanCostParams> params;
+  params["ROW-PLAIN"] = {1000.0, 100.0};
+  const CostModel scan_model{std::move(params)};
+
+  BlotStore store(f.dataset, f.universe);
+  const std::size_t full = store.AddReplica(
+      {{.spatial_partitions = 4, .temporal_partitions = 4},
+       EncodingScheme::FromName("ROW-PLAIN")});
+  const std::size_t partial = store.AddPartialReplica(
+      {{.spatial_partitions = 4, .temporal_partitions = 4},
+       EncodingScheme::FromName("ROW-PLAIN")},
+      f.hotspot);
+
+  // A small query deep inside the hotspot routes to the partial replica:
+  // same partition count over a smaller region means fewer records
+  // scanned per involved partition.
+  const STRange inside = STRange::FromCentroid(
+      {f.hotspot.Width() * 0.05, f.hotspot.Height() * 0.05,
+       f.universe.Duration() * 0.05},
+      f.hotspot.Centroid());
+  EXPECT_EQ(store.RouteQuery(inside, scan_model), partial);
+
+  // A query crossing the coverage boundary must use the full replica even
+  // though the partial would be cheaper.
+  const STRange crossing = STRange::FromCentroid(
+      {f.hotspot.Width() * 0.1, f.hotspot.Height() * 0.1,
+       f.universe.Duration() * 0.05},
+      {f.hotspot.x_min(), f.hotspot.Centroid().y,
+       f.universe.Centroid().t});
+  EXPECT_EQ(store.RouteQuery(crossing, scan_model), full);
+}
+
+TEST(StorePartialTest, ResultsMatchGroundTruthThroughEitherRoute) {
+  const Fixture f;
+  BlotStore store(f.dataset, f.universe);
+  store.AddReplica({{.spatial_partitions = 4, .temporal_partitions = 4},
+                    EncodingScheme::FromName("COL-LZMA")});
+  store.AddPartialReplica(
+      {{.spatial_partitions = 16, .temporal_partitions = 8},
+       EncodingScheme::FromName("ROW-SNAPPY")},
+      f.hotspot);
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double frac = rng.NextDouble(0.02, 0.4);
+    const STRange query = SampleQueryInstance(
+        {{f.universe.Width() * frac, f.universe.Height() * frac,
+          f.universe.Duration() * frac}},
+        f.universe, rng);
+    const auto routed = store.Execute(query, f.model);
+    EXPECT_EQ(routed.result.records.size(),
+              f.dataset.FilterByRange(query).size())
+        << "trial " << trial;
+  }
+}
+
+TEST(StorePartialTest, PartialRecoveredFromFull) {
+  const Fixture f;
+  BlotStore store(f.dataset, f.universe);
+  const std::size_t full = store.AddReplica(
+      {{.spatial_partitions = 4, .temporal_partitions = 4},
+       EncodingScheme::FromName("ROW-GZIP")});
+  const std::size_t partial = store.AddPartialReplica(
+      {{.spatial_partitions = 16, .temporal_partitions = 4},
+       EncodingScheme::FromName("COL-GZIP")},
+      f.hotspot);
+  const std::uint64_t restored = store.RecoverReplicaFrom(partial, full);
+  EXPECT_EQ(restored, f.dataset.FilterByRange(f.hotspot).size());
+  EXPECT_EQ(store.replica(partial).universe(), f.hotspot);
+}
+
+TEST(StorePartialTest, FullCannotBeRecoveredFromPartial) {
+  const Fixture f;
+  BlotStore store(f.dataset, f.universe);
+  const std::size_t full = store.AddReplica(
+      {{.spatial_partitions = 4, .temporal_partitions = 4},
+       EncodingScheme::FromName("ROW-GZIP")});
+  const std::size_t partial = store.AddPartialReplica(
+      {{.spatial_partitions = 16, .temporal_partitions = 4},
+       EncodingScheme::FromName("COL-GZIP")},
+      f.hotspot);
+  EXPECT_THROW(store.RecoverReplicaFrom(full, partial), InvalidArgument);
+}
+
+TEST(StorePartialTest, ValidatesCoverage) {
+  const Fixture f;
+  BlotStore store(f.dataset, f.universe);
+  EXPECT_THROW(store.AddPartialReplica(
+                   {{.spatial_partitions = 4, .temporal_partitions = 4},
+                    EncodingScheme::FromName("ROW-PLAIN")},
+                   STRange::FromBounds(0, 1, 0, 1, 0, 1)),
+               InvalidArgument);
+  EXPECT_THROW(store.AddPartialReplica(
+                   {{.spatial_partitions = 4, .temporal_partitions = 4},
+                    EncodingScheme::FromName("ROW-PLAIN")},
+                   f.universe),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,124 @@
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+TEST(WorkloadTest, AddAndTotals) {
+  Workload w;
+  w.Add({{1, 2, 3}}, 2.0);
+  w.Add({{4, 5, 6}}, 3.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.TotalWeight(), 5.0);
+  EXPECT_THROW(w.Add({{1, 1, 1}}, -1.0), InvalidArgument);
+}
+
+TEST(WorkloadTest, NormalizedSumsToOne) {
+  Workload w;
+  w.Add({{1, 1, 1}}, 2.0);
+  w.Add({{2, 2, 2}}, 6.0);
+  const Workload n = w.Normalized();
+  EXPECT_DOUBLE_EQ(n.TotalWeight(), 1.0);
+  EXPECT_DOUBLE_EQ(n.queries()[0].weight, 0.25);
+  EXPECT_DOUBLE_EQ(n.queries()[1].weight, 0.75);
+  EXPECT_THROW(Workload().Normalized(), InvalidArgument);
+}
+
+TEST(ReduceWorkloadTest, SmallWorkloadPassesThrough) {
+  Workload w;
+  w.Add({{1, 1, 1}}, 1.0);
+  w.Add({{2, 2, 2}}, 1.0);
+  Rng rng(1);
+  const Workload reduced = ReduceWorkload(w, 5, rng);
+  EXPECT_EQ(reduced.size(), 2u);
+}
+
+TEST(ReduceWorkloadTest, ClustersPreserveTotalWeightAndScale) {
+  // Two well-separated size groups (0.01-ish and 1.0-ish) must reduce to
+  // two representatives near the group geometric means.
+  Workload w;
+  Rng noise(2);
+  for (int i = 0; i < 50; ++i) {
+    const double s = 0.01 * noise.NextDouble(0.8, 1.25);
+    w.Add({{s, s, s}}, 1.0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const double s = 1.0 * noise.NextDouble(0.8, 1.25);
+    w.Add({{s, s, s}}, 2.0);
+  }
+  Rng rng(3);
+  const Workload reduced = ReduceWorkload(w, 2, rng);
+  ASSERT_EQ(reduced.size(), 2u);
+  EXPECT_NEAR(reduced.TotalWeight(), w.TotalWeight(), 1e-9);
+  const bool first_small =
+      reduced.queries()[0].query.size.w < reduced.queries()[1].query.size.w;
+  const WeightedQuery& small = reduced.queries()[first_small ? 0 : 1];
+  const WeightedQuery& large = reduced.queries()[first_small ? 1 : 0];
+  EXPECT_NEAR(small.query.size.w, 0.01, 0.004);
+  EXPECT_NEAR(large.query.size.w, 1.0, 0.4);
+  EXPECT_NEAR(small.weight, 50.0, 1e-9);
+  EXPECT_NEAR(large.weight, 100.0, 1e-9);
+}
+
+TEST(ReduceWorkloadTest, RejectsNonPositiveSizes) {
+  Workload w;
+  w.Add({{0.0, 1, 1}}, 1.0);
+  for (int i = 0; i < 10; ++i) w.Add({{1, 1, 1}}, 1.0);
+  Rng rng(4);
+  EXPECT_THROW(ReduceWorkload(w, 2, rng), InvalidArgument);
+}
+
+TEST(SampleQueryInstanceTest, InstanceHasRequestedSizeAndStaysInside) {
+  const STRange universe = STRange::FromBounds(120, 122, 30, 32, 0, 1000);
+  Rng rng(5);
+  const GroupedQuery q{{0.4, 0.6, 100}};
+  for (int i = 0; i < 200; ++i) {
+    const STRange instance = SampleQueryInstance(q, universe, rng);
+    EXPECT_NEAR(instance.Width(), 0.4, 1e-12);
+    EXPECT_NEAR(instance.Height(), 0.6, 1e-12);
+    EXPECT_NEAR(instance.Duration(), 100, 1e-12);
+    EXPECT_TRUE(universe.Contains(instance));
+  }
+}
+
+TEST(SampleQueryInstanceTest, OversizedQueryIsCentered) {
+  const STRange universe = STRange::FromBounds(0, 1, 0, 1, 0, 1);
+  Rng rng(6);
+  const GroupedQuery q{{5, 5, 5}};
+  const STRange instance = SampleQueryInstance(q, universe, rng);
+  EXPECT_EQ(instance.Centroid(), universe.Centroid());
+  EXPECT_TRUE(instance.Contains(universe));
+}
+
+TEST(SampleQueryInstanceTest, CentroidsCoverTheCentroidRange) {
+  // Uniformity smoke test: with many samples, centroids span most of the
+  // admissible interval in each dimension.
+  const STRange universe = STRange::FromBounds(0, 10, 0, 10, 0, 10);
+  Rng rng(7);
+  const GroupedQuery q{{2, 2, 2}};
+  double min_x = 1e9, max_x = -1e9;
+  for (int i = 0; i < 2000; ++i) {
+    const STPoint c = SampleQueryInstance(q, universe, rng).Centroid();
+    min_x = std::min(min_x, c.x);
+    max_x = std::max(max_x, c.x);
+    EXPECT_GE(c.x, 1.0 - 1e-9);
+    EXPECT_LE(c.x, 9.0 + 1e-9);
+  }
+  EXPECT_LT(min_x, 1.1);
+  EXPECT_GT(max_x, 8.9);
+}
+
+TEST(GroupedQueryTest, ToStringMentionsSizes) {
+  const GroupedQuery q{{0.5, 1.5, 3600}};
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+  EXPECT_NE(s.find("3600"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blot

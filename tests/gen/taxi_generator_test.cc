@@ -1,0 +1,155 @@
+#include "gen/taxi_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+TaxiFleetConfig SmallConfig() {
+  TaxiFleetConfig config;
+  config.num_taxis = 20;
+  config.samples_per_taxi = 300;
+  return config;
+}
+
+TEST(TaxiGeneratorTest, ProducesRequestedRecordCount) {
+  const TaxiFleetConfig config = SmallConfig();
+  const Dataset d = GenerateTaxiFleet(config);
+  EXPECT_EQ(d.size(), config.TotalRecords());
+}
+
+TEST(TaxiGeneratorTest, DeterministicForSameSeed) {
+  const TaxiFleetConfig config = SmallConfig();
+  EXPECT_EQ(GenerateTaxiFleet(config), GenerateTaxiFleet(config));
+}
+
+TEST(TaxiGeneratorTest, DifferentSeedsDiffer) {
+  TaxiFleetConfig a = SmallConfig();
+  TaxiFleetConfig b = SmallConfig();
+  b.seed = a.seed + 1;
+  EXPECT_NE(GenerateTaxiFleet(a), GenerateTaxiFleet(b));
+}
+
+TEST(TaxiGeneratorTest, AllRecordsInsideUniverse) {
+  const TaxiFleetConfig config = SmallConfig();
+  const Dataset d = GenerateTaxiFleet(config);
+  const STRange universe = config.Universe();
+  for (const Record& r : d.records())
+    ASSERT_TRUE(universe.Contains(r.Position()));
+}
+
+TEST(TaxiGeneratorTest, PerTaxiTimesAreNonDecreasing) {
+  const TaxiFleetConfig config = SmallConfig();
+  const Dataset d = GenerateTaxiFleet(config);
+  std::map<std::uint32_t, std::int64_t> last_time;
+  for (const Record& r : d.records()) {
+    const auto it = last_time.find(r.oid);
+    if (it != last_time.end()) {
+      ASSERT_GE(r.time, it->second);
+    }
+    last_time[r.oid] = r.time;
+  }
+  EXPECT_EQ(last_time.size(), config.num_taxis);
+}
+
+TEST(TaxiGeneratorTest, TrajectoriesAreContinuous) {
+  // Consecutive samples of one taxi should be close: a taxi at <= 90 km/h
+  // for one mean interval cannot jump across the city.
+  const TaxiFleetConfig config = SmallConfig();
+  const Dataset d = GenerateTaxiFleet(config);
+  const double interval_hours =
+      static_cast<double>(config.duration_seconds) /
+      static_cast<double>(config.samples_per_taxi) / 3600.0;
+  const double max_step_deg = 90.0 * 1.5 * interval_hours / 111.0 + 1e-6;
+  std::map<std::uint32_t, const Record*> previous;
+  for (const Record& r : d.records()) {
+    const auto it = previous.find(r.oid);
+    if (it != previous.end()) {
+      const double step =
+          std::hypot(r.x - it->second->x, r.y - it->second->y);
+      ASSERT_LE(step, max_step_deg);
+    }
+    previous[r.oid] = &r;
+  }
+}
+
+TEST(TaxiGeneratorTest, SpatialDistributionIsClustered) {
+  // Hotspot attraction must concentrate records: the densest decile of a
+  // 10x10 grid should hold far more than 10% of records.
+  const TaxiFleetConfig config = SmallConfig();
+  const Dataset d = GenerateTaxiFleet(config);
+  std::map<std::pair<int, int>, std::size_t> grid;
+  for (const Record& r : d.records()) {
+    const int gx = std::min(9, static_cast<int>((r.x - config.x_min) /
+                                                (config.x_max - config.x_min) *
+                                                10));
+    const int gy = std::min(9, static_cast<int>((r.y - config.y_min) /
+                                                (config.y_max - config.y_min) *
+                                                10));
+    grid[{gx, gy}]++;
+  }
+  std::vector<std::size_t> counts;
+  for (const auto& [cell, count] : grid) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  std::size_t top10 = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, counts.size()); ++i)
+    top10 += counts[i];
+  EXPECT_GT(static_cast<double>(top10) / static_cast<double>(d.size()), 0.3);
+}
+
+TEST(TaxiGeneratorTest, OccupancyTogglesAndFaresAccumulate) {
+  const TaxiFleetConfig config = SmallConfig();
+  const Dataset d = GenerateTaxiFleet(config);
+  std::size_t occupied = 0, vacant = 0;
+  bool fare_grows = false;
+  std::map<std::uint32_t, const Record*> previous;
+  for (const Record& r : d.records()) {
+    if (r.status == 1) {
+      ++occupied;
+      EXPECT_GE(r.passengers, 1);
+      EXPECT_GT(r.fare_cents, 0u);
+    } else {
+      ++vacant;
+      EXPECT_EQ(r.passengers, 0);
+    }
+    const auto it = previous.find(r.oid);
+    if (it != previous.end() && it->second->status == 1 && r.status == 1 &&
+        r.fare_cents > it->second->fare_cents)
+      fare_grows = true;
+    previous[r.oid] = &r;
+  }
+  EXPECT_GT(occupied, d.size() / 10);
+  EXPECT_GT(vacant, d.size() / 10);
+  EXPECT_TRUE(fare_grows);
+}
+
+TEST(TaxiGeneratorTest, SpeedAndHeadingInRange) {
+  const Dataset d = GenerateTaxiFleet(SmallConfig());
+  for (const Record& r : d.records()) {
+    ASSERT_GE(r.speed, 0.0f);
+    ASSERT_LE(r.speed, 90.0f);
+    ASSERT_LT(r.heading, 360);
+  }
+}
+
+TEST(TaxiGeneratorTest, ValidatesConfig) {
+  TaxiFleetConfig config = SmallConfig();
+  config.num_taxis = 0;
+  EXPECT_THROW(GenerateTaxiFleet(config), InvalidArgument);
+  config = SmallConfig();
+  config.x_min = config.x_max;
+  EXPECT_THROW(GenerateTaxiFleet(config), InvalidArgument);
+  config = SmallConfig();
+  config.hotspot_bias = 1.5;
+  EXPECT_THROW(GenerateTaxiFleet(config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,268 @@
+#include "mip/lp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+TEST(LpTest, TwoVariableTextbookProblem) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of negative)
+  LpProblem lp(2);
+  lp.SetObjective(0, -3);
+  lp.SetObjective(1, -5);
+  lp.AddConstraint({{{0, 1.0}}, Relation::kLessEqual, 4});
+  lp.AddConstraint({{{1, 2.0}}, Relation::kLessEqual, 12});
+  lp.AddConstraint({{{0, 3.0}, {1, 2.0}}, Relation::kLessEqual, 18});
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36, 1e-9);
+  EXPECT_NEAR(s.values[0], 2, 1e-9);
+  EXPECT_NEAR(s.values[1], 6, 1e-9);
+}
+
+TEST(LpTest, EqualityConstraintsRequirePhaseOne) {
+  // min x + 2y s.t. x + y == 10, x - y == 2  -> x=6, y=4.
+  LpProblem lp(2);
+  lp.SetObjective(0, 1);
+  lp.SetObjective(1, 2);
+  lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, Relation::kEqual, 10});
+  lp.AddConstraint({{{0, 1.0}, {1, -1.0}}, Relation::kEqual, 2});
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 6, 1e-9);
+  EXPECT_NEAR(s.values[1], 4, 1e-9);
+  EXPECT_NEAR(s.objective, 14, 1e-9);
+}
+
+TEST(LpTest, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 -> (4, 0)? y can be 0: x >= 4
+  // satisfies both; objective 8.
+  LpProblem lp(2);
+  lp.SetObjective(0, 2);
+  lp.SetObjective(1, 3);
+  lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 4});
+  lp.AddConstraint({{{0, 1.0}}, Relation::kGreaterEqual, 1});
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8, 1e-9);
+  EXPECT_NEAR(s.values[0], 4, 1e-9);
+  EXPECT_NEAR(s.values[1], 0, 1e-9);
+}
+
+TEST(LpTest, DetectsInfeasibility) {
+  LpProblem lp(1);
+  lp.SetObjective(0, 1);
+  lp.AddConstraint({{{0, 1.0}}, Relation::kLessEqual, 1});
+  lp.AddConstraint({{{0, 1.0}}, Relation::kGreaterEqual, 2});
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(LpTest, DetectsUnboundedness) {
+  LpProblem lp(2);
+  lp.SetObjective(0, -1);  // minimize -x with x unbounded above
+  lp.AddConstraint({{{1, 1.0}}, Relation::kLessEqual, 5});
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(LpTest, NoConstraintsOptimalAtZero) {
+  LpProblem lp(3);
+  lp.SetObjective(0, 1);
+  lp.SetObjective(1, 0);
+  lp.SetObjective(2, 2);
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.objective, 0.0);
+}
+
+TEST(LpTest, NoConstraintsNegativeCostUnbounded) {
+  LpProblem lp(1);
+  lp.SetObjective(0, -1);
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(LpTest, NegativeRhsNormalization) {
+  // x - y <= -2 with min x + y -> x=0, y=2.
+  LpProblem lp(2);
+  lp.SetObjective(0, 1);
+  lp.SetObjective(1, 1);
+  lp.AddConstraint({{{0, 1.0}, {1, -1.0}}, Relation::kLessEqual, -2});
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2, 1e-9);
+  EXPECT_NEAR(s.values[1], 2, 1e-9);
+}
+
+TEST(LpTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpProblem lp(2);
+  lp.SetObjective(0, -1);
+  lp.SetObjective(1, -1);
+  lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 1});
+  lp.AddConstraint({{{0, 2.0}, {1, 2.0}}, Relation::kLessEqual, 2});
+  lp.AddConstraint({{{0, 1.0}}, Relation::kLessEqual, 1});
+  lp.AddConstraint({{{1, 1.0}}, Relation::kLessEqual, 1});
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -1, 1e-9);
+}
+
+TEST(LpTest, RedundantEqualityRows) {
+  // Second equality is a copy of the first: dependent rows leave an
+  // artificial basic at zero, which must not corrupt phase 2.
+  LpProblem lp(2);
+  lp.SetObjective(0, 1);
+  lp.SetObjective(1, 3);
+  lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, Relation::kEqual, 5});
+  lp.AddConstraint({{{0, 2.0}, {1, 2.0}}, Relation::kEqual, 10});
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5, 1e-9);
+  EXPECT_NEAR(s.values[0], 5, 1e-9);
+}
+
+TEST(LpTest, AssignmentPolytopeIsIntegral) {
+  // 3x3 assignment problem: LP relaxation has integral optimum.
+  // Costs: pick the permutation (0->1, 1->2, 2->0) with cost 1+2+3=6.
+  const double costs[3][3] = {{9, 1, 9}, {9, 9, 2}, {3, 9, 9}};
+  LpProblem lp(9);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      lp.SetObjective(static_cast<std::size_t>(3 * i + j), costs[i][j]);
+  for (int i = 0; i < 3; ++i) {
+    LpConstraint row{{}, Relation::kEqual, 1};
+    LpConstraint col{{}, Relation::kEqual, 1};
+    for (int j = 0; j < 3; ++j) {
+      row.terms.emplace_back(static_cast<std::size_t>(3 * i + j), 1.0);
+      col.terms.emplace_back(static_cast<std::size_t>(3 * j + i), 1.0);
+    }
+    lp.AddConstraint(row);
+    lp.AddConstraint(col);
+  }
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 6, 1e-9);
+  for (double v : s.values)
+    EXPECT_LT(std::min(std::abs(v), std::abs(v - 1)), 1e-9);
+}
+
+TEST(LpTest, ReturnedSolutionsSatisfyTheirConstraints) {
+  // Certification property: on random LPs of mixed relation types, any
+  // "optimal" answer must actually be primal-feasible (tolerance 1e-6)
+  // and its objective must match the value claimed.
+  Rng rng(123);
+  int optimal_count = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 2 + rng.NextUint64(5);
+    const std::size_t m = 1 + rng.NextUint64(6);
+    LpProblem lp(n);
+    for (std::size_t j = 0; j < n; ++j)
+      lp.SetObjective(j, rng.NextDouble(-2, 3));
+    std::vector<LpConstraint> constraints;
+    // A bounding box keeps problems mostly bounded.
+    for (std::size_t j = 0; j < n; ++j) {
+      lp.AddConstraint({{{j, 1.0}}, Relation::kLessEqual,
+                        rng.NextDouble(1, 10)});
+    }
+    for (std::size_t c = 0; c < m; ++c) {
+      LpConstraint constraint;
+      for (std::size_t j = 0; j < n; ++j)
+        if (rng.NextBool(0.7))
+          constraint.terms.emplace_back(j, rng.NextDouble(-1, 1));
+      if (constraint.terms.empty())
+        constraint.terms.emplace_back(0, 1.0);
+      const std::uint64_t kind = rng.NextUint64(3);
+      constraint.relation = kind == 0   ? Relation::kLessEqual
+                            : kind == 1 ? Relation::kGreaterEqual
+                                        : Relation::kEqual;
+      constraint.rhs = rng.NextDouble(-3, 5);
+      lp.AddConstraint(constraint);
+    }
+    const LpSolution s = SolveLp(lp);
+    if (s.status != LpStatus::kOptimal) continue;
+    ++optimal_count;
+    ASSERT_EQ(s.values.size(), n);
+    double objective = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_GE(s.values[j], -1e-7) << "trial " << trial;
+      objective += lp.objective(j) * s.values[j];
+    }
+    EXPECT_NEAR(objective, s.objective, 1e-6) << "trial " << trial;
+    for (const LpConstraint& constraint : lp.constraints()) {
+      double lhs = 0;
+      for (const auto& [j, coeff] : constraint.terms)
+        lhs += coeff * s.values[j];
+      switch (constraint.relation) {
+        case Relation::kLessEqual:
+          EXPECT_LE(lhs, constraint.rhs + 1e-6) << "trial " << trial;
+          break;
+        case Relation::kGreaterEqual:
+          EXPECT_GE(lhs, constraint.rhs - 1e-6) << "trial " << trial;
+          break;
+        case Relation::kEqual:
+          EXPECT_NEAR(lhs, constraint.rhs, 1e-6) << "trial " << trial;
+          break;
+      }
+    }
+  }
+  // Random instances are mostly feasible thanks to the bounding box.
+  EXPECT_GT(optimal_count, 20);
+}
+
+TEST(LpTest, RandomProblemsMatchVertexEnumeration) {
+  // 2-variable random LPs cross-checked against brute-force enumeration of
+  // constraint-intersection vertices.
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int num_constraints = 3 + static_cast<int>(rng.NextUint64(4));
+    std::vector<std::array<double, 3>> rows;  // a, b, rhs: ax + by <= rhs
+    LpProblem lp(2);
+    const double cx = rng.NextDouble(0.1, 2.0);
+    const double cy = rng.NextDouble(0.1, 2.0);
+    lp.SetObjective(0, -cx);  // maximize cx*x + cy*y over a bounded region
+    lp.SetObjective(1, -cy);
+    for (int i = 0; i < num_constraints; ++i) {
+      const double a = rng.NextDouble(0.1, 1.0);
+      const double b = rng.NextDouble(0.1, 1.0);
+      const double rhs = rng.NextDouble(1.0, 10.0);
+      rows.push_back({a, b, rhs});
+      lp.AddConstraint({{{0, a}, {1, b}}, Relation::kLessEqual, rhs});
+    }
+    const LpSolution s = SolveLp(lp);
+    ASSERT_EQ(s.status, LpStatus::kOptimal);
+
+    // Enumerate candidate vertices: axis intersections and pairwise
+    // constraint intersections, keep feasible ones.
+    std::vector<std::pair<double, double>> candidates = {{0, 0}};
+    for (const auto& r : rows) {
+      candidates.emplace_back(r[2] / r[0], 0.0);
+      candidates.emplace_back(0.0, r[2] / r[1]);
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::size_t j = i + 1; j < rows.size(); ++j) {
+        const double det = rows[i][0] * rows[j][1] - rows[j][0] * rows[i][1];
+        if (std::abs(det) < 1e-12) continue;
+        const double x =
+            (rows[i][2] * rows[j][1] - rows[j][2] * rows[i][1]) / det;
+        const double y =
+            (rows[i][0] * rows[j][2] - rows[j][0] * rows[i][2]) / det;
+        candidates.emplace_back(x, y);
+      }
+    }
+    double best = 0;
+    for (const auto& [x, y] : candidates) {
+      if (x < -1e-9 || y < -1e-9) continue;
+      bool feasible = true;
+      for (const auto& r : rows)
+        if (r[0] * x + r[1] * y > r[2] + 1e-9) feasible = false;
+      if (feasible) best = std::max(best, cx * x + cy * y);
+    }
+    EXPECT_NEAR(-s.objective, best, 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace blot

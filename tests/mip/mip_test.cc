@@ -1,0 +1,241 @@
+#include "mip/mip.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+// Adds the x <= 1 bound every relaxed binary needs.
+void BoundBinary(LpProblem& lp, std::size_t variable) {
+  lp.AddConstraint({{{variable, 1.0}}, Relation::kLessEqual, 1.0});
+}
+
+// Brute force over all 2^n assignments of the binaries (other variables
+// must not exist for this helper).
+double BruteForceBinaryMin(
+    const std::vector<double>& costs,
+    const std::vector<std::vector<double>>& le_rows,
+    const std::vector<double>& le_rhs) {
+  const std::size_t n = costs.size();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    bool feasible = true;
+    for (std::size_t r = 0; r < le_rows.size() && feasible; ++r) {
+      double lhs = 0;
+      for (std::size_t j = 0; j < n; ++j)
+        if (mask & (std::uint64_t{1} << j)) lhs += le_rows[r][j];
+      if (lhs > le_rhs[r] + 1e-9) feasible = false;
+    }
+    if (!feasible) continue;
+    double obj = 0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (mask & (std::uint64_t{1} << j)) obj += costs[j];
+    best = std::min(best, obj);
+  }
+  return best;
+}
+
+TEST(MipTest, SmallKnapsack) {
+  // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6  ->  a + c (17) vs b + c (20).
+  MipProblem mip{LpProblem(3), {0, 1, 2}};
+  mip.lp.SetObjective(0, -10);
+  mip.lp.SetObjective(1, -13);
+  mip.lp.SetObjective(2, -7);
+  mip.lp.AddConstraint(
+      {{{0, 3.0}, {1, 4.0}, {2, 2.0}}, Relation::kLessEqual, 6});
+  for (std::size_t v : {0, 1, 2}) BoundBinary(mip.lp, v);
+  const MipSolution s = SolveMip(mip);
+  ASSERT_EQ(s.status, MipStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -20, 1e-6);
+  EXPECT_NEAR(s.values[0], 0, 1e-6);
+  EXPECT_NEAR(s.values[1], 1, 1e-6);
+  EXPECT_NEAR(s.values[2], 1, 1e-6);
+}
+
+TEST(MipTest, InfeasibleBinaryProblem) {
+  // x0 + x1 >= 3 is unsatisfiable for two binaries.
+  MipProblem mip{LpProblem(2), {0, 1}};
+  mip.lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 3});
+  for (std::size_t v : {0, 1}) BoundBinary(mip.lp, v);
+  EXPECT_EQ(SolveMip(mip).status, MipStatus::kInfeasible);
+}
+
+TEST(MipTest, FractionalLpForcedToInteger) {
+  // LP optimum is x0 = x1 = 0.5; MIP must pick exactly one.
+  MipProblem mip{LpProblem(2), {0, 1}};
+  mip.lp.SetObjective(0, 1.0);
+  mip.lp.SetObjective(1, 1.1);
+  mip.lp.AddConstraint({{{0, 2.0}, {1, 2.0}}, Relation::kGreaterEqual, 2});
+  for (std::size_t v : {0, 1}) BoundBinary(mip.lp, v);
+  const MipSolution s = SolveMip(mip);
+  ASSERT_EQ(s.status, MipStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+  EXPECT_NEAR(s.values[0], 1, 1e-6);
+  EXPECT_NEAR(s.values[1], 0, 1e-6);
+}
+
+TEST(MipTest, MixedIntegerAndContinuous) {
+  // min -x0 - 10y  s.t. y <= 0.7 x0 (binary x0), y <= 0.7.
+  // Opening x0 allows y = 0.7: objective -8.
+  MipProblem mip{LpProblem(2), {0}};
+  mip.lp.SetObjective(0, -1);
+  mip.lp.SetObjective(1, -10);
+  mip.lp.AddConstraint({{{1, 1.0}, {0, -0.7}}, Relation::kLessEqual, 0});
+  mip.lp.AddConstraint({{{1, 1.0}}, Relation::kLessEqual, 0.7});
+  BoundBinary(mip.lp, 0);
+  const MipSolution s = SolveMip(mip);
+  ASSERT_EQ(s.status, MipStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -8, 1e-6);
+  EXPECT_NEAR(s.values[0], 1, 1e-6);
+  EXPECT_NEAR(s.values[1], 0.7, 1e-6);
+}
+
+TEST(MipTest, SeededIncumbentThatIsOptimalIsConfirmed) {
+  // Optimal objective is -20 (from SmallKnapsack); seeding it means the
+  // solver proves optimality without producing its own assignment.
+  MipProblem mip{LpProblem(3), {0, 1, 2}};
+  mip.lp.SetObjective(0, -10);
+  mip.lp.SetObjective(1, -13);
+  mip.lp.SetObjective(2, -7);
+  mip.lp.AddConstraint(
+      {{{0, 3.0}, {1, 4.0}, {2, 2.0}}, Relation::kLessEqual, 6});
+  for (std::size_t v : {0, 1, 2}) BoundBinary(mip.lp, v);
+  const MipSolution s = SolveMip(mip, {}, -20.0);
+  ASSERT_EQ(s.status, MipStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -20, 1e-6);
+}
+
+TEST(MipTest, SeededIncumbentThatIsLooseIsBeaten) {
+  MipProblem mip{LpProblem(3), {0, 1, 2}};
+  mip.lp.SetObjective(0, -10);
+  mip.lp.SetObjective(1, -13);
+  mip.lp.SetObjective(2, -7);
+  mip.lp.AddConstraint(
+      {{{0, 3.0}, {1, 4.0}, {2, 2.0}}, Relation::kLessEqual, 6});
+  for (std::size_t v : {0, 1, 2}) BoundBinary(mip.lp, v);
+  const MipSolution s = SolveMip(mip, {}, -17.0);
+  ASSERT_EQ(s.status, MipStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -20, 1e-6);
+  ASSERT_FALSE(s.values.empty());
+}
+
+TEST(MipTest, OddCycleCoverNeedsBranching) {
+  // Vertex cover of a triangle: LP relaxation is (1/2, 1/2, 1/2) with
+  // objective 1.5; the integer optimum needs two vertices.
+  MipProblem mip{LpProblem(3), {0, 1, 2}};
+  for (std::size_t v : {0, 1, 2}) {
+    mip.lp.SetObjective(v, 1.0);
+    BoundBinary(mip.lp, v);
+  }
+  mip.lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 1});
+  mip.lp.AddConstraint({{{1, 1.0}, {2, 1.0}}, Relation::kGreaterEqual, 1});
+  mip.lp.AddConstraint({{{0, 1.0}, {2, 1.0}}, Relation::kGreaterEqual, 1});
+  const MipSolution s = SolveMip(mip);
+  ASSERT_EQ(s.status, MipStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+  EXPECT_GT(s.nodes_explored, 1u);
+}
+
+TEST(MipTest, NodeLimitReportsHonestly) {
+  // Same triangle cover, but the node budget stops at the (fractional)
+  // root relaxation.
+  MipProblem mip{LpProblem(3), {0, 1, 2}};
+  for (std::size_t v : {0, 1, 2}) {
+    mip.lp.SetObjective(v, 1.0);
+    BoundBinary(mip.lp, v);
+  }
+  mip.lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 1});
+  mip.lp.AddConstraint({{{1, 1.0}, {2, 1.0}}, Relation::kGreaterEqual, 1});
+  mip.lp.AddConstraint({{{0, 1.0}, {2, 1.0}}, Relation::kGreaterEqual, 1});
+  MipOptions options;
+  options.max_nodes = 1;
+  const MipSolution s = SolveMip(mip, options);
+  EXPECT_TRUE(s.status == MipStatus::kNodeLimit ||
+              s.status == MipStatus::kNoSolution);
+}
+
+TEST(MipTest, RandomKnapsacksMatchBruteForce) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 4 + rng.NextUint64(6);  // 4..9 binaries
+    std::vector<double> costs(n);
+    std::vector<double> weights(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      costs[j] = -rng.NextDouble(1, 20);  // maximize value
+      weights[j] = rng.NextDouble(1, 10);
+    }
+    const double capacity = rng.NextDouble(5, 25);
+
+    MipProblem mip{LpProblem(n), {}};
+    LpConstraint knapsack{{}, Relation::kLessEqual, capacity};
+    for (std::size_t j = 0; j < n; ++j) {
+      mip.binary_variables.push_back(j);
+      mip.lp.SetObjective(j, costs[j]);
+      knapsack.terms.emplace_back(j, weights[j]);
+      BoundBinary(mip.lp, j);
+    }
+    mip.lp.AddConstraint(knapsack);
+
+    const MipSolution s = SolveMip(mip);
+    ASSERT_EQ(s.status, MipStatus::kOptimal) << "trial " << trial;
+    const double expected =
+        BruteForceBinaryMin(costs, {weights}, {capacity});
+    EXPECT_NEAR(s.objective, expected, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(MipTest, RandomCoveringProblemsMatchBruteForce) {
+  // min-cost cover: each of several elements must be covered by at least
+  // one chosen set (>= constraints exercise phase-1 paths inside B&B).
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t num_sets = 4 + rng.NextUint64(4);
+    const std::size_t num_elements = 3 + rng.NextUint64(3);
+    std::vector<double> costs(num_sets);
+    std::vector<std::vector<double>> covers(
+        num_elements, std::vector<double>(num_sets, 0.0));
+    for (std::size_t j = 0; j < num_sets; ++j)
+      costs[j] = rng.NextDouble(1, 10);
+    for (std::size_t e = 0; e < num_elements; ++e) {
+      // Each element coverable by 1-3 random sets; ensure at least one.
+      const std::size_t cover_count = 1 + rng.NextUint64(3);
+      for (std::size_t k = 0; k < cover_count; ++k)
+        covers[e][rng.NextUint64(num_sets)] = 1.0;
+    }
+
+    MipProblem mip{LpProblem(num_sets), {}};
+    for (std::size_t j = 0; j < num_sets; ++j) {
+      mip.binary_variables.push_back(j);
+      mip.lp.SetObjective(j, costs[j]);
+      BoundBinary(mip.lp, j);
+    }
+    for (std::size_t e = 0; e < num_elements; ++e) {
+      LpConstraint c{{}, Relation::kGreaterEqual, 1.0};
+      for (std::size_t j = 0; j < num_sets; ++j)
+        if (covers[e][j] > 0) c.terms.emplace_back(j, 1.0);
+      mip.lp.AddConstraint(c);
+    }
+
+    // Brute force: negate cover rows to express >= as <=.
+    std::vector<std::vector<double>> le_rows;
+    std::vector<double> le_rhs;
+    for (std::size_t e = 0; e < num_elements; ++e) {
+      std::vector<double> row(num_sets);
+      for (std::size_t j = 0; j < num_sets; ++j) row[j] = -covers[e][j];
+      le_rows.push_back(row);
+      le_rhs.push_back(-1.0);
+    }
+    const double expected = BruteForceBinaryMin(costs, le_rows, le_rhs);
+
+    const MipSolution s = SolveMip(mip);
+    ASSERT_EQ(s.status, MipStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(s.objective, expected, 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace blot

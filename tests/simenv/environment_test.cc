@@ -1,0 +1,99 @@
+#include "simenv/environment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+TEST(EnvironmentTest, TableIIConstantsAreLoaded) {
+  const EnvironmentModel s3 = EnvironmentModel::AmazonS3Emr();
+  const ScanCostParams& row_plain =
+      s3.Params(EncodingScheme::FromName("ROW-PLAIN"));
+  EXPECT_DOUBLE_EQ(row_plain.scan_ms_per_krecord, 85.02);
+  EXPECT_DOUBLE_EQ(row_plain.extra_ms, 32689);
+
+  const EnvironmentModel hadoop = EnvironmentModel::LocalHadoop();
+  const ScanCostParams& col_lzma =
+      hadoop.Params(EncodingScheme::FromName("COL-LZMA"));
+  EXPECT_DOUBLE_EQ(col_lzma.scan_ms_per_krecord, 159.98);
+  EXPECT_DOUBLE_EQ(col_lzma.extra_ms, 4551);
+}
+
+TEST(EnvironmentTest, AllSevenPaperEncodingsSupported) {
+  for (const EnvironmentModel& env :
+       {EnvironmentModel::AmazonS3Emr(), EnvironmentModel::LocalHadoop()}) {
+    for (const EncodingScheme& scheme : AllEncodingSchemes())
+      EXPECT_TRUE(env.Supports(scheme)) << env.name() << " " << scheme.Name();
+  }
+}
+
+TEST(EnvironmentTest, ColPlainIsUnsupported) {
+  const EnvironmentModel s3 = EnvironmentModel::AmazonS3Emr();
+  const EncodingScheme col_plain{Layout::kColumn, CodecKind::kNone};
+  EXPECT_FALSE(s3.Supports(col_plain));
+  EXPECT_THROW(s3.Params(col_plain), InvalidArgument);
+}
+
+TEST(EnvironmentTest, PartitionScanMsFollowsEq6) {
+  const EnvironmentModel s3 = EnvironmentModel::AmazonS3Emr();
+  const EncodingScheme scheme = EncodingScheme::FromName("ROW-PLAIN");
+  // 100k records: 100 * 85.02 + 32689.
+  EXPECT_NEAR(s3.PartitionScanMs(scheme, 100000), 100 * 85.02 + 32689,
+              1e-9);
+  // Zero records still pay ExtraTime.
+  EXPECT_NEAR(s3.PartitionScanMs(scheme, 0), 32689, 1e-9);
+}
+
+TEST(EnvironmentTest, ExtraTimeDominatesInS3ButNotHadoop) {
+  // The environments' qualitative difference (Section V): S3/EMR task
+  // startup (~30 s) dwarfs per-record cost; the local cluster is the
+  // reverse. This asymmetry is what makes different partition
+  // granularities win in different environments.
+  const EnvironmentModel s3 = EnvironmentModel::AmazonS3Emr();
+  const EnvironmentModel hadoop = EnvironmentModel::LocalHadoop();
+  const EncodingScheme scheme = EncodingScheme::FromName("ROW-GZIP");
+  EXPECT_GT(s3.Params(scheme).extra_ms, 20000);
+  EXPECT_LT(hadoop.Params(scheme).extra_ms, 10000);
+  EXPECT_GT(hadoop.Params(scheme).scan_ms_per_krecord,
+            s3.Params(scheme).scan_ms_per_krecord);
+}
+
+TEST(EnvironmentTest, CpuBoundLocalInvertsTheCompressionTradeOff) {
+  // In both Table II environments stronger compression also scans faster
+  // (IO-bound); the CPU-bound environment restores the classic trade-off:
+  // PLAIN scans fastest, LZMA slowest.
+  const EnvironmentModel cpu = EnvironmentModel::CpuBoundLocal();
+  const double plain =
+      cpu.Params(EncodingScheme::FromName("ROW-PLAIN")).scan_ms_per_krecord;
+  const double snappy =
+      cpu.Params(EncodingScheme::FromName("ROW-SNAPPY")).scan_ms_per_krecord;
+  const double gzip =
+      cpu.Params(EncodingScheme::FromName("ROW-GZIP")).scan_ms_per_krecord;
+  const double lzma =
+      cpu.Params(EncodingScheme::FromName("ROW-LZMA")).scan_ms_per_krecord;
+  EXPECT_LT(plain, snappy);
+  EXPECT_LT(snappy, gzip);
+  EXPECT_LT(gzip, lzma);
+  // And the opposite holds in the paper's S3 environment.
+  const EnvironmentModel s3 = EnvironmentModel::AmazonS3Emr();
+  EXPECT_GT(s3.Params(EncodingScheme::FromName("ROW-PLAIN"))
+                .scan_ms_per_krecord,
+            s3.Params(EncodingScheme::FromName("ROW-LZMA"))
+                .scan_ms_per_krecord);
+  for (const EncodingScheme& scheme : AllEncodingSchemes())
+    EXPECT_TRUE(cpu.Supports(scheme));
+}
+
+TEST(EnvironmentTest, RejectsNonPositiveParameters) {
+  EXPECT_THROW(
+      EnvironmentModel("bad", {{"ROW-PLAIN", {0.0, 10.0}}}),
+      InvalidArgument);
+  EXPECT_THROW(
+      EnvironmentModel("bad", {{"ROW-PLAIN", {1.0, -1.0}}}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace blot

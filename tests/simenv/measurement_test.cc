@@ -1,0 +1,68 @@
+#include "simenv/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+TEST(MeasurementTest, NoiseFreeMeasurementRecoversExactParams) {
+  const EnvironmentModel env = EnvironmentModel::AmazonS3Emr();
+  Simulator sim(env, {.noise_fraction = 0.0});
+  for (const EncodingScheme& scheme : AllEncodingSchemes()) {
+    const MeasuredScanParams measured = MeasureScanParams(sim, scheme);
+    const ScanCostParams& truth = env.Params(scheme);
+    EXPECT_NEAR(measured.params.scan_ms_per_krecord,
+                truth.scan_ms_per_krecord, 1e-6)
+        << scheme.Name();
+    EXPECT_NEAR(measured.params.extra_ms, truth.extra_ms, 1e-3)
+        << scheme.Name();
+    EXPECT_NEAR(measured.r_squared, 1.0, 1e-9);
+  }
+}
+
+TEST(MeasurementTest, NoisyMeasurementRecoversParamsApproximately) {
+  // Section V-B's procedure with realistic noise: averaging 20 partitions
+  // per size then regressing should land within a few percent.
+  const EnvironmentModel env = EnvironmentModel::LocalHadoop();
+  Simulator sim(env, {.noise_fraction = 0.05, .seed = 42});
+  const EncodingScheme scheme = EncodingScheme::FromName("COL-GZIP");
+  const MeasuredScanParams measured = MeasureScanParams(sim, scheme);
+  const ScanCostParams& truth = env.Params(scheme);
+  EXPECT_NEAR(measured.params.scan_ms_per_krecord, truth.scan_ms_per_krecord,
+              truth.scan_ms_per_krecord * 0.10);
+  EXPECT_NEAR(measured.params.extra_ms, truth.extra_ms,
+              truth.extra_ms * 0.25);
+  EXPECT_GT(measured.r_squared, 0.98);
+}
+
+TEST(MeasurementTest, ProducesOnePointPerPartitionSize) {
+  Simulator sim(EnvironmentModel::AmazonS3Emr(), {.noise_fraction = 0.0});
+  MeasurementOptions options;
+  options.partition_sizes = {1000, 5000, 10000};
+  const MeasuredScanParams measured = MeasureScanParams(
+      sim, EncodingScheme::FromName("ROW-PLAIN"), options);
+  ASSERT_EQ(measured.points.size(), 3u);
+  EXPECT_EQ(measured.points[0].first, 1000u);
+  EXPECT_EQ(measured.points[2].first, 10000u);
+  // Costs increase with partition size.
+  EXPECT_LT(measured.points[0].second, measured.points[2].second);
+}
+
+TEST(MeasurementTest, ValidatesOptions) {
+  Simulator sim(EnvironmentModel::AmazonS3Emr());
+  MeasurementOptions one_size;
+  one_size.partition_sizes = {1000};
+  EXPECT_THROW(MeasureScanParams(sim, EncodingScheme::FromName("ROW-PLAIN"),
+                                 one_size),
+               InvalidArgument);
+  MeasurementOptions zero_partitions;
+  zero_partitions.partitions_per_set = 0;
+  EXPECT_THROW(MeasureScanParams(sim, EncodingScheme::FromName("ROW-PLAIN"),
+                                 zero_partitions),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,62 @@
+#include "tools/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace blot::tools {
+namespace {
+
+Flags Parse(std::vector<std::string> args,
+            const std::set<std::string>& allowed) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("blotctl"));
+  argv.push_back(const_cast<char*>("cmd"));
+  for (std::string& a : args) argv.push_back(a.data());
+  return Flags(static_cast<int>(argv.size()), argv.data(), 2, allowed);
+}
+
+TEST(FlagsTest, ParsesTypedValues) {
+  const Flags flags =
+      Parse({"--name", "fleet", "--count", "42", "--ratio", "0.5"},
+            {"name", "count", "ratio"});
+  EXPECT_TRUE(flags.Has("name"));
+  EXPECT_EQ(flags.GetString("name"), "fleet");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.5);
+}
+
+TEST(FlagsTest, FallbacksApplyOnlyWhenMissing) {
+  const Flags flags = Parse({"--count", "7"}, {"count", "other"});
+  EXPECT_EQ(flags.GetInt("count", 99), 7);
+  EXPECT_EQ(flags.GetInt("other", 99), 99);
+  EXPECT_EQ(flags.GetString("other", "x"), "x");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("other", 1.5), 1.5);
+}
+
+TEST(FlagsTest, MissingRequiredFlagThrows) {
+  const Flags flags = Parse({}, {"needed"});
+  EXPECT_THROW(flags.GetString("needed"), InvalidArgument);
+  EXPECT_THROW(flags.GetInt("needed"), InvalidArgument);
+  EXPECT_THROW(flags.GetDouble("needed"), InvalidArgument);
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  EXPECT_THROW(Parse({"--typo", "x"}, {"name"}), InvalidArgument);
+}
+
+TEST(FlagsTest, FlagWithoutValueRejected) {
+  EXPECT_THROW(Parse({"--name"}, {"name"}), InvalidArgument);
+}
+
+TEST(FlagsTest, BarePositionalRejected) {
+  EXPECT_THROW(Parse({"oops"}, {"name"}), InvalidArgument);
+}
+
+TEST(SplitDoublesTest, ParsesLists) {
+  EXPECT_EQ(SplitDoubles("1,2.5,-3"), (std::vector<double>{1, 2.5, -3}));
+  EXPECT_EQ(SplitDoubles("42"), (std::vector<double>{42}));
+  EXPECT_THROW(SplitDoubles("1,,2"), InvalidArgument);
+  EXPECT_THROW(SplitDoubles(""), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace blot::tools

@@ -1,0 +1,124 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+TEST(ZigZagTest, RoundTripsExtremes) {
+  for (std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(ByteWriterReaderTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutF32(3.5f);
+  w.PutF64(-2.25);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetU8(), 0xAB);
+  EXPECT_EQ(r.GetU16(), 0xBEEF);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.GetI64(), -42);
+  EXPECT_EQ(r.GetF32(), 3.5f);
+  EXPECT_EQ(r.GetF64(), -2.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteWriterReaderTest, VarintRoundTripSweep) {
+  ByteWriter w;
+  std::vector<std::uint64_t> values;
+  for (int shift = 0; shift < 64; ++shift) {
+    values.push_back(std::uint64_t{1} << shift);
+    values.push_back((std::uint64_t{1} << shift) - 1);
+  }
+  values.push_back(~0ull);
+  for (auto v : values) w.PutVarint(v);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  for (auto v : values) EXPECT_EQ(r.GetVarint(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteWriterReaderTest, SignedVarintRoundTripRandom) {
+  Rng rng(3);
+  ByteWriter w;
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 1000; ++i)
+    values.push_back(static_cast<std::int64_t>(rng()));
+  for (auto v : values) w.PutSignedVarint(v);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  for (auto v : values) EXPECT_EQ(r.GetSignedVarint(), v);
+}
+
+TEST(ByteWriterReaderTest, SmallVarintsAreCompact) {
+  ByteWriter w;
+  for (int i = 0; i < 100; ++i) w.PutVarint(static_cast<std::uint64_t>(i));
+  EXPECT_EQ(w.size(), 100u);
+}
+
+TEST(ByteWriterReaderTest, LengthPrefixedAndString) {
+  ByteWriter w;
+  const Bytes payload = {1, 2, 3, 4};
+  w.PutLengthPrefixed(payload);
+  w.PutString("hello");
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  const BytesView read = r.GetLengthPrefixed();
+  EXPECT_EQ(Bytes(read.begin(), read.end()), payload);
+  EXPECT_EQ(r.GetString(), "hello");
+}
+
+TEST(ByteReaderTest, TruncationThrowsCorruptData) {
+  const Bytes buf = {0x01, 0x02};
+  ByteReader r(buf);
+  EXPECT_THROW(r.GetU32(), CorruptData);
+  ByteReader r2(buf);
+  EXPECT_THROW(r2.GetBytes(3), CorruptData);
+}
+
+TEST(ByteReaderTest, UnterminatedVarintThrows) {
+  const Bytes buf = {0x80, 0x80};
+  ByteReader r(buf);
+  EXPECT_THROW(r.GetVarint(), CorruptData);
+}
+
+TEST(ByteReaderTest, LengthPrefixBeyondInputThrows) {
+  ByteWriter w;
+  w.PutVarint(100);
+  w.PutU8(1);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.GetLengthPrefixed(), CorruptData);
+}
+
+TEST(Fnv1aTest, KnownValuesAndSensitivity) {
+  const Bytes empty;
+  EXPECT_EQ(Fnv1a64(empty), 0xCBF29CE484222325ull);
+  const Bytes a = {'a'};
+  const Bytes b = {'b'};
+  EXPECT_NE(Fnv1a64(a), Fnv1a64(b));
+  EXPECT_EQ(Fnv1a64(a), Fnv1a64(a));
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,77 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+TEST(CsvTest, ParsesPlainFields) {
+  const auto fields = ParseCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, ParsesEmptyFields) {
+  const auto fields = ParseCsvLine(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvTest, ParsesQuotedFieldsWithCommasAndEscapes) {
+  const auto fields = ParseCsvLine(R"("a,b","say ""hi""",plain)");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "say \"hi\"");
+  EXPECT_EQ(fields[2], "plain");
+}
+
+TEST(CsvTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW(ParseCsvLine("\"abc"), CorruptData);
+}
+
+TEST(CsvTest, FormatQuotesWhenNeeded) {
+  EXPECT_EQ(FormatCsvLine({"a", "b"}), "a,b");
+  EXPECT_EQ(FormatCsvLine({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(FormatCsvLine({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, FormatParseRoundTrip) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with \"quote\"", ""};
+  EXPECT_EQ(ParseCsvLine(FormatCsvLine(fields)), fields);
+}
+
+TEST(CsvTest, ReaderSkipsBlankLinesAndHandlesCrLf) {
+  std::istringstream in("a,b\r\n\r\n\nc,d\n");
+  CsvReader reader(in);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.ReadRow(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(reader.ReadRow(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"c", "d"}));
+  EXPECT_FALSE(reader.ReadRow(fields));
+}
+
+TEST(CsvTest, WriterReaderRoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"1", "2.5", "hello,world"});
+  writer.WriteRow({"x", "", "z"});
+  std::istringstream in(out.str());
+  CsvReader reader(in);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.ReadRow(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"1", "2.5", "hello,world"}));
+  ASSERT_TRUE(reader.ReadRow(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"x", "", "z"}));
+  EXPECT_FALSE(reader.ReadRow(fields));
+}
+
+}  // namespace
+}  // namespace blot

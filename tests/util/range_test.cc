@@ -1,0 +1,128 @@
+#include "util/range.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+STRange Box(double x0, double x1, double y0, double y1, double t0,
+            double t1) {
+  return STRange::FromBounds(x0, x1, y0, y1, t0, t1);
+}
+
+TEST(STRangeTest, DefaultIsEmpty) {
+  STRange r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Volume(), 0.0);
+  EXPECT_FALSE(r.Contains(STPoint{0, 0, 0}));
+}
+
+TEST(STRangeTest, FromBoundsValidates) {
+  EXPECT_THROW(STRange::FromBounds(1, 0, 0, 1, 0, 1), InvalidArgument);
+  EXPECT_NO_THROW(STRange::FromBounds(0, 0, 0, 0, 0, 0));
+}
+
+TEST(STRangeTest, FromCentroidRoundTrips) {
+  const STRange r =
+      STRange::FromCentroid({.w = 2, .h = 4, .t = 6}, {10, 20, 30});
+  EXPECT_DOUBLE_EQ(r.x_min(), 9);
+  EXPECT_DOUBLE_EQ(r.x_max(), 11);
+  EXPECT_DOUBLE_EQ(r.y_min(), 18);
+  EXPECT_DOUBLE_EQ(r.y_max(), 22);
+  EXPECT_DOUBLE_EQ(r.t_min(), 27);
+  EXPECT_DOUBLE_EQ(r.t_max(), 33);
+  EXPECT_EQ(r.Centroid(), (STPoint{10, 20, 30}));
+  EXPECT_EQ(r.Size(), (RangeSize{2, 4, 6}));
+}
+
+TEST(STRangeTest, VolumeAndExtents) {
+  const STRange r = Box(0, 2, 0, 3, 0, 5);
+  EXPECT_DOUBLE_EQ(r.Width(), 2);
+  EXPECT_DOUBLE_EQ(r.Height(), 3);
+  EXPECT_DOUBLE_EQ(r.Duration(), 5);
+  EXPECT_DOUBLE_EQ(r.Volume(), 30);
+}
+
+TEST(STRangeTest, ContainsPointClosedBounds) {
+  const STRange r = Box(0, 1, 0, 1, 0, 1);
+  EXPECT_TRUE(r.Contains(STPoint{0, 0, 0}));
+  EXPECT_TRUE(r.Contains(STPoint{1, 1, 1}));
+  EXPECT_TRUE(r.Contains(STPoint{0.5, 0.5, 0.5}));
+  EXPECT_FALSE(r.Contains(STPoint{1.0001, 0.5, 0.5}));
+  EXPECT_FALSE(r.Contains(STPoint{0.5, -0.0001, 0.5}));
+}
+
+TEST(STRangeTest, ContainsRange) {
+  const STRange outer = Box(0, 10, 0, 10, 0, 10);
+  EXPECT_TRUE(outer.Contains(Box(1, 9, 1, 9, 1, 9)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Box(1, 11, 1, 9, 1, 9)));
+  EXPECT_TRUE(outer.Contains(STRange()));
+  EXPECT_FALSE(STRange().Contains(outer));
+}
+
+TEST(STRangeTest, IntersectsSharedBoundaryCounts) {
+  const STRange a = Box(0, 1, 0, 1, 0, 1);
+  const STRange b = Box(1, 2, 0, 1, 0, 1);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  const STRange c = Box(1.001, 2, 0, 1, 0, 1);
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(STRangeTest, IntersectsRequiresAllDimensions) {
+  const STRange a = Box(0, 1, 0, 1, 0, 1);
+  EXPECT_FALSE(a.Intersects(Box(0, 1, 0, 1, 2, 3)));
+  EXPECT_FALSE(a.Intersects(Box(0, 1, 2, 3, 0, 1)));
+  EXPECT_FALSE(a.Intersects(Box(2, 3, 0, 1, 0, 1)));
+}
+
+TEST(STRangeTest, EmptyIntersectsNothing) {
+  const STRange a = Box(0, 1, 0, 1, 0, 1);
+  EXPECT_FALSE(a.Intersects(STRange()));
+  EXPECT_FALSE(STRange().Intersects(a));
+  EXPECT_FALSE(STRange().Intersects(STRange()));
+}
+
+TEST(STRangeTest, IntersectionGeometry) {
+  const STRange a = Box(0, 2, 0, 2, 0, 2);
+  const STRange b = Box(1, 3, 1, 3, 1, 3);
+  const STRange i = a.Intersection(b);
+  EXPECT_EQ(i, Box(1, 2, 1, 2, 1, 2));
+  EXPECT_TRUE(a.Intersection(Box(5, 6, 5, 6, 5, 6)).empty());
+}
+
+TEST(STRangeTest, UnionCoversBoth) {
+  const STRange a = Box(0, 1, 0, 1, 0, 1);
+  const STRange b = Box(2, 3, -1, 0.5, 0, 4);
+  const STRange u = STRange::Union(a, b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_EQ(STRange::Union(a, STRange()), a);
+  EXPECT_EQ(STRange::Union(STRange(), b), b);
+}
+
+TEST(STRangeTest, ExpandedGrowsAllSides) {
+  const STRange r = Box(0, 1, 0, 1, 0, 1).Expanded(1, 2, 3);
+  EXPECT_EQ(r, Box(-1, 2, -2, 3, -3, 4));
+  EXPECT_THROW(Box(0, 1, 0, 1, 0, 1).Expanded(-1, 0, 0), InvalidArgument);
+}
+
+TEST(STRangeTest, DegenerateRangeIntersects) {
+  const STRange point = Box(1, 1, 1, 1, 1, 1);
+  const STRange box = Box(0, 2, 0, 2, 0, 2);
+  EXPECT_TRUE(point.Intersects(box));
+  EXPECT_TRUE(box.Contains(point));
+  EXPECT_EQ(point.Volume(), 0.0);
+}
+
+TEST(STRangeTest, ToStringMentionsBounds) {
+  EXPECT_NE(Box(0, 1, 2, 3, 4, 5).ToString().find("[0,1]"),
+            std::string::npos);
+  EXPECT_EQ(STRange().ToString(), "[empty]");
+}
+
+}  // namespace
+}  // namespace blot

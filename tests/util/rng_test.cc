@@ -1,0 +1,127 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() != b()) ++differing;
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, NextUint64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextUint64(17), 17u);
+}
+
+TEST(RngTest, NextUint64RejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.NextUint64(0), InvalidArgument);
+}
+
+TEST(RngTest, NextInt64CoversInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInt64(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sum2 = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.NextBool(0.3)) ++hits;
+  EXPECT_NEAR(double(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.05);
+}
+
+TEST(RngTest, ZipfSkewsTowardsLowRanks) {
+  Rng rng(29);
+  int rank0 = 0, rank9 = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t r = rng.NextZipf(10, 1.0);
+    ASSERT_LT(r, 10u);
+    if (r == 0) ++rank0;
+    if (r == 9) ++rank9;
+  }
+  EXPECT_GT(rank0, rank9 * 3);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(31);
+  const auto perm = rng.Permutation(100);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng rng(37);
+  Rng child = rng.Fork();
+  Rng child2 = rng.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (child() == child2()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,118 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+TEST(FitLinearTest, ExactLineRecovered) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {3, 5, 7, 9, 11};  // y = 2x + 1
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinearTest, NoisyLineApproximatelyRecovered) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = rng.NextDouble(0, 100);
+    x.push_back(xi);
+    y.push_back(0.5 * xi + 20 + rng.NextGaussian());
+  }
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 20, 0.5);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLinearTest, RejectsDegenerateInput) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(FitLinear(one, one), InvalidArgument);
+  const std::vector<double> constant = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW(FitLinear(constant, y), InvalidArgument);
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> mismatched = {1, 2, 3};
+  EXPECT_THROW(FitLinear(x, mismatched), InvalidArgument);
+}
+
+TEST(SummarizeTest, BasicMoments) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  const Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_THROW(Summarize({}), InvalidArgument);
+}
+
+TEST(KMeansTest, SeparatesWellSeparatedClusters) {
+  Rng rng(7);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 50; ++i)
+    points.push_back({rng.NextGaussian() * 0.1, rng.NextGaussian() * 0.1});
+  for (int i = 0; i < 50; ++i)
+    points.push_back(
+        {10 + rng.NextGaussian() * 0.1, 10 + rng.NextGaussian() * 0.1});
+  const KMeansResult result = KMeans(points, 2, rng);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  // One centroid near (0,0), the other near (10,10), in either order.
+  const bool first_is_origin = result.centroids[0][0] < 5;
+  const auto& origin = result.centroids[first_is_origin ? 0 : 1];
+  const auto& far = result.centroids[first_is_origin ? 1 : 0];
+  EXPECT_NEAR(origin[0], 0, 0.5);
+  EXPECT_NEAR(far[0], 10, 0.5);
+  // All points in the same blob share an assignment.
+  for (int i = 1; i < 50; ++i)
+    EXPECT_EQ(result.assignment[i], result.assignment[0]);
+  for (int i = 51; i < 100; ++i)
+    EXPECT_EQ(result.assignment[i], result.assignment[50]);
+  EXPECT_NE(result.assignment[0], result.assignment[50]);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Rng rng(9);
+  std::vector<std::vector<double>> points = {{1}, {5}, {9}};
+  const KMeansResult result = KMeans(points, 3, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, ValidatesArguments) {
+  Rng rng(11);
+  std::vector<std::vector<double>> points = {{1}, {2}};
+  EXPECT_THROW(KMeans(points, 0, rng), InvalidArgument);
+  EXPECT_THROW(KMeans(points, 3, rng), InvalidArgument);
+  std::vector<std::vector<double>> ragged = {{1}, {2, 3}};
+  EXPECT_THROW(KMeans(ragged, 1, rng), InvalidArgument);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  Rng rng(13);
+  std::vector<std::vector<double>> points = {{0, 0}, {2, 4}, {4, 2}};
+  const KMeansResult result = KMeans(points, 1, rng);
+  EXPECT_NEAR(result.centroids[0][0], 2.0, 1e-9);
+  EXPECT_NEAR(result.centroids[0][1], 2.0, 1e-9);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2);
+  EXPECT_THROW(Percentile({}, 50), InvalidArgument);
+  EXPECT_THROW(Percentile(v, 101), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace blot

@@ -1,0 +1,369 @@
+// blotctl — command-line front end for the BLOT diverse-replica store.
+//
+// Commands:
+//   generate    synthesize a taxi-fleet dataset (CSV or binary)
+//   build       build a replica from a dataset and persist it on disk
+//   info        describe a persisted replica
+//   query       range query against a persisted replica
+//   aggregate   range statistics against a persisted replica
+//   trajectory  one object's trajectory over a time window
+//   recover     rebuild a damaged replica from a healthy one
+//   store-build persist a multi-replica store (dataset + replicas)
+//   store-query routed query against a persisted store
+//   advise      recommend a diverse replica set for a workload/budget
+//
+// Run `blotctl help` (or any command with missing flags) for usage.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "blot/aggregate.h"
+#include "blot/segment_store.h"
+#include "blot/trajectory.h"
+#include "core/advisor.h"
+#include "core/store.h"
+#include "gen/taxi_generator.h"
+#include "tools/flags.h"
+
+namespace blot::tools {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: blotctl <command> [--flag value ...]\n"
+      "\n"
+      "  generate   --out FILE [--taxis N] [--samples N] [--seed S]\n"
+      "             [--format csv|bin]\n"
+      "  build      --data FILE --out DIR [--scheme KD64xT16/COL-GZIP]\n"
+      "             [--hybrid 1]\n"
+      "  info       --dir DIR\n"
+      "  query      --dir DIR --range x0,x1,y0,y1,t0,t1 [--limit N]\n"
+      "  aggregate  --dir DIR --range x0,x1,y0,y1,t0,t1\n"
+      "  trajectory --dir DIR --oid N [--from T] [--to T] [--limit N]\n"
+      "  recover    --from DIR --to DIR\n"
+      "  store-build --data FILE --out DIR [--schemes A;B;...]\n"
+      "  store-query --dir DIR --range x0,x1,y0,y1,t0,t1 [--env s3|hadoop]\n"
+      "  advise     --data FILE [--records N] [--budget-gb G]\n"
+      "             [--env s3|hadoop] [--algorithm greedy|mip]\n");
+  return 2;
+}
+
+Dataset LoadDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot open dataset: " + path);
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".csv")
+    return Dataset::ReadCsv(in);
+  return Dataset::ReadBinary(in);
+}
+
+// Parses "KD64xT16/COL-GZIP" (optionally "GRID..." / "+HYBRID").
+ReplicaConfig ParseReplicaConfig(std::string name, bool hybrid) {
+  ReplicaConfig config;
+  if (name.size() > 7 && name.substr(name.size() - 7) == "+HYBRID") {
+    hybrid = true;
+    name = name.substr(0, name.size() - 7);
+  }
+  const std::size_t slash = name.find('/');
+  require(slash != std::string::npos,
+          "scheme must look like KD64xT16/COL-GZIP: " + name);
+  const std::string part = name.substr(0, slash);
+  config.encoding = EncodingScheme::FromName(name.substr(slash + 1));
+  std::size_t digits = 0;
+  if (part.rfind("KD", 0) == 0) {
+    config.partitioning.method = SpatialMethod::kKdTree;
+    digits = 2;
+  } else if (part.rfind("GRID", 0) == 0) {
+    config.partitioning.method = SpatialMethod::kGrid;
+    digits = 4;
+  } else {
+    throw InvalidArgument("partitioning must start with KD or GRID: " + part);
+  }
+  const std::size_t x = part.find("xT", digits);
+  require(x != std::string::npos, "partitioning must contain xT: " + part);
+  config.partitioning.spatial_partitions =
+      static_cast<std::size_t>(std::stoull(part.substr(digits, x - digits)));
+  config.partitioning.temporal_partitions =
+      static_cast<std::size_t>(std::stoull(part.substr(x + 2)));
+  if (hybrid) config.policy = EncodingPolicy::kBestCodecPerPartition;
+  return config;
+}
+
+STRange ParseRange(const std::string& csv) {
+  const std::vector<double> v = SplitDoubles(csv);
+  require(v.size() == 6, "range needs 6 numbers: x0,x1,y0,y1,t0,t1");
+  return STRange::FromBounds(v[0], v[1], v[2], v[3], v[4], v[5]);
+}
+
+int CmdGenerate(const Flags& flags) {
+  TaxiFleetConfig config;
+  config.num_taxis = static_cast<std::size_t>(flags.GetInt("taxis", 100));
+  config.samples_per_taxi =
+      static_cast<std::size_t>(flags.GetInt("samples", 1000));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 20071101));
+  const std::string out = flags.GetString("out");
+  const std::string format = flags.GetString("format", "bin");
+  const Dataset dataset = GenerateTaxiFleet(config);
+  std::ofstream file(out, std::ios::binary | std::ios::trunc);
+  require(file.good(), "cannot open output: " + out);
+  if (format == "csv") {
+    dataset.WriteCsv(file);
+  } else {
+    require(format == "bin", "format must be csv or bin");
+    dataset.WriteBinary(file);
+  }
+  std::printf("wrote %zu records to %s (%s)\n", dataset.size(), out.c_str(),
+              format.c_str());
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  const Dataset dataset = LoadDataset(flags.GetString("data"));
+  const ReplicaConfig config = ParseReplicaConfig(
+      flags.GetString("scheme", "KD64xT16/COL-GZIP"),
+      flags.GetInt("hybrid", 0) != 0);
+  ThreadPool pool(4);
+  const Replica replica =
+      Replica::Build(dataset, config, dataset.BoundingBox(), &pool);
+  const std::string dir = flags.GetString("out");
+  SegmentStore::Save(replica, dir);
+  std::printf("built %s: %zu partitions, %llu records, %.2f MiB -> %s\n",
+              config.Name().c_str(), replica.NumPartitions(),
+              static_cast<unsigned long long>(replica.NumRecords()),
+              double(replica.StorageBytes()) / (1 << 20), dir.c_str());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const std::string dir = flags.GetString("dir");
+  const Replica replica = SegmentStore::Load(dir);
+  std::printf("replica:    %s\n", replica.config().Name().c_str());
+  std::printf("records:    %llu\n",
+              static_cast<unsigned long long>(replica.NumRecords()));
+  std::printf("partitions: %zu\n", replica.NumPartitions());
+  std::printf("storage:    %.2f MiB (%.2f MiB on disk)\n",
+              double(replica.StorageBytes()) / (1 << 20),
+              double(SegmentStore::DiskBytes(dir)) / (1 << 20));
+  std::printf("universe:   %s\n", replica.universe().ToString().c_str());
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  const Replica replica = SegmentStore::Load(flags.GetString("dir"));
+  const STRange range = ParseRange(flags.GetString("range"));
+  const std::int64_t limit = flags.GetInt("limit", 20);
+  ThreadPool pool(4);
+  const QueryResult result = replica.Execute(range, &pool);
+  std::printf("%zu records (scanned %llu records in %zu partitions)\n",
+              result.records.size(),
+              static_cast<unsigned long long>(result.stats.records_scanned),
+              result.stats.partitions_scanned);
+  std::int64_t shown = 0;
+  for (const Record& r : result.records) {
+    if (shown++ >= limit) {
+      std::printf("... (%zu more)\n",
+                  result.records.size() - static_cast<std::size_t>(limit));
+      break;
+    }
+    std::printf("oid=%u t=%lld lon=%.6f lat=%.6f speed=%.1f status=%u\n",
+                r.oid, static_cast<long long>(r.time), r.x, r.y,
+                static_cast<double>(r.speed), r.status);
+  }
+  return 0;
+}
+
+int CmdAggregate(const Flags& flags) {
+  const Replica replica = SegmentStore::Load(flags.GetString("dir"));
+  const STRange range = ParseRange(flags.GetString("range"));
+  ThreadPool pool(4);
+  const RangeStatistics s = AggregateRange(replica, range, &pool);
+  std::printf("count:            %llu\n",
+              static_cast<unsigned long long>(s.count));
+  std::printf("distinct objects: %llu\n",
+              static_cast<unsigned long long>(s.distinct_objects));
+  std::printf("occupancy rate:   %.1f%%\n", 100.0 * s.OccupancyRate());
+  std::printf("mean speed:       %.1f km/h\n", s.MeanSpeed());
+  if (s.count > 0)
+    std::printf("time span:        %lld .. %lld\n",
+                static_cast<long long>(s.first_time),
+                static_cast<long long>(s.last_time));
+  return 0;
+}
+
+int CmdTrajectory(const Flags& flags) {
+  const Replica replica = SegmentStore::Load(flags.GetString("dir"));
+  const std::uint32_t oid =
+      static_cast<std::uint32_t>(flags.GetInt("oid"));
+  const std::int64_t from = flags.GetInt(
+      "from", static_cast<std::int64_t>(replica.universe().t_min()));
+  const std::int64_t to = flags.GetInt(
+      "to", static_cast<std::int64_t>(replica.universe().t_max()));
+  const std::int64_t limit = flags.GetInt("limit", 20);
+  ThreadPool pool(4);
+  const TrajectoryIndex index(replica, &pool);
+  const auto result = index.Query(replica, oid, from, to, &pool);
+  std::printf("object %u: %zu samples in [%lld, %lld] "
+              "(scanned %zu of %zu time-matching partitions)\n",
+              oid, result.records.size(), static_cast<long long>(from),
+              static_cast<long long>(to), result.partitions_scanned,
+              result.partitions_considered);
+  std::int64_t shown = 0;
+  for (const Record& r : result.records) {
+    if (shown++ >= limit) {
+      std::printf("...\n");
+      break;
+    }
+    std::printf("t=%lld lon=%.6f lat=%.6f speed=%.1f\n",
+                static_cast<long long>(r.time), r.x, r.y,
+                static_cast<double>(r.speed));
+  }
+  return 0;
+}
+
+int CmdRecover(const Flags& flags) {
+  const Replica source = SegmentStore::Load(flags.GetString("from"));
+  const std::string to = flags.GetString("to");
+  const Replica damaged = SegmentStore::Load(to);
+  ThreadPool pool(4);
+  const Replica recovered =
+      RecoverReplica(source, damaged.config(), &pool);
+  SegmentStore::Save(recovered, to);
+  std::printf("recovered %s (%llu records) from %s\n",
+              recovered.config().Name().c_str(),
+              static_cast<unsigned long long>(recovered.NumRecords()),
+              source.config().Name().c_str());
+  return 0;
+}
+
+// Builds a multi-replica store from a ;-separated scheme list and
+// persists it (dataset + all replicas).
+int CmdStoreBuild(const Flags& flags) {
+  const Dataset dataset = LoadDataset(flags.GetString("data"));
+  const std::string schemes =
+      flags.GetString("schemes", "KD4xT4/ROW-SNAPPY;KD64xT16/COL-GZIP");
+  ThreadPool pool(4);
+  BlotStore store(dataset);
+  std::size_t start = 0;
+  while (start <= schemes.size()) {
+    const std::size_t semi = schemes.find(';', start);
+    const std::string scheme = schemes.substr(
+        start, semi == std::string::npos ? std::string::npos : semi - start);
+    require(!scheme.empty(), "empty scheme in list: " + schemes);
+    store.AddReplica(ParseReplicaConfig(scheme, false), &pool);
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  const std::string dir = flags.GetString("out");
+  store.Save(dir);
+  std::printf("store with %zu replicas (%.2f MiB total) -> %s\n",
+              store.NumReplicas(),
+              double(store.TotalStorageBytes()) / (1 << 20), dir.c_str());
+  return 0;
+}
+
+// Routed query against a persisted multi-replica store.
+int CmdStoreQuery(const Flags& flags) {
+  const BlotStore store = BlotStore::Load(flags.GetString("dir"));
+  const STRange range = ParseRange(flags.GetString("range"));
+  const std::string env_name = flags.GetString("env", "hadoop");
+  const CostModel model{env_name == "s3" ? EnvironmentModel::AmazonS3Emr()
+                                         : EnvironmentModel::LocalHadoop()};
+  ThreadPool pool(4);
+  const auto routed = store.Execute(range, model, &pool);
+  std::printf("routed to replica %zu (%s), estimated %.1f s\n",
+              routed.replica_index,
+              store.replica(routed.replica_index).config().Name().c_str(),
+              routed.estimated_cost_ms / 1000.0);
+  std::printf("%zu records (scanned %llu in %zu partitions)\n",
+              routed.result.records.size(),
+              static_cast<unsigned long long>(
+                  routed.result.stats.records_scanned),
+              routed.result.stats.partitions_scanned);
+  return 0;
+}
+
+int CmdAdvise(const Flags& flags) {
+  const Dataset dataset = LoadDataset(flags.GetString("data"));
+  const std::uint64_t records = static_cast<std::uint64_t>(
+      flags.GetInt("records", static_cast<std::int64_t>(dataset.size())));
+  const double budget_gb = flags.GetDouble(
+      "budget-gb",
+      3.0 * double(records) * kRecordRowBytes / 1e9);
+  const std::string env_name = flags.GetString("env", "hadoop");
+  const CostModel model{env_name == "s3"
+                            ? EnvironmentModel::AmazonS3Emr()
+                            : EnvironmentModel::LocalHadoop()};
+  AdvisorOptions options;
+  options.algorithm = flags.GetString("algorithm", "greedy") == "mip"
+                          ? SelectionAlgorithm::kMip
+                          : SelectionAlgorithm::kGreedy;
+  const STRange universe = dataset.BoundingBox();
+  Workload workload;  // default: varied sizes, small queries frequent
+  for (const auto& [frac, weight] :
+       std::vector<std::pair<double, double>>{
+           {0.01, 100}, {0.05, 20}, {0.2, 4}, {1.0, 1}}) {
+    workload.Add({{universe.Width() * frac, universe.Height() * frac,
+                   universe.Duration() * frac}},
+                 weight);
+  }
+  const AdvisorReport report =
+      AdviseReplicas(dataset, universe, records, workload, model,
+                     budget_gb * 1e9, options);
+  std::printf("dataset: %llu records; budget %.2f GB; environment %s\n",
+              static_cast<unsigned long long>(records), budget_gb,
+              env_name.c_str());
+  std::printf("recommended replicas:\n");
+  for (const ReplicaConfig& config : report.chosen)
+    std::printf("  %s\n", config.Name().c_str());
+  std::printf("predicted workload cost %.1f s (single replica %.1f s, "
+              "ideal %.1f s; speedup %.2fx)\n",
+              report.selection.workload_cost / 1000.0,
+              report.best_single_cost_ms / 1000.0,
+              report.ideal_cost_ms / 1000.0, report.SpeedupOverSingle());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help") return Usage();
+  if (command == "generate")
+    return CmdGenerate(
+        {argc, argv, 2, {"out", "taxis", "samples", "seed", "format"}});
+  if (command == "build")
+    return CmdBuild({argc, argv, 2, {"data", "out", "scheme", "hybrid"}});
+  if (command == "info") return CmdInfo({argc, argv, 2, {"dir"}});
+  if (command == "query")
+    return CmdQuery({argc, argv, 2, {"dir", "range", "limit"}});
+  if (command == "aggregate")
+    return CmdAggregate({argc, argv, 2, {"dir", "range"}});
+  if (command == "trajectory")
+    return CmdTrajectory(
+        {argc, argv, 2, {"dir", "oid", "from", "to", "limit"}});
+  if (command == "recover")
+    return CmdRecover({argc, argv, 2, {"from", "to"}});
+  if (command == "store-build")
+    return CmdStoreBuild({argc, argv, 2, {"data", "out", "schemes"}});
+  if (command == "store-query")
+    return CmdStoreQuery({argc, argv, 2, {"dir", "range", "env"}});
+  if (command == "advise")
+    return CmdAdvise({argc, argv, 2,
+                      {"data", "records", "budget-gb", "env", "algorithm"}});
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace blot::tools
+
+int main(int argc, char** argv) {
+  try {
+    return blot::tools::Run(argc, argv);
+  } catch (const blot::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: invalid argument (%s)\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,90 @@
+// Minimal command-line flag parsing for the blotctl tool.
+//
+// Syntax: `blotctl <command> --flag value --flag2 value ...`. Flags are
+// string-typed at parse time with typed accessors; unknown flags are an
+// error so typos fail fast.
+#ifndef BLOT_TOOLS_FLAGS_H_
+#define BLOT_TOOLS_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace blot::tools {
+
+class Flags {
+ public:
+  // Parses argv[first..argc); every flag must start with "--" and take
+  // exactly one value. `allowed` is the set of recognized flag names
+  // (without the dashes).
+  Flags(int argc, char** argv, int first,
+        const std::set<std::string>& allowed) {
+    for (int i = first; i < argc; ++i) {
+      std::string flag = argv[i];
+      require(flag.rfind("--", 0) == 0, "unexpected argument: " + flag);
+      flag = flag.substr(2);
+      require(allowed.contains(flag), "unknown flag: --" + flag);
+      require(i + 1 < argc, "flag --" + flag + " needs a value");
+      values_[flag] = argv[++i];
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+  std::string GetString(const std::string& name,
+                        std::optional<std::string> fallback = {}) const {
+    const auto it = values_.find(name);
+    if (it != values_.end()) return it->second;
+    require(fallback.has_value(), "missing required flag --" + name);
+    return *fallback;
+  }
+
+  std::int64_t GetInt(const std::string& name,
+                      std::optional<std::int64_t> fallback = {}) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      require(fallback.has_value(), "missing required flag --" + name);
+      return *fallback;
+    }
+    return std::stoll(it->second);
+  }
+
+  double GetDouble(const std::string& name,
+                   std::optional<double> fallback = {}) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      require(fallback.has_value(), "missing required flag --" + name);
+      return *fallback;
+    }
+    return std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// Splits "a,b,c" into doubles.
+inline std::vector<double> SplitDoubles(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    require(!token.empty(), "empty element in list: " + csv);
+    out.push_back(std::stod(token));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace blot::tools
+
+#endif  // BLOT_TOOLS_FLAGS_H_
