@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_parallelism.dir/cluster_parallelism.cpp.o"
+  "CMakeFiles/cluster_parallelism.dir/cluster_parallelism.cpp.o.d"
+  "cluster_parallelism"
+  "cluster_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

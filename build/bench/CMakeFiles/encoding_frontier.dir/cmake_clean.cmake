@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_frontier.dir/encoding_frontier.cpp.o"
+  "CMakeFiles/encoding_frontier.dir/encoding_frontier.cpp.o.d"
+  "encoding_frontier"
+  "encoding_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

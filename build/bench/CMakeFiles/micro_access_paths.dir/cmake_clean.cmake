@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_access_paths.dir/micro_access_paths.cpp.o"
+  "CMakeFiles/micro_access_paths.dir/micro_access_paths.cpp.o.d"
+  "micro_access_paths"
+  "micro_access_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_access_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_scanrate.dir/table2_scanrate.cpp.o"
+  "CMakeFiles/table2_scanrate.dir/table2_scanrate.cpp.o.d"
+  "table2_scanrate"
+  "table2_scanrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_scanrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

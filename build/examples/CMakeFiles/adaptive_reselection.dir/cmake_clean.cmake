@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_reselection.dir/adaptive_reselection.cpp.o"
+  "CMakeFiles/adaptive_reselection.dir/adaptive_reselection.cpp.o.d"
+  "adaptive_reselection"
+  "adaptive_reselection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_reselection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_replication.dir/hotspot_replication.cpp.o"
+  "CMakeFiles/hotspot_replication.dir/hotspot_replication.cpp.o.d"
+  "hotspot_replication"
+  "hotspot_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

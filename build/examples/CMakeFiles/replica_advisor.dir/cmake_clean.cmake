@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_advisor.dir/replica_advisor.cpp.o"
+  "CMakeFiles/replica_advisor.dir/replica_advisor.cpp.o.d"
+  "replica_advisor"
+  "replica_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blot/aggregate.cc" "src/blot/CMakeFiles/blot_storage.dir/aggregate.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/aggregate.cc.o.d"
+  "/root/repo/src/blot/batch.cc" "src/blot/CMakeFiles/blot_storage.dir/batch.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/batch.cc.o.d"
+  "/root/repo/src/blot/dataset.cc" "src/blot/CMakeFiles/blot_storage.dir/dataset.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/dataset.cc.o.d"
+  "/root/repo/src/blot/encoding_scheme.cc" "src/blot/CMakeFiles/blot_storage.dir/encoding_scheme.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/encoding_scheme.cc.o.d"
+  "/root/repo/src/blot/layout.cc" "src/blot/CMakeFiles/blot_storage.dir/layout.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/layout.cc.o.d"
+  "/root/repo/src/blot/partition_index.cc" "src/blot/CMakeFiles/blot_storage.dir/partition_index.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/partition_index.cc.o.d"
+  "/root/repo/src/blot/partitioner.cc" "src/blot/CMakeFiles/blot_storage.dir/partitioner.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/partitioner.cc.o.d"
+  "/root/repo/src/blot/record.cc" "src/blot/CMakeFiles/blot_storage.dir/record.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/record.cc.o.d"
+  "/root/repo/src/blot/replica.cc" "src/blot/CMakeFiles/blot_storage.dir/replica.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/replica.cc.o.d"
+  "/root/repo/src/blot/segment_store.cc" "src/blot/CMakeFiles/blot_storage.dir/segment_store.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/segment_store.cc.o.d"
+  "/root/repo/src/blot/trajectory.cc" "src/blot/CMakeFiles/blot_storage.dir/trajectory.cc.o" "gcc" "src/blot/CMakeFiles/blot_storage.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/blot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/blot_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_storage.dir/aggregate.cc.o"
+  "CMakeFiles/blot_storage.dir/aggregate.cc.o.d"
+  "CMakeFiles/blot_storage.dir/batch.cc.o"
+  "CMakeFiles/blot_storage.dir/batch.cc.o.d"
+  "CMakeFiles/blot_storage.dir/dataset.cc.o"
+  "CMakeFiles/blot_storage.dir/dataset.cc.o.d"
+  "CMakeFiles/blot_storage.dir/encoding_scheme.cc.o"
+  "CMakeFiles/blot_storage.dir/encoding_scheme.cc.o.d"
+  "CMakeFiles/blot_storage.dir/layout.cc.o"
+  "CMakeFiles/blot_storage.dir/layout.cc.o.d"
+  "CMakeFiles/blot_storage.dir/partition_index.cc.o"
+  "CMakeFiles/blot_storage.dir/partition_index.cc.o.d"
+  "CMakeFiles/blot_storage.dir/partitioner.cc.o"
+  "CMakeFiles/blot_storage.dir/partitioner.cc.o.d"
+  "CMakeFiles/blot_storage.dir/record.cc.o"
+  "CMakeFiles/blot_storage.dir/record.cc.o.d"
+  "CMakeFiles/blot_storage.dir/replica.cc.o"
+  "CMakeFiles/blot_storage.dir/replica.cc.o.d"
+  "CMakeFiles/blot_storage.dir/segment_store.cc.o"
+  "CMakeFiles/blot_storage.dir/segment_store.cc.o.d"
+  "CMakeFiles/blot_storage.dir/trajectory.cc.o"
+  "CMakeFiles/blot_storage.dir/trajectory.cc.o.d"
+  "libblot_storage.a"
+  "libblot_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

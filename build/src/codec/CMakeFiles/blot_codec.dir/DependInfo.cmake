@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitstream.cc" "src/codec/CMakeFiles/blot_codec.dir/bitstream.cc.o" "gcc" "src/codec/CMakeFiles/blot_codec.dir/bitstream.cc.o.d"
+  "/root/repo/src/codec/codec.cc" "src/codec/CMakeFiles/blot_codec.dir/codec.cc.o" "gcc" "src/codec/CMakeFiles/blot_codec.dir/codec.cc.o.d"
+  "/root/repo/src/codec/columnar.cc" "src/codec/CMakeFiles/blot_codec.dir/columnar.cc.o" "gcc" "src/codec/CMakeFiles/blot_codec.dir/columnar.cc.o.d"
+  "/root/repo/src/codec/gzip_like.cc" "src/codec/CMakeFiles/blot_codec.dir/gzip_like.cc.o" "gcc" "src/codec/CMakeFiles/blot_codec.dir/gzip_like.cc.o.d"
+  "/root/repo/src/codec/huffman.cc" "src/codec/CMakeFiles/blot_codec.dir/huffman.cc.o" "gcc" "src/codec/CMakeFiles/blot_codec.dir/huffman.cc.o.d"
+  "/root/repo/src/codec/lz_common.cc" "src/codec/CMakeFiles/blot_codec.dir/lz_common.cc.o" "gcc" "src/codec/CMakeFiles/blot_codec.dir/lz_common.cc.o.d"
+  "/root/repo/src/codec/lzma_like.cc" "src/codec/CMakeFiles/blot_codec.dir/lzma_like.cc.o" "gcc" "src/codec/CMakeFiles/blot_codec.dir/lzma_like.cc.o.d"
+  "/root/repo/src/codec/range_coder.cc" "src/codec/CMakeFiles/blot_codec.dir/range_coder.cc.o" "gcc" "src/codec/CMakeFiles/blot_codec.dir/range_coder.cc.o.d"
+  "/root/repo/src/codec/snappy_like.cc" "src/codec/CMakeFiles/blot_codec.dir/snappy_like.cc.o" "gcc" "src/codec/CMakeFiles/blot_codec.dir/snappy_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/blot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_codec.dir/bitstream.cc.o"
+  "CMakeFiles/blot_codec.dir/bitstream.cc.o.d"
+  "CMakeFiles/blot_codec.dir/codec.cc.o"
+  "CMakeFiles/blot_codec.dir/codec.cc.o.d"
+  "CMakeFiles/blot_codec.dir/columnar.cc.o"
+  "CMakeFiles/blot_codec.dir/columnar.cc.o.d"
+  "CMakeFiles/blot_codec.dir/gzip_like.cc.o"
+  "CMakeFiles/blot_codec.dir/gzip_like.cc.o.d"
+  "CMakeFiles/blot_codec.dir/huffman.cc.o"
+  "CMakeFiles/blot_codec.dir/huffman.cc.o.d"
+  "CMakeFiles/blot_codec.dir/lz_common.cc.o"
+  "CMakeFiles/blot_codec.dir/lz_common.cc.o.d"
+  "CMakeFiles/blot_codec.dir/lzma_like.cc.o"
+  "CMakeFiles/blot_codec.dir/lzma_like.cc.o.d"
+  "CMakeFiles/blot_codec.dir/range_coder.cc.o"
+  "CMakeFiles/blot_codec.dir/range_coder.cc.o.d"
+  "CMakeFiles/blot_codec.dir/snappy_like.cc.o"
+  "CMakeFiles/blot_codec.dir/snappy_like.cc.o.d"
+  "libblot_codec.a"
+  "libblot_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_aware.cc" "src/core/CMakeFiles/blot_core.dir/access_aware.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/access_aware.cc.o.d"
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/blot_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/core/CMakeFiles/blot_core.dir/candidates.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/candidates.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/blot_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/drift.cc" "src/core/CMakeFiles/blot_core.dir/drift.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/drift.cc.o.d"
+  "/root/repo/src/core/mip_selection.cc" "src/core/CMakeFiles/blot_core.dir/mip_selection.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/mip_selection.cc.o.d"
+  "/root/repo/src/core/partial.cc" "src/core/CMakeFiles/blot_core.dir/partial.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/partial.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/core/CMakeFiles/blot_core.dir/selection.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/selection.cc.o.d"
+  "/root/repo/src/core/store.cc" "src/core/CMakeFiles/blot_core.dir/store.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/store.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/blot_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/streaming.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/blot_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/blot_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blot/CMakeFiles/blot_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/simenv/CMakeFiles/blot_simenv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/blot_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/blot_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

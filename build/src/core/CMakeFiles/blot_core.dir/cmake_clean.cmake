@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_core.dir/access_aware.cc.o"
+  "CMakeFiles/blot_core.dir/access_aware.cc.o.d"
+  "CMakeFiles/blot_core.dir/advisor.cc.o"
+  "CMakeFiles/blot_core.dir/advisor.cc.o.d"
+  "CMakeFiles/blot_core.dir/candidates.cc.o"
+  "CMakeFiles/blot_core.dir/candidates.cc.o.d"
+  "CMakeFiles/blot_core.dir/cost_model.cc.o"
+  "CMakeFiles/blot_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/blot_core.dir/drift.cc.o"
+  "CMakeFiles/blot_core.dir/drift.cc.o.d"
+  "CMakeFiles/blot_core.dir/mip_selection.cc.o"
+  "CMakeFiles/blot_core.dir/mip_selection.cc.o.d"
+  "CMakeFiles/blot_core.dir/partial.cc.o"
+  "CMakeFiles/blot_core.dir/partial.cc.o.d"
+  "CMakeFiles/blot_core.dir/selection.cc.o"
+  "CMakeFiles/blot_core.dir/selection.cc.o.d"
+  "CMakeFiles/blot_core.dir/store.cc.o"
+  "CMakeFiles/blot_core.dir/store.cc.o.d"
+  "CMakeFiles/blot_core.dir/streaming.cc.o"
+  "CMakeFiles/blot_core.dir/streaming.cc.o.d"
+  "CMakeFiles/blot_core.dir/workload.cc.o"
+  "CMakeFiles/blot_core.dir/workload.cc.o.d"
+  "libblot_core.a"
+  "libblot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_gen.dir/taxi_generator.cc.o"
+  "CMakeFiles/blot_gen.dir/taxi_generator.cc.o.d"
+  "libblot_gen.a"
+  "libblot_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblot_gen.a"
+)

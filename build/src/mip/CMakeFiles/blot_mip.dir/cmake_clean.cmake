@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_mip.dir/lp.cc.o"
+  "CMakeFiles/blot_mip.dir/lp.cc.o.d"
+  "CMakeFiles/blot_mip.dir/mip.cc.o"
+  "CMakeFiles/blot_mip.dir/mip.cc.o.d"
+  "libblot_mip.a"
+  "libblot_mip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simenv/cluster.cc" "src/simenv/CMakeFiles/blot_simenv.dir/cluster.cc.o" "gcc" "src/simenv/CMakeFiles/blot_simenv.dir/cluster.cc.o.d"
+  "/root/repo/src/simenv/environment.cc" "src/simenv/CMakeFiles/blot_simenv.dir/environment.cc.o" "gcc" "src/simenv/CMakeFiles/blot_simenv.dir/environment.cc.o.d"
+  "/root/repo/src/simenv/measurement.cc" "src/simenv/CMakeFiles/blot_simenv.dir/measurement.cc.o" "gcc" "src/simenv/CMakeFiles/blot_simenv.dir/measurement.cc.o.d"
+  "/root/repo/src/simenv/replica_sketch.cc" "src/simenv/CMakeFiles/blot_simenv.dir/replica_sketch.cc.o" "gcc" "src/simenv/CMakeFiles/blot_simenv.dir/replica_sketch.cc.o.d"
+  "/root/repo/src/simenv/simulator.cc" "src/simenv/CMakeFiles/blot_simenv.dir/simulator.cc.o" "gcc" "src/simenv/CMakeFiles/blot_simenv.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blot/CMakeFiles/blot_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/blot_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

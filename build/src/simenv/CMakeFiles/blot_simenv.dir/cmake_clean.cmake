@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_simenv.dir/cluster.cc.o"
+  "CMakeFiles/blot_simenv.dir/cluster.cc.o.d"
+  "CMakeFiles/blot_simenv.dir/environment.cc.o"
+  "CMakeFiles/blot_simenv.dir/environment.cc.o.d"
+  "CMakeFiles/blot_simenv.dir/measurement.cc.o"
+  "CMakeFiles/blot_simenv.dir/measurement.cc.o.d"
+  "CMakeFiles/blot_simenv.dir/replica_sketch.cc.o"
+  "CMakeFiles/blot_simenv.dir/replica_sketch.cc.o.d"
+  "CMakeFiles/blot_simenv.dir/simulator.cc.o"
+  "CMakeFiles/blot_simenv.dir/simulator.cc.o.d"
+  "libblot_simenv.a"
+  "libblot_simenv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_simenv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

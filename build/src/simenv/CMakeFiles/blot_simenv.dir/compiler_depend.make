@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for blot_simenv.
+# This may be replaced when dependencies are built.

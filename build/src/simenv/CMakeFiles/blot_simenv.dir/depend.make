@@ -1,0 +1,2 @@
+# Empty dependencies file for blot_simenv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_util.dir/bytes.cc.o"
+  "CMakeFiles/blot_util.dir/bytes.cc.o.d"
+  "CMakeFiles/blot_util.dir/csv.cc.o"
+  "CMakeFiles/blot_util.dir/csv.cc.o.d"
+  "CMakeFiles/blot_util.dir/range.cc.o"
+  "CMakeFiles/blot_util.dir/range.cc.o.d"
+  "CMakeFiles/blot_util.dir/rng.cc.o"
+  "CMakeFiles/blot_util.dir/rng.cc.o.d"
+  "CMakeFiles/blot_util.dir/stats.cc.o"
+  "CMakeFiles/blot_util.dir/stats.cc.o.d"
+  "CMakeFiles/blot_util.dir/thread_pool.cc.o"
+  "CMakeFiles/blot_util.dir/thread_pool.cc.o.d"
+  "libblot_util.a"
+  "libblot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

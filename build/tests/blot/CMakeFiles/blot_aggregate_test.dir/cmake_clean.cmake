@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_aggregate_test.dir/aggregate_test.cc.o"
+  "CMakeFiles/blot_aggregate_test.dir/aggregate_test.cc.o.d"
+  "blot_aggregate_test"
+  "blot_aggregate_test.pdb"
+  "blot_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_batch_test.dir/batch_test.cc.o"
+  "CMakeFiles/blot_batch_test.dir/batch_test.cc.o.d"
+  "blot_batch_test"
+  "blot_batch_test.pdb"
+  "blot_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

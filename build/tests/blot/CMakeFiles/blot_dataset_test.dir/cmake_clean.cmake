@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_dataset_test.dir/dataset_test.cc.o"
+  "CMakeFiles/blot_dataset_test.dir/dataset_test.cc.o.d"
+  "blot_dataset_test"
+  "blot_dataset_test.pdb"
+  "blot_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blot/encoding_scheme_test.cc" "tests/blot/CMakeFiles/blot_encoding_scheme_test.dir/encoding_scheme_test.cc.o" "gcc" "tests/blot/CMakeFiles/blot_encoding_scheme_test.dir/encoding_scheme_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blot/CMakeFiles/blot_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/blot_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/blot_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_encoding_scheme_test.dir/encoding_scheme_test.cc.o"
+  "CMakeFiles/blot_encoding_scheme_test.dir/encoding_scheme_test.cc.o.d"
+  "blot_encoding_scheme_test"
+  "blot_encoding_scheme_test.pdb"
+  "blot_encoding_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_encoding_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_hybrid_encoding_test.dir/hybrid_encoding_test.cc.o"
+  "CMakeFiles/blot_hybrid_encoding_test.dir/hybrid_encoding_test.cc.o.d"
+  "blot_hybrid_encoding_test"
+  "blot_hybrid_encoding_test.pdb"
+  "blot_hybrid_encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_hybrid_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

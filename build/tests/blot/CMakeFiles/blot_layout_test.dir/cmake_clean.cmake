@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_layout_test.dir/layout_test.cc.o"
+  "CMakeFiles/blot_layout_test.dir/layout_test.cc.o.d"
+  "blot_layout_test"
+  "blot_layout_test.pdb"
+  "blot_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

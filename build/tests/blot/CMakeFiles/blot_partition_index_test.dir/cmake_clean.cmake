@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_partition_index_test.dir/partition_index_test.cc.o"
+  "CMakeFiles/blot_partition_index_test.dir/partition_index_test.cc.o.d"
+  "blot_partition_index_test"
+  "blot_partition_index_test.pdb"
+  "blot_partition_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_partition_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_partitioner_property_test.dir/partitioner_property_test.cc.o"
+  "CMakeFiles/blot_partitioner_property_test.dir/partitioner_property_test.cc.o.d"
+  "blot_partitioner_property_test"
+  "blot_partitioner_property_test.pdb"
+  "blot_partitioner_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_partitioner_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_record_test.dir/record_test.cc.o"
+  "CMakeFiles/blot_record_test.dir/record_test.cc.o.d"
+  "blot_record_test"
+  "blot_record_test.pdb"
+  "blot_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_replica_test.dir/replica_test.cc.o"
+  "CMakeFiles/blot_replica_test.dir/replica_test.cc.o.d"
+  "blot_replica_test"
+  "blot_replica_test.pdb"
+  "blot_replica_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_replica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_segment_store_test.dir/segment_store_test.cc.o"
+  "CMakeFiles/blot_segment_store_test.dir/segment_store_test.cc.o.d"
+  "blot_segment_store_test"
+  "blot_segment_store_test.pdb"
+  "blot_segment_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_segment_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blot_trajectory_test.dir/trajectory_test.cc.o"
+  "CMakeFiles/blot_trajectory_test.dir/trajectory_test.cc.o.d"
+  "blot_trajectory_test"
+  "blot_trajectory_test.pdb"
+  "blot_trajectory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blot_trajectory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/blot
+# Build directory: /root/repo/build/tests/blot
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/blot/blot_record_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_encoding_scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_partition_index_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_replica_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_segment_store_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_hybrid_encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_trajectory_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_partitioner_property_test[1]_include.cmake")
+include("/root/repo/build/tests/blot/blot_batch_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_bitstream_test.dir/bitstream_test.cc.o"
+  "CMakeFiles/codec_bitstream_test.dir/bitstream_test.cc.o.d"
+  "codec_bitstream_test"
+  "codec_bitstream_test.pdb"
+  "codec_bitstream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_bitstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

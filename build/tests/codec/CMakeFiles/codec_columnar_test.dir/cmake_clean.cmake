@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_columnar_test.dir/columnar_test.cc.o"
+  "CMakeFiles/codec_columnar_test.dir/columnar_test.cc.o.d"
+  "codec_columnar_test"
+  "codec_columnar_test.pdb"
+  "codec_columnar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_columnar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

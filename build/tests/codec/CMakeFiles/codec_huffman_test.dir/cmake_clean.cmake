@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_huffman_test.dir/huffman_test.cc.o"
+  "CMakeFiles/codec_huffman_test.dir/huffman_test.cc.o.d"
+  "codec_huffman_test"
+  "codec_huffman_test.pdb"
+  "codec_huffman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_huffman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_range_coder_test.dir/range_coder_test.cc.o"
+  "CMakeFiles/codec_range_coder_test.dir/range_coder_test.cc.o.d"
+  "codec_range_coder_test"
+  "codec_range_coder_test.pdb"
+  "codec_range_coder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_range_coder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

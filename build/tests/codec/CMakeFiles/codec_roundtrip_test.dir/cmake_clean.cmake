@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_roundtrip_test.dir/roundtrip_test.cc.o"
+  "CMakeFiles/codec_roundtrip_test.dir/roundtrip_test.cc.o.d"
+  "codec_roundtrip_test"
+  "codec_roundtrip_test.pdb"
+  "codec_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

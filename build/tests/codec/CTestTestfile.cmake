@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/codec
+# Build directory: /root/repo/build/tests/codec
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/codec/codec_bitstream_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/codec_huffman_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/codec_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/codec_columnar_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/codec_range_coder_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/codec_fuzz_robustness_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_access_aware_test.dir/access_aware_test.cc.o"
+  "CMakeFiles/core_access_aware_test.dir/access_aware_test.cc.o.d"
+  "core_access_aware_test"
+  "core_access_aware_test.pdb"
+  "core_access_aware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_access_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

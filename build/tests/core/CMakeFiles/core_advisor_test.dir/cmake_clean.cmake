@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_advisor_test.dir/advisor_test.cc.o"
+  "CMakeFiles/core_advisor_test.dir/advisor_test.cc.o.d"
+  "core_advisor_test"
+  "core_advisor_test.pdb"
+  "core_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

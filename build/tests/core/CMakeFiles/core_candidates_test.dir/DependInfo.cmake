@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/candidates_test.cc" "tests/core/CMakeFiles/core_candidates_test.dir/candidates_test.cc.o" "gcc" "tests/core/CMakeFiles/core_candidates_test.dir/candidates_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/blot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/blot_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/simenv/CMakeFiles/blot_simenv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/blot_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/blot/CMakeFiles/blot_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/blot_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

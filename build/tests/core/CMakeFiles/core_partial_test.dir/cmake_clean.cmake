@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_partial_test.dir/partial_test.cc.o"
+  "CMakeFiles/core_partial_test.dir/partial_test.cc.o.d"
+  "core_partial_test"
+  "core_partial_test.pdb"
+  "core_partial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_partial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_setcover_reduction_test.dir/setcover_reduction_test.cc.o"
+  "CMakeFiles/core_setcover_reduction_test.dir/setcover_reduction_test.cc.o.d"
+  "core_setcover_reduction_test"
+  "core_setcover_reduction_test.pdb"
+  "core_setcover_reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_setcover_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_store_persistence_test.dir/store_persistence_test.cc.o"
+  "CMakeFiles/core_store_persistence_test.dir/store_persistence_test.cc.o.d"
+  "core_store_persistence_test"
+  "core_store_persistence_test.pdb"
+  "core_store_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_store_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_workload_test.dir/workload_test.cc.o"
+  "CMakeFiles/core_workload_test.dir/workload_test.cc.o.d"
+  "core_workload_test"
+  "core_workload_test.pdb"
+  "core_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_selection_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_mip_selection_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_setcover_reduction_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_store_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_partial_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_drift_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_store_partial_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_cost_model_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_access_aware_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_store_persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_streaming_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_candidates_test[1]_include.cmake")

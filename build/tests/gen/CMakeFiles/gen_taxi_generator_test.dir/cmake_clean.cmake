@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_taxi_generator_test.dir/taxi_generator_test.cc.o"
+  "CMakeFiles/gen_taxi_generator_test.dir/taxi_generator_test.cc.o.d"
+  "gen_taxi_generator_test"
+  "gen_taxi_generator_test.pdb"
+  "gen_taxi_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_taxi_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

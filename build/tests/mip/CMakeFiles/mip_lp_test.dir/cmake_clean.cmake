@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_lp_test.dir/lp_test.cc.o"
+  "CMakeFiles/mip_lp_test.dir/lp_test.cc.o.d"
+  "mip_lp_test"
+  "mip_lp_test.pdb"
+  "mip_lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

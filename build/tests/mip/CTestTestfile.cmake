@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mip
+# Build directory: /root/repo/build/tests/mip
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mip/mip_lp_test[1]_include.cmake")
+include("/root/repo/build/tests/mip/mip_mip_test[1]_include.cmake")

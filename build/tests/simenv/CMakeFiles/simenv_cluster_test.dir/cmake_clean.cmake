@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simenv_cluster_test.dir/cluster_test.cc.o"
+  "CMakeFiles/simenv_cluster_test.dir/cluster_test.cc.o.d"
+  "simenv_cluster_test"
+  "simenv_cluster_test.pdb"
+  "simenv_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simenv_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simenv_environment_test.dir/environment_test.cc.o"
+  "CMakeFiles/simenv_environment_test.dir/environment_test.cc.o.d"
+  "simenv_environment_test"
+  "simenv_environment_test.pdb"
+  "simenv_environment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simenv_environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

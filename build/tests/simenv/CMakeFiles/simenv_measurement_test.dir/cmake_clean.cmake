@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simenv_measurement_test.dir/measurement_test.cc.o"
+  "CMakeFiles/simenv_measurement_test.dir/measurement_test.cc.o.d"
+  "simenv_measurement_test"
+  "simenv_measurement_test.pdb"
+  "simenv_measurement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simenv_measurement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simenv_replica_sketch_test.dir/replica_sketch_test.cc.o"
+  "CMakeFiles/simenv_replica_sketch_test.dir/replica_sketch_test.cc.o.d"
+  "simenv_replica_sketch_test"
+  "simenv_replica_sketch_test.pdb"
+  "simenv_replica_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simenv_replica_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

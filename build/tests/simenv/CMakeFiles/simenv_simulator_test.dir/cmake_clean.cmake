@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simenv_simulator_test.dir/simulator_test.cc.o"
+  "CMakeFiles/simenv_simulator_test.dir/simulator_test.cc.o.d"
+  "simenv_simulator_test"
+  "simenv_simulator_test.pdb"
+  "simenv_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simenv_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/simenv
+# Build directory: /root/repo/build/tests/simenv
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simenv/simenv_environment_test[1]_include.cmake")
+include("/root/repo/build/tests/simenv/simenv_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/simenv/simenv_measurement_test[1]_include.cmake")
+include("/root/repo/build/tests/simenv/simenv_replica_sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/simenv/simenv_cluster_test[1]_include.cmake")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tools
+# Build directory: /root/repo/build/tests/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tools/tools_flags_test[1]_include.cmake")
+add_test([=[tools_blotctl_end_to_end]=] "/root/repo/tests/tools/blotctl_test.sh" "/root/repo/build/tools/blotctl")
+set_tests_properties([=[tools_blotctl_end_to_end]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/tools/CMakeLists.txt;1;add_test;/root/repo/tests/tools/CMakeLists.txt;0;")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_range_test.dir/range_test.cc.o"
+  "CMakeFiles/util_range_test.dir/range_test.cc.o.d"
+  "util_range_test"
+  "util_range_test.pdb"
+  "util_range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

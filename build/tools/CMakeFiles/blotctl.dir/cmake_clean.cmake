@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blotctl.dir/blotctl.cpp.o"
+  "CMakeFiles/blotctl.dir/blotctl.cpp.o.d"
+  "blotctl"
+  "blotctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blotctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
