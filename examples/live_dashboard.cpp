@@ -4,16 +4,21 @@
 // continuously (StreamingStore delta + periodic compaction), and every
 // "tick" a dashboard refreshes an occupancy heat map by issuing a grid of
 // range queries as one shared-scan batch routed across diverse replicas.
+// The metrics registry is on for the whole run; each tick reports the
+// batch's wall clock and the shared-scan savings from the registry, and
+// the run closes with a registry-derived summary.
 //
 // Run: ./live_dashboard
 #include <cstdio>
 
 #include "core/streaming.h"
 #include "gen/taxi_generator.h"
+#include "obs/metrics.h"
 
 using namespace blot;
 
 int main() {
+  obs::MetricsRegistry::global().set_enabled(true);
   // Bootstrap: the first week of data, bulk-loaded into two diverse
   // replicas. The universe spans the whole month so later records fit.
   TaxiFleetConfig fleet;
@@ -76,9 +81,9 @@ int main() {
                 "far, delta %zu)\n",
                 tick, cursor, store.compactions(), store.DeltaSize());
     std::printf("  last-24h heat map (batch: %zu partitions decoded vs "
-                "%zu naive)\n",
+                "%zu naive, %.2f ms)\n",
                 batch.stats.partitions_scanned,
-                batch.naive_partition_scans);
+                batch.naive_partition_scans, batch.measured_ms);
     for (int gy = kGrid - 1; gy >= 0; --gy) {
       std::printf("  ");
       for (int gx = 0; gx < kGrid; ++gx) {
@@ -103,5 +108,27 @@ int main() {
               "compactions.\n",
               static_cast<unsigned long long>(store.TotalRecords()),
               store.store().NumReplicas(), store.compactions());
+
+  // Close with the registry's view of the whole run.
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().Snapshot();
+  std::printf("From the metrics registry:\n");
+  if (const auto* batches = snap.FindCounter("query.batches_total"))
+    if (const auto* queries = snap.FindCounter("query.batch_queries_total"))
+      std::printf("  %llu dashboard batches, %llu cell queries\n",
+                  static_cast<unsigned long long>(batches->value),
+                  static_cast<unsigned long long>(queries->value));
+  if (const auto* saved =
+          snap.FindCounter("query.batch_shared_scans_saved_total"))
+    std::printf("  shared scans saved %llu partition decodes\n",
+                static_cast<unsigned long long>(saved->value));
+  if (const auto* batch_ms = snap.FindHistogram("query.batch_measured_ms"))
+    std::printf("  batch wall clock: mean %.2f ms, p90 %.2f ms\n",
+                batch_ms->Mean(), batch_ms->Percentile(90));
+  if (const auto* wait = snap.FindHistogram("threadpool.queue_wait_ms"))
+    if (const auto* task = snap.FindHistogram("threadpool.task_ms"))
+      std::printf("  thread pool: %llu tasks, queue wait p90 %.3f ms, "
+                  "task p90 %.3f ms\n",
+                  static_cast<unsigned long long>(task->count),
+                  wait->Percentile(90), task->Percentile(90));
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "codec/gzip_like.h"
 #include "codec/lzma_like.h"
 #include "codec/snappy_like.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace blot {
@@ -28,6 +29,60 @@ class IdentityCodec final : public Codec {
     validate(in.AtEnd(), "Identity: trailing bytes");
     return Bytes(payload.begin(), payload.end());
   }
+};
+
+// Wraps a codec so every Compress/Decompress through GetCodec records
+// bytes in/out and wall time, labeled by codec name. Metric handles are
+// resolved once at construction; when the registry is disabled the only
+// cost is one relaxed atomic load per call.
+class InstrumentedCodec final : public Codec {
+ public:
+  explicit InstrumentedCodec(const Codec& inner) : inner_(inner) {
+    auto& registry = obs::MetricsRegistry::global();
+    const obs::Labels labels{
+        {"codec", std::string(CodecKindName(inner.kind()))}};
+    encode_ms_ = &registry.GetHistogram("codec.encode_ms", labels);
+    decode_ms_ = &registry.GetHistogram("codec.decode_ms", labels);
+    encode_in_ =
+        &registry.GetCounter("codec.encode_bytes_in_total", labels);
+    encode_out_ =
+        &registry.GetCounter("codec.encode_bytes_out_total", labels);
+    decode_in_ =
+        &registry.GetCounter("codec.decode_bytes_in_total", labels);
+    decode_out_ =
+        &registry.GetCounter("codec.decode_bytes_out_total", labels);
+  }
+
+  CodecKind kind() const override { return inner_.kind(); }
+
+  Bytes Compress(BytesView input) const override {
+    if (!obs::MetricsRegistry::global().enabled())
+      return inner_.Compress(input);
+    obs::ScopedTimerMs timer(encode_ms_);
+    Bytes out = inner_.Compress(input);
+    encode_in_->Increment(input.size());
+    encode_out_->Increment(out.size());
+    return out;
+  }
+
+  Bytes Decompress(BytesView input) const override {
+    if (!obs::MetricsRegistry::global().enabled())
+      return inner_.Decompress(input);
+    obs::ScopedTimerMs timer(decode_ms_);
+    Bytes out = inner_.Decompress(input);
+    decode_in_->Increment(input.size());
+    decode_out_->Increment(out.size());
+    return out;
+  }
+
+ private:
+  const Codec& inner_;
+  obs::Histogram* encode_ms_;
+  obs::Histogram* decode_ms_;
+  obs::Counter* encode_in_;
+  obs::Counter* encode_out_;
+  obs::Counter* decode_in_;
+  obs::Counter* decode_out_;
 };
 
 }  // namespace
@@ -65,15 +120,19 @@ const Codec& GetCodec(CodecKind kind) {
   static const SnappyLikeCodec snappy;
   static const GzipLikeCodec gzip;
   static const LzmaLikeCodec lzma;
+  static const InstrumentedCodec instrumented_identity{identity};
+  static const InstrumentedCodec instrumented_snappy{snappy};
+  static const InstrumentedCodec instrumented_gzip{gzip};
+  static const InstrumentedCodec instrumented_lzma{lzma};
   switch (kind) {
     case CodecKind::kNone:
-      return identity;
+      return instrumented_identity;
     case CodecKind::kSnappyLike:
-      return snappy;
+      return instrumented_snappy;
     case CodecKind::kGzipLike:
-      return gzip;
+      return instrumented_gzip;
     case CodecKind::kLzmaLike:
-      return lzma;
+      return instrumented_lzma;
   }
   throw InvalidArgument("GetCodec: unknown codec kind");
 }

@@ -9,10 +9,14 @@ namespace blot {
 
 void EncodeDeltaColumn(ByteWriter& out,
                        std::span<const std::int64_t> values) {
-  std::int64_t prev = 0;
+  // Deltas wrap modulo 2^64 (extreme values overflow int64); unsigned
+  // arithmetic keeps the wraparound well-defined and the decoder's
+  // matching addition undoes it exactly.
+  std::uint64_t prev = 0;
   for (std::int64_t v : values) {
-    out.PutSignedVarint(v - prev);
-    prev = v;
+    const std::uint64_t u = static_cast<std::uint64_t>(v);
+    out.PutSignedVarint(static_cast<std::int64_t>(u - prev));
+    prev = u;
   }
 }
 
@@ -20,10 +24,10 @@ std::vector<std::int64_t> DecodeDeltaColumn(ByteReader& in,
                                             std::size_t count) {
   std::vector<std::int64_t> values;
   values.reserve(count);
-  std::int64_t prev = 0;
+  std::uint64_t prev = 0;
   for (std::size_t i = 0; i < count; ++i) {
-    prev += in.GetSignedVarint();
-    values.push_back(prev);
+    prev += static_cast<std::uint64_t>(in.GetSignedVarint());
+    values.push_back(static_cast<std::int64_t>(prev));
   }
   return values;
 }

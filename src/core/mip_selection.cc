@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace blot {
@@ -117,6 +118,16 @@ SelectionResult SelectMip(const SelectionInput& input,
   result.solve_seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
+  auto& registry = obs::MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.GetCounter("select.mip.runs_total").Increment();
+    registry.GetCounter("select.mip.nodes_explored_total")
+        .Increment(result.nodes_explored);
+    if (result.optimal)
+      registry.GetCounter("select.mip.optimal_total").Increment();
+    registry.GetHistogram("select.mip.solve_ms")
+        .Observe(result.solve_seconds * 1000.0);
+  }
   return result;
 }
 

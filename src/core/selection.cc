@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace blot {
@@ -20,6 +21,17 @@ double SubsetStorage(const SelectionInput& input,
   double storage = 0;
   for (std::size_t j : chosen) storage += input.storage_bytes[j];
   return storage;
+}
+
+// Greedy picks range from fractions of a millisecond to minutes of gain
+// per megabyte depending on workload scale, hence decade buckets.
+obs::Histogram& GainPerMbHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::global().GetHistogram(
+          "select.greedy.gain_ms_per_mb", {},
+          {1e-3, 1e-2, 1e-1, 1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+           1e9});
+  return histogram;
 }
 
 }  // namespace
@@ -124,12 +136,25 @@ SelectionResult SelectGreedy(const SelectionInput& input) {
     for (std::size_t i = 0; i < n; ++i)
       best_cost[i] = std::min(best_cost[i], input.cost[i][best_replica]);
     result.chosen.push_back(best_replica);
+    // The gain-per-byte trajectory: one observation per round, in
+    // descending order by construction — the histogram shows how fast
+    // marginal utility decays.
+    if (obs::MetricsRegistry::global().enabled())
+      GainPerMbHistogram().Observe(best_score * double(1 << 20));
   }
 
   std::sort(result.chosen.begin(), result.chosen.end());
   result.workload_cost = SubsetWorkloadCost(input, result.chosen);
   result.storage_used = storage_used;
   result.solve_seconds = Seconds(start);
+  auto& registry = obs::MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.GetCounter("select.greedy.runs_total").Increment();
+    registry.GetCounter("select.greedy.rounds_total")
+        .Increment(result.chosen.size());
+    registry.GetHistogram("select.greedy.solve_ms")
+        .Observe(result.solve_seconds * 1000.0);
+  }
   return result;
 }
 
@@ -242,6 +267,14 @@ std::vector<std::size_t> PruneDominated(const SelectionInput& input,
   std::vector<std::size_t> kept;
   for (std::size_t j = 0; j < m; ++j)
     if (!removed[j]) kept.push_back(j);
+  auto& registry = obs::MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.GetCounter("select.prune_runs_total").Increment();
+    registry.GetCounter("select.candidates_pruned_total")
+        .Increment(m - kept.size());
+    registry.GetCounter("select.candidates_kept_total")
+        .Increment(kept.size());
+  }
   return kept;
 }
 

@@ -1,15 +1,70 @@
 #include "core/store.h"
 
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <string>
 
 #include "blot/batch.h"
 #include "blot/segment_store.h"
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/error.h"
 
 namespace blot {
+namespace {
+
+// Estimate-vs-actual cost error is unbounded above (the estimate models a
+// cluster environment, the measurement is this process), so the error
+// histogram gets wide percentage buckets instead of latency buckets.
+obs::Histogram& CostErrorHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::global().GetHistogram(
+          "query.cost_error_pct", {},
+          {1, 2, 5, 10, 25, 50, 75, 90, 100, 250, 500, 1000, 10000,
+           100000, 1000000});
+  return histogram;
+}
+
+// Records one routed execution into the query.* metrics.
+void RecordRoutedQuery(const std::string& replica_name,
+                       const BlotStore::RoutedResult& routed) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& routed_total =
+      registry.GetCounter("query.routed_total");
+  static obs::Histogram& estimated_ms =
+      registry.GetHistogram("query.estimated_cost_ms");
+  static obs::Histogram& measured_ms =
+      registry.GetHistogram("query.measured_ms");
+  static obs::Counter& np_predicted =
+      registry.GetCounter("query.partitions_predicted_total");
+  static obs::Counter& partitions_scanned =
+      registry.GetCounter("query.partitions_scanned_total");
+  static obs::Counter& records_scanned =
+      registry.GetCounter("query.records_scanned_total");
+  static obs::Counter& records_returned =
+      registry.GetCounter("query.records_returned_total");
+  static obs::Counter& bytes_read =
+      registry.GetCounter("query.bytes_read_total");
+
+  routed_total.Increment();
+  registry.GetCounter("query.routed_total", {{"replica", replica_name}})
+      .Increment();
+  estimated_ms.Observe(routed.estimated_cost_ms);
+  measured_ms.Observe(routed.measured_cost_ms);
+  if (routed.estimated_cost_ms > 0)
+    CostErrorHistogram().Observe(
+        std::abs(routed.measured_cost_ms - routed.estimated_cost_ms) /
+        routed.estimated_cost_ms * 100.0);
+  np_predicted.Increment(routed.predicted_partitions);
+  partitions_scanned.Increment(routed.result.stats.partitions_scanned);
+  records_scanned.Increment(routed.result.stats.records_scanned);
+  records_returned.Increment(routed.result.records.size());
+  bytes_read.Increment(routed.result.stats.bytes_read);
+}
+
+}  // namespace
 
 BlotStore::BlotStore(Dataset dataset, std::optional<STRange> universe)
     : dataset_(std::move(dataset)) {
@@ -85,18 +140,70 @@ std::size_t BlotStore::RouteQuery(const STRange& query,
 
 BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
                                            const CostModel& model,
-                                           ThreadPool* pool) const {
+                                           ThreadPool* pool,
+                                           obs::TraceSpan* trace) const {
   RoutedResult routed;
-  routed.replica_index = RouteQuery(query, model);
-  routed.estimated_cost_ms =
-      model.QueryCostMs(sketches_[routed.replica_index], query);
-  routed.result = replicas_[routed.replica_index].Execute(query, pool);
+  obs::TraceSpan* route_span =
+      trace != nullptr ? &trace->AddChild("route") : nullptr;
+  {
+    obs::SpanTimer route_timer(route_span);
+    routed.replica_index = RouteQuery(query, model);
+    routed.estimated_cost_ms =
+        model.QueryCostMs(sketches_[routed.replica_index], query);
+    routed.predicted_partitions =
+        sketches_[routed.replica_index].index.InvolvedPartitions(query)
+            .size();
+  }
+  const std::string replica_name =
+      replicas_[routed.replica_index].config().Name();
+  if (route_span != nullptr) {
+    route_span->AddAttribute("candidates",
+                             std::uint64_t{replicas_.size()});
+    route_span->AddAttribute("replica", replica_name);
+    route_span->AddAttribute("estimated_cost_ms",
+                             routed.estimated_cost_ms);
+    route_span->AddAttribute(
+        "predicted_partitions",
+        std::uint64_t{routed.predicted_partitions});
+  }
+
+  obs::TraceSpan* execute_span =
+      trace != nullptr ? &trace->AddChild("execute") : nullptr;
+  {
+    const std::uint64_t start_ns = obs::MonotonicNanos();
+    obs::SpanTimer execute_timer(execute_span);
+    routed.result = replicas_[routed.replica_index].Execute(query, pool);
+    routed.measured_cost_ms =
+        double(obs::MonotonicNanos() - start_ns) * 1e-6;
+  }
+  if (execute_span != nullptr) {
+    execute_span->AddAttribute(
+        "partitions_scanned",
+        std::uint64_t{routed.result.stats.partitions_scanned});
+    execute_span->AddAttribute("records_scanned",
+                               routed.result.stats.records_scanned);
+    execute_span->AddAttribute("records_returned",
+                               std::uint64_t{routed.result.records.size()});
+    execute_span->AddAttribute("bytes_read",
+                               routed.result.stats.bytes_read);
+  }
+  if (trace != nullptr) {
+    trace->AddAttribute("replica", replica_name);
+    trace->AddAttribute("estimated_cost_ms", routed.estimated_cost_ms);
+    trace->AddAttribute("measured_cost_ms", routed.measured_cost_ms);
+    trace->AddAttribute(
+        "partitions_scanned",
+        std::uint64_t{routed.result.stats.partitions_scanned});
+  }
+  if (obs::MetricsRegistry::global().enabled())
+    RecordRoutedQuery(replica_name, routed);
   return routed;
 }
 
 BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
     std::span<const STRange> queries, const CostModel& model,
     ThreadPool* pool) const {
+  const std::uint64_t start_ns = obs::MonotonicNanos();
   RoutedBatchResult result;
   result.per_query.resize(queries.size());
   result.replica_of.resize(queries.size());
@@ -119,6 +226,36 @@ BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
     result.stats.records_scanned += batch.stats.records_scanned;
     result.stats.bytes_read += batch.stats.bytes_read;
     result.naive_partition_scans += batch.naive_partition_scans;
+  }
+  result.measured_ms = double(obs::MonotonicNanos() - start_ns) * 1e-6;
+
+  auto& registry = obs::MetricsRegistry::global();
+  if (registry.enabled()) {
+    static obs::Counter& batches_total =
+        registry.GetCounter("query.batches_total");
+    static obs::Counter& batch_queries =
+        registry.GetCounter("query.batch_queries_total");
+    static obs::Counter& partitions_scanned =
+        registry.GetCounter("query.batch_partitions_scanned_total");
+    static obs::Counter& scans_saved =
+        registry.GetCounter("query.batch_shared_scans_saved_total");
+    static obs::Histogram& batch_ms =
+        registry.GetHistogram("query.batch_measured_ms");
+    static obs::Counter& routed_total =
+        registry.GetCounter("query.routed_total");
+    batches_total.Increment();
+    batch_queries.Increment(queries.size());
+    routed_total.Increment(queries.size());
+    partitions_scanned.Increment(result.stats.partitions_scanned);
+    scans_saved.Increment(result.naive_partition_scans -
+                          result.stats.partitions_scanned);
+    batch_ms.Observe(result.measured_ms);
+    for (std::size_t q = 0; q < queries.size(); ++q)
+      registry
+          .GetCounter("query.routed_total",
+                      {{"replica",
+                        replicas_[result.replica_of[q]].config().Name()}})
+          .Increment();
   }
   return result;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace blot {
@@ -50,13 +51,20 @@ class BlotStore {
   struct RoutedResult {
     QueryResult result;
     std::size_t replica_index = 0;
-    double estimated_cost_ms = 0.0;
+    double estimated_cost_ms = 0.0;   // the cost model's prediction (Eq. 7)
+    double measured_cost_ms = 0.0;    // wall clock of the real execution
+    std::size_t predicted_partitions = 0;  // Np from the routing sketch
   };
 
   // Routes `query` to the cheapest replica under `model` and executes it.
-  // Requires at least one replica.
+  // Requires at least one replica. When `trace` is non-null, `route` and
+  // `execute` child spans are attached with the chosen replica, estimated
+  // vs measured cost, and partitions scanned; when the global metrics
+  // registry is enabled the same quantities feed the query.* metrics
+  // (docs/observability.md).
   RoutedResult Execute(const STRange& query, const CostModel& model,
-                       ThreadPool* pool = nullptr) const;
+                       ThreadPool* pool = nullptr,
+                       obs::TraceSpan* trace = nullptr) const;
 
   struct RoutedBatchResult {
     // per_query[i]: records matching queries[i].
@@ -65,6 +73,7 @@ class BlotStore {
     std::vector<std::size_t> replica_of;
     QueryStats stats;                   // shared-scan accounting
     std::size_t naive_partition_scans = 0;
+    double measured_ms = 0.0;           // wall clock of the whole batch
   };
 
   // Routes every query to its cheapest replica, then executes each

@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace blot::obs {
+namespace {
+
+std::string FormatValue(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+TraceSpan& TraceSpan::AddChild(std::string name) {
+  std::lock_guard lock(mutex_);
+  children_.push_back(std::make_unique<TraceSpan>(std::move(name)));
+  return *children_.back();
+}
+
+void TraceSpan::AddAttribute(std::string key, std::string value) {
+  std::lock_guard lock(mutex_);
+  attributes_.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::AddAttribute(std::string key, double value) {
+  AddAttribute(std::move(key), FormatValue(value));
+}
+
+void TraceSpan::AddAttribute(std::string key, std::uint64_t value) {
+  AddAttribute(std::move(key), std::to_string(value));
+}
+
+std::string TraceSpan::attribute(std::string_view key) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [k, v] : attributes_)
+    if (k == key) return v;
+  return "";
+}
+
+const TraceSpan* TraceSpan::FindChild(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& child : children_)
+    if (child->name() == name) return child.get();
+  return nullptr;
+}
+
+std::string TraceSpan::Render() const {
+  std::string out;
+  RenderInto(out, "", true, true);
+  return out;
+}
+
+void TraceSpan::RenderInto(std::string& out, const std::string& prefix,
+                           bool last, bool root) const {
+  std::lock_guard lock(mutex_);
+  if (!root) out += prefix + (last ? "└─ " : "├─ ");
+  out += name_;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " (%.2f ms)", duration_ms_);
+  out += buf;
+  for (const auto& [k, v] : attributes_) out += " " + k + "=" + v;
+  out += "\n";
+  const std::string child_prefix =
+      root ? "" : prefix + (last ? "   " : "│  ");
+  for (std::size_t i = 0; i < children_.size(); ++i)
+    children_[i]->RenderInto(out, child_prefix,
+                             i + 1 == children_.size(), false);
+}
+
+SpanTimer::SpanTimer(TraceSpan* span) : span_(span) {
+  if (span_ != nullptr) start_ns_ = MonotonicNanos();
+}
+
+double SpanTimer::ElapsedMs() const {
+  if (span_ == nullptr) return 0.0;
+  return double(MonotonicNanos() - start_ns_) * 1e-6;
+}
+
+SpanTimer::~SpanTimer() {
+  if (span_ != nullptr) span_->set_duration_ms(ElapsedMs());
+}
+
+}  // namespace blot::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace blot {
@@ -49,6 +50,35 @@ SimQueryResult Simulator::ExecuteQuery(const ReplicaSketch& replica,
     }
     slots.push(start + scan_ms);
     result.makespan_ms = std::max(result.makespan_ms, start + scan_ms);
+  }
+  auto& registry = obs::MetricsRegistry::global();
+  if (registry.enabled()) {
+    static obs::Counter& queries_total =
+        registry.GetCounter("sim.queries_total");
+    static obs::Counter& partitions_total =
+        registry.GetCounter("sim.partitions_scanned_total");
+    static obs::Counter& records_total =
+        registry.GetCounter("sim.records_scanned_total");
+    static obs::Histogram& cost_ms =
+        registry.GetHistogram("sim.query_cost_ms");
+    static obs::Histogram& makespan_ms =
+        registry.GetHistogram("sim.makespan_ms");
+    static obs::Histogram& utilization =
+        registry.GetHistogram("sim.mapper_utilization", {},
+                              std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5,
+                                                  0.6, 0.7, 0.8, 0.9,
+                                                  1.0});
+    queries_total.Increment();
+    partitions_total.Increment(result.partitions_scanned);
+    records_total.Increment(result.records_scanned);
+    cost_ms.Observe(result.total_cost_ms);
+    makespan_ms.Observe(result.makespan_ms);
+    // Mapper-pool accounting: fraction of the pool's makespan capacity
+    // spent scanning. 1.0 means perfectly parallel partition scans.
+    if (result.makespan_ms > 0)
+      utilization.Observe(result.total_cost_ms /
+                          (result.makespan_ms *
+                           double(options_.num_mappers)));
   }
   return result;
 }

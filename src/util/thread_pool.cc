@@ -23,17 +23,41 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::ObserveQueueDepth(std::size_t depth) {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::global().GetGauge("threadpool.queue_depth");
+  gauge.Set(static_cast<double>(depth));
+}
+
 void ThreadPool::WorkerLoop() {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& tasks_total =
+      registry.GetCounter("threadpool.tasks_total");
+  static obs::Histogram& queue_wait_ms =
+      registry.GetHistogram("threadpool.queue_wait_ms");
+  static obs::Histogram& task_ms =
+      registry.GetHistogram("threadpool.task_ms");
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      if (task.enqueue_ns != 0) ObserveQueueDepth(queue_.size());
     }
-    task();
+    // Tasks enqueued with metrics off carry no timestamp and charge no
+    // clock reads here either.
+    if (task.enqueue_ns != 0) {
+      tasks_total.Increment();
+      queue_wait_ms.Observe(
+          double(obs::MonotonicNanos() - task.enqueue_ns) * 1e-6);
+      obs::ScopedTimerMs timer(&task_ms);
+      task.fn();
+    } else {
+      task.fn();
+    }
   }
 }
 

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace blot {
 
 class ThreadPool {
@@ -39,9 +41,15 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> future = task->get_future();
+    // Stamp the enqueue time only when metrics are on; 0 marks "don't
+    // measure this task" for the worker.
+    const std::uint64_t enqueue_ns =
+        obs::MetricsRegistry::global().enabled() ? obs::MonotonicNanos()
+                                                 : 0;
     {
       std::lock_guard lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.push(QueuedTask{[task] { (*task)(); }, enqueue_ns});
+      if (enqueue_ns != 0) ObserveQueueDepth(queue_.size());
     }
     cv_.notify_one();
     return future;
@@ -52,10 +60,16 @@ class ThreadPool {
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;  // 0: metrics were off at enqueue time
+  };
+
   void WorkerLoop();
+  static void ObserveQueueDepth(std::size_t depth);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool shutting_down_ = false;

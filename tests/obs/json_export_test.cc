@@ -1,0 +1,258 @@
+// Round-trips a registry snapshot through the JSON exporter: a small
+// recursive-descent parser (test-only) reads the text back and the test
+// asserts the parsed values match the live registry exactly.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace blot::obs {
+namespace {
+
+// --- Minimal JSON model + parser, just enough for the exporter's output ---
+
+struct JsonValue;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+
+  double AsNumber() const { return std::get<double>(v); }
+  const std::string& AsString() const { return std::get<std::string>(v); }
+  const JsonArray& AsArray() const { return std::get<JsonArray>(v); }
+  const JsonObject& AsObject() const { return std::get<JsonObject>(v); }
+  const JsonValue& At(const std::string& key) const {
+    auto it = AsObject().find(key);
+    EXPECT_NE(it, AsObject().end()) << "missing key: " << key;
+    return *it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue value = ParseValue();
+    SkipSpace();
+    EXPECT_EQ(pos_, text_.size()) << "trailing garbage after JSON";
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char Peek() {
+    SkipSpace();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    EXPECT_EQ(Peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return JsonValue{ParseString()};
+      case 't': pos_ += 4; return JsonValue{true};
+      case 'f': pos_ += 5; return JsonValue{false};
+      case 'n': pos_ += 4; return JsonValue{nullptr};
+      default: return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonObject object;
+    if (Peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(object)};
+    }
+    for (;;) {
+      std::string key = ParseString();
+      Expect(':');
+      object[key] = std::make_shared<JsonValue>(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return JsonValue{std::move(object)};
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonArray array;
+    if (Peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(array)};
+    }
+    for (;;) {
+      array.push_back(std::make_shared<JsonValue>(ParseValue()));
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return JsonValue{std::move(array)};
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u':
+            // Exporter only emits \u00XX for control characters.
+            out += static_cast<char>(
+                std::stoi(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    Expect('"');
+    return out;
+  }
+
+  JsonValue ParseNumber() {
+    SkipSpace();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E'))
+      ++end;
+    const double value = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return JsonValue{value};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+const JsonValue* FindByName(const JsonArray& entries,
+                            const std::string& name,
+                            const std::string& label_key = "",
+                            const std::string& label_value = "") {
+  for (const auto& entry : entries) {
+    if (entry->At("name").AsString() != name) continue;
+    if (!label_key.empty()) {
+      const JsonObject& labels = entry->At("labels").AsObject();
+      auto it = labels.find(label_key);
+      if (it == labels.end() || it->second->AsString() != label_value)
+        continue;
+    }
+    return entry.get();
+  }
+  return nullptr;
+}
+
+TEST(JsonExportTest, RoundTripsCountersGaugesAndHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("rt.requests_total").Increment(123);
+  registry.GetCounter("rt.requests_total", {{"replica", "a/b"}})
+      .Increment(7);
+  registry.GetGauge("rt.depth").Set(4.25);
+  Histogram& h = registry.GetHistogram("rt.latency_ms", {}, {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(0.6);
+  h.Observe(5.0);
+  h.Observe(99.0);  // overflow
+
+  const std::string json = registry.Snapshot().ToJson();
+  JsonParser parser(json);
+  const JsonValue root = parser.Parse();
+
+  const JsonValue* plain =
+      FindByName(root.At("counters").AsArray(), "rt.requests_total");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_DOUBLE_EQ(plain->At("value").AsNumber(), 123.0);
+
+  const JsonValue* labeled = FindByName(root.At("counters").AsArray(),
+                                        "rt.requests_total", "replica",
+                                        "a/b");
+  ASSERT_NE(labeled, nullptr);
+  EXPECT_DOUBLE_EQ(labeled->At("value").AsNumber(), 7.0);
+
+  const JsonValue* gauge =
+      FindByName(root.At("gauges").AsArray(), "rt.depth");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->At("value").AsNumber(), 4.25);
+
+  const JsonValue* hist =
+      FindByName(root.At("histograms").AsArray(), "rt.latency_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->At("count").AsNumber(), 4.0);
+  EXPECT_DOUBLE_EQ(hist->At("sum").AsNumber(), 0.5 + 0.6 + 5.0 + 99.0);
+  EXPECT_DOUBLE_EQ(hist->At("overflow").AsNumber(), 1.0);
+  // Only occupied finite buckets are emitted: {le: 1, count: 2} and
+  // {le: 10, count: 1}.
+  const JsonArray& buckets = hist->At("buckets").AsArray();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0]->At("le").AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[0]->At("count").AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(buckets[1]->At("le").AsNumber(), 10.0);
+  EXPECT_DOUBLE_EQ(buckets[1]->At("count").AsNumber(), 1.0);
+  // Derived stats agree with the live histogram.
+  EXPECT_NEAR(hist->At("mean").AsNumber(), h.Mean(), 1e-12);
+  EXPECT_NEAR(hist->At("p50").AsNumber(), h.Percentile(50), 1e-12);
+  EXPECT_NEAR(hist->At("p99").AsNumber(), h.Percentile(99), 1e-12);
+}
+
+TEST(JsonExportTest, EscapesSpecialCharactersInLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("esc.total", {{"path", "a\"b\\c\nd"}}).Increment();
+  const std::string json = registry.Snapshot().ToJson();
+  JsonParser parser(json);
+  const JsonValue root = parser.Parse();
+  const JsonValue* entry = FindByName(root.At("counters").AsArray(),
+                                      "esc.total", "path", "a\"b\\c\nd");
+  ASSERT_NE(entry, nullptr) << json;
+  EXPECT_DOUBLE_EQ(entry->At("value").AsNumber(), 1.0);
+}
+
+TEST(JsonExportTest, EmptyRegistryIsValidJson) {
+  MetricsRegistry registry;
+  const std::string json = registry.Snapshot().ToJson();
+  JsonParser parser(json);
+  const JsonValue root = parser.Parse();
+  EXPECT_TRUE(root.At("counters").AsArray().empty());
+  EXPECT_TRUE(root.At("gauges").AsArray().empty());
+  EXPECT_TRUE(root.At("histograms").AsArray().empty());
+}
+
+}  // namespace
+}  // namespace blot::obs

@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace blot::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.Add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperEdges) {
+  Histogram h({1.0, 10.0, 100.0});
+  // Exactly on a bound lands in that bucket, just above spills over.
+  h.Observe(1.0);
+  h.Observe(1.0000001);
+  h.Observe(10.0);
+  h.Observe(100.0);
+  h.Observe(100.5);  // overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(counts[0], 1u);      // <= 1
+  EXPECT_EQ(counts[1], 2u);      // (1, 10]
+  EXPECT_EQ(counts[2], 1u);      // (10, 100]
+  EXPECT_EQ(counts[3], 1u);      // > 100
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.0000001 + 10.0 + 100.0 + 100.5);
+}
+
+TEST(HistogramTest, ObservationBelowFirstBoundLandsInFirstBucket) {
+  Histogram h({1.0, 2.0});
+  h.Observe(-5.0);
+  h.Observe(0.0);
+  EXPECT_EQ(h.counts()[0], 2u);
+}
+
+TEST(HistogramTest, PercentilesInterpolateWithinBucket) {
+  Histogram h({10.0, 20.0, 30.0});
+  // 10 observations in (10, 20]: percentiles interpolate across that
+  // bucket's width.
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+  const double p50 = h.Percentile(50);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 20.0);
+}
+
+TEST(HistogramTest, PercentileOnEmptyHistogramIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileInOverflowReturnsLastBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 4; ++i) h.Observe(99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 2.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const auto& bounds = Histogram::DefaultLatencyBoundsMs();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h({1.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  for (std::uint64_t c : h.counts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(RegistryTest, GetReturnsSameInstanceForSameKey) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x.total");
+  a.Increment();
+  Counter& b = registry.GetCounter("x.total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(RegistryTest, LabelOrderDoesNotMatterForIdentity) {
+  MetricsRegistry registry;
+  Counter& a =
+      registry.GetCounter("x.total", {{"b", "2"}, {"a", "1"}});
+  Counter& b =
+      registry.GetCounter("x.total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(RegistryTest, DistinctLabelsAreDistinctMetrics) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x.total", {{"k", "1"}});
+  Counter& b = registry.GetCounter("x.total", {{"k", "2"}});
+  EXPECT_NE(&a, &b);
+}
+
+TEST(RegistryTest, HistogramBoundsMismatchThrows) {
+  MetricsRegistry registry;
+  registry.GetHistogram("h", {}, {1.0, 2.0});
+  EXPECT_THROW(registry.GetHistogram("h", {}, {1.0, 3.0}),
+               InvalidArgument);
+  // Same bounds (or defaulted lookup of an existing name with empty
+  // bounds meaning "whatever it was registered with") is fine.
+  EXPECT_NO_THROW(registry.GetHistogram("h", {}, {1.0, 2.0}));
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("c");
+  Histogram& h = registry.GetHistogram("h", {}, {1.0});
+  c.Increment(7);
+  h.Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.Increment();  // handle still valid
+  EXPECT_EQ(registry.GetCounter("c").value(), 1u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.total").Increment(2);
+  registry.GetCounter("a.total").Increment(1);
+  registry.GetGauge("g").Set(1.5);
+  registry.GetHistogram("h", {}, {1.0}).Observe(0.5);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.total");
+  EXPECT_EQ(snap.counters[1].name, "b.total");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_NE(snap.FindCounter("a.total"), nullptr);
+  EXPECT_EQ(snap.FindCounter("missing"), nullptr);
+  EXPECT_NE(snap.FindHistogram("h"), nullptr);
+}
+
+TEST(RegistryTest, GlobalStartsDisabledAndToggles) {
+  // Other tests in this binary must not have enabled it; the global
+  // contract is "off until someone opts in".
+  MetricsRegistry& global = MetricsRegistry::global();
+  const bool was = global.enabled();
+  global.set_enabled(true);
+  EXPECT_TRUE(global.enabled());
+  global.set_enabled(was);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsANoOp) {
+  ScopedTimerMs timer(nullptr);
+  EXPECT_DOUBLE_EQ(timer.ElapsedMs(), 0.0);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedIntoHistogram) {
+  Histogram h({1e6});
+  {
+    ScopedTimerMs timer(&h);
+    EXPECT_GE(timer.ElapsedMs(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(PrometheusTest, EmitsTypeOncePerFamilyAndCumulativeBuckets) {
+  MetricsRegistry registry;
+  registry.GetCounter("req.total", {{"replica", "a"}}).Increment(3);
+  registry.GetCounter("req.total", {{"replica", "b"}}).Increment(4);
+  Histogram& h = registry.GetHistogram("lat.ms", {}, {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(9.0);
+  const std::string text = registry.Snapshot().ToPrometheus();
+
+  // One TYPE line despite two label sets; '.' sanitized to '_'.
+  std::size_t type_count = 0, pos = 0;
+  while ((pos = text.find("# TYPE req_total counter", pos)) !=
+         std::string::npos) {
+    ++type_count;
+    pos += 1;
+  }
+  EXPECT_EQ(type_count, 1u);
+  EXPECT_NE(text.find("req_total{replica=\"a\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("req_total{replica=\"b\"} 4"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blot::obs

@@ -1,0 +1,159 @@
+// End-to-end observability of query routing: a traced BlotStore::Execute
+// must report the chosen replica, the cost model's estimate and the
+// measured wall clock — in the RoutedResult, in the span tree, and in
+// the global metrics registry.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/store.h"
+#include "gen/taxi_generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace blot {
+namespace {
+
+struct RoutingObsTest : ::testing::Test {
+  Dataset dataset;
+  STRange universe;
+  CostModel model{EnvironmentModel::AmazonS3Emr()};
+
+  RoutingObsTest() {
+    TaxiFleetConfig config;
+    config.num_taxis = 8;
+    config.samples_per_taxi = 200;
+    dataset = GenerateTaxiFleet(config);
+    universe = config.Universe();
+  }
+
+  void SetUp() override {
+    obs::MetricsRegistry::global().Reset();
+    obs::MetricsRegistry::global().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::MetricsRegistry::global().set_enabled(false);
+  }
+
+  BlotStore MakeStore() {
+    BlotStore store(Dataset(dataset), universe);
+    store.AddReplica({{.spatial_partitions = 2, .temporal_partitions = 2},
+                      EncodingScheme::FromName("ROW-SNAPPY")});
+    store.AddReplica({{.spatial_partitions = 16, .temporal_partitions = 8},
+                      EncodingScheme::FromName("COL-GZIP")});
+    return store;
+  }
+};
+
+TEST_F(RoutingObsTest, TracedQueryRecordsEstimatedAndMeasuredCost) {
+  const BlotStore store = MakeStore();
+  const STRange query = STRange::FromBounds(
+      universe.x_min(), universe.x_min() + universe.Width() / 8,
+      universe.y_min(), universe.y_min() + universe.Height() / 8,
+      universe.t_min(), universe.t_min() + universe.Duration() / 8);
+
+  obs::TraceSpan root("store-query");
+  const auto routed = store.Execute(query, model, nullptr, &root);
+
+  // The result itself carries both sides of the comparison.
+  EXPECT_GT(routed.estimated_cost_ms, 0.0);
+  EXPECT_GT(routed.measured_cost_ms, 0.0);
+  EXPECT_LT(routed.replica_index, store.NumReplicas());
+  EXPECT_GT(routed.predicted_partitions, 0u);
+
+  // The span tree carries them too, with route/execute children.
+  EXPECT_EQ(root.attribute("replica"),
+            store.replica(routed.replica_index).config().Name());
+  EXPECT_NE(root.attribute("estimated_cost_ms"), "");
+  EXPECT_NE(root.attribute("measured_cost_ms"), "");
+  const obs::TraceSpan* route = root.FindChild("route");
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->attribute("candidates"), "2");
+  const obs::TraceSpan* execute = root.FindChild("execute");
+  ASSERT_NE(execute, nullptr);
+  EXPECT_NE(execute->attribute("partitions_scanned"), "");
+
+  // And the registry aggregated the same facts.
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::global().Snapshot();
+  const obs::CounterSnapshot* total =
+      snap.FindCounter("query.routed_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->value, 1u);
+  const std::string chosen =
+      store.replica(routed.replica_index).config().Name();
+  const obs::CounterSnapshot* per_replica =
+      snap.FindCounter("query.routed_total", {{"replica", chosen}});
+  ASSERT_NE(per_replica, nullptr);
+  EXPECT_EQ(per_replica->value, 1u);
+
+  const obs::HistogramSnapshot* estimated =
+      snap.FindHistogram("query.estimated_cost_ms");
+  ASSERT_NE(estimated, nullptr);
+  EXPECT_EQ(estimated->count, 1u);
+  EXPECT_NEAR(estimated->sum, routed.estimated_cost_ms, 1e-9);
+
+  const obs::HistogramSnapshot* measured =
+      snap.FindHistogram("query.measured_ms");
+  ASSERT_NE(measured, nullptr);
+  EXPECT_EQ(measured->count, 1u);
+  EXPECT_NEAR(measured->sum, routed.measured_cost_ms, 1e-9);
+
+  const obs::HistogramSnapshot* error =
+      snap.FindHistogram("query.cost_error_pct");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->count, 1u);
+}
+
+TEST_F(RoutingObsTest, UntracedQueryStillRoutesAndMeasures) {
+  const BlotStore store = MakeStore();
+  const auto routed = store.Execute(universe, model);
+  EXPECT_GT(routed.estimated_cost_ms, 0.0);
+  EXPECT_GT(routed.measured_cost_ms, 0.0);
+  EXPECT_GT(routed.result.stats.partitions_scanned, 0u);
+}
+
+TEST_F(RoutingObsTest, DisabledRegistryRecordsNothing) {
+  obs::MetricsRegistry::global().set_enabled(false);
+  const BlotStore store = MakeStore();
+  (void)store.Execute(universe, model);
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::global().Snapshot();
+  const obs::CounterSnapshot* total =
+      snap.FindCounter("query.routed_total");
+  // Either never registered, or registered by another test but not
+  // incremented by this query.
+  if (total != nullptr) EXPECT_EQ(total->value, 0u);
+}
+
+TEST_F(RoutingObsTest, BatchExecutionRecordsSharedScanSavings) {
+  const BlotStore store = MakeStore();
+  std::vector<STRange> queries;
+  for (int i = 0; i < 4; ++i)
+    queries.push_back(STRange::FromBounds(
+        universe.x_min(), universe.x_max(), universe.y_min(),
+        universe.y_max(), universe.t_min(),
+        universe.t_min() + universe.Duration() * (i + 1) / 4));
+  const auto batch = store.ExecuteBatch(queries, model);
+  EXPECT_GT(batch.measured_ms, 0.0);
+
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::global().Snapshot();
+  const obs::CounterSnapshot* batches =
+      snap.FindCounter("query.batches_total");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_EQ(batches->value, 1u);
+  const obs::CounterSnapshot* batch_queries =
+      snap.FindCounter("query.batch_queries_total");
+  ASSERT_NE(batch_queries, nullptr);
+  EXPECT_EQ(batch_queries->value, queries.size());
+  // Overlapping time slabs share partition scans, so savings accrue.
+  const obs::CounterSnapshot* saved =
+      snap.FindCounter("query.batch_shared_scans_saved_total");
+  ASSERT_NE(saved, nullptr);
+  EXPECT_EQ(saved->value,
+            batch.naive_partition_scans - batch.stats.partitions_scanned);
+}
+
+}  // namespace
+}  // namespace blot

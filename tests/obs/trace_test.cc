@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/thread_pool.h"
+
+namespace blot::obs {
+namespace {
+
+TEST(TraceSpanTest, AttributesRoundTrip) {
+  TraceSpan span("root");
+  span.AddAttribute("replica", std::string("KD8xT4/COL-GZIP"));
+  span.AddAttribute("cost_ms", 12.5);
+  span.AddAttribute("partitions", std::uint64_t{7});
+  EXPECT_EQ(span.attribute("replica"), "KD8xT4/COL-GZIP");
+  EXPECT_EQ(span.attribute("cost_ms"), "12.500");
+  EXPECT_EQ(span.attribute("partitions"), "7");
+  EXPECT_EQ(span.attribute("missing"), "");
+}
+
+TEST(TraceSpanTest, ChildrenKeepStableAddresses) {
+  TraceSpan root("root");
+  TraceSpan& a = root.AddChild("a");
+  // Append enough children to force the container to reallocate; `a`
+  // must stay where it was.
+  for (int i = 0; i < 100; ++i) root.AddChild("filler");
+  a.AddAttribute("k", std::string("v"));
+  ASSERT_NE(root.FindChild("a"), nullptr);
+  EXPECT_EQ(root.FindChild("a"), &a);
+  EXPECT_EQ(root.FindChild("a")->attribute("k"), "v");
+  EXPECT_EQ(root.FindChild("nope"), nullptr);
+}
+
+TEST(TraceSpanTest, RenderShowsTreeStructure) {
+  TraceSpan root("store-query");
+  root.set_duration_ms(3.42);
+  root.AddAttribute("replica", std::string("A"));
+  TraceSpan& route = root.AddChild("route");
+  route.set_duration_ms(0.01);
+  route.AddAttribute("candidates", std::uint64_t{2});
+  TraceSpan& execute = root.AddChild("execute");
+  execute.set_duration_ms(3.38);
+  TraceSpan& scan = execute.AddChild("scan");
+  scan.set_duration_ms(1.0);
+
+  const std::string out = root.Render();
+  EXPECT_NE(out.find("store-query (3.42 ms) replica=A"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("├─ route (0.01 ms) candidates=2"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("└─ execute (3.38 ms)"), std::string::npos) << out;
+  // Grandchild is indented under its parent with a cleared gutter
+  // (execute is the last child, so no '│' continues past it).
+  EXPECT_NE(out.find("   └─ scan (1.00 ms)"), std::string::npos) << out;
+}
+
+TEST(TraceSpanTest, MiddleChildGutterContinues) {
+  TraceSpan root("r");
+  root.AddChild("first").AddChild("leaf");
+  root.AddChild("second");
+  const std::string out = root.Render();
+  // `first` has a following sibling, so its subtree's gutter keeps the
+  // vertical bar.
+  EXPECT_NE(out.find("│  └─ leaf"), std::string::npos) << out;
+}
+
+TEST(TraceSpanTest, ConcurrentAnnotationIsSafe) {
+  TraceSpan root("parallel");
+  ThreadPool pool(8);
+  pool.ParallelFor(64, [&](std::size_t i) {
+    TraceSpan& child = root.AddChild("task");
+    child.AddAttribute("i", std::uint64_t{i});
+    child.set_duration_ms(double(i));
+  });
+  // All 64 children landed; Render doesn't crash on a wide tree.
+  const std::string out = root.Render();
+  std::size_t count = 0, pos = 0;
+  while ((pos = out.find("task", pos)) != std::string::npos) {
+    ++count;
+    pos += 4;
+  }
+  EXPECT_EQ(count, 64u);
+}
+
+TEST(SpanTimerTest, StampsDurationOnDestruction) {
+  TraceSpan span("timed");
+  {
+    SpanTimer timer(&span);
+    EXPECT_GE(timer.ElapsedMs(), 0.0);
+  }
+  EXPECT_GE(span.duration_ms(), 0.0);
+}
+
+TEST(SpanTimerTest, NullSpanIsANoOp) {
+  SpanTimer timer(nullptr);
+  EXPECT_DOUBLE_EQ(timer.ElapsedMs(), 0.0);
+}
+
+}  // namespace
+}  // namespace blot::obs

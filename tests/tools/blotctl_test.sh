@@ -50,6 +50,29 @@ head -1 fleet.csv | grep -q "oid,time" || fail "csv header"
     --range 120.9,121.1,30.9,31.1,1193875200,1194000000 \
     | grep -q "routed to replica" || fail "store-query routing"
 
+# Observability surface: span trees, metric snapshots, the stats command.
+TRACE="$("$BLOTCTL" store-query --dir mystore \
+    --range 120.9,121.1,30.9,31.1,1193875200,1194000000 --trace)"
+echo "$TRACE" | grep -q "measured_cost_ms" || fail "trace measured cost"
+echo "$TRACE" | grep -q "estimated_cost_ms" || fail "trace estimated cost"
+echo "$TRACE" | grep -q "execute .* partitions_scanned" || fail "trace tree"
+
+"$BLOTCTL" query --dir rep_a \
+    --range 120,122,30,32,1193875200,1196294400 --limit 1 --trace \
+    | grep -q "load .* partitions" || fail "query trace"
+
+"$BLOTCTL" store-query --dir mystore \
+    --range 120.9,121.1,30.9,31.1,1193875200,1194000000 \
+    --metrics-out metrics.json >/dev/null || fail "metrics-out"
+grep -q '"query.routed_total"' metrics.json || fail "metrics-out contents"
+
+"$BLOTCTL" stats --dir mystore --queries 8 > stats.json || fail "stats"
+grep -q '"query.routed_total"' stats.json || fail "stats routed_total"
+grep -q '"codec.decode_ms"' stats.json || fail "stats codec histograms"
+grep -q '"query.cost_error_pct"' stats.json || fail "stats cost error"
+"$BLOTCTL" stats --dir mystore --queries 4 --format prom \
+    | grep -q "^# TYPE query_routed_total counter" || fail "stats prom"
+
 # Error paths must fail cleanly (non-zero, no crash).
 "$BLOTCTL" query --dir rep_a --range bad 2>/dev/null && fail "bad range ok?"
 "$BLOTCTL" info --dir missing_dir 2>/dev/null && fail "missing dir ok?"

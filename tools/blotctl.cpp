@@ -11,6 +11,11 @@
 //   store-build persist a multi-replica store (dataset + replicas)
 //   store-query routed query against a persisted store
 //   advise      recommend a diverse replica set for a workload/budget
+//   stats       probe a persisted store and emit a metrics snapshot
+//
+// Observability: `--trace` on query/store-query prints the span tree of
+// the execution; `--metrics-out FILE` on the heavier commands writes a
+// JSON metrics snapshot when the command finishes (docs/observability.md).
 //
 // Run `blotctl help` (or any command with missing flags) for usage.
 #include <cstdio>
@@ -23,6 +28,8 @@
 #include "core/advisor.h"
 #include "core/store.h"
 #include "gen/taxi_generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tools/flags.h"
 
 namespace blot::tools {
@@ -39,14 +46,36 @@ int Usage() {
       "             [--hybrid 1]\n"
       "  info       --dir DIR\n"
       "  query      --dir DIR --range x0,x1,y0,y1,t0,t1 [--limit N]\n"
+      "             [--trace]\n"
       "  aggregate  --dir DIR --range x0,x1,y0,y1,t0,t1\n"
       "  trajectory --dir DIR --oid N [--from T] [--to T] [--limit N]\n"
       "  recover    --from DIR --to DIR\n"
       "  store-build --data FILE --out DIR [--schemes A;B;...]\n"
       "  store-query --dir DIR --range x0,x1,y0,y1,t0,t1 [--env s3|hadoop]\n"
+      "             [--trace]\n"
       "  advise     --data FILE [--records N] [--budget-gb G]\n"
-      "             [--env s3|hadoop] [--algorithm greedy|mip]\n");
+      "             [--env s3|hadoop] [--algorithm greedy|mip]\n"
+      "  stats      --dir DIR [--queries N] [--env s3|hadoop] [--seed S]\n"
+      "             [--format json|prom] [--out FILE]\n"
+      "\n"
+      "  build, query, recover, store-build, store-query and advise also\n"
+      "  accept --metrics-out FILE (JSON metrics snapshot on completion).\n");
   return 2;
+}
+
+// --metrics-out FILE: switch the global registry on before the command
+// body runs, and dump the JSON snapshot when it is done.
+void EnableMetricsIfRequested(const Flags& flags) {
+  if (flags.Has("metrics-out"))
+    obs::MetricsRegistry::global().set_enabled(true);
+}
+
+void WriteMetricsIfRequested(const Flags& flags) {
+  if (!flags.Has("metrics-out")) return;
+  const std::string path = flags.GetString("metrics-out");
+  std::ofstream out(path, std::ios::trunc);
+  require(out.good(), "cannot open metrics output: " + path);
+  out << obs::MetricsRegistry::global().Snapshot().ToJson();
 }
 
 Dataset LoadDataset(const std::string& path) {
@@ -118,6 +147,7 @@ int CmdGenerate(const Flags& flags) {
 }
 
 int CmdBuild(const Flags& flags) {
+  EnableMetricsIfRequested(flags);
   const Dataset dataset = LoadDataset(flags.GetString("data"));
   const ReplicaConfig config = ParseReplicaConfig(
       flags.GetString("scheme", "KD64xT16/COL-GZIP"),
@@ -131,6 +161,7 @@ int CmdBuild(const Flags& flags) {
               config.Name().c_str(), replica.NumPartitions(),
               static_cast<unsigned long long>(replica.NumRecords()),
               double(replica.StorageBytes()) / (1 << 20), dir.c_str());
+  WriteMetricsIfRequested(flags);
   return 0;
 }
 
@@ -149,11 +180,36 @@ int CmdInfo(const Flags& flags) {
 }
 
 int CmdQuery(const Flags& flags) {
-  const Replica replica = SegmentStore::Load(flags.GetString("dir"));
+  EnableMetricsIfRequested(flags);
+  obs::TraceSpan root("query");
+  obs::TraceSpan& load_span = root.AddChild("load");
+  const std::uint64_t root_start_ns = obs::MonotonicNanos();
+
+  Replica replica = [&] {
+    obs::SpanTimer timer(&load_span);
+    return SegmentStore::Load(flags.GetString("dir"));
+  }();
+  load_span.AddAttribute("replica", replica.config().Name());
+  load_span.AddAttribute("partitions",
+                         std::uint64_t{replica.NumPartitions()});
+
   const STRange range = ParseRange(flags.GetString("range"));
   const std::int64_t limit = flags.GetInt("limit", 20);
   ThreadPool pool(4);
-  const QueryResult result = replica.Execute(range, &pool);
+  obs::TraceSpan& execute_span = root.AddChild("execute");
+  const QueryResult result = [&] {
+    obs::SpanTimer timer(&execute_span);
+    return replica.Execute(range, &pool);
+  }();
+  execute_span.AddAttribute(
+      "partitions_scanned", std::uint64_t{result.stats.partitions_scanned});
+  execute_span.AddAttribute("records_scanned",
+                            result.stats.records_scanned);
+  execute_span.AddAttribute("bytes_read", result.stats.bytes_read);
+  root.set_duration_ms(double(obs::MonotonicNanos() - root_start_ns) *
+                       1e-6);
+  if (flags.Has("trace")) std::fputs(root.Render().c_str(), stdout);
+
   std::printf("%zu records (scanned %llu records in %zu partitions)\n",
               result.records.size(),
               static_cast<unsigned long long>(result.stats.records_scanned),
@@ -169,6 +225,7 @@ int CmdQuery(const Flags& flags) {
                 r.oid, static_cast<long long>(r.time), r.x, r.y,
                 static_cast<double>(r.speed), r.status);
   }
+  WriteMetricsIfRequested(flags);
   return 0;
 }
 
@@ -221,6 +278,7 @@ int CmdTrajectory(const Flags& flags) {
 }
 
 int CmdRecover(const Flags& flags) {
+  EnableMetricsIfRequested(flags);
   const Replica source = SegmentStore::Load(flags.GetString("from"));
   const std::string to = flags.GetString("to");
   const Replica damaged = SegmentStore::Load(to);
@@ -232,12 +290,14 @@ int CmdRecover(const Flags& flags) {
               recovered.config().Name().c_str(),
               static_cast<unsigned long long>(recovered.NumRecords()),
               source.config().Name().c_str());
+  WriteMetricsIfRequested(flags);
   return 0;
 }
 
 // Builds a multi-replica store from a ;-separated scheme list and
 // persists it (dataset + all replicas).
 int CmdStoreBuild(const Flags& flags) {
+  EnableMetricsIfRequested(flags);
   const Dataset dataset = LoadDataset(flags.GetString("data"));
   const std::string schemes =
       flags.GetString("schemes", "KD4xT4/ROW-SNAPPY;KD64xT16/COL-GZIP");
@@ -258,31 +318,91 @@ int CmdStoreBuild(const Flags& flags) {
   std::printf("store with %zu replicas (%.2f MiB total) -> %s\n",
               store.NumReplicas(),
               double(store.TotalStorageBytes()) / (1 << 20), dir.c_str());
+  WriteMetricsIfRequested(flags);
   return 0;
 }
 
 // Routed query against a persisted multi-replica store.
 int CmdStoreQuery(const Flags& flags) {
+  EnableMetricsIfRequested(flags);
   const BlotStore store = BlotStore::Load(flags.GetString("dir"));
   const STRange range = ParseRange(flags.GetString("range"));
   const std::string env_name = flags.GetString("env", "hadoop");
   const CostModel model{env_name == "s3" ? EnvironmentModel::AmazonS3Emr()
                                          : EnvironmentModel::LocalHadoop()};
   ThreadPool pool(4);
-  const auto routed = store.Execute(range, model, &pool);
-  std::printf("routed to replica %zu (%s), estimated %.1f s\n",
+  obs::TraceSpan root("store-query");
+  const auto routed = [&] {
+    obs::SpanTimer timer(&root);
+    return store.Execute(range, model, &pool,
+                         flags.Has("trace") ? &root : nullptr);
+  }();
+  if (flags.Has("trace")) std::fputs(root.Render().c_str(), stdout);
+  std::printf("routed to replica %zu (%s), estimated %.1f s, "
+              "measured %.2f ms\n",
               routed.replica_index,
               store.replica(routed.replica_index).config().Name().c_str(),
-              routed.estimated_cost_ms / 1000.0);
+              routed.estimated_cost_ms / 1000.0, routed.measured_cost_ms);
   std::printf("%zu records (scanned %llu in %zu partitions)\n",
               routed.result.records.size(),
               static_cast<unsigned long long>(
                   routed.result.stats.records_scanned),
               routed.result.stats.partitions_scanned);
+  WriteMetricsIfRequested(flags);
+  return 0;
+}
+
+// Probes a persisted store with a routed sample workload and emits the
+// resulting metrics snapshot — the quickest way to see, for real data on
+// disk, how the cost model's estimates line up with measured execution
+// (query.cost_error_pct) and where decode time goes (codec.decode_ms).
+int CmdStats(const Flags& flags) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.set_enabled(true);
+  const BlotStore store = BlotStore::Load(flags.GetString("dir"));
+  const std::size_t num_queries =
+      static_cast<std::size_t>(flags.GetInt("queries", 32));
+  const std::string env_name = flags.GetString("env", "hadoop");
+  const CostModel model{env_name == "s3" ? EnvironmentModel::AmazonS3Emr()
+                                         : EnvironmentModel::LocalHadoop()};
+  ThreadPool pool(4);
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  const STRange& universe = store.universe();
+
+  // Probe mix: mostly selective queries with some large scans, echoing
+  // the advisor's default workload shape.
+  const double fractions[] = {0.01, 0.05, 0.2, 1.0};
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const double frac = fractions[i % 4];
+    const STRange query = SampleQueryInstance(
+        {{universe.Width() * frac, universe.Height() * frac,
+          universe.Duration() * frac}},
+        universe, rng);
+    store.Execute(query, model, &pool);
+  }
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string format = flags.GetString("format", "json");
+  require(format == "json" || format == "prom",
+          "format must be json or prom");
+  const std::string rendered =
+      format == "json" ? snapshot.ToJson() : snapshot.ToPrometheus();
+  if (flags.Has("out")) {
+    const std::string path = flags.GetString("out");
+    std::ofstream out(path, std::ios::trunc);
+    require(out.good(), "cannot open output: " + path);
+    out << rendered;
+    std::fprintf(stderr, "ran %zu probe queries against %zu replicas; "
+                 "snapshot -> %s\n",
+                 num_queries, store.NumReplicas(), path.c_str());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
   return 0;
 }
 
 int CmdAdvise(const Flags& flags) {
+  EnableMetricsIfRequested(flags);
   const Dataset dataset = LoadDataset(flags.GetString("data"));
   const std::uint64_t records = static_cast<std::uint64_t>(
       flags.GetInt("records", static_cast<std::int64_t>(dataset.size())));
@@ -320,6 +440,7 @@ int CmdAdvise(const Flags& flags) {
               report.selection.workload_cost / 1000.0,
               report.best_single_cost_ms / 1000.0,
               report.ideal_cost_ms / 1000.0, report.SpeedupOverSingle());
+  WriteMetricsIfRequested(flags);
   return 0;
 }
 
@@ -331,24 +452,34 @@ int Run(int argc, char** argv) {
     return CmdGenerate(
         {argc, argv, 2, {"out", "taxis", "samples", "seed", "format"}});
   if (command == "build")
-    return CmdBuild({argc, argv, 2, {"data", "out", "scheme", "hybrid"}});
+    return CmdBuild({argc, argv, 2,
+                     {"data", "out", "scheme", "hybrid", "metrics-out"}});
   if (command == "info") return CmdInfo({argc, argv, 2, {"dir"}});
   if (command == "query")
-    return CmdQuery({argc, argv, 2, {"dir", "range", "limit"}});
+    return CmdQuery({argc, argv, 2,
+                     {"dir", "range", "limit", "metrics-out"},
+                     {"trace"}});
   if (command == "aggregate")
     return CmdAggregate({argc, argv, 2, {"dir", "range"}});
   if (command == "trajectory")
     return CmdTrajectory(
         {argc, argv, 2, {"dir", "oid", "from", "to", "limit"}});
   if (command == "recover")
-    return CmdRecover({argc, argv, 2, {"from", "to"}});
+    return CmdRecover({argc, argv, 2, {"from", "to", "metrics-out"}});
   if (command == "store-build")
-    return CmdStoreBuild({argc, argv, 2, {"data", "out", "schemes"}});
+    return CmdStoreBuild(
+        {argc, argv, 2, {"data", "out", "schemes", "metrics-out"}});
   if (command == "store-query")
-    return CmdStoreQuery({argc, argv, 2, {"dir", "range", "env"}});
+    return CmdStoreQuery({argc, argv, 2,
+                          {"dir", "range", "env", "metrics-out"},
+                          {"trace"}});
   if (command == "advise")
     return CmdAdvise({argc, argv, 2,
-                      {"data", "records", "budget-gb", "env", "algorithm"}});
+                      {"data", "records", "budget-gb", "env", "algorithm",
+                       "metrics-out"}});
+  if (command == "stats")
+    return CmdStats({argc, argv, 2,
+                     {"dir", "queries", "env", "seed", "format", "out"}});
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage();
 }

@@ -20,15 +20,22 @@ namespace blot::tools {
 class Flags {
  public:
   // Parses argv[first..argc); every flag must start with "--" and take
-  // exactly one value. `allowed` is the set of recognized flag names
-  // (without the dashes).
+  // exactly one value, except flags listed in `flag_only`, which take
+  // none and parse as "1" (e.g. --trace). `allowed` is the set of
+  // recognized flag names (without the dashes).
   Flags(int argc, char** argv, int first,
-        const std::set<std::string>& allowed) {
+        const std::set<std::string>& allowed,
+        const std::set<std::string>& flag_only = {}) {
     for (int i = first; i < argc; ++i) {
       std::string flag = argv[i];
       require(flag.rfind("--", 0) == 0, "unexpected argument: " + flag);
       flag = flag.substr(2);
-      require(allowed.contains(flag), "unknown flag: --" + flag);
+      require(allowed.contains(flag) || flag_only.contains(flag),
+              "unknown flag: --" + flag);
+      if (flag_only.contains(flag)) {
+        values_.emplace(flag, "1");
+        continue;
+      }
       require(i + 1 < argc, "flag --" + flag + " needs a value");
       values_[flag] = argv[++i];
     }
