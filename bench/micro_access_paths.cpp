@@ -1,6 +1,7 @@
 // Microbenchmarks for the auxiliary access paths: partition-index lookup
 // (temporal bucketing), trajectory retrieval (object-digest pruning),
-// shared-scan batch execution, and segment-store persistence.
+// shared-scan batch execution, segment-store persistence, and the fused
+// decode-filter kernels against naive decode-then-filter.
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
@@ -130,6 +131,86 @@ void BM_SegmentStoreLoad(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_SegmentStoreLoad);
+
+// --- Fused decode-filter vs naive decode-then-filter -------------------
+//
+// One encoded partition, queries of varying selectivity. The naive path
+// materializes every record and filters afterwards; the fused path
+// filters during deserialization — for columns it decodes the x/y/t
+// coordinate columns first and touches attribute columns only for
+// matches, for rows it skips the attribute bytes of non-matching rows.
+
+const std::vector<Record>& PartitionRecords() {
+  static const std::vector<Record> records = [] {
+    // One KD64xT32 partition's worth of spatially-local records.
+    return Fleet().FilterByRange(
+        STRange::FromBounds(120.8, 121.2, 30.8, 31.2,
+                            bench::PaperUniverse().t_min(),
+                            bench::PaperUniverse().t_max()));
+  }();
+  return records;
+}
+
+// A query matching roughly `pct`% of the partition's records (by time
+// prefix, so both layouts keep their sequential access pattern).
+STRange SelectQuery(int pct) {
+  const STRange u = bench::PaperUniverse();
+  return STRange::FromBounds(
+      u.x_min(), u.x_max(), u.y_min(), u.y_max(), u.t_min(),
+      u.t_min() + u.Duration() * static_cast<double>(pct) / 100.0);
+}
+
+void BM_ScanNaiveDecodeThenFilter(benchmark::State& state) {
+  const EncodingScheme scheme = AllEncodingSchemes()[state.range(0)];
+  const Bytes data = EncodePartition(PartitionRecords(), scheme);
+  const STRange query = SelectQuery(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const std::vector<Record> all = DecodePartition(data, scheme);
+    std::vector<Record> matches;
+    for (const Record& r : all)
+      if (query.Contains(r.Position())) matches.push_back(r);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetLabel(scheme.Name());
+  state.counters["records"] = static_cast<double>(PartitionRecords().size());
+}
+
+void BM_ScanFusedDecodeFilter(benchmark::State& state) {
+  const EncodingScheme scheme = AllEncodingSchemes()[state.range(0)];
+  const Bytes data = EncodePartition(PartitionRecords(), scheme);
+  const STRange query = SelectQuery(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    std::vector<Record> matches = DecodePartitionInRange(data, scheme, query);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetLabel(scheme.Name());
+  state.counters["records"] = static_cast<double>(PartitionRecords().size());
+}
+
+// Scheme index: 0 = ROW-PLAIN, 4 = COL-SNAPPY (AllEncodingSchemes order);
+// selectivity 1%, 10%, 100% of the partition.
+#define FUSED_ARGS                                         \
+  ->Args({0, 1})->Args({0, 10})->Args({0, 100})            \
+  ->Args({4, 1})->Args({4, 10})->Args({4, 100})
+BENCHMARK(BM_ScanNaiveDecodeThenFilter) FUSED_ARGS;
+BENCHMARK(BM_ScanFusedDecodeFilter) FUSED_ARGS;
+#undef FUSED_ARGS
+
+// End-to-end query path with the cache disabled: Replica::Execute runs
+// the fused kernel per involved partition.
+void BM_ExecuteFusedSelective(benchmark::State& state) {
+  const STRange universe = bench::PaperUniverse();
+  Rng rng(7);
+  const STRange query = SampleQueryInstance(
+      {{universe.Width() * 0.05, universe.Height() * 0.05,
+        universe.Duration() * 0.05}},
+      universe, rng);
+  for (auto _ : state) {
+    const QueryResult result = SharedReplica().Execute(query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecuteFusedSelective);
 
 }  // namespace
 }  // namespace blot

@@ -40,6 +40,15 @@ std::vector<Record> DecodePartition(BytesView data,
   return DeserializeRecords(serialized, scheme.layout);
 }
 
+std::vector<Record> DecodePartitionInRange(BytesView data,
+                                           const EncodingScheme& scheme,
+                                           const STRange& range,
+                                           std::uint64_t* total_records) {
+  const Bytes serialized = GetCodec(scheme.codec).Decompress(data);
+  return DeserializeRecordsInRange(serialized, scheme.layout, range,
+                                   total_records);
+}
+
 double MeasureCompressionRatio(std::span<const Record> sample,
                                const EncodingScheme& scheme) {
   require(!sample.empty(), "MeasureCompressionRatio: empty sample");

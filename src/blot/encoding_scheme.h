@@ -43,6 +43,15 @@ Bytes EncodePartition(std::span<const Record> records,
 std::vector<Record> DecodePartition(BytesView data,
                                     const EncodingScheme& scheme);
 
+// Fused decode-filter: decompresses, then deserializes only the records
+// inside `range` (layout.h's DeserializeRecordsInRange). Returns exactly
+// the records DecodePartition + filter would, in the same order;
+// `total_records` receives the partition's record count for scan
+// accounting.
+std::vector<Record> DecodePartitionInRange(
+    BytesView data, const EncodingScheme& scheme, const STRange& range,
+    std::uint64_t* total_records = nullptr);
+
 // Compressed bytes / uncompressed-row-layout bytes, measured on a sample
 // (Table I's metric; the paper estimates Storage(r) this way because
 // "compression ratio is stable in most situations").

@@ -126,6 +126,80 @@ std::vector<Record> DeserializeColumns(ByteReader& in, std::size_t count) {
   return records;
 }
 
+// Streaming row filter: rows are fixed-width, so non-matching rows skip
+// their 12 attribute bytes (speed, heading, status, passengers, fare)
+// without parsing them.
+std::vector<Record> ScanRowsInRange(ByteReader& in, std::size_t count,
+                                    const STRange& range) {
+  constexpr std::size_t kAttributeBytes = 4 + 2 + 1 + 1 + 4;
+  validate(in.remaining() == count * kRecordRowBytes,
+           "ScanRowsInRange: row payload size mismatch");
+  std::vector<Record> matches;
+  for (std::size_t i = 0; i < count; ++i) {
+    Record r;
+    r.oid = in.GetU32();
+    r.time = in.GetI64();
+    r.x = in.GetF64();
+    r.y = in.GetF64();
+    if (!range.Contains(r.Position())) {
+      in.GetBytes(kAttributeBytes);
+      continue;
+    }
+    r.speed = in.GetF32();
+    r.heading = in.GetU16();
+    r.status = in.GetU8();
+    r.passengers = in.GetU8();
+    r.fare_cents = in.GetU32();
+    matches.push_back(r);
+  }
+  return matches;
+}
+
+// Columnar predicate pushdown: decode the core columns, compute the match
+// set, and decode + materialize the attribute columns only when at least
+// one row matched.
+std::vector<Record> ScanColumnsInRange(ByteReader& in, std::size_t count,
+                                       const STRange& range) {
+  const auto oids = DecodeDeltaColumn(in, count);
+  const auto times = DecodeDeltaColumn(in, count);
+  const auto xs = DecodeAdaptiveDoubleColumn(in, count);
+  const auto ys = DecodeAdaptiveDoubleColumn(in, count);
+
+  std::vector<std::uint32_t> match_rows;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (range.Contains({xs[i], ys[i], static_cast<double>(times[i])}))
+      match_rows.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (match_rows.empty()) return {};
+
+  const auto speeds = DecodeF32Column(in, count);
+  const auto headings = DecodeDeltaColumn(in, count);
+  const auto statuses = DecodeRleColumn(in, count);
+  const auto passengers = DecodeRleColumn(in, count);
+  const auto fares = DecodeDeltaColumn(in, count);
+  std::vector<Record> matches(match_rows.size());
+  for (std::size_t j = 0; j < match_rows.size(); ++j) {
+    const std::size_t i = match_rows[j];
+    validate(oids[i] >= 0 && oids[i] <= 0xFFFFFFFFll,
+             "ScanColumnsInRange: oid out of range");
+    validate(headings[i] >= 0 && headings[i] <= 0xFFFFll,
+             "ScanColumnsInRange: heading out of range");
+    validate(fares[i] >= 0 && fares[i] <= 0xFFFFFFFFll,
+             "ScanColumnsInRange: fare out of range");
+    Record& r = matches[j];
+    r.oid = static_cast<std::uint32_t>(oids[i]);
+    r.time = times[i];
+    r.x = xs[i];
+    r.y = ys[i];
+    r.speed = speeds[i];
+    r.heading = static_cast<std::uint16_t>(headings[i]);
+    r.status = statuses[i];
+    r.passengers = passengers[i];
+    r.fare_cents = static_cast<std::uint32_t>(fares[i]);
+  }
+  return matches;
+}
+
 }  // namespace
 
 Bytes SerializeRecords(std::span<const Record> records, Layout layout) {
@@ -157,6 +231,24 @@ std::vector<Record> DeserializeRecords(BytesView data, Layout layout) {
   }
   validate(in.AtEnd(), "DeserializeRecords: trailing bytes");
   return records;
+}
+
+std::vector<Record> DeserializeRecordsInRange(BytesView data, Layout layout,
+                                              const STRange& range,
+                                              std::uint64_t* total_records) {
+  ByteReader in(data);
+  const std::uint64_t count64 = in.GetVarint();
+  validate(count64 <= data.size(),
+           "DeserializeRecordsInRange: implausible record count");
+  if (total_records != nullptr) *total_records = count64;
+  const std::size_t count = static_cast<std::size_t>(count64);
+  switch (layout) {
+    case Layout::kRow:
+      return ScanRowsInRange(in, count, range);
+    case Layout::kColumn:
+      return ScanColumnsInRange(in, count, range);
+  }
+  throw InvalidArgument("DeserializeRecordsInRange: unknown layout");
 }
 
 }  // namespace blot

@@ -33,6 +33,27 @@ Bytes SerializeRecords(std::span<const Record> records, Layout layout);
 // Inverse of SerializeRecords; throws CorruptData on malformed input.
 std::vector<Record> DeserializeRecords(BytesView data, Layout layout);
 
+// Fused decode-filter kernel: deserializes `data` but materializes only
+// the records whose Position() lies inside `range` — exactly the records
+// DeserializeRecords + filter would return, in the same order.
+//
+//   kColumn — decodes the oid/time/x/y columns first, computes the match
+//             set against `range`, and only then materializes matching
+//             rows; when nothing matches, the five attribute columns are
+//             never decoded at all (predicate pushdown).
+//   kRow    — streams over the fixed-width rows, parsing the core
+//             attributes and skipping the 12 attribute bytes of rows
+//             that fall outside `range`; no intermediate full-partition
+//             vector is built.
+//
+// `total_records` (optional) receives the partition's record count from
+// the serialized header, for scan accounting and count validation. The
+// fused path validates the framing it actually touches; byte-level
+// integrity is the caller's checksum's job.
+std::vector<Record> DeserializeRecordsInRange(
+    BytesView data, Layout layout, const STRange& range,
+    std::uint64_t* total_records = nullptr);
+
 }  // namespace blot
 
 #endif  // BLOT_BLOT_LAYOUT_H_

@@ -1,10 +1,41 @@
 #include "blot/replica.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "core/partition_cache.h"
 #include "util/error.h"
 
 namespace blot {
+
+void Replica::InitCacheState(std::size_t num_partitions) {
+  cache_id_ = PartitionCache::NextReplicaId();
+  verified_ = std::shared_ptr<std::atomic<std::uint8_t>[]>(
+      new std::atomic<std::uint8_t>[num_partitions]());
+}
+
+Replica::Replica(const Replica& other)
+    : config_(other.config_),
+      universe_(other.universe_),
+      index_(other.index_),
+      partitions_(other.partitions_),
+      storage_bytes_(other.storage_bytes_),
+      num_records_(other.num_records_) {
+  // Fresh identity and fresh (unverified) bits; see header.
+  InitCacheState(partitions_.size());
+}
+
+Replica& Replica::operator=(const Replica& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  universe_ = other.universe_;
+  index_ = other.index_;
+  partitions_ = other.partitions_;
+  storage_bytes_ = other.storage_bytes_;
+  num_records_ = other.num_records_;
+  InitCacheState(partitions_.size());
+  return *this;
+}
 
 Replica Replica::Build(const Dataset& dataset, const ReplicaConfig& config,
                        const STRange& universe, ThreadPool* pool) {
@@ -17,6 +48,7 @@ Replica Replica::Build(const Dataset& dataset, const ReplicaConfig& config,
       PartitionDataset(dataset, config.partitioning, universe);
   replica.index_ = PartitionIndex(std::move(partitioned.ranges));
   replica.partitions_.resize(partitioned.members.size());
+  replica.InitCacheState(replica.partitions_.size());
 
   const auto encode_one = [&](std::size_t i) {
     const auto& members = partitioned.members[i];
@@ -59,18 +91,63 @@ Replica Replica::Build(const Dataset& dataset, const ReplicaConfig& config,
   return replica;
 }
 
+void Replica::VerifyPartition(std::size_t partition) const {
+  std::atomic<std::uint8_t>& verified = verified_[partition];
+  if (verified.load(std::memory_order_acquire) != 0) return;
+  const StoredPartition& stored = partitions_[partition];
+  validate(Fnv1a64(stored.data) == stored.checksum,
+           "Replica: partition checksum mismatch (corrupt storage unit)");
+  verified.store(1, std::memory_order_release);
+}
+
 std::vector<Record> Replica::DecodePartitionRecords(
     std::size_t partition) const {
   require(partition < partitions_.size(),
           "Replica::DecodePartitionRecords: bad partition");
+  VerifyPartition(partition);
   const StoredPartition& stored = partitions_[partition];
-  validate(Fnv1a64(stored.data) == stored.checksum,
-           "Replica: partition checksum mismatch (corrupt storage unit)");
-  std::vector<Record> records = DecodePartition(
-      stored.data, {config_.encoding.layout, stored.codec});
+  std::vector<Record> records =
+      DecodePartition(stored.data, PartitionScheme(stored));
   validate(records.size() == stored.num_records,
            "Replica: decoded record count mismatch");
   return records;
+}
+
+std::shared_ptr<const std::vector<Record>> Replica::CachedPartitionRecords(
+    std::size_t partition, bool* cache_hit) const {
+  PartitionCache& cache = PartitionCache::Global();
+  if (cache.enabled()) {
+    if (auto records = cache.Lookup(cache_id_, partition)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      return records;
+    }
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  std::vector<Record> decoded = DecodePartitionRecords(partition);
+  if (!cache.enabled())
+    return std::make_shared<const std::vector<Record>>(std::move(decoded));
+  return cache.Insert(cache_id_, partition, std::move(decoded));
+}
+
+std::vector<Record> Replica::ScanPartitionInRange(
+    std::size_t partition, const STRange& query) const {
+  require(partition < partitions_.size(),
+          "Replica::ScanPartitionInRange: bad partition");
+  VerifyPartition(partition);
+  const StoredPartition& stored = partitions_[partition];
+  std::uint64_t total_records = 0;
+  std::vector<Record> matches = DecodePartitionInRange(
+      stored.data, PartitionScheme(stored), query, &total_records);
+  validate(total_records == stored.num_records,
+           "Replica: decoded record count mismatch");
+  return matches;
+}
+
+StoredPartition& Replica::MutablePartition(std::size_t i) {
+  require(i < partitions_.size(), "Replica::MutablePartition: bad partition");
+  verified_[i].store(0, std::memory_order_release);
+  PartitionCache::Global().Invalidate(cache_id_, i);
+  return partitions_[i];
 }
 
 QueryResult Replica::Execute(const STRange& query, ThreadPool* pool) const {
@@ -78,15 +155,27 @@ QueryResult Replica::Execute(const STRange& query, ThreadPool* pool) const {
   QueryResult result;
   result.stats.partitions_scanned = involved.size();
 
+  const bool use_cache = PartitionCache::Global().enabled();
   std::vector<std::vector<Record>> matches(involved.size());
   std::vector<QueryStats> stats(involved.size());
   const auto scan_one = [&](std::size_t k) {
     const std::size_t p = involved[k];
-    const std::vector<Record> records = DecodePartitionRecords(p);
-    stats[k].records_scanned = records.size();
-    stats[k].bytes_read = partitions_[p].data.size();
-    for (const Record& r : records)
-      if (query.Contains(r.Position())) matches[k].push_back(r);
+    if (use_cache) {
+      bool hit = false;
+      const auto records = CachedPartitionRecords(p, &hit);
+      stats[k].records_scanned = records->size();
+      stats[k].bytes_read = hit ? 0 : partitions_[p].data.size();
+      stats[k].cache_hits = hit ? 1 : 0;
+      stats[k].cache_misses = hit ? 0 : 1;
+      for (const Record& r : *records)
+        if (query.Contains(r.Position())) matches[k].push_back(r);
+    } else {
+      // Fused decode-filter kernel: no intermediate full-partition
+      // vector on this path.
+      matches[k] = ScanPartitionInRange(p, query);
+      stats[k].records_scanned = partitions_[p].num_records;
+      stats[k].bytes_read = partitions_[p].data.size();
+    }
   };
   if (pool != nullptr) {
     pool->ParallelFor(involved.size(), scan_one);
@@ -97,6 +186,8 @@ QueryResult Replica::Execute(const STRange& query, ThreadPool* pool) const {
   for (std::size_t k = 0; k < involved.size(); ++k) {
     result.stats.records_scanned += stats[k].records_scanned;
     result.stats.bytes_read += stats[k].bytes_read;
+    result.stats.cache_hits += stats[k].cache_hits;
+    result.stats.cache_misses += stats[k].cache_misses;
     result.records.insert(result.records.end(), matches[k].begin(),
                           matches[k].end());
   }
@@ -124,6 +215,7 @@ Replica Replica::FromParts(const ReplicaConfig& config,
   replica.universe_ = universe;
   replica.index_ = PartitionIndex(std::move(ranges));
   replica.partitions_ = std::move(partitions);
+  replica.InitCacheState(replica.partitions_.size());
   replica.storage_bytes_ = 0;
   replica.num_records_ = 0;
   for (const StoredPartition& p : replica.partitions_) {

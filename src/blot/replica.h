@@ -10,7 +10,9 @@
 #ifndef BLOT_BLOT_REPLICA_H_
 #define BLOT_BLOT_REPLICA_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,7 +65,13 @@ struct StoredPartition {
 struct QueryStats {
   std::size_t partitions_scanned = 0;
   std::uint64_t records_scanned = 0;
+  // Encoded bytes actually decoded; partitions served from the decoded-
+  // partition cache contribute 0.
   std::uint64_t bytes_read = 0;
+  // Partitions served from / missed in the decoded-partition cache
+  // (both 0 whenever the global cache is disabled).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 struct QueryResult {
@@ -79,6 +87,15 @@ class Replica {
   static Replica Build(const Dataset& dataset, const ReplicaConfig& config,
                        const STRange& universe, ThreadPool* pool = nullptr);
 
+  // Copies get a fresh cache identity: the copy's partitions may be
+  // mutated independently, so sharing cache keys could serve one copy's
+  // decoded records for the other's bytes. Moves keep the identity (the
+  // stored bytes travel with it).
+  Replica(const Replica& other);
+  Replica& operator=(const Replica& other);
+  Replica(Replica&&) noexcept = default;
+  Replica& operator=(Replica&&) noexcept = default;
+
   const ReplicaConfig& config() const { return config_; }
   const PartitionIndex& index() const { return index_; }
   const STRange& universe() const { return universe_; }
@@ -89,22 +106,45 @@ class Replica {
   // Total encoded bytes across partitions: Storage(r) of Definition 5.
   std::uint64_t StorageBytes() const { return storage_bytes_; }
 
-  // Answers a range query: scans involved partitions, decodes them, and
-  // filters records by `query` (Section II-D). Partitions are scanned in
-  // parallel when `pool` is non-null.
+  // Answers a range query: scans involved partitions and filters records
+  // by `query` (Section II-D). Partitions are scanned in parallel when
+  // `pool` is non-null. Each involved partition is served from the global
+  // PartitionCache when it is enabled (miss: full decode + insert);
+  // otherwise through the fused decode-filter kernel, which never
+  // materializes non-matching records.
   QueryResult Execute(const STRange& query, ThreadPool* pool = nullptr) const;
 
-  // Decodes one partition, verifying its checksum first; throws
+  // Decodes one partition, verifying its checksum on first read (later
+  // reads skip the hash; MutablePartition re-arms it); throws
   // CorruptData on integrity failure.
   std::vector<Record> DecodePartitionRecords(std::size_t partition) const;
+
+  // DecodePartitionRecords through the global PartitionCache: returns the
+  // pinned cached entry on a hit, otherwise decodes, caches and returns.
+  // When the cache is disabled this is exactly DecodePartitionRecords
+  // (wrapped). `cache_hit` (optional) reports which path was taken.
+  std::shared_ptr<const std::vector<Record>> CachedPartitionRecords(
+      std::size_t partition, bool* cache_hit = nullptr) const;
+
+  // Fused decode-filter scan of one partition: the records of `partition`
+  // inside `query`, without materializing the rest (layout.h). Verifies
+  // the checksum like DecodePartitionRecords.
+  std::vector<Record> ScanPartitionInRange(std::size_t partition,
+                                           const STRange& query) const;
 
   const StoredPartition& partition(std::size_t i) const {
     return partitions_[i];
   }
 
   // Mutable partition access for failure-injection tests and recovery
-  // tooling; production query paths never mutate partitions.
-  StoredPartition& MutablePartition(std::size_t i) { return partitions_[i]; }
+  // tooling; production query paths never mutate partitions. Re-arms the
+  // partition's checksum verification and invalidates its entry in the
+  // global PartitionCache, so corruption introduced through the returned
+  // reference is detected (never served stale) on the next read.
+  StoredPartition& MutablePartition(std::size_t i);
+
+  // Process-unique, never-reused identity for PartitionCache keys.
+  std::uint64_t cache_id() const { return cache_id_; }
 
   // The shared logical view: every stored record, in partition order.
   // Any other replica can be rebuilt from this (replica recovery).
@@ -121,12 +161,28 @@ class Replica {
  private:
   Replica() = default;
 
+  // The per-partition encoding scheme (layout is replica-wide; the codec
+  // may vary under kBestCodecPerPartition).
+  EncodingScheme PartitionScheme(const StoredPartition& stored) const {
+    return {config_.encoding.layout, stored.codec};
+  }
+  // Checksum verification with a sticky verified bit: the FNV-1a pass
+  // over the encoded bytes runs on the first read of each partition and
+  // is skipped afterwards. MutablePartition clears the bit.
+  void VerifyPartition(std::size_t partition) const;
+  void InitCacheState(std::size_t num_partitions);
+
   ReplicaConfig config_;
   STRange universe_;
   PartitionIndex index_;
   std::vector<StoredPartition> partitions_;
   std::uint64_t storage_bytes_ = 0;
   std::uint64_t num_records_ = 0;
+  std::uint64_t cache_id_ = 0;
+  // Shared (not unique) so Replica stays copyable; copies sharing
+  // verified bits is benign — the bits only ever skip a re-hash of bytes
+  // that were already verified.
+  std::shared_ptr<std::atomic<std::uint8_t>[]> verified_;
 };
 
 // Rebuilds a replica with `target_config` from the logical view of

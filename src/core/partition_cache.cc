@@ -1,0 +1,209 @@
+#include "core/partition_cache.h"
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace blot {
+namespace {
+
+// Cached handles into the global registry; looked up once, then
+// incremented with a single relaxed atomic add per event.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& insertions;
+  obs::Counter& evictions;
+  obs::Counter& invalidations;
+  obs::Gauge& bytes;
+  obs::Gauge& entries;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::global();
+      return CacheMetrics{registry.GetCounter("cache.hits_total"),
+                          registry.GetCounter("cache.misses_total"),
+                          registry.GetCounter("cache.insertions_total"),
+                          registry.GetCounter("cache.evictions_total"),
+                          registry.GetCounter("cache.invalidations_total"),
+                          registry.GetGauge("cache.bytes"),
+                          registry.GetGauge("cache.entries")};
+    }();
+    return metrics;
+  }
+};
+
+bool MetricsOn() { return obs::MetricsRegistry::global().enabled(); }
+
+}  // namespace
+
+PartitionCache::PartitionCache(std::uint64_t max_bytes,
+                               std::size_t num_shards)
+    : max_bytes_(max_bytes),
+      shards_(num_shards == 0 ? std::size_t{1} : num_shards) {}
+
+PartitionCache& PartitionCache::Global() {
+  static PartitionCache* cache = new PartitionCache(0);
+  return *cache;
+}
+
+std::uint64_t PartitionCache::NextReplicaId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PartitionCache::Configure(std::uint64_t max_bytes) {
+  max_bytes_.store(max_bytes, std::memory_order_relaxed);
+  const std::uint64_t shard_budget = max_bytes / shards_.size();
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    EvictLocked(shard, shard_budget);
+  }
+  PublishOccupancy();
+}
+
+PartitionCache::RecordsPtr PartitionCache::Lookup(std::uint64_t replica_id,
+                                                  std::size_t partition) {
+  if (!enabled()) return nullptr;
+  const Key key{replica_id, partition};
+  Shard& shard = ShardFor(key);
+  RecordsPtr found;
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      found = it->second.records;
+    }
+  }
+  if (found) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (MetricsOn()) CacheMetrics::Get().hits.Increment();
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (MetricsOn()) CacheMetrics::Get().misses.Increment();
+  }
+  return found;
+}
+
+PartitionCache::RecordsPtr PartitionCache::Insert(
+    std::uint64_t replica_id, std::size_t partition,
+    std::vector<Record> records) {
+  const std::uint64_t bytes = EntryBytes(records);
+  auto pinned = std::make_shared<const std::vector<Record>>(
+      std::move(records));
+  const std::uint64_t shard_budget = ShardBudget();
+  if (!enabled() || bytes > shard_budget) return pinned;
+
+  const Key key{replica_id, partition};
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      // Lost a decode race; the resident entry is authoritative.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      return it->second.records;
+    }
+    EvictLocked(shard, shard_budget - bytes);
+    shard.lru.push_front(key);
+    shard.entries.emplace(key, Entry{pinned, bytes, shard.lru.begin()});
+    shard.bytes += bytes;
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  if (MetricsOn()) {
+    CacheMetrics::Get().insertions.Increment();
+    PublishOccupancy();
+  }
+  return pinned;
+}
+
+void PartitionCache::Invalidate(std::uint64_t replica_id,
+                                std::size_t partition) {
+  const Key key{replica_id, partition};
+  Shard& shard = ShardFor(key);
+  bool removed = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      RemoveLocked(shard, it);
+      removed = true;
+    }
+  }
+  if (removed) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (MetricsOn()) {
+      CacheMetrics::Get().invalidations.Increment();
+      PublishOccupancy();
+    }
+  }
+}
+
+void PartitionCache::InvalidateReplica(std::uint64_t replica_id,
+                                       std::size_t num_partitions) {
+  for (std::size_t p = 0; p < num_partitions; ++p)
+    Invalidate(replica_id, p);
+}
+
+void PartitionCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      const auto victim = it++;
+      RemoveLocked(shard, victim);
+    }
+  }
+  PublishOccupancy();
+}
+
+void PartitionCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
+}
+
+PartitionCache::Stats PartitionCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PartitionCache::EvictLocked(Shard& shard, std::uint64_t budget) {
+  while (shard.bytes > budget && !shard.lru.empty()) {
+    const auto it = shard.entries.find(shard.lru.back());
+    require(it != shard.entries.end(),
+            "PartitionCache: LRU list out of sync with entry map");
+    RemoveLocked(shard, it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (MetricsOn()) CacheMetrics::Get().evictions.Increment();
+  }
+}
+
+void PartitionCache::RemoveLocked(
+    Shard& shard, std::unordered_map<Key, Entry, KeyHash>::iterator it) {
+  shard.bytes -= it->second.bytes;
+  bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+  entries_.fetch_sub(1, std::memory_order_relaxed);
+  shard.lru.erase(it->second.lru_it);
+  shard.entries.erase(it);
+}
+
+void PartitionCache::PublishOccupancy() const {
+  if (!MetricsOn()) return;
+  CacheMetrics::Get().bytes.Set(
+      static_cast<double>(bytes_.load(std::memory_order_relaxed)));
+  CacheMetrics::Get().entries.Set(
+      static_cast<double>(entries_.load(std::memory_order_relaxed)));
+}
+
+}  // namespace blot

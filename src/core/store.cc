@@ -3,11 +3,11 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
-#include <map>
 #include <string>
 
 #include "blot/batch.h"
 #include "blot/segment_store.h"
+#include "core/partition_cache.h"
 #include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/error.h"
@@ -116,8 +116,8 @@ std::uint64_t BlotStore::TotalStorageBytes() const {
   return total;
 }
 
-std::size_t BlotStore::RouteQuery(const STRange& query,
-                                  const CostModel& model) const {
+BlotStore::RoutingDecision BlotStore::RouteQueryDetailed(
+    const STRange& query, const CostModel& model) const {
   require(!replicas_.empty(), "BlotStore::RouteQuery: no replicas");
   std::size_t best = sketches_.size();
   double best_cost = std::numeric_limits<double>::infinity();
@@ -135,7 +135,12 @@ std::size_t BlotStore::RouteQuery(const STRange& query,
   require(best < sketches_.size(),
           "BlotStore::RouteQuery: no replica can serve the query (add a "
           "full replica)");
-  return best;
+  return {best, best_cost, sketches_[best].index.CountInvolved(query)};
+}
+
+std::size_t BlotStore::RouteQuery(const STRange& query,
+                                  const CostModel& model) const {
+  return RouteQueryDetailed(query, model).replica_index;
 }
 
 BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
@@ -147,12 +152,10 @@ BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
       trace != nullptr ? &trace->AddChild("route") : nullptr;
   {
     obs::SpanTimer route_timer(route_span);
-    routed.replica_index = RouteQuery(query, model);
-    routed.estimated_cost_ms =
-        model.QueryCostMs(sketches_[routed.replica_index], query);
-    routed.predicted_partitions =
-        sketches_[routed.replica_index].index.InvolvedPartitions(query)
-            .size();
+    const RoutingDecision decision = RouteQueryDetailed(query, model);
+    routed.replica_index = decision.replica_index;
+    routed.estimated_cost_ms = decision.estimated_cost_ms;
+    routed.predicted_partitions = decision.predicted_partitions;
   }
   const std::string replica_name =
       replicas_[routed.replica_index].config().Name();
@@ -186,6 +189,13 @@ BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
                                std::uint64_t{routed.result.records.size()});
     execute_span->AddAttribute("bytes_read",
                                routed.result.stats.bytes_read);
+    if (PartitionCache::Global().enabled()) {
+      execute_span->AddAttribute(
+          "cache_hits", std::uint64_t{routed.result.stats.cache_hits});
+      execute_span->AddAttribute(
+          "cache_misses",
+          std::uint64_t{routed.result.stats.cache_misses});
+    }
   }
   if (trace != nullptr) {
     trace->AddAttribute("replica", replica_name);
@@ -208,14 +218,18 @@ BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
   result.per_query.resize(queries.size());
   result.replica_of.resize(queries.size());
 
-  // Group queries by routed replica, preserving original indices.
-  std::map<std::size_t, std::vector<std::size_t>> groups;
+  // Group queries by routed replica, preserving original indices. The
+  // replica count is small, so a flat vector indexed by replica id
+  // replaces the ordered map (allocator churn on large batches).
+  std::vector<std::vector<std::size_t>> groups(replicas_.size());
   for (std::size_t q = 0; q < queries.size(); ++q) {
     const std::size_t replica = RouteQuery(queries[q], model);
     result.replica_of[q] = replica;
     groups[replica].push_back(q);
   }
-  for (const auto& [replica, query_ids] : groups) {
+  for (std::size_t replica = 0; replica < groups.size(); ++replica) {
+    const std::vector<std::size_t>& query_ids = groups[replica];
+    if (query_ids.empty()) continue;
     std::vector<STRange> group;
     group.reserve(query_ids.size());
     for (std::size_t q : query_ids) group.push_back(queries[q]);
@@ -225,6 +239,8 @@ BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
     result.stats.partitions_scanned += batch.stats.partitions_scanned;
     result.stats.records_scanned += batch.stats.records_scanned;
     result.stats.bytes_read += batch.stats.bytes_read;
+    result.stats.cache_hits += batch.stats.cache_hits;
+    result.stats.cache_misses += batch.stats.cache_misses;
     result.naive_partition_scans += batch.naive_partition_scans;
   }
   result.measured_ms = double(obs::MonotonicNanos() - start_ns) * 1e-6;
@@ -355,6 +371,10 @@ std::uint64_t BlotStore::RecoverReplicaFrom(std::size_t i, std::size_t source,
   const ReplicaConfig config = replicas_[i].config();
   const Dataset logical = replicas_[source].Reconstruct();
   const Dataset covered(logical.FilterByRange(target_universe));
+  // The lost replica's storage is discarded; drop its cached decodes
+  // eagerly rather than letting them age out of the LRU.
+  PartitionCache::Global().InvalidateReplica(replicas_[i].cache_id(),
+                                             replicas_[i].NumPartitions());
   replicas_[i] = Replica::Build(covered, config, target_universe, pool);
   sketches_[i] = ReplicaSketch::FromReplica(replicas_[i]);
   return replicas_[i].NumRecords();

@@ -83,6 +83,20 @@ class BlotStore {
                                  const CostModel& model,
                                  ThreadPool* pool = nullptr) const;
 
+  // Everything routing decides about a query, computed in one pass so
+  // execution doesn't re-derive the winner's cost or involved-partition
+  // count.
+  struct RoutingDecision {
+    std::size_t replica_index = 0;
+    double estimated_cost_ms = 0.0;        // the winner's Eq. 7 estimate
+    std::size_t predicted_partitions = 0;  // Np from the routing sketch
+  };
+
+  // The replica `model` estimates cheapest for `query`, with the
+  // estimate and predicted involvement that drove the choice.
+  RoutingDecision RouteQueryDetailed(const STRange& query,
+                                     const CostModel& model) const;
+
   // Index of the replica `model` estimates cheapest for `query`.
   std::size_t RouteQuery(const STRange& query, const CostModel& model) const;
 

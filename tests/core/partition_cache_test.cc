@@ -1,0 +1,351 @@
+#include "core/partition_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "blot/batch.h"
+#include "blot/replica.h"
+#include "core/workload.h"
+#include "gen/taxi_generator.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace blot {
+namespace {
+
+std::vector<Record> Sorted(std::vector<Record> records) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return std::tie(a.oid, a.time, a.x, a.y, a.speed, a.heading,
+                              a.status, a.passengers, a.fare_cents) <
+                     std::tie(b.oid, b.time, b.x, b.y, b.speed, b.heading,
+                              b.status, b.passengers, b.fare_cents);
+            });
+  return records;
+}
+
+std::vector<Record> MakeRecords(std::size_t n, std::uint32_t oid) {
+  std::vector<Record> records(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records[i].oid = oid;
+    records[i].time = static_cast<std::int64_t>(i);
+    records[i].x = 0.1 * static_cast<double>(i);
+    records[i].y = 0.2 * static_cast<double>(i);
+  }
+  return records;
+}
+
+// Tests that touch the process-wide cache scope their configuration: the
+// global cache must stay disabled (the default) for every other test in
+// this binary.
+struct GlobalCacheGuard {
+  explicit GlobalCacheGuard(std::uint64_t budget) {
+    PartitionCache::Global().Configure(budget);
+    PartitionCache::Global().ResetStats();
+  }
+  ~GlobalCacheGuard() {
+    PartitionCache::Global().Configure(0);
+    PartitionCache::Global().ResetStats();
+  }
+};
+
+struct Fixture {
+  Dataset dataset;
+  STRange universe;
+
+  Fixture(std::size_t taxis = 10, std::size_t samples = 400) {
+    TaxiFleetConfig config;
+    config.num_taxis = taxis;
+    config.samples_per_taxi = samples;
+    dataset = GenerateTaxiFleet(config);
+    universe = config.Universe();
+  }
+};
+
+TEST(PartitionCacheTest, DisabledByDefaultAndInert) {
+  PartitionCache& cache = PartitionCache::Global();
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  // Insert still hands back the (pinned) records but retains nothing.
+  const auto pinned = cache.Insert(1, 0, MakeRecords(10, 7));
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->size(), 10u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(PartitionCacheTest, HitMissSemantics) {
+  PartitionCache cache(1 << 20, 1);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 0, MakeRecords(10, 1));
+  const auto hit = cache.Lookup(1, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 10u);
+  EXPECT_EQ((*hit)[3].oid, 1u);
+  // Same partition of a different replica is a different key.
+  EXPECT_EQ(cache.Lookup(2, 0), nullptr);
+
+  const PartitionCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, PartitionCache::EntryBytes(*hit));
+  EXPECT_NEAR(s.HitRatio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PartitionCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  const std::uint64_t entry_bytes =
+      PartitionCache::EntryBytes(MakeRecords(100, 0));
+  // Room for three entries in the single shard.
+  PartitionCache cache(3 * entry_bytes, 1);
+  cache.Insert(1, 0, MakeRecords(100, 0));
+  cache.Insert(1, 1, MakeRecords(100, 1));
+  cache.Insert(1, 2, MakeRecords(100, 2));
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // Touch partition 0 so partition 1 is now the least recently used.
+  ASSERT_NE(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 3, MakeRecords(100, 3));
+
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, 3 * entry_bytes);
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);  // the LRU victim
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+  EXPECT_NE(cache.Lookup(1, 2), nullptr);
+  EXPECT_NE(cache.Lookup(1, 3), nullptr);
+}
+
+TEST(PartitionCacheTest, OversizeEntryIsNotCached) {
+  PartitionCache cache(PartitionCache::EntryBytes(MakeRecords(10, 0)), 1);
+  const auto pinned = cache.Insert(1, 0, MakeRecords(10000, 0));
+  ASSERT_NE(pinned, nullptr);  // caller still gets the records
+  EXPECT_EQ(pinned->size(), 10000u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+}
+
+TEST(PartitionCacheTest, PinnedEntrySurvivesEviction) {
+  const std::uint64_t entry_bytes =
+      PartitionCache::EntryBytes(MakeRecords(100, 0));
+  PartitionCache cache(entry_bytes, 1);  // exactly one entry fits
+  cache.Insert(1, 0, MakeRecords(100, 42));
+  const auto pinned = cache.Lookup(1, 0);
+  ASSERT_NE(pinned, nullptr);
+
+  // Displace it while we hold the pin.
+  cache.Insert(1, 1, MakeRecords(100, 43));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+
+  // The pinned snapshot is untouched by the eviction.
+  EXPECT_EQ(pinned->size(), 100u);
+  EXPECT_EQ(pinned->front().oid, 42u);
+  EXPECT_EQ(pinned->back().time, 99);
+}
+
+TEST(PartitionCacheTest, InsertRaceKeepsResidentEntry) {
+  PartitionCache cache(1 << 20, 1);
+  const auto first = cache.Insert(1, 0, MakeRecords(10, 1));
+  // A second decode of the same partition loses to the resident entry.
+  const auto second = cache.Insert(1, 0, MakeRecords(10, 1));
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(PartitionCacheTest, InvalidateAndConfigure) {
+  PartitionCache cache(1 << 20, 4);
+  for (std::size_t p = 0; p < 8; ++p)
+    cache.Insert(7, p, MakeRecords(50, static_cast<std::uint32_t>(p)));
+  EXPECT_EQ(cache.stats().entries, 8u);
+
+  cache.Invalidate(7, 3);
+  EXPECT_EQ(cache.Lookup(7, 3), nullptr);
+  EXPECT_EQ(cache.stats().entries, 7u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+
+  cache.InvalidateReplica(7, 8);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+
+  for (std::size_t p = 0; p < 8; ++p)
+    cache.Insert(7, p, MakeRecords(50, static_cast<std::uint32_t>(p)));
+  cache.Configure(0);  // shrink to disabled: everything evicted
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(PartitionCacheIntegrationTest, CachedExecutionMatchesUncached) {
+  const Fixture f;
+  const Replica replica = Replica::Build(
+      f.dataset,
+      {{.spatial_partitions = 16, .temporal_partitions = 8},
+       EncodingScheme::FromName("COL-GZIP")},
+      f.universe);
+  Rng rng(3);
+  std::vector<STRange> queries;
+  for (int i = 0; i < 12; ++i)
+    queries.push_back(SampleQueryInstance(
+        {{f.universe.Width() * 0.2, f.universe.Height() * 0.2,
+          f.universe.Duration() * 0.3}},
+        f.universe, rng));
+
+  std::vector<std::vector<Record>> uncached;
+  for (const STRange& q : queries)
+    uncached.push_back(Sorted(replica.Execute(q).records));
+
+  GlobalCacheGuard guard(64 << 20);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const QueryResult result = replica.Execute(queries[i]);
+      EXPECT_EQ(Sorted(result.records), uncached[i])
+          << "pass " << pass << " query " << i;
+      EXPECT_EQ(result.stats.cache_hits + result.stats.cache_misses,
+                result.stats.partitions_scanned);
+    }
+  }
+  const PartitionCache::Stats s = PartitionCache::Global().stats();
+  EXPECT_GT(s.hits, 0u);   // the second pass must hit
+  EXPECT_GT(s.misses, 0u);  // the first pass must miss
+}
+
+TEST(PartitionCacheIntegrationTest, BatchExecutionMatchesUncached) {
+  const Fixture f;
+  const Replica replica = Replica::Build(
+      f.dataset,
+      {{.spatial_partitions = 16, .temporal_partitions = 8},
+       EncodingScheme::FromName("ROW-SNAPPY")},
+      f.universe);
+  std::vector<STRange> queries;
+  for (int gx = 0; gx < 3; ++gx)
+    queries.push_back(STRange::FromBounds(
+        f.universe.x_min() + f.universe.Width() * gx / 3,
+        f.universe.x_min() + f.universe.Width() * (gx + 1) / 3,
+        f.universe.y_min(), f.universe.y_max(), f.universe.t_min(),
+        f.universe.t_max()));
+
+  const BatchResult uncached = ExecuteBatch(replica, queries);
+
+  GlobalCacheGuard guard(64 << 20);
+  const BatchResult cold = ExecuteBatch(replica, queries);
+  const BatchResult warm = ExecuteBatch(replica, queries);
+  ASSERT_EQ(cold.per_query.size(), uncached.per_query.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(Sorted(cold.per_query[q]), Sorted(uncached.per_query[q]));
+    EXPECT_EQ(Sorted(warm.per_query[q]), Sorted(uncached.per_query[q]));
+  }
+  EXPECT_EQ(cold.stats.cache_misses, cold.stats.partitions_scanned);
+  EXPECT_EQ(warm.stats.cache_hits, warm.stats.partitions_scanned);
+  EXPECT_EQ(warm.stats.bytes_read, 0u);
+  EXPECT_EQ(warm.stats.records_scanned, cold.stats.records_scanned);
+}
+
+TEST(PartitionCacheIntegrationTest, CorruptionAfterCachingIsDetected) {
+  const Fixture f;
+  GlobalCacheGuard guard(64 << 20);
+  Replica replica = Replica::Build(
+      f.dataset,
+      {{.spatial_partitions = 4, .temporal_partitions = 4},
+       EncodingScheme::FromName("ROW-GZIP")},
+      f.universe);
+  // Populate the cache with every partition.
+  const QueryResult all = replica.Execute(f.universe);
+  EXPECT_EQ(all.records.size(), f.dataset.size());
+  EXPECT_GT(PartitionCache::Global().stats().entries, 0u);
+
+  // Corrupt one stored partition. MutablePartition must both invalidate
+  // the cached decode (else the stale entry would mask the damage) and
+  // re-arm checksum verification (else the read would trust the bytes).
+  StoredPartition& victim = replica.MutablePartition(5);
+  ASSERT_FALSE(victim.data.empty());
+  victim.data[victim.data.size() / 2] ^= 0xFF;
+  EXPECT_THROW(replica.Execute(f.universe), CorruptData);
+}
+
+TEST(PartitionCacheIntegrationTest, RecoveryRestoresCachedQueries) {
+  const Fixture f;
+  GlobalCacheGuard guard(64 << 20);
+  Replica replica = Replica::Build(
+      f.dataset,
+      {{.spatial_partitions = 4, .temporal_partitions = 4},
+       EncodingScheme::FromName("COL-SNAPPY")},
+      f.universe);
+  const Replica healthy = Replica::Build(
+      f.dataset,
+      {{.spatial_partitions = 8, .temporal_partitions = 2},
+       EncodingScheme::FromName("ROW-PLAIN")},
+      f.universe);
+  replica.Execute(f.universe);  // warm the cache
+  StoredPartition& victim = replica.MutablePartition(2);
+  victim.data.clear();
+  victim.checksum = 0;
+  EXPECT_THROW(replica.Execute(f.universe), Error);
+
+  replica = RecoverReplica(healthy, replica.config());
+  EXPECT_EQ(Sorted(replica.Execute(f.universe).records),
+            Sorted(f.dataset.records()));
+}
+
+// Many threads hammering overlapping hot partitions through a cache too
+// small to hold them all: lookups, inserts, evictions and pin-handoffs
+// race while results must stay exact. Run under TSan in CI.
+TEST(PartitionCacheConcurrencyTest, ParallelQueriesStayCorrect) {
+  const Fixture f(8, 250);
+  const Replica replica = Replica::Build(
+      f.dataset,
+      {{.spatial_partitions = 8, .temporal_partitions = 4},
+       EncodingScheme::FromName("COL-GZIP")},
+      f.universe);
+  // Budget chosen so each of the 16 shards holds ~1.5 entries: with 32
+  // partitions, pigeonhole puts >= 2 keys in some shard, guaranteeing
+  // evictions once every partition has been decoded.
+  const std::uint64_t budget =
+      PartitionCache::EntryBytes(replica.DecodePartitionRecords(0)) * 24;
+  GlobalCacheGuard guard(budget);
+
+  Rng rng(29);
+  std::vector<STRange> queries;
+  std::vector<std::vector<Record>> expected;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back(SampleQueryInstance(
+        {{f.universe.Width() * 0.4, f.universe.Height() * 0.4,
+          f.universe.Duration() * 0.4}},
+        f.universe, rng));
+    expected.push_back(Sorted(f.dataset.FilterByRange(queries.back())));
+  }
+
+  std::atomic<int> mismatches{0};
+  const auto worker = [&](unsigned seed) {
+    Rng thread_rng(seed);
+    for (int iter = 0; iter < 40; ++iter) {
+      const std::size_t i = thread_rng.NextUint64(queries.size());
+      const QueryResult result = replica.Execute(queries[i]);
+      if (Sorted(result.records) != expected[i]) mismatches.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 6; ++t) threads.emplace_back(worker, 100 + t);
+  // Meanwhile, ThreadPool-parallel executions share the same cache.
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 10; ++iter) {
+    const QueryResult result = replica.Execute(queries[iter % 16], &pool);
+    EXPECT_EQ(Sorted(result.records), expected[iter % 16]);
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Touch every partition, then the tight budget must have evicted.
+  replica.Execute(f.universe);
+  EXPECT_GT(PartitionCache::Global().stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace blot

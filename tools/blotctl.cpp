@@ -26,6 +26,7 @@
 #include "blot/segment_store.h"
 #include "blot/trajectory.h"
 #include "core/advisor.h"
+#include "core/partition_cache.h"
 #include "core/store.h"
 #include "gen/taxi_generator.h"
 #include "obs/metrics.h"
@@ -46,20 +47,22 @@ int Usage() {
       "             [--hybrid 1]\n"
       "  info       --dir DIR\n"
       "  query      --dir DIR --range x0,x1,y0,y1,t0,t1 [--limit N]\n"
-      "             [--trace]\n"
+      "             [--trace] [--cache-mb N]\n"
       "  aggregate  --dir DIR --range x0,x1,y0,y1,t0,t1\n"
       "  trajectory --dir DIR --oid N [--from T] [--to T] [--limit N]\n"
       "  recover    --from DIR --to DIR\n"
       "  store-build --data FILE --out DIR [--schemes A;B;...]\n"
       "  store-query --dir DIR --range x0,x1,y0,y1,t0,t1 [--env s3|hadoop]\n"
-      "             [--trace]\n"
+      "             [--trace] [--cache-mb N]\n"
       "  advise     --data FILE [--records N] [--budget-gb G]\n"
       "             [--env s3|hadoop] [--algorithm greedy|mip]\n"
       "  stats      --dir DIR [--queries N] [--env s3|hadoop] [--seed S]\n"
-      "             [--format json|prom] [--out FILE]\n"
+      "             [--format json|prom] [--out FILE] [--cache-mb N]\n"
       "\n"
       "  build, query, recover, store-build, store-query and advise also\n"
-      "  accept --metrics-out FILE (JSON metrics snapshot on completion).\n");
+      "  accept --metrics-out FILE (JSON metrics snapshot on completion).\n"
+      "  --cache-mb N enables the decoded-partition cache with an N MiB\n"
+      "  budget (default 0 = disabled; docs/performance.md).\n");
   return 2;
 }
 
@@ -76,6 +79,29 @@ void WriteMetricsIfRequested(const Flags& flags) {
   std::ofstream out(path, std::ios::trunc);
   require(out.good(), "cannot open metrics output: " + path);
   out << obs::MetricsRegistry::global().Snapshot().ToJson();
+}
+
+// --cache-mb N: give the decoded-partition cache an N MiB budget for
+// this command (0, the default, leaves it disabled).
+void ConfigureCacheIfRequested(const Flags& flags) {
+  const std::int64_t cache_mb = flags.GetInt("cache-mb", 0);
+  require(cache_mb >= 0, "--cache-mb must be >= 0");
+  if (cache_mb > 0)
+    PartitionCache::Global().Configure(
+        static_cast<std::uint64_t>(cache_mb) << 20);
+}
+
+// One-line cache summary after a command that may have used it.
+void PrintCacheSummaryIfEnabled() {
+  PartitionCache& cache = PartitionCache::Global();
+  if (!cache.enabled()) return;
+  const PartitionCache::Stats s = cache.stats();
+  std::printf("cache: %llu hits / %llu misses (%.1f%% hit ratio), "
+              "%.2f MiB resident, %llu evictions\n",
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses),
+              100.0 * s.HitRatio(), double(s.bytes) / (1 << 20),
+              static_cast<unsigned long long>(s.evictions));
 }
 
 Dataset LoadDataset(const std::string& path) {
@@ -181,6 +207,7 @@ int CmdInfo(const Flags& flags) {
 
 int CmdQuery(const Flags& flags) {
   EnableMetricsIfRequested(flags);
+  ConfigureCacheIfRequested(flags);
   obs::TraceSpan root("query");
   obs::TraceSpan& load_span = root.AddChild("load");
   const std::uint64_t root_start_ns = obs::MonotonicNanos();
@@ -225,6 +252,7 @@ int CmdQuery(const Flags& flags) {
                 r.oid, static_cast<long long>(r.time), r.x, r.y,
                 static_cast<double>(r.speed), r.status);
   }
+  PrintCacheSummaryIfEnabled();
   WriteMetricsIfRequested(flags);
   return 0;
 }
@@ -325,6 +353,7 @@ int CmdStoreBuild(const Flags& flags) {
 // Routed query against a persisted multi-replica store.
 int CmdStoreQuery(const Flags& flags) {
   EnableMetricsIfRequested(flags);
+  ConfigureCacheIfRequested(flags);
   const BlotStore store = BlotStore::Load(flags.GetString("dir"));
   const STRange range = ParseRange(flags.GetString("range"));
   const std::string env_name = flags.GetString("env", "hadoop");
@@ -348,6 +377,7 @@ int CmdStoreQuery(const Flags& flags) {
               static_cast<unsigned long long>(
                   routed.result.stats.records_scanned),
               routed.result.stats.partitions_scanned);
+  PrintCacheSummaryIfEnabled();
   WriteMetricsIfRequested(flags);
   return 0;
 }
@@ -359,6 +389,7 @@ int CmdStoreQuery(const Flags& flags) {
 int CmdStats(const Flags& flags) {
   auto& registry = obs::MetricsRegistry::global();
   registry.set_enabled(true);
+  ConfigureCacheIfRequested(flags);
   const BlotStore store = BlotStore::Load(flags.GetString("dir"));
   const std::size_t num_queries =
       static_cast<std::size_t>(flags.GetInt("queries", 32));
@@ -381,6 +412,12 @@ int CmdStats(const Flags& flags) {
     store.Execute(query, model, &pool);
   }
 
+  // Fold the cache's hit ratio into the snapshot so the exported stats
+  // answer "is the budget paying off" directly.
+  PartitionCache& cache = PartitionCache::Global();
+  if (cache.enabled())
+    registry.GetGauge("cache.hit_ratio").Set(cache.stats().HitRatio());
+
   const obs::MetricsSnapshot snapshot = registry.Snapshot();
   const std::string format = flags.GetString("format", "json");
   require(format == "json" || format == "prom",
@@ -397,6 +434,15 @@ int CmdStats(const Flags& flags) {
                  num_queries, store.NumReplicas(), path.c_str());
   } else {
     std::fputs(rendered.c_str(), stdout);
+  }
+  if (cache.enabled()) {
+    const PartitionCache::Stats s = cache.stats();
+    std::fprintf(stderr,
+                 "cache: %llu hits / %llu misses (%.1f%% hit ratio), "
+                 "%.2f MiB resident\n",
+                 static_cast<unsigned long long>(s.hits),
+                 static_cast<unsigned long long>(s.misses),
+                 100.0 * s.HitRatio(), double(s.bytes) / (1 << 20));
   }
   return 0;
 }
@@ -457,7 +503,7 @@ int Run(int argc, char** argv) {
   if (command == "info") return CmdInfo({argc, argv, 2, {"dir"}});
   if (command == "query")
     return CmdQuery({argc, argv, 2,
-                     {"dir", "range", "limit", "metrics-out"},
+                     {"dir", "range", "limit", "metrics-out", "cache-mb"},
                      {"trace"}});
   if (command == "aggregate")
     return CmdAggregate({argc, argv, 2, {"dir", "range"}});
@@ -471,7 +517,8 @@ int Run(int argc, char** argv) {
         {argc, argv, 2, {"data", "out", "schemes", "metrics-out"}});
   if (command == "store-query")
     return CmdStoreQuery({argc, argv, 2,
-                          {"dir", "range", "env", "metrics-out"},
+                          {"dir", "range", "env", "metrics-out",
+                           "cache-mb"},
                           {"trace"}});
   if (command == "advise")
     return CmdAdvise({argc, argv, 2,
@@ -479,7 +526,8 @@ int Run(int argc, char** argv) {
                        "metrics-out"}});
   if (command == "stats")
     return CmdStats({argc, argv, 2,
-                     {"dir", "queries", "env", "seed", "format", "out"}});
+                     {"dir", "queries", "env", "seed", "format", "out",
+                      "cache-mb"}});
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage();
 }
