@@ -1,0 +1,223 @@
+// Fault-tolerant execution latency: what failover and repair cost.
+//
+// Four measured paths over the same query stream on a two-replica store:
+//   healthy   — no faults, injector disarmed; the routing baseline.
+//   armed-p0  — injector armed with probability 0: the per-read cost of
+//               the injection hook itself (the disarmed hook is a single
+//               relaxed atomic load and is part of `healthy`).
+//   failover  — the routed replica's copies of the query's partitions are
+//               corrupted first; Execute pays the failed attempt, the
+//               quarantine bookkeeping, and the retry on the survivor
+//               (RepairMode::kNone, repair excluded from the timing).
+//   sync-heal — same corruption, RepairMode::kSync: Execute additionally
+//               re-encodes the quarantined partitions inline before
+//               returning (the self-healing worst case).
+// Plus a repair-throughput measurement: partitions/s and records/s for
+// partition-granular RecoverPartition over a fully corrupted replica.
+//
+// Writes machine-readable results to BENCH_failover.json (or argv[1]).
+// Consistency bar: every path must match the healthy record counts.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fault_injection.h"
+#include "core/store.h"
+
+using namespace blot;
+
+namespace {
+
+double MsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Flips a byte in the middle of each non-empty involved unit; returns how
+// many units were corrupted.
+std::size_t CorruptInvolved(BlotStore& store, std::size_t replica,
+                            const STRange& query) {
+  std::size_t corrupted = 0;
+  for (const std::size_t p :
+       store.replica(replica).index().InvolvedPartitions(query)) {
+    StoredPartition& unit = store.mutable_replica(replica).MutablePartition(p);
+    if (unit.data.empty()) continue;
+    unit.data[unit.data.size() / 2] ^= 0x5A;
+    ++corrupted;
+  }
+  return corrupted;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_failover.json";
+
+  constexpr std::size_t kRecords = 60000;
+  constexpr std::size_t kQueries = 48;
+
+  Dataset dataset = bench::MakeSample(kRecords);
+  const std::size_t num_records = dataset.size();
+  const STRange universe = bench::PaperUniverse();
+  ThreadPool pool(4);
+  BlotStore store(std::move(dataset), universe);
+  const std::size_t rep_row = store.AddReplica(
+      {{.spatial_partitions = 16, .temporal_partitions = 8},
+       EncodingScheme::FromName("ROW-SNAPPY")},
+      &pool);
+  const std::size_t rep_col = store.AddReplica(
+      {{.spatial_partitions = 64, .temporal_partitions = 16},
+       EncodingScheme::FromName("COL-GZIP")},
+      &pool);
+  std::printf("store: %s + %s over %zu records\n",
+              store.replica(rep_row).config().Name().c_str(),
+              store.replica(rep_col).config().Name().c_str(), num_records);
+
+  const CostModel model{EnvironmentModel::LocalHadoop()};
+  Rng rng(20140623);
+  std::vector<STRange> queries;
+  for (std::size_t i = 0; i < kQueries; ++i)
+    queries.push_back(SampleQueryInstance(
+        {{universe.Width() * 0.15, universe.Height() * 0.15,
+          universe.Duration() * 0.25}},
+        universe, rng));
+
+  FailoverPolicy no_repair;
+  no_repair.repair = RepairMode::kNone;
+  store.SetFailoverPolicy(no_repair);
+
+  // --- healthy baseline (also learns each query's preferred replica) ---
+  std::vector<std::size_t> preferred(queries.size(), 0);
+  std::vector<std::size_t> healthy_counts(queries.size(), 0);
+  double healthy_ms = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto routed = store.Execute(queries[i], model, &pool);
+      healthy_counts[i] = routed.result.records.size();
+      for (std::size_t r = 0; r < store.NumReplicas(); ++r)
+        if (store.replica(r).config().Name() == routed.served_by)
+          preferred[i] = r;
+    }
+    const double ms = MsSince(start);
+    healthy_ms = rep == 0 ? ms : std::min(healthy_ms, ms);
+  }
+
+  // --- armed injector that never fires: the hook's own overhead --------
+  FaultPlan noop_plan;
+  noop_plan.probability = 0.0;
+  noop_plan.max_fires_per_target = 0;
+  FaultInjector::Global().Arm(noop_plan);
+  double armed_ms = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (const STRange& q : queries) store.Execute(q, model, &pool);
+    const double ms = MsSince(start);
+    armed_ms = rep == 0 ? ms : std::min(armed_ms, ms);
+  }
+  FaultInjector::Global().Disarm();
+
+  // --- failover: corrupt the routed replica, time only Execute ---------
+  // Repair between queries (untimed) resets the data and the health map
+  // so every query pays the full first-attempt-fails path.
+  double failover_ms = 0.0;
+  std::size_t failover_mismatches = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (CorruptInvolved(store, preferred[i], queries[i]) == 0) continue;
+    const auto start = std::chrono::steady_clock::now();
+    const auto routed = store.Execute(queries[i], model, &pool);
+    failover_ms += MsSince(start);
+    if (routed.result.records.size() != healthy_counts[i])
+      ++failover_mismatches;
+    store.RepairQuarantined(&pool);
+  }
+
+  // --- sync self-healing: Execute repairs inline ------------------------
+  FailoverPolicy sync_policy;
+  sync_policy.repair = RepairMode::kSync;
+  store.SetFailoverPolicy(sync_policy);
+  double heal_ms = 0.0;
+  std::size_t heal_mismatches = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (CorruptInvolved(store, preferred[i], queries[i]) == 0) continue;
+    const auto start = std::chrono::steady_clock::now();
+    const auto routed = store.Execute(queries[i], model, &pool);
+    heal_ms += MsSince(start);
+    if (routed.result.records.size() != healthy_counts[i]) ++heal_mismatches;
+  }
+  store.SetFailoverPolicy(no_repair);
+
+  // --- repair throughput: partition-granular recovery of every unit -----
+  std::vector<std::size_t> broken;
+  for (std::size_t p = 0; p < store.replica(rep_col).NumPartitions(); ++p) {
+    StoredPartition& unit = store.mutable_replica(rep_col).MutablePartition(p);
+    if (unit.data.empty()) continue;
+    unit.data[unit.data.size() / 3] ^= 0xFF;
+    broken.push_back(p);
+  }
+  std::uint64_t records_restored = 0;
+  const auto repair_start = std::chrono::steady_clock::now();
+  for (const std::size_t p : broken)
+    records_restored += store.RecoverPartition(rep_col, p, rep_row, &pool);
+  const double repair_ms = MsSince(repair_start);
+  const std::size_t repaired = broken.size();
+
+  const double per_query_healthy = healthy_ms / queries.size();
+  const double per_query_armed = armed_ms / queries.size();
+  const double per_query_failover = failover_ms / queries.size();
+  const double per_query_heal = heal_ms / queries.size();
+  bench::PrintRule('-', 64);
+  std::printf("%-26s %12s %14s\n", "path", "ms/query", "vs healthy");
+  bench::PrintRule('-', 64);
+  std::printf("%-26s %12.3f %13.2fx\n", "healthy", per_query_healthy, 1.0);
+  std::printf("%-26s %12.3f %13.2fx\n", "armed injector (p=0)",
+              per_query_armed, per_query_armed / per_query_healthy);
+  std::printf("%-26s %12.3f %13.2fx\n", "failover (no repair)",
+              per_query_failover, per_query_failover / per_query_healthy);
+  std::printf("%-26s %12.3f %13.2fx\n", "failover + sync heal",
+              per_query_heal, per_query_heal / per_query_healthy);
+  bench::PrintRule('-', 64);
+  std::printf(
+      "repair: %zu partitions (%llu records) in %.1f ms "
+      "(%.0f partitions/s, %.0f records/s)\n",
+      repaired, static_cast<unsigned long long>(records_restored), repair_ms,
+      repair_ms > 0 ? 1000.0 * repaired / repair_ms : 0.0,
+      repair_ms > 0 ? 1000.0 * records_restored / repair_ms : 0.0);
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"micro_failover\",\n"
+               "  \"dataset_records\": %zu,\n"
+               "  \"queries\": %zu,\n"
+               "  \"healthy_ms_per_query\": %.4f,\n"
+               "  \"armed_noop_ms_per_query\": %.4f,\n"
+               "  \"failover_ms_per_query\": %.4f,\n"
+               "  \"sync_heal_ms_per_query\": %.4f,\n"
+               "  \"failover_overhead_x\": %.3f,\n"
+               "  \"sync_heal_overhead_x\": %.3f,\n"
+               "  \"repair_partitions\": %zu,\n"
+               "  \"repair_records\": %llu,\n"
+               "  \"repair_ms\": %.2f\n"
+               "}\n",
+               num_records, queries.size(), per_query_healthy, per_query_armed,
+               per_query_failover, per_query_heal,
+               per_query_failover / per_query_healthy,
+               per_query_heal / per_query_healthy, repaired,
+               static_cast<unsigned long long>(records_restored), repair_ms);
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  const bool consistent = failover_mismatches == 0 && heal_mismatches == 0 &&
+                          store.health().QuarantinedCount() == 0;
+  std::printf("result consistency across paths: %s\n",
+              consistent ? "YES" : "NO");
+  return consistent ? 0 : 1;
+}

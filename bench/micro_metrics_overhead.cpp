@@ -12,8 +12,8 @@
 namespace blot {
 namespace {
 
-const BlotStore& SharedStore() {
-  static const BlotStore store = [] {
+BlotStore& SharedStore() {
+  static BlotStore store = [] {
     BlotStore s(bench::MakeSample(40000), bench::PaperUniverse());
     s.AddReplica({{.spatial_partitions = 4, .temporal_partitions = 4},
                   EncodingScheme::FromName("ROW-SNAPPY")});
@@ -33,7 +33,7 @@ STRange MidSizeQuery() {
 }
 
 void RunRoutedQueries(benchmark::State& state, bool metrics_on) {
-  const BlotStore& store = SharedStore();
+  BlotStore& store = SharedStore();
   const CostModel model{EnvironmentModel::LocalHadoop()};
   const STRange query = MidSizeQuery();
   auto& registry = obs::MetricsRegistry::global();
@@ -59,7 +59,7 @@ BENCHMARK(BM_RoutedQuery_MetricsEnabled);
 void BM_CodecDecode_MetricsDisabled(benchmark::State& state) {
   // Decode path in isolation: the per-partition codec timer is the
   // highest-frequency instrumentation point.
-  const BlotStore& store = SharedStore();
+  BlotStore& store = SharedStore();
   const CostModel model{EnvironmentModel::LocalHadoop()};
   const STRange u = bench::PaperUniverse();
   obs::MetricsRegistry::global().set_enabled(state.range(0) != 0);

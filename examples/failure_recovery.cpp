@@ -5,7 +5,10 @@
 // This example corrupts a storage unit of one replica, shows the
 // corruption being detected by checksums, rebuilds the lost replica from a
 // differently-organized survivor, and verifies queries again return the
-// exact ground truth.
+// exact ground truth. It then corrupts the replica a second time and lets
+// the store handle it on its own: the query fails over to the survivor,
+// the faulty partitions are quarantined, and the sync repair policy heals
+// them before Execute returns (docs/robustness.md).
 //
 // Run: ./failure_recovery
 #include <algorithm>
@@ -44,8 +47,7 @@ int main() {
 
   // Simulate a disk fault: flip bytes in several storage units of the
   // column replica.
-  Replica& victim =
-      const_cast<Replica&>(store.replica(col_replica));  // fault injection
+  Replica& victim = store.mutable_replica(col_replica);
   for (std::size_t p = 0; p < victim.NumPartitions(); p += 97) {
     StoredPartition& unit = victim.MutablePartition(p);
     if (!unit.data.empty()) unit.data[unit.data.size() / 3] ^= 0x5A;
@@ -97,5 +99,34 @@ int main() {
               routed.result.records.size(), expected.size(),
               routed.result.records.size() == expected.size() ? "OK"
                                                               : "MISMATCH");
-  return logical_match ? 0 : 1;
+
+  // Act two: break the row replica's copy of everything the query needs
+  // and let the store fend for itself. Execute fails over to the column
+  // replica, quarantines the faulty units, and (sync repair policy, the
+  // default) re-encodes them from the survivor before returning.
+  std::printf("\nCorrupting replica %zu's copies of the query's "
+              "partitions...\n", row_replica);
+  for (const std::size_t p :
+       store.replica(row_replica).index().InvolvedPartitions(query)) {
+    StoredPartition& unit =
+        store.mutable_replica(row_replica).MutablePartition(p);
+    if (!unit.data.empty()) unit.data[unit.data.size() / 2] ^= 0xA5;
+  }
+  const auto failed_over = store.Execute(query, model, &pool);
+  std::printf("Failover query: served by %s after %zu attempt(s)%s, "
+              "%zu records -> %s\n",
+              failed_over.served_by.c_str(), failed_over.attempts,
+              failed_over.degraded ? " (degraded)" : "",
+              failed_over.result.records.size(),
+              failed_over.result.records.size() == expected.size()
+                  ? "OK"
+                  : "MISMATCH");
+  const HealthMap::Counts counts = store.health().CountsFor(row_replica);
+  std::printf("Self-healed: %zu partitions quarantined after repair "
+              "(%zu ok, %zu suspect).\n",
+              counts.quarantined, counts.ok, counts.suspect);
+
+  const bool healed = counts.quarantined == 0 &&
+                      failed_over.result.records.size() == expected.size();
+  return logical_match && healed ? 0 : 1;
 }

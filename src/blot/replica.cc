@@ -1,12 +1,45 @@
 #include "blot/replica.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "core/fault_injection.h"
 #include "core/partition_cache.h"
 #include "util/error.h"
 
 namespace blot {
+namespace {
+
+// Encodes one partition's records under the replica's encoding config —
+// the shared physical-encode step of Build and RestorePartition.
+StoredPartition EncodeStoredPartition(const std::vector<Record>& records,
+                                      const ReplicaConfig& config) {
+  StoredPartition stored;
+  stored.num_records = records.size();
+  if (config.policy == EncodingPolicy::kBestCodecPerPartition) {
+    // Try every codec over the replica's layout and keep the smallest.
+    const Bytes serialized = SerializeRecords(records, config.encoding.layout);
+    stored.codec = CodecKind::kNone;
+    stored.data = GetCodec(CodecKind::kNone).Compress(serialized);
+    for (const CodecKind kind : AllCodecKinds()) {
+      if (kind == CodecKind::kNone) continue;
+      Bytes candidate = GetCodec(kind).Compress(serialized);
+      if (candidate.size() < stored.data.size()) {
+        stored.data = std::move(candidate);
+        stored.codec = kind;
+      }
+    }
+  } else {
+    stored.codec = config.encoding.codec;
+    stored.data = EncodePartition(records, config.encoding);
+  }
+  stored.checksum = Fnv1a64(stored.data);
+  return stored;
+}
+
+}  // namespace
 
 void Replica::InitCacheState(std::size_t num_partitions) {
   cache_id_ = PartitionCache::NextReplicaId();
@@ -56,27 +89,7 @@ Replica Replica::Build(const Dataset& dataset, const ReplicaConfig& config,
     records.reserve(members.size());
     for (std::uint32_t index : members)
       records.push_back(dataset.records()[index]);
-    StoredPartition& stored = replica.partitions_[i];
-    stored.num_records = records.size();
-    if (config.policy == EncodingPolicy::kBestCodecPerPartition) {
-      // Try every codec over the replica's layout and keep the smallest.
-      const Bytes serialized = SerializeRecords(records,
-                                                config.encoding.layout);
-      stored.codec = CodecKind::kNone;
-      stored.data = GetCodec(CodecKind::kNone).Compress(serialized);
-      for (const CodecKind kind : AllCodecKinds()) {
-        if (kind == CodecKind::kNone) continue;
-        Bytes candidate = GetCodec(kind).Compress(serialized);
-        if (candidate.size() < stored.data.size()) {
-          stored.data = std::move(candidate);
-          stored.codec = kind;
-        }
-      }
-    } else {
-      stored.codec = config.encoding.codec;
-      stored.data = EncodePartition(records, config.encoding);
-    }
-    stored.checksum = Fnv1a64(stored.data);
+    replica.partitions_[i] = EncodeStoredPartition(records, config);
   };
   if (pool != nullptr) {
     pool->ParallelFor(replica.partitions_.size(), encode_one);
@@ -100,10 +113,40 @@ void Replica::VerifyPartition(std::size_t partition) const {
   verified.store(1, std::memory_order_release);
 }
 
+void Replica::MaybeInjectFault(std::size_t partition) const {
+  FaultInjector& injector = FaultInjector::Global();
+  if (!injector.enabled()) return;
+  const StoredPartition& stored = partitions_[partition];
+  const FaultDecision decision =
+      injector.OnPartitionRead(config_.Name(), partition, stored.data.size());
+  if (!decision.fire) return;
+  switch (decision.kind) {
+    case FaultKind::kReadError:
+      throw ReadError("Replica: injected read error on partition " +
+                      std::to_string(partition) + " of " + config_.Name());
+    case FaultKind::kLatency:
+      std::this_thread::sleep_for(std::chrono::milliseconds(decision.param));
+      return;
+    case FaultKind::kBitFlip:
+    case FaultKind::kTruncate:
+    case FaultKind::kTornRead: {
+      // Corrupt a copy of the read and push it through the real checksum
+      // check, so the injected fault exercises exactly the detection path
+      // a failing medium would.
+      Bytes corrupted = stored.data;
+      FaultInjector::ApplyMutation(corrupted, decision.kind, decision.param);
+      validate(Fnv1a64(corrupted) == stored.checksum,
+               "Replica: partition checksum mismatch (corrupt storage unit)");
+      return;
+    }
+  }
+}
+
 std::vector<Record> Replica::DecodePartitionRecords(
     std::size_t partition) const {
   require(partition < partitions_.size(),
           "Replica::DecodePartitionRecords: bad partition");
+  MaybeInjectFault(partition);
   VerifyPartition(partition);
   const StoredPartition& stored = partitions_[partition];
   std::vector<Record> records =
@@ -133,6 +176,7 @@ std::vector<Record> Replica::ScanPartitionInRange(
     std::size_t partition, const STRange& query) const {
   require(partition < partitions_.size(),
           "Replica::ScanPartitionInRange: bad partition");
+  MaybeInjectFault(partition);
   VerifyPartition(partition);
   const StoredPartition& stored = partitions_[partition];
   std::uint64_t total_records = 0;
@@ -158,29 +202,54 @@ QueryResult Replica::Execute(const STRange& query, ThreadPool* pool) const {
   const bool use_cache = PartitionCache::Global().enabled();
   std::vector<std::vector<Record>> matches(involved.size());
   std::vector<QueryStats> stats(involved.size());
+  // Per-partition read faults land in `fault_messages` (empty string =
+  // healthy) rather than aborting the scan, so one bad storage unit does
+  // not hide the health of the rest and the store learns every failing
+  // partition in a single pass.
+  std::vector<std::string> fault_messages(involved.size());
   const auto scan_one = [&](std::size_t k) {
     const std::size_t p = involved[k];
-    if (use_cache) {
-      bool hit = false;
-      const auto records = CachedPartitionRecords(p, &hit);
-      stats[k].records_scanned = records->size();
-      stats[k].bytes_read = hit ? 0 : partitions_[p].data.size();
-      stats[k].cache_hits = hit ? 1 : 0;
-      stats[k].cache_misses = hit ? 0 : 1;
-      for (const Record& r : *records)
-        if (query.Contains(r.Position())) matches[k].push_back(r);
-    } else {
-      // Fused decode-filter kernel: no intermediate full-partition
-      // vector on this path.
-      matches[k] = ScanPartitionInRange(p, query);
-      stats[k].records_scanned = partitions_[p].num_records;
-      stats[k].bytes_read = partitions_[p].data.size();
+    try {
+      if (use_cache) {
+        bool hit = false;
+        const auto records = CachedPartitionRecords(p, &hit);
+        stats[k].records_scanned = records->size();
+        stats[k].bytes_read = hit ? 0 : partitions_[p].data.size();
+        stats[k].cache_hits = hit ? 1 : 0;
+        stats[k].cache_misses = hit ? 0 : 1;
+        for (const Record& r : *records)
+          if (query.Contains(r.Position())) matches[k].push_back(r);
+      } else {
+        // Fused decode-filter kernel: no intermediate full-partition
+        // vector on this path.
+        matches[k] = ScanPartitionInRange(p, query);
+        stats[k].records_scanned = partitions_[p].num_records;
+        stats[k].bytes_read = partitions_[p].data.size();
+      }
+    } catch (const CorruptData& e) {
+      fault_messages[k] = e.what();
+    } catch (const ReadError& e) {
+      fault_messages[k] = e.what();
     }
   };
   if (pool != nullptr) {
     pool->ParallelFor(involved.size(), scan_one);
   } else {
     for (std::size_t k = 0; k < involved.size(); ++k) scan_one(k);
+  }
+
+  std::vector<std::size_t> faulty;
+  for (std::size_t k = 0; k < involved.size(); ++k)
+    if (!fault_messages[k].empty()) faulty.push_back(involved[k]);
+  if (!faulty.empty()) {
+    std::string what = "Replica " + config_.Name() + ": read faults on " +
+                       std::to_string(faulty.size()) + " partition(s):";
+    for (std::size_t k = 0; k < involved.size(); ++k) {
+      if (fault_messages[k].empty()) continue;
+      what += " [p" + std::to_string(involved[k]) + ": " + fault_messages[k] +
+              "]";
+    }
+    throw PartitionFaultError(what, config_.Name(), std::move(faulty));
   }
 
   for (std::size_t k = 0; k < involved.size(); ++k) {
@@ -192,6 +261,25 @@ QueryResult Replica::Execute(const STRange& query, ThreadPool* pool) const {
                           matches[k].end());
   }
   return result;
+}
+
+void Replica::RestorePartition(std::size_t partition,
+                               const std::vector<Record>& records) {
+  require(partition < partitions_.size(),
+          "Replica::RestorePartition: bad partition");
+  StoredPartition& stored = partitions_[partition];
+  storage_bytes_ -= stored.data.size();
+  num_records_ -= stored.num_records;
+  stored = EncodeStoredPartition(records, config_);
+  storage_bytes_ += stored.data.size();
+  num_records_ += stored.num_records;
+  // Decodes cached under the pre-repair identity must never satisfy a
+  // post-repair query: drop them and take a fresh process-unique id.
+  const std::uint64_t old_id = cache_id_;
+  PartitionCache::Global().InvalidateReplica(old_id, partitions_.size());
+  InitCacheState(partitions_.size());
+  ensure(cache_id_ != old_id,
+         "Replica::RestorePartition: cache identity was not refreshed");
 }
 
 Dataset Replica::Reconstruct() const {

@@ -20,9 +20,30 @@
 #include "blot/encoding_scheme.h"
 #include "blot/partition_index.h"
 #include "blot/partitioner.h"
+#include "util/error.h"
 #include "util/thread_pool.h"
 
 namespace blot {
+
+// Execute() failed on specific storage units of one replica. Derives
+// CorruptData (the dominant cause) so legacy catch sites keep working,
+// but carries the exact failing partitions so the store can quarantine
+// them and fail over to another replica instead of failing the query.
+class PartitionFaultError : public CorruptData {
+ public:
+  PartitionFaultError(const std::string& what, std::string replica,
+                      std::vector<std::size_t> partitions)
+      : CorruptData(what),
+        replica_(std::move(replica)),
+        partitions_(std::move(partitions)) {}
+
+  const std::string& replica_name() const { return replica_; }
+  const std::vector<std::size_t>& partitions() const { return partitions_; }
+
+ private:
+  std::string replica_;
+  std::vector<std::size_t> partitions_;
+};
 
 // Per-partition encoding policy. The paper's base definition encodes all
 // partitions of a replica identically but notes the analysis "can be
@@ -112,11 +133,19 @@ class Replica {
   // PartitionCache when it is enabled (miss: full decode + insert);
   // otherwise through the fused decode-filter kernel, which never
   // materializes non-matching records.
+  //
+  // Per-partition read faults (CorruptData, ReadError — real or injected)
+  // are collected across all involved partitions and rethrown as one
+  // PartitionFaultError naming every failing partition, so a caller can
+  // quarantine precisely and fail over. Other exceptions propagate as-is.
   QueryResult Execute(const STRange& query, ThreadPool* pool = nullptr) const;
 
   // Decodes one partition, verifying its checksum on first read (later
   // reads skip the hash; MutablePartition re-arms it); throws
-  // CorruptData on integrity failure.
+  // CorruptData on integrity failure and ReadError on (injected) read
+  // failure. When the global FaultInjector is armed it is consulted
+  // before verification; injected corruption mutates a copy of the
+  // encoded bytes and runs the ordinary checksum check against it.
   std::vector<Record> DecodePartitionRecords(std::size_t partition) const;
 
   // DecodePartitionRecords through the global PartitionCache: returns the
@@ -146,6 +175,14 @@ class Replica {
   // Process-unique, never-reused identity for PartitionCache keys.
   std::uint64_t cache_id() const { return cache_id_; }
 
+  // Partition-granular self-healing: replaces partition `partition`'s
+  // stored bytes by re-encoding `records` under this replica's config
+  // (same per-partition codec policy as Build). The replica takes a fresh
+  // cache identity and the old one is invalidated, so a decode cached
+  // before the repair can never satisfy a query after it.
+  void RestorePartition(std::size_t partition,
+                        const std::vector<Record>& records);
+
   // The shared logical view: every stored record, in partition order.
   // Any other replica can be rebuilt from this (replica recovery).
   Dataset Reconstruct() const;
@@ -170,6 +207,11 @@ class Replica {
   // over the encoded bytes runs on the first read of each partition and
   // is skipped afterwards. MutablePartition clears the bit.
   void VerifyPartition(std::size_t partition) const;
+  // Consults the global FaultInjector for this read (no-op when it is
+  // disarmed): may throw ReadError, sleep (latency spike), or verify a
+  // deterministically corrupted copy of the encoded bytes, surfacing the
+  // fault as the same CorruptData a real media error would produce.
+  void MaybeInjectFault(std::size_t partition) const;
   void InitCacheState(std::size_t num_partitions);
 
   ReplicaConfig config_;

@@ -29,7 +29,10 @@ void WriteFileAtomically(const std::filesystem::path& path,
 
 Bytes ReadFile(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
-  require(in.good(), "SegmentStore: cannot open " + path.string());
+  // An unreadable file is an I/O fault (survivable via replica
+  // failover), not an API-contract violation.
+  if (!in.good())
+    throw ReadError("SegmentStore: cannot open " + path.string());
   return Bytes((std::istreambuf_iterator<char>(in)),
                std::istreambuf_iterator<char>());
 }

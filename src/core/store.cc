@@ -1,11 +1,16 @@
 #include "core/store.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
 
 #include "blot/batch.h"
+#include "blot/partitioner.h"
 #include "blot/segment_store.h"
 #include "core/partition_cache.h"
 #include "obs/metrics.h"
@@ -64,6 +69,40 @@ void RecordRoutedQuery(const std::string& replica_name,
   bytes_read.Increment(routed.result.stats.bytes_read);
 }
 
+// Records health-state transitions into the quarantine.* metrics.
+void RecordQuarantine(std::size_t newly_quarantined,
+                      std::size_t newly_suspect, std::size_t active) {
+  auto& registry = obs::MetricsRegistry::global();
+  if (!registry.enabled()) return;
+  static obs::Counter& partitions_total =
+      registry.GetCounter("quarantine.partitions_total");
+  static obs::Counter& suspects_total =
+      registry.GetCounter("quarantine.suspects_total");
+  static obs::Gauge& active_gauge = registry.GetGauge("quarantine.active");
+  partitions_total.Increment(newly_quarantined);
+  suspects_total.Increment(newly_suspect);
+  active_gauge.Set(static_cast<double>(active));
+}
+
+// Total order over records so multiset containment can be checked by a
+// sorted two-pointer sweep.
+bool RecordLess(const Record& a, const Record& b) {
+  return std::tie(a.time, a.x, a.y, a.oid, a.speed, a.heading, a.status,
+                  a.passengers, a.fare_cents) <
+         std::tie(b.time, b.x, b.y, b.oid, b.speed, b.heading, b.status,
+                  b.passengers, b.fare_cents);
+}
+
+// True iff every record of `expected` occurs in `fetched` (multiset
+// semantics: duplicates must be present at least as many times).
+bool MultisetContains(std::vector<Record> fetched,
+                      std::vector<Record> expected) {
+  std::sort(fetched.begin(), fetched.end(), RecordLess);
+  std::sort(expected.begin(), expected.end(), RecordLess);
+  return std::includes(fetched.begin(), fetched.end(), expected.begin(),
+                       expected.end(), RecordLess);
+}
+
 }  // namespace
 
 BlotStore::BlotStore(Dataset dataset, std::optional<STRange> universe)
@@ -75,20 +114,43 @@ BlotStore::BlotStore(Dataset dataset, std::optional<STRange> universe)
             "BlotStore: record outside universe");
 }
 
+BlotStore::~BlotStore() {
+  if (sync_ != nullptr) WaitForRepairs();
+}
+
+void BlotStore::WaitForRepairs() {
+  std::vector<std::future<void>> pending;
+  {
+    std::lock_guard lock(sync_->futures_mutex);
+    pending.swap(sync_->repair_futures);
+  }
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      // Repair failures are already counted in repair.failed_total; a
+      // background task must never take the store down.
+    }
+  }
+}
+
 std::size_t BlotStore::AddReplica(const ReplicaConfig& config,
                                   ThreadPool* pool) {
+  std::unique_lock lock(sync_->state_mutex);
   for (const Replica& existing : replicas_)
     require(!(existing.config() == config &&
               existing.universe() == universe_),
             "BlotStore::AddReplica: duplicate replica " + config.Name());
   replicas_.push_back(Replica::Build(dataset_, config, universe_, pool));
   sketches_.push_back(ReplicaSketch::FromReplica(replicas_.back()));
+  health_->AddReplica(replicas_.back().NumPartitions());
   return replicas_.size() - 1;
 }
 
 std::size_t BlotStore::AddPartialReplica(const ReplicaConfig& config,
                                          const STRange& coverage,
                                          ThreadPool* pool) {
+  std::unique_lock lock(sync_->state_mutex);
   require(universe_.Contains(coverage),
           "BlotStore::AddPartialReplica: coverage outside universe");
   require(!(coverage == universe_),
@@ -97,6 +159,7 @@ std::size_t BlotStore::AddPartialReplica(const ReplicaConfig& config,
   const Dataset covered(dataset_.FilterByRange(coverage));
   replicas_.push_back(Replica::Build(covered, config, coverage, pool));
   sketches_.push_back(ReplicaSketch::FromReplica(replicas_.back()));
+  health_->AddReplica(replicas_.back().NumPartitions());
   return replicas_.size() - 1;
 }
 
@@ -110,32 +173,81 @@ const Replica& BlotStore::replica(std::size_t i) const {
   return replicas_[i];
 }
 
+Replica& BlotStore::mutable_replica(std::size_t i) {
+  require(i < replicas_.size(), "BlotStore::mutable_replica: bad index");
+  return replicas_[i];
+}
+
 std::uint64_t BlotStore::TotalStorageBytes() const {
   std::uint64_t total = 0;
   for (const Replica& r : replicas_) total += r.StorageBytes();
   return total;
 }
 
-BlotStore::RoutingDecision BlotStore::RouteQueryDetailed(
-    const STRange& query, const CostModel& model) const {
-  require(!replicas_.empty(), "BlotStore::RouteQuery: no replicas");
-  std::size_t best = sketches_.size();
-  double best_cost = std::numeric_limits<double>::infinity();
+BlotStore::Ranking BlotStore::RankCandidates(const STRange& query,
+                                             const CostModel& model) const {
+  Ranking out;
+  // (adjusted cost, decision with the raw estimate): suspect penalties
+  // steer the ordering but must not distort the reported estimate.
+  std::vector<std::pair<double, RoutingDecision>> scored;
   for (std::size_t i = 0; i < sketches_.size(); ++i) {
     // Full replicas can serve anything; partial replicas only queries
     // entirely inside their coverage.
     if (!IsFullReplica(i) && !replicas_[i].universe().Contains(query))
       continue;
+    ++out.covering;
     const double cost = model.QueryCostMs(sketches_[i], query);
-    if (cost < best_cost) {
-      best_cost = cost;
-      best = i;
+    double adjusted = cost;
+    if (!health_->AllOk(i)) {
+      const std::vector<std::size_t> involved =
+          sketches_[i].index.InvolvedPartitions(query);
+      if (health_->AnyQuarantined(i, involved)) continue;
+      if (health_->AnySuspect(i, involved))
+        adjusted *= policy_.suspect_cost_penalty;
+    }
+    scored.push_back(
+        {adjusted, {i, cost, sketches_[i].index.CountInvolved(query)}});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.replica_index < b.second.replica_index;
+            });
+  out.ranked.reserve(scored.size());
+  for (auto& [adjusted, decision] : scored) out.ranked.push_back(decision);
+  return out;
+}
+
+QueryFailedError BlotStore::UnservableError(const STRange& query) const {
+  std::vector<QueryFailedError::Lost> lost;
+  std::string what =
+      "BlotStore: query unservable — every covering replica's copy of a "
+      "needed partition is quarantined:";
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!IsFullReplica(i) && !replicas_[i].universe().Contains(query))
+      continue;
+    for (std::size_t p : sketches_[i].index.InvolvedPartitions(query)) {
+      if (health_->Get(i, p) != PartitionHealth::kQuarantined) continue;
+      lost.push_back({i, p});
+      what += " [" + replicas_[i].config().Name() + " partition " +
+              std::to_string(p) + "]";
     }
   }
-  require(best < sketches_.size(),
+  if (lost.empty())
+    what = "BlotStore: query unservable — all covering replicas failed";
+  return QueryFailedError(what, std::move(lost));
+}
+
+BlotStore::RoutingDecision BlotStore::RouteQueryDetailed(
+    const STRange& query, const CostModel& model) const {
+  require(!replicas_.empty(), "BlotStore::RouteQuery: no replicas");
+  std::shared_lock lock(sync_->state_mutex);
+  const Ranking ranking = RankCandidates(query, model);
+  require(ranking.covering > 0,
           "BlotStore::RouteQuery: no replica can serve the query (add a "
           "full replica)");
-  return {best, best_cost, sketches_[best].index.CountInvolved(query)};
+  if (ranking.ranked.empty()) throw UnservableError(query);
+  return ranking.ranked.front();
 }
 
 std::size_t BlotStore::RouteQuery(const STRange& query,
@@ -143,110 +255,450 @@ std::size_t BlotStore::RouteQuery(const STRange& query,
   return RouteQueryDetailed(query, model).replica_index;
 }
 
-BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
-                                           const CostModel& model,
-                                           ThreadPool* pool,
-                                           obs::TraceSpan* trace) const {
+BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
+    const STRange& query, const CostModel& model, ThreadPool* pool,
+    obs::TraceSpan* trace) {
   RoutedResult routed;
   obs::TraceSpan* route_span =
       trace != nullptr ? &trace->AddChild("route") : nullptr;
+  Ranking ranking;
   {
     obs::SpanTimer route_timer(route_span);
-    const RoutingDecision decision = RouteQueryDetailed(query, model);
-    routed.replica_index = decision.replica_index;
-    routed.estimated_cost_ms = decision.estimated_cost_ms;
-    routed.predicted_partitions = decision.predicted_partitions;
+    ranking = RankCandidates(query, model);
   }
-  const std::string replica_name =
-      replicas_[routed.replica_index].config().Name();
+  require(ranking.covering > 0,
+          "BlotStore::RouteQuery: no replica can serve the query (add a "
+          "full replica)");
+  if (ranking.ranked.empty()) throw UnservableError(query);
   if (route_span != nullptr) {
-    route_span->AddAttribute("candidates",
-                             std::uint64_t{replicas_.size()});
-    route_span->AddAttribute("replica", replica_name);
+    route_span->AddAttribute("candidates", std::uint64_t{replicas_.size()});
+    route_span->AddAttribute("healthy_candidates",
+                             std::uint64_t{ranking.ranked.size()});
+    route_span->AddAttribute(
+        "replica",
+        replicas_[ranking.ranked.front().replica_index].config().Name());
     route_span->AddAttribute("estimated_cost_ms",
-                             routed.estimated_cost_ms);
+                             ranking.ranked.front().estimated_cost_ms);
     route_span->AddAttribute(
         "predicted_partitions",
-        std::uint64_t{routed.predicted_partitions});
+        std::uint64_t{ranking.ranked.front().predicted_partitions});
   }
 
-  obs::TraceSpan* execute_span =
-      trace != nullptr ? &trace->AddChild("execute") : nullptr;
-  {
+  auto& registry = obs::MetricsRegistry::global();
+  const std::size_t max_attempts =
+      std::max<std::size_t>(std::size_t{1}, policy_.max_attempts);
+  std::size_t attempts = 0;
+  bool success = false;
+  for (const RoutingDecision& decision : ranking.ranked) {
+    if (attempts >= max_attempts) break;
+    const std::size_t idx = decision.replica_index;
+    // An earlier attempt's fault may have quarantined this candidate's
+    // copy of a needed partition since the ranking was computed.
+    if (!health_->AllOk(idx) &&
+        health_->AnyQuarantined(idx,
+                                sketches_[idx].index.InvolvedPartitions(
+                                    query)))
+      continue;
+    ++attempts;
+    const Replica& rep = replicas_[idx];
+    const std::string replica_name = rep.config().Name();
+    obs::TraceSpan* execute_span =
+        trace != nullptr ? &trace->AddChild("execute") : nullptr;
+    if (execute_span != nullptr) {
+      execute_span->AddAttribute("attempt", std::uint64_t{attempts});
+      execute_span->AddAttribute("replica", replica_name);
+    }
     const std::uint64_t start_ns = obs::MonotonicNanos();
-    obs::SpanTimer execute_timer(execute_span);
-    routed.result = replicas_[routed.replica_index].Execute(query, pool);
-    routed.measured_cost_ms =
-        double(obs::MonotonicNanos() - start_ns) * 1e-6;
+    try {
+      obs::SpanTimer execute_timer(execute_span);
+      routed.result = rep.Execute(query, pool);
+      routed.measured_cost_ms =
+          double(obs::MonotonicNanos() - start_ns) * 1e-6;
+      routed.replica_index = idx;
+      routed.estimated_cost_ms = decision.estimated_cost_ms;
+      routed.predicted_partitions = decision.predicted_partitions;
+      routed.served_by = replica_name;
+      success = true;
+    } catch (const PartitionFaultError& e) {
+      // Attributed read faults: quarantine exactly the failing storage
+      // units (and drop any stale cached decodes), then fail over.
+      std::size_t newly_quarantined = 0;
+      for (const std::size_t p : e.partitions()) {
+        if (health_->Quarantine(idx, p)) ++newly_quarantined;
+        PartitionCache::Global().Invalidate(rep.cache_id(), p);
+      }
+      RecordQuarantine(newly_quarantined, 0, health_->QuarantinedCount());
+      if (execute_span != nullptr)
+        execute_span->AddAttribute("fault", std::string(e.what()));
+      continue;
+    }
+    if (execute_span != nullptr) {
+      execute_span->AddAttribute(
+          "partitions_scanned",
+          std::uint64_t{routed.result.stats.partitions_scanned});
+      execute_span->AddAttribute("records_scanned",
+                                 routed.result.stats.records_scanned);
+      execute_span->AddAttribute(
+          "records_returned", std::uint64_t{routed.result.records.size()});
+      execute_span->AddAttribute("bytes_read",
+                                 routed.result.stats.bytes_read);
+      if (PartitionCache::Global().enabled()) {
+        execute_span->AddAttribute(
+            "cache_hits", std::uint64_t{routed.result.stats.cache_hits});
+        execute_span->AddAttribute(
+            "cache_misses",
+            std::uint64_t{routed.result.stats.cache_misses});
+      }
+    }
+    break;
   }
-  if (execute_span != nullptr) {
-    execute_span->AddAttribute(
-        "partitions_scanned",
-        std::uint64_t{routed.result.stats.partitions_scanned});
-    execute_span->AddAttribute("records_scanned",
-                               routed.result.stats.records_scanned);
-    execute_span->AddAttribute("records_returned",
-                               std::uint64_t{routed.result.records.size()});
-    execute_span->AddAttribute("bytes_read",
-                               routed.result.stats.bytes_read);
-    if (PartitionCache::Global().enabled()) {
-      execute_span->AddAttribute(
-          "cache_hits", std::uint64_t{routed.result.stats.cache_hits});
-      execute_span->AddAttribute(
-          "cache_misses",
-          std::uint64_t{routed.result.stats.cache_misses});
+
+  if (registry.enabled()) {
+    static obs::Counter& attempts_total =
+        registry.GetCounter("failover.attempts_total");
+    attempts_total.Increment(attempts);
+  }
+  if (!success) {
+    if (registry.enabled()) {
+      static obs::Counter& exhausted_total =
+          registry.GetCounter("failover.exhausted_total");
+      exhausted_total.Increment();
+    }
+    throw UnservableError(query);
+  }
+
+  routed.attempts = attempts;
+  routed.degraded = attempts > 1;
+  if (registry.enabled() && routed.degraded) {
+    static obs::Counter& rerouted_total =
+        registry.GetCounter("failover.queries_rerouted_total");
+    rerouted_total.Increment();
+  }
+  // A clean read clears suspicion: suspect involved partitions of the
+  // serving replica return to ok.
+  if (!health_->AllOk(routed.replica_index)) {
+    for (const std::size_t p :
+         sketches_[routed.replica_index].index.InvolvedPartitions(query)) {
+      if (health_->Get(routed.replica_index, p) == PartitionHealth::kSuspect)
+        health_->MarkOk(routed.replica_index, p);
     }
   }
+
   if (trace != nullptr) {
-    trace->AddAttribute("replica", replica_name);
+    trace->AddAttribute("replica", routed.served_by);
     trace->AddAttribute("estimated_cost_ms", routed.estimated_cost_ms);
     trace->AddAttribute("measured_cost_ms", routed.measured_cost_ms);
     trace->AddAttribute(
         "partitions_scanned",
         std::uint64_t{routed.result.stats.partitions_scanned});
+    if (routed.degraded) {
+      trace->AddAttribute("attempts", std::uint64_t{routed.attempts});
+      trace->AddAttribute("degraded", std::string("true"));
+    }
   }
-  if (obs::MetricsRegistry::global().enabled())
-    RecordRoutedQuery(replica_name, routed);
+  if (registry.enabled()) RecordRoutedQuery(routed.served_by, routed);
   return routed;
+}
+
+BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
+                                           const CostModel& model,
+                                           ThreadPool* pool,
+                                           obs::TraceSpan* trace) {
+  require(!replicas_.empty(), "BlotStore::RouteQuery: no replicas");
+  RoutedResult routed;
+  {
+    std::shared_lock lock(sync_->state_mutex);
+    routed = ExecuteWithFailover(query, model, pool, trace);
+  }
+  MaybeScheduleRepairs(pool);
+  return routed;
+}
+
+void BlotStore::MaybeScheduleRepairs(ThreadPool* pool) {
+  if (policy_.repair == RepairMode::kNone) return;
+  if (health_->QuarantinedCount() == 0) return;
+  if (policy_.repair == RepairMode::kSync || pool == nullptr) {
+    RepairQuarantined(pool, policy_.repair_budget);
+    return;
+  }
+  std::lock_guard lock(sync_->futures_mutex);
+  sync_->repair_futures.push_back(pool->Submit([this] {
+    // try_to_lock: a repair task blocking on a query that is itself
+    // waiting for pool workers would deadlock the pool; if the store is
+    // busy the partitions stay quarantined and the next query
+    // reschedules the repair.
+    std::unique_lock lock(sync_->state_mutex, std::try_to_lock);
+    if (!lock.owns_lock()) return;
+    RepairQuarantinedLocked(nullptr, policy_.repair_budget);
+  }));
+}
+
+std::size_t BlotStore::RepairQuarantined(ThreadPool* pool,
+                                         std::size_t budget) {
+  std::unique_lock lock(sync_->state_mutex);
+  return RepairQuarantinedLocked(pool, budget);
+}
+
+std::size_t BlotStore::RepairQuarantinedLocked(ThreadPool* pool,
+                                               std::size_t budget) {
+  auto& registry = obs::MetricsRegistry::global();
+  const std::vector<HealthMap::Target> targets = health_->Quarantined();
+  std::size_t attempted = 0;
+  std::size_t repaired = 0;
+  for (const HealthMap::Target& target : targets) {
+    if (budget != 0 && attempted >= budget) break;
+    // A full rebuild triggered by an earlier target may have already
+    // healed this one.
+    if (health_->Get(target.replica, target.partition) !=
+        PartitionHealth::kQuarantined)
+      continue;
+    ++attempted;
+    try {
+      RecoverPartitionLocked(target.replica, target.partition, std::nullopt,
+                             pool);
+      ++repaired;
+    } catch (const Error&) {
+      // No healthy source: the partition stays quarantined; queries keep
+      // routing around it and a later repair pass retries.
+      if (registry.enabled()) {
+        static obs::Counter& failed_total =
+            registry.GetCounter("repair.failed_total");
+        failed_total.Increment();
+      }
+    }
+  }
+  if (registry.enabled()) {
+    static obs::Gauge& active_gauge =
+        registry.GetGauge("quarantine.active");
+    active_gauge.Set(static_cast<double>(health_->QuarantinedCount()));
+  }
+  return repaired;
+}
+
+std::uint64_t BlotStore::RecoverPartition(std::size_t target,
+                                          std::size_t partition,
+                                          std::optional<std::size_t> source,
+                                          ThreadPool* pool) {
+  std::unique_lock lock(sync_->state_mutex);
+  return RecoverPartitionLocked(target, partition, source, pool);
+}
+
+std::uint64_t BlotStore::RecoverPartitionLocked(
+    std::size_t target, std::size_t partition,
+    std::optional<std::size_t> source, ThreadPool* pool) {
+  require(target < replicas_.size(),
+          "BlotStore::RecoverPartition: bad replica index");
+  require(!source.has_value() ||
+              (*source < replicas_.size() && *source != target),
+          "BlotStore::RecoverPartition: bad source index");
+  Replica& rep = replicas_[target];
+  require(partition < rep.NumPartitions(),
+          "BlotStore::RecoverPartition: bad partition");
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t start_ns = obs::MonotonicNanos();
+
+  // Membership oracle: which records belong in this partition is decided
+  // by the partitioner (equal-count median splits with order-dependent
+  // boundary ties), not by geometry alone — so re-run the deterministic
+  // partitioning over the same logical input the replica was built from
+  // and check it reproduces the replica's layout.
+  const bool partial = !(rep.universe() == universe_);
+  Dataset covered;
+  const Dataset* logical = &dataset_;
+  if (partial) {
+    covered = Dataset(dataset_.FilterByRange(rep.universe()));
+    logical = &covered;
+  }
+  const PartitionedData oracle =
+      PartitionDataset(*logical, rep.config().partitioning, rep.universe());
+  bool canonical = oracle.NumPartitions() == rep.NumPartitions() &&
+                   logical->size() == rep.NumRecords();
+  for (std::size_t p = 0; canonical && p < oracle.NumPartitions(); ++p)
+    canonical = oracle.ranges[p] == rep.index().Range(p) &&
+                oracle.members[p].size() == rep.partition(p).num_records;
+
+  if (!canonical) {
+    // The replica's layout is not re-derivable (e.g. it was previously
+    // rebuilt from another replica's record order): rebuild it whole.
+    if (registry.enabled()) {
+      static obs::Counter& full_rebuilds =
+          registry.GetCounter("repair.full_rebuilds_total");
+      full_rebuilds.Increment();
+    }
+    std::vector<std::size_t> sources;
+    if (source.has_value()) {
+      sources.push_back(*source);
+    } else {
+      for (std::size_t r = 0; r < replicas_.size(); ++r)
+        if (r != target &&
+            replicas_[r].universe().Contains(rep.universe()))
+          sources.push_back(r);
+    }
+    require(!sources.empty(),
+            "BlotStore::RecoverPartition: no replica covers the target");
+    for (std::size_t r : sources) {
+      try {
+        return RecoverReplicaFromLocked(target, r, pool);
+      } catch (const Error&) {
+        continue;  // source itself unreadable; try the next one
+      }
+    }
+    throw CorruptData(
+        "BlotStore::RecoverPartition: full rebuild of replica " +
+        rep.config().Name() + " failed from every source");
+  }
+
+  // Expected payload from the logical view; the bytes must still be
+  // fetched (and verified) from a healthy replica — diverse replicas
+  // recover each other (Section II-E).
+  std::vector<Record> expected;
+  expected.reserve(oracle.members[partition].size());
+  for (const std::uint32_t idx : oracle.members[partition])
+    expected.push_back(logical->records()[idx]);
+  const STRange needed = rep.index().Range(partition);
+
+  std::vector<std::size_t> sources;
+  if (source.has_value()) {
+    sources.push_back(*source);
+  } else {
+    for (std::size_t r = 0; r < replicas_.size(); ++r)
+      if (r != target && replicas_[r].universe().Contains(needed))
+        sources.push_back(r);
+  }
+  require(!sources.empty(),
+          "BlotStore::RecoverPartition: no replica covers partition " +
+              std::to_string(partition));
+
+  for (const std::size_t r : sources) {
+    try {
+      const QueryResult fetched = replicas_[r].Execute(needed, pool);
+      // The source must hold every record of the lost partition (ranges
+      // overlap on closed bounds, so it may return extra neighbors).
+      if (!MultisetContains(fetched.records, expected)) continue;
+    } catch (const PartitionFaultError& e) {
+      // The source's own copies are bad: contain the damage and move on.
+      std::size_t newly_quarantined = 0;
+      for (const std::size_t p : e.partitions()) {
+        if (health_->Quarantine(r, p)) ++newly_quarantined;
+        PartitionCache::Global().Invalidate(replicas_[r].cache_id(), p);
+      }
+      RecordQuarantine(newly_quarantined, 0, health_->QuarantinedCount());
+      continue;
+    }
+    rep.RestorePartition(partition, expected);
+    sketches_[target] = ReplicaSketch::FromReplica(rep);
+    health_->MarkOk(target, partition);
+    if (registry.enabled()) {
+      static obs::Counter& partitions_total =
+          registry.GetCounter("repair.partitions_total");
+      static obs::Counter& records_total =
+          registry.GetCounter("repair.records_total");
+      static obs::Histogram& repair_ms =
+          registry.GetHistogram("repair.ms");
+      partitions_total.Increment();
+      records_total.Increment(expected.size());
+      repair_ms.Observe(double(obs::MonotonicNanos() - start_ns) * 1e-6);
+    }
+    return expected.size();
+  }
+  throw CorruptData(
+      "BlotStore::RecoverPartition: no healthy source could supply "
+      "partition " +
+      std::to_string(partition) + " of " + rep.config().Name());
 }
 
 BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
     std::span<const STRange> queries, const CostModel& model,
-    ThreadPool* pool) const {
+    ThreadPool* pool) {
   const std::uint64_t start_ns = obs::MonotonicNanos();
   RoutedBatchResult result;
   result.per_query.resize(queries.size());
   result.replica_of.resize(queries.size());
 
-  // Group queries by routed replica, preserving original indices. The
-  // replica count is small, so a flat vector indexed by replica id
-  // replaces the ordered map (allocator churn on large batches).
-  std::vector<std::vector<std::size_t>> groups(replicas_.size());
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    const std::size_t replica = RouteQuery(queries[q], model);
-    result.replica_of[q] = replica;
-    groups[replica].push_back(q);
+  // Queries whose group's shared scan failed; retried one-by-one through
+  // the failover path after the shared lock is released.
+  std::vector<std::size_t> fallback;
+  {
+    std::shared_lock lock(sync_->state_mutex);
+    // Group queries by routed replica, preserving original indices. The
+    // replica count is small, so a flat vector indexed by replica id
+    // replaces the ordered map (allocator churn on large batches).
+    std::vector<std::vector<std::size_t>> groups(replicas_.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const Ranking ranking = RankCandidates(queries[q], model);
+      require(ranking.covering > 0,
+              "BlotStore::RouteQuery: no replica can serve the query (add "
+              "a full replica)");
+      if (ranking.ranked.empty()) throw UnservableError(queries[q]);
+      const std::size_t replica = ranking.ranked.front().replica_index;
+      result.replica_of[q] = replica;
+      groups[replica].push_back(q);
+    }
+    for (std::size_t replica = 0; replica < groups.size(); ++replica) {
+      const std::vector<std::size_t>& query_ids = groups[replica];
+      if (query_ids.empty()) continue;
+      std::vector<STRange> group;
+      group.reserve(query_ids.size());
+      for (std::size_t q : query_ids) group.push_back(queries[q]);
+      try {
+        BatchResult batch =
+            ::blot::ExecuteBatch(replicas_[replica], group, pool);
+        for (std::size_t j = 0; j < query_ids.size(); ++j)
+          result.per_query[query_ids[j]] = std::move(batch.per_query[j]);
+        result.stats.partitions_scanned += batch.stats.partitions_scanned;
+        result.stats.records_scanned += batch.stats.records_scanned;
+        result.stats.bytes_read += batch.stats.bytes_read;
+        result.stats.cache_hits += batch.stats.cache_hits;
+        result.stats.cache_misses += batch.stats.cache_misses;
+        result.naive_partition_scans += batch.naive_partition_scans;
+      } catch (const CorruptData&) {
+        // The shared scan cannot attribute the fault to one partition:
+        // mark the group's involved partitions suspect (two strikes
+        // quarantine) and retry each query with per-query failover.
+        std::size_t newly_suspect = 0;
+        std::size_t newly_quarantined = 0;
+        for (const std::size_t q : query_ids) {
+          for (const std::size_t p :
+               sketches_[replica].index.InvolvedPartitions(queries[q])) {
+            const PartitionHealth before = health_->Get(replica, p);
+            const PartitionHealth after = health_->MarkSuspect(replica, p);
+            if (after == PartitionHealth::kSuspect &&
+                before == PartitionHealth::kOk)
+              ++newly_suspect;
+            if (after == PartitionHealth::kQuarantined &&
+                before != PartitionHealth::kQuarantined)
+              ++newly_quarantined;
+          }
+        }
+        RecordQuarantine(newly_quarantined, newly_suspect,
+                         health_->QuarantinedCount());
+        fallback.insert(fallback.end(), query_ids.begin(), query_ids.end());
+      } catch (const ReadError&) {
+        fallback.insert(fallback.end(), query_ids.begin(), query_ids.end());
+      }
+    }
   }
-  for (std::size_t replica = 0; replica < groups.size(); ++replica) {
-    const std::vector<std::size_t>& query_ids = groups[replica];
-    if (query_ids.empty()) continue;
-    std::vector<STRange> group;
-    group.reserve(query_ids.size());
-    for (std::size_t q : query_ids) group.push_back(queries[q]);
-    BatchResult batch = ::blot::ExecuteBatch(replicas_[replica], group, pool);
-    for (std::size_t j = 0; j < query_ids.size(); ++j)
-      result.per_query[query_ids[j]] = std::move(batch.per_query[j]);
-    result.stats.partitions_scanned += batch.stats.partitions_scanned;
-    result.stats.records_scanned += batch.stats.records_scanned;
-    result.stats.bytes_read += batch.stats.bytes_read;
-    result.stats.cache_hits += batch.stats.cache_hits;
-    result.stats.cache_misses += batch.stats.cache_misses;
-    result.naive_partition_scans += batch.naive_partition_scans;
+
+  for (const std::size_t q : fallback) {
+    RoutedResult routed = Execute(queries[q], model, pool);
+    result.per_query[q] = std::move(routed.result.records);
+    result.replica_of[q] = routed.replica_index;
+    result.stats.partitions_scanned += routed.result.stats.partitions_scanned;
+    result.stats.records_scanned += routed.result.stats.records_scanned;
+    result.stats.bytes_read += routed.result.stats.bytes_read;
+    result.stats.cache_hits += routed.result.stats.cache_hits;
+    result.stats.cache_misses += routed.result.stats.cache_misses;
+    result.naive_partition_scans += routed.result.stats.partitions_scanned;
   }
   result.measured_ms = double(obs::MonotonicNanos() - start_ns) * 1e-6;
 
   auto& registry = obs::MetricsRegistry::global();
   if (registry.enabled()) {
+    // Fallback queries were recorded by Execute() already; count only the
+    // shared-scan queries here.
+    std::vector<bool> via_fallback(queries.size(), false);
+    for (const std::size_t q : fallback) via_fallback[q] = true;
+    const std::size_t shared_scan_queries = queries.size() - fallback.size();
     static obs::Counter& batches_total =
         registry.GetCounter("query.batches_total");
     static obs::Counter& batch_queries =
@@ -261,24 +713,26 @@ BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
         registry.GetCounter("query.routed_total");
     batches_total.Increment();
     batch_queries.Increment(queries.size());
-    routed_total.Increment(queries.size());
+    routed_total.Increment(shared_scan_queries);
     partitions_scanned.Increment(result.stats.partitions_scanned);
     scans_saved.Increment(result.naive_partition_scans -
                           result.stats.partitions_scanned);
     batch_ms.Observe(result.measured_ms);
-    for (std::size_t q = 0; q < queries.size(); ++q)
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      if (via_fallback[q]) continue;
       registry
           .GetCounter("query.routed_total",
                       {{"replica",
                         replicas_[result.replica_of[q]].config().Name()}})
           .Increment();
+    }
   }
   return result;
 }
 
 namespace {
 
-constexpr std::uint64_t kStoreMagic = 0x315252544F4C42ull;  // "BLOTRR1"
+constexpr std::uint64_t kStoreMagic = 0x325252544F4C42ull;  // "BLOTRR2"
 const char* kStoreManifest = "store.blot";
 const char* kStoreDataset = "dataset.bin";
 
@@ -292,11 +746,19 @@ std::string ReplicaDirName(std::size_t i) {
 
 void BlotStore::Save(const std::filesystem::path& directory) const {
   std::filesystem::create_directories(directory);
+  std::ostringstream dataset_buf;
+  dataset_.WriteBinary(dataset_buf);
+  const std::string dataset_bytes = dataset_buf.str();
+  const std::uint64_t dataset_checksum = Fnv1a64(BytesView(
+      reinterpret_cast<const std::uint8_t*>(dataset_bytes.data()),
+      dataset_bytes.size()));
   {
     std::ofstream out(directory / kStoreDataset,
                       std::ios::binary | std::ios::trunc);
     require(out.good(), "BlotStore::Save: cannot write dataset");
-    dataset_.WriteBinary(out);
+    out.write(dataset_bytes.data(),
+              static_cast<std::streamsize>(dataset_bytes.size()));
+    require(out.good(), "BlotStore::Save: short write to dataset");
   }
   for (std::size_t i = 0; i < replicas_.size(); ++i)
     SegmentStore::Save(replicas_[i], directory / ReplicaDirName(i));
@@ -310,6 +772,10 @@ void BlotStore::Save(const std::filesystem::path& directory) const {
   manifest.PutF64(universe_.t_min());
   manifest.PutF64(universe_.t_max());
   manifest.PutVarint(replicas_.size());
+  manifest.PutU64(dataset_checksum);
+  // Whole-manifest checksum excluding this trailing field, mirroring the
+  // SegmentStore manifest format.
+  manifest.PutU64(Fnv1a64(manifest.buffer()));
   const std::filesystem::path tmp =
       directory / (std::string(kStoreManifest) + ".tmp");
   {
@@ -325,9 +791,19 @@ BlotStore BlotStore::Load(const std::filesystem::path& directory) {
   require(std::filesystem::exists(directory / kStoreManifest),
           "BlotStore::Load: no store manifest in " + directory.string());
   std::ifstream manifest_in(directory / kStoreManifest, std::ios::binary);
+  if (!manifest_in.good())
+    throw ReadError("BlotStore::Load: cannot open store manifest in " +
+                    directory.string());
   const Bytes manifest_bytes((std::istreambuf_iterator<char>(manifest_in)),
                              std::istreambuf_iterator<char>());
-  ByteReader manifest(manifest_bytes);
+  validate(manifest_bytes.size() > 8,
+           "BlotStore::Load: store manifest too small");
+  const BytesView body(manifest_bytes.data(), manifest_bytes.size() - 8);
+  ByteReader trailer(BytesView(manifest_bytes.data() + body.size(), 8));
+  validate(trailer.GetU64() == Fnv1a64(body),
+           "BlotStore::Load: store manifest checksum mismatch");
+
+  ByteReader manifest(body);
   validate(manifest.GetU64() == kStoreMagic,
            "BlotStore::Load: bad store magic");
   const double x_min = manifest.GetF64();
@@ -339,11 +815,19 @@ BlotStore BlotStore::Load(const std::filesystem::path& directory) {
   validate(x_min <= x_max && y_min <= y_max && t_min <= t_max,
            "BlotStore::Load: malformed universe");
   const std::uint64_t num_replicas = manifest.GetVarint();
+  const std::uint64_t dataset_checksum = manifest.GetU64();
   validate(manifest.AtEnd(), "BlotStore::Load: trailing manifest bytes");
 
   std::ifstream dataset_in(directory / kStoreDataset, std::ios::binary);
   require(dataset_in.good(), "BlotStore::Load: missing dataset file");
-  BlotStore store(Dataset::ReadBinary(dataset_in),
+  const Bytes dataset_bytes((std::istreambuf_iterator<char>(dataset_in)),
+                            std::istreambuf_iterator<char>());
+  validate(Fnv1a64(dataset_bytes) == dataset_checksum,
+           "BlotStore::Load: dataset checksum mismatch");
+  std::istringstream dataset_stream(std::string(
+      reinterpret_cast<const char*>(dataset_bytes.data()),
+      dataset_bytes.size()));
+  BlotStore store(Dataset::ReadBinary(dataset_stream),
                   STRange::FromBounds(x_min, x_max, y_min, y_max, t_min,
                                       t_max));
   for (std::uint64_t i = 0; i < num_replicas; ++i) {
@@ -353,12 +837,20 @@ BlotStore BlotStore::Load(const std::filesystem::path& directory) {
     store.replicas_.push_back(std::move(replica));
     store.sketches_.push_back(
         ReplicaSketch::FromReplica(store.replicas_.back()));
+    store.health_->AddReplica(store.replicas_.back().NumPartitions());
   }
   return store;
 }
 
 std::uint64_t BlotStore::RecoverReplicaFrom(std::size_t i, std::size_t source,
                                             ThreadPool* pool) {
+  std::unique_lock lock(sync_->state_mutex);
+  return RecoverReplicaFromLocked(i, source, pool);
+}
+
+std::uint64_t BlotStore::RecoverReplicaFromLocked(std::size_t i,
+                                                  std::size_t source,
+                                                  ThreadPool* pool) {
   require(i < replicas_.size() && source < replicas_.size(),
           "BlotStore::RecoverReplicaFrom: bad index");
   require(i != source, "BlotStore::RecoverReplicaFrom: source == target");
@@ -373,10 +865,17 @@ std::uint64_t BlotStore::RecoverReplicaFrom(std::size_t i, std::size_t source,
   const Dataset covered(logical.FilterByRange(target_universe));
   // The lost replica's storage is discarded; drop its cached decodes
   // eagerly rather than letting them age out of the LRU.
-  PartitionCache::Global().InvalidateReplica(replicas_[i].cache_id(),
+  const std::uint64_t old_cache_id = replicas_[i].cache_id();
+  PartitionCache::Global().InvalidateReplica(old_cache_id,
                                              replicas_[i].NumPartitions());
   replicas_[i] = Replica::Build(covered, config, target_universe, pool);
+  // A decode cached before recovery must never satisfy a query after it:
+  // the rebuilt replica's cache identity is process-unique and fresh.
+  ensure(replicas_[i].cache_id() != old_cache_id,
+         "BlotStore::RecoverReplicaFrom: rebuilt replica kept its old "
+         "cache identity");
   sketches_[i] = ReplicaSketch::FromReplica(replicas_[i]);
+  health_->ResetReplica(i, replicas_[i].NumPartitions());
   return replicas_[i].NumRecords();
 }
 

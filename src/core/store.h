@@ -5,26 +5,85 @@
 // the system to determine which one of the existing replicas is supposed
 // to have the least processing time for the issued query"), executes it
 // for real, and recovers lost replicas from any healthy one.
+//
+// Fault tolerance (Section II-E, docs/robustness.md): the store tracks
+// per-replica, per-partition health. A read fault during execution
+// quarantines exactly the failing partitions and the query fails over to
+// the next-cheapest covering replica; quarantined partitions are repaired
+// from a healthy replica (partition-granular when possible, full rebuild
+// otherwise) per the configured FailoverPolicy. A query only fails — with
+// a structured QueryFailedError naming the lost partitions — when every
+// replica's copy of a needed partition is gone.
 #ifndef BLOT_CORE_STORE_H_
 #define BLOT_CORE_STORE_H_
 
 #include <filesystem>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/health.h"
 #include "obs/trace.h"
+#include "util/error.h"
 #include "util/thread_pool.h"
 
 namespace blot {
+
+// Every covering replica's copy of some partition the query needs is
+// quarantined: the query cannot be answered until repair succeeds. Not a
+// CorruptData — the store detected and contained the corruption; this is
+// an availability failure, and it names exactly what is unavailable.
+class QueryFailedError : public Error {
+ public:
+  struct Lost {
+    std::size_t replica = 0;
+    std::size_t partition = 0;
+  };
+
+  QueryFailedError(const std::string& what, std::vector<Lost> lost)
+      : Error(what), lost_(std::move(lost)) {}
+
+  // The quarantined (replica, partition) pairs that blocked the query.
+  const std::vector<Lost>& lost() const { return lost_; }
+
+ private:
+  std::vector<Lost> lost_;
+};
+
+// What the store does about quarantined partitions after a query.
+enum class RepairMode {
+  kNone,        // leave them quarantined; caller runs RepairQuarantined
+  kSync,        // repair inline before Execute returns
+  kBackground,  // enqueue repair on the query's ThreadPool
+};
+
+struct FailoverPolicy {
+  // Maximum replicas tried per query (including the first).
+  std::size_t max_attempts = 4;
+  RepairMode repair = RepairMode::kSync;
+  // Partitions repaired per sweep; 0 means every quarantined partition.
+  std::size_t repair_budget = 0;
+  // Routing-cost multiplier for replicas with suspect involved
+  // partitions: still eligible, but only chosen when clearly cheapest.
+  double suspect_cost_penalty = 4.0;
+};
 
 class BlotStore {
  public:
   // `universe` defaults to the dataset's bounding box.
   explicit BlotStore(Dataset dataset,
                      std::optional<STRange> universe = std::nullopt);
+
+  // Waits for outstanding background repairs.
+  ~BlotStore();
+  BlotStore(BlotStore&&) noexcept = default;
+  BlotStore& operator=(BlotStore&&) noexcept = default;
 
   const Dataset& dataset() const { return dataset_; }
   const STRange& universe() const { return universe_; }
@@ -46,7 +105,16 @@ class BlotStore {
 
   std::size_t NumReplicas() const { return replicas_.size(); }
   const Replica& replica(std::size_t i) const;
+  // Mutable replica access for failure injection and recovery tooling
+  // (see Replica::MutablePartition); production query paths never use it.
+  Replica& mutable_replica(std::size_t i);
   std::uint64_t TotalStorageBytes() const;
+
+  const FailoverPolicy& failover_policy() const { return policy_; }
+  void SetFailoverPolicy(const FailoverPolicy& policy) { policy_ = policy; }
+
+  // The per-replica, per-partition health map driving routing and repair.
+  const HealthMap& health() const { return *health_; }
 
   struct RoutedResult {
     QueryResult result;
@@ -54,17 +122,28 @@ class BlotStore {
     double estimated_cost_ms = 0.0;   // the cost model's prediction (Eq. 7)
     double measured_cost_ms = 0.0;    // wall clock of the real execution
     std::size_t predicted_partitions = 0;  // Np from the routing sketch
+    // Execution attempts spent (1 = first-choice replica succeeded).
+    std::size_t attempts = 1;
+    // True when the first-choice replica failed and the result came from
+    // a failover replica (correct, but routing was not optimal).
+    bool degraded = false;
+    std::string served_by;  // config name of the serving replica
   };
 
-  // Routes `query` to the cheapest replica under `model` and executes it.
-  // Requires at least one replica. When `trace` is non-null, `route` and
-  // `execute` child spans are attached with the chosen replica, estimated
-  // vs measured cost, and partitions scanned; when the global metrics
-  // registry is enabled the same quantities feed the query.* metrics
-  // (docs/observability.md).
+  // Routes `query` to the cheapest healthy replica under `model` and
+  // executes it. Requires at least one replica. Read faults quarantine
+  // the failing partitions and fail over to the next-cheapest covering
+  // replica (up to FailoverPolicy::max_attempts); quarantined partitions
+  // are then repaired per the policy. Throws QueryFailedError when no
+  // healthy copy of a needed partition remains.
+  //
+  // When `trace` is non-null, a `route` child span plus one `execute`
+  // child span per attempt are attached; when the global metrics registry
+  // is enabled the same quantities feed the query.*, failover.* and
+  // quarantine.* metrics (docs/observability.md, docs/robustness.md).
   RoutedResult Execute(const STRange& query, const CostModel& model,
                        ThreadPool* pool = nullptr,
-                       obs::TraceSpan* trace = nullptr) const;
+                       obs::TraceSpan* trace = nullptr);
 
   struct RoutedBatchResult {
     // per_query[i]: records matching queries[i].
@@ -76,12 +155,14 @@ class BlotStore {
     double measured_ms = 0.0;           // wall clock of the whole batch
   };
 
-  // Routes every query to its cheapest replica, then executes each
-  // replica's group as one shared scan (each involved partition decoded
-  // once per replica, blot/batch.h).
+  // Routes every query to its cheapest healthy replica, then executes
+  // each replica's group as one shared scan (each involved partition
+  // decoded once per replica, blot/batch.h). A group whose shared scan
+  // hits a read fault falls back to per-query failover-aware Execute for
+  // its queries, so one bad storage unit degrades only that group.
   RoutedBatchResult ExecuteBatch(std::span<const STRange> queries,
                                  const CostModel& model,
-                                 ThreadPool* pool = nullptr) const;
+                                 ThreadPool* pool = nullptr);
 
   // Everything routing decides about a query, computed in one pass so
   // execution doesn't re-derive the winner's cost or involved-partition
@@ -92,8 +173,11 @@ class BlotStore {
     std::size_t predicted_partitions = 0;  // Np from the routing sketch
   };
 
-  // The replica `model` estimates cheapest for `query`, with the
-  // estimate and predicted involvement that drove the choice.
+  // The replica `model` estimates cheapest for `query` among healthy
+  // candidates (quarantined involvement excludes a replica; suspect
+  // involvement penalizes its cost), with the estimate and predicted
+  // involvement that drove the choice. Throws QueryFailedError when
+  // covering replicas exist but all are quarantined for this query.
   RoutingDecision RouteQueryDetailed(const STRange& query,
                                      const CostModel& model) const;
 
@@ -102,23 +186,87 @@ class BlotStore {
 
   // Simulates losing replica `i` and rebuilding it from replica `source`
   // (diverse-replica recovery, Section II-E). Returns the number of
-  // records restored.
+  // records restored. The rebuilt replica always carries a fresh
+  // process-unique cache identity, so decodes cached before recovery can
+  // never satisfy queries after it; its health map resets to all-ok.
   std::uint64_t RecoverReplicaFrom(std::size_t i, std::size_t source,
                                    ThreadPool* pool = nullptr);
 
+  // Partition-granular self-healing: re-encodes partition `partition` of
+  // replica `target` from records fetched (and verified) from a healthy
+  // replica — `source` when given, otherwise every other covering replica
+  // is tried cheapest-storage-first. Falls back to a full
+  // RecoverReplicaFrom rebuild when the replica's partition membership is
+  // not canonically re-derivable. Returns the number of records restored;
+  // the repaired partition returns to ok health. Throws when no healthy
+  // source can supply the partition's records.
+  std::uint64_t RecoverPartition(std::size_t target, std::size_t partition,
+                                 std::optional<std::size_t> source = std::nullopt,
+                                 ThreadPool* pool = nullptr);
+
+  // Repairs up to `budget` quarantined partitions (0 = all), feeding the
+  // repair.* metrics. Returns the number of partitions repaired (a full
+  // rebuild counts all partitions of the rebuilt replica as repaired).
+  // Partitions whose repair fails stay quarantined.
+  std::size_t RepairQuarantined(ThreadPool* pool = nullptr,
+                                std::size_t budget = 0);
+
+  // Blocks until background repairs scheduled by Execute complete.
+  void WaitForRepairs();
+
   // Persists the whole store: the logical dataset plus every replica
-  // (each in its own SegmentStore subdirectory) under `directory`.
+  // (each in its own SegmentStore subdirectory) under `directory`. The
+  // manifest and dataset carry FNV-1a checksums.
   void Save(const std::filesystem::path& directory) const;
 
-  // Loads a store persisted by Save. Throws CorruptData on malformed
-  // contents and InvalidArgument when `directory` holds no store.
+  // Loads a store persisted by Save. Throws CorruptData on malformed or
+  // checksum-failing contents and InvalidArgument when `directory` holds
+  // no store.
   static BlotStore Load(const std::filesystem::path& directory);
 
  private:
+  // Background repairs and replica mutation synchronize on `state_mutex`:
+  // queries hold it shared, repair holds it unique. Boxed so BlotStore
+  // stays movable.
+  struct SyncState {
+    std::shared_mutex state_mutex;
+    std::mutex futures_mutex;
+    std::vector<std::future<void>> repair_futures;
+  };
+
+  struct Ranking {
+    std::vector<RoutingDecision> ranked;  // best first
+    std::size_t covering = 0;             // replicas able to serve at all
+  };
+
+  // Health-aware candidate ranking; no locking (callers hold state_mutex).
+  Ranking RankCandidates(const STRange& query, const CostModel& model) const;
+  // Builds the QueryFailedError for `query` from the current health map.
+  QueryFailedError UnservableError(const STRange& query) const;
+
+  // The failover loop; caller holds state_mutex shared.
+  RoutedResult ExecuteWithFailover(const STRange& query,
+                                   const CostModel& model, ThreadPool* pool,
+                                   obs::TraceSpan* trace);
+  // Per-policy repair scheduling after a query released the shared lock.
+  void MaybeScheduleRepairs(ThreadPool* pool);
+
+  // Implementations that assume state_mutex is held unique.
+  std::uint64_t RecoverReplicaFromLocked(std::size_t i, std::size_t source,
+                                         ThreadPool* pool);
+  std::uint64_t RecoverPartitionLocked(std::size_t target,
+                                       std::size_t partition,
+                                       std::optional<std::size_t> source,
+                                       ThreadPool* pool);
+  std::size_t RepairQuarantinedLocked(ThreadPool* pool, std::size_t budget);
+
   Dataset dataset_;
   STRange universe_;
   std::vector<Replica> replicas_;
   std::vector<ReplicaSketch> sketches_;
+  FailoverPolicy policy_;
+  std::unique_ptr<HealthMap> health_ = std::make_unique<HealthMap>();
+  std::unique_ptr<SyncState> sync_ = std::make_unique<SyncState>();
 };
 
 }  // namespace blot

@@ -26,7 +26,7 @@ bool StreamingStore::Ingest(const Record& record) {
 }
 
 BlotStore::RoutedResult StreamingStore::Execute(
-    const STRange& query, const CostModel& model) const {
+    const STRange& query, const CostModel& model) {
   BlotStore::RoutedResult routed = store_.Execute(query, model, pool_);
   // Fresh records live only in the delta; scan it linearly (bounded by
   // the compaction threshold).
@@ -38,7 +38,7 @@ BlotStore::RoutedResult StreamingStore::Execute(
 }
 
 BlotStore::RoutedBatchResult StreamingStore::ExecuteBatch(
-    std::span<const STRange> queries, const CostModel& model) const {
+    std::span<const STRange> queries, const CostModel& model) {
   BlotStore::RoutedBatchResult batch =
       store_.ExecuteBatch(queries, model, pool_);
   for (const Record& r : delta_.records()) {

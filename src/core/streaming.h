@@ -42,14 +42,15 @@ class StreamingStore {
   bool Ingest(const Record& record);
 
   // Routed range query over replicas plus a delta scan; results cover
-  // both compacted and freshly ingested records.
+  // both compacted and freshly ingested records. Non-const because the
+  // underlying store may quarantine and self-heal partitions.
   BlotStore::RoutedResult Execute(const STRange& query,
-                                  const CostModel& model) const;
+                                  const CostModel& model);
 
   // Shared-scan batch over the replicas plus one delta pass covering all
   // queries; per-query results include freshly ingested records.
   BlotStore::RoutedBatchResult ExecuteBatch(std::span<const STRange> queries,
-                                            const CostModel& model) const;
+                                            const CostModel& model);
 
   // Folds the delta into the dataset and rebuilds every replica with its
   // existing configuration (full and partial alike).

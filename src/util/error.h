@@ -31,6 +31,14 @@ class CorruptData : public Error {
   explicit CorruptData(const std::string& what) : Error(what) {}
 };
 
+// A storage read failed outright (I/O error, unreachable storage unit).
+// Distinct from CorruptData so callers can tell unreadable bytes from
+// unverifiable ones; both are survivable via replica failover.
+class ReadError : public Error {
+ public:
+  explicit ReadError(const std::string& what) : Error(what) {}
+};
+
 // An internal invariant did not hold; indicates a bug in the library.
 class InternalError : public Error {
  public:

@@ -43,7 +43,7 @@ TEST_F(StorePersistenceTest, SaveLoadRoundTripsReplicasAndDataset) {
                     EncodingScheme::FromName("COL-LZMA")});
   store.Save(dir_);
 
-  const BlotStore loaded = BlotStore::Load(dir_);
+  BlotStore loaded = BlotStore::Load(dir_);
   EXPECT_EQ(loaded.dataset(), store.dataset());
   EXPECT_EQ(loaded.universe(), store.universe());
   ASSERT_EQ(loaded.NumReplicas(), 2u);
@@ -74,7 +74,7 @@ TEST_F(StorePersistenceTest, PartialReplicasSurviveRoundTrip) {
       hotspot);
   store.Save(dir_);
 
-  const BlotStore loaded = BlotStore::Load(dir_);
+  BlotStore loaded = BlotStore::Load(dir_);
   ASSERT_EQ(loaded.NumReplicas(), 2u);
   EXPECT_TRUE(loaded.IsFullReplica(0));
   EXPECT_FALSE(loaded.IsFullReplica(1));

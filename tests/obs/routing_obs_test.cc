@@ -46,7 +46,7 @@ struct RoutingObsTest : ::testing::Test {
 };
 
 TEST_F(RoutingObsTest, TracedQueryRecordsEstimatedAndMeasuredCost) {
-  const BlotStore store = MakeStore();
+  BlotStore store = MakeStore();
   const STRange query = STRange::FromBounds(
       universe.x_min(), universe.x_min() + universe.Width() / 8,
       universe.y_min(), universe.y_min() + universe.Height() / 8,
@@ -106,7 +106,7 @@ TEST_F(RoutingObsTest, TracedQueryRecordsEstimatedAndMeasuredCost) {
 }
 
 TEST_F(RoutingObsTest, UntracedQueryStillRoutesAndMeasures) {
-  const BlotStore store = MakeStore();
+  BlotStore store = MakeStore();
   const auto routed = store.Execute(universe, model);
   EXPECT_GT(routed.estimated_cost_ms, 0.0);
   EXPECT_GT(routed.measured_cost_ms, 0.0);
@@ -115,7 +115,7 @@ TEST_F(RoutingObsTest, UntracedQueryStillRoutesAndMeasures) {
 
 TEST_F(RoutingObsTest, DisabledRegistryRecordsNothing) {
   obs::MetricsRegistry::global().set_enabled(false);
-  const BlotStore store = MakeStore();
+  BlotStore store = MakeStore();
   (void)store.Execute(universe, model);
   const obs::MetricsSnapshot snap =
       obs::MetricsRegistry::global().Snapshot();
@@ -127,7 +127,7 @@ TEST_F(RoutingObsTest, DisabledRegistryRecordsNothing) {
 }
 
 TEST_F(RoutingObsTest, BatchExecutionRecordsSharedScanSavings) {
-  const BlotStore store = MakeStore();
+  BlotStore store = MakeStore();
   std::vector<STRange> queries;
   for (int i = 0; i < 4; ++i)
     queries.push_back(STRange::FromBounds(

@@ -26,6 +26,7 @@
 #include "blot/segment_store.h"
 #include "blot/trajectory.h"
 #include "core/advisor.h"
+#include "core/fault_injection.h"
 #include "core/partition_cache.h"
 #include "core/store.h"
 #include "gen/taxi_generator.h"
@@ -62,7 +63,13 @@ int Usage() {
       "  build, query, recover, store-build, store-query and advise also\n"
       "  accept --metrics-out FILE (JSON metrics snapshot on completion).\n"
       "  --cache-mb N enables the decoded-partition cache with an N MiB\n"
-      "  budget (default 0 = disabled; docs/performance.md).\n");
+      "  budget (default 0 = disabled; docs/performance.md).\n"
+      "  query, store-query and stats accept --inject-faults SPEC to arm\n"
+      "  the deterministic fault injector on the read path, e.g.\n"
+      "  \"seed=7;p=0.5;kinds=bitflip,readerror\" (docs/robustness.md).\n"
+      "\n"
+      "exit codes: 0 ok, 1 error, 2 usage/invalid argument,\n"
+      "            3 corrupt data, 4 query failed (no healthy copy)\n");
   return 2;
 }
 
@@ -79,6 +86,30 @@ void WriteMetricsIfRequested(const Flags& flags) {
   std::ofstream out(path, std::ios::trunc);
   require(out.good(), "cannot open metrics output: " + path);
   out << obs::MetricsRegistry::global().Snapshot().ToJson();
+}
+
+// --inject-faults SPEC: arm the global deterministic fault injector for
+// this command (grammar in ParseFaultSpec / docs/robustness.md).
+void ArmFaultsIfRequested(const Flags& flags) {
+  if (flags.Has("inject-faults"))
+    FaultInjector::Global().Arm(
+        ParseFaultSpec(flags.GetString("inject-faults")));
+}
+
+// One-line injector summary after a command that armed it.
+void PrintFaultSummaryIfArmed(const Flags& flags) {
+  if (!flags.Has("inject-faults")) return;
+  const FaultInjector::Stats s = FaultInjector::Global().stats();
+  std::fprintf(stderr,
+               "faults: %llu fired on %llu targets (%llu corruptions, "
+               "%llu read errors, %llu latency spikes)\n",
+               static_cast<unsigned long long>(s.fired_total),
+               static_cast<unsigned long long>(s.targets_hit),
+               static_cast<unsigned long long>(s.bit_flips + s.truncations +
+                                               s.torn_reads),
+               static_cast<unsigned long long>(s.read_errors),
+               static_cast<unsigned long long>(s.latency_spikes));
+  FaultInjector::Global().Disarm();
 }
 
 // --cache-mb N: give the decoded-partition cache an N MiB budget for
@@ -208,6 +239,7 @@ int CmdInfo(const Flags& flags) {
 int CmdQuery(const Flags& flags) {
   EnableMetricsIfRequested(flags);
   ConfigureCacheIfRequested(flags);
+  ArmFaultsIfRequested(flags);
   obs::TraceSpan root("query");
   obs::TraceSpan& load_span = root.AddChild("load");
   const std::uint64_t root_start_ns = obs::MonotonicNanos();
@@ -253,6 +285,7 @@ int CmdQuery(const Flags& flags) {
                 static_cast<double>(r.speed), r.status);
   }
   PrintCacheSummaryIfEnabled();
+  PrintFaultSummaryIfArmed(flags);
   WriteMetricsIfRequested(flags);
   return 0;
 }
@@ -354,7 +387,9 @@ int CmdStoreBuild(const Flags& flags) {
 int CmdStoreQuery(const Flags& flags) {
   EnableMetricsIfRequested(flags);
   ConfigureCacheIfRequested(flags);
-  const BlotStore store = BlotStore::Load(flags.GetString("dir"));
+  ArmFaultsIfRequested(flags);
+  // Non-const: Execute may quarantine and self-heal faulty partitions.
+  BlotStore store = BlotStore::Load(flags.GetString("dir"));
   const STRange range = ParseRange(flags.GetString("range"));
   const std::string env_name = flags.GetString("env", "hadoop");
   const CostModel model{env_name == "s3" ? EnvironmentModel::AmazonS3Emr()
@@ -372,12 +407,17 @@ int CmdStoreQuery(const Flags& flags) {
               routed.replica_index,
               store.replica(routed.replica_index).config().Name().c_str(),
               routed.estimated_cost_ms / 1000.0, routed.measured_cost_ms);
+  if (routed.degraded)
+    std::printf("degraded: served by %s after %zu attempt(s) "
+                "(faulty copies quarantined)\n",
+                routed.served_by.c_str(), routed.attempts);
   std::printf("%zu records (scanned %llu in %zu partitions)\n",
               routed.result.records.size(),
               static_cast<unsigned long long>(
                   routed.result.stats.records_scanned),
               routed.result.stats.partitions_scanned);
   PrintCacheSummaryIfEnabled();
+  PrintFaultSummaryIfArmed(flags);
   WriteMetricsIfRequested(flags);
   return 0;
 }
@@ -390,7 +430,9 @@ int CmdStats(const Flags& flags) {
   auto& registry = obs::MetricsRegistry::global();
   registry.set_enabled(true);
   ConfigureCacheIfRequested(flags);
-  const BlotStore store = BlotStore::Load(flags.GetString("dir"));
+  ArmFaultsIfRequested(flags);
+  // Non-const: probe queries may quarantine and repair partitions.
+  BlotStore store = BlotStore::Load(flags.GetString("dir"));
   const std::size_t num_queries =
       static_cast<std::size_t>(flags.GetInt("queries", 32));
   const std::string env_name = flags.GetString("env", "hadoop");
@@ -444,6 +486,7 @@ int CmdStats(const Flags& flags) {
                  static_cast<unsigned long long>(s.misses),
                  100.0 * s.HitRatio(), double(s.bytes) / (1 << 20));
   }
+  PrintFaultSummaryIfArmed(flags);
   return 0;
 }
 
@@ -503,7 +546,8 @@ int Run(int argc, char** argv) {
   if (command == "info") return CmdInfo({argc, argv, 2, {"dir"}});
   if (command == "query")
     return CmdQuery({argc, argv, 2,
-                     {"dir", "range", "limit", "metrics-out", "cache-mb"},
+                     {"dir", "range", "limit", "metrics-out", "cache-mb",
+                      "inject-faults"},
                      {"trace"}});
   if (command == "aggregate")
     return CmdAggregate({argc, argv, 2, {"dir", "range"}});
@@ -518,7 +562,7 @@ int Run(int argc, char** argv) {
   if (command == "store-query")
     return CmdStoreQuery({argc, argv, 2,
                           {"dir", "range", "env", "metrics-out",
-                           "cache-mb"},
+                           "cache-mb", "inject-faults"},
                           {"trace"}});
   if (command == "advise")
     return CmdAdvise({argc, argv, 2,
@@ -527,7 +571,7 @@ int Run(int argc, char** argv) {
   if (command == "stats")
     return CmdStats({argc, argv, 2,
                      {"dir", "queries", "env", "seed", "format", "out",
-                      "cache-mb"}});
+                      "cache-mb", "inject-faults"}});
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage();
 }
@@ -535,14 +579,29 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace blot::tools
 
+// Exit codes are part of the CLI contract (asserted by the tools tests
+// and usable from shell scripts): 2 = caller error, 3 = data corruption
+// detected, 4 = query unservable (every healthy copy gone), 1 = any
+// other failure. Each gets a one-line diagnostic naming the class.
 int main(int argc, char** argv) {
   try {
     return blot::tools::Run(argc, argv);
+  } catch (const blot::QueryFailedError& e) {
+    std::fprintf(stderr, "query failed: %s\n", e.what());
+    return 4;
+  } catch (const blot::InvalidArgument& e) {
+    std::fprintf(stderr, "invalid argument: %s\n", e.what());
+    return 2;
+  } catch (const blot::CorruptData& e) {
+    std::fprintf(stderr, "corrupt data: %s\n", e.what());
+    return 3;
   } catch (const blot::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: invalid argument (%s)\n", e.what());
-    return 1;
+    // Foreign exceptions here are malformed numeric flags (std::stod and
+    // friends), i.e. caller errors.
+    std::fprintf(stderr, "invalid argument: %s\n", e.what());
+    return 2;
   }
 }
