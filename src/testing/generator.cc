@@ -1,0 +1,226 @@
+#include "testing/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/error.h"
+
+namespace blot::testing {
+namespace {
+
+// Snaps a coordinate to a small lattice so independent draws collide and
+// k-d median splits land exactly on record coordinates.
+double Snap(double lo, double hi, std::uint64_t steps, std::uint64_t step) {
+  return lo + (hi - lo) * static_cast<double>(step % (steps + 1)) /
+                  static_cast<double>(steps);
+}
+
+Record OrdinaryRecord(Rng& rng, const STRange& u) {
+  Record r;
+  r.oid = static_cast<std::uint32_t>(rng.NextUint64(32));
+  r.time = rng.NextInt64(static_cast<std::int64_t>(u.t_min()),
+                         static_cast<std::int64_t>(u.t_max()));
+  r.x = rng.NextDouble(u.x_min(), u.x_max());
+  r.y = rng.NextDouble(u.y_min(), u.y_max());
+  r.speed = static_cast<float>(rng.NextDouble(0.0, 120.0));
+  r.heading = static_cast<std::uint16_t>(rng.NextUint64(360));
+  r.status = static_cast<std::uint8_t>(rng.NextUint64(2));
+  r.passengers = static_cast<std::uint8_t>(rng.NextUint64(5));
+  r.fare_cents = static_cast<std::uint32_t>(rng.NextUint64(100000));
+  return r;
+}
+
+Record BoundaryRecord(Rng& rng, const STRange& u) {
+  Record r = OrdinaryRecord(rng, u);
+  // Each dimension independently snaps to an edge or a coarse lattice
+  // point; with probability ~1/8 all three hit corners simultaneously.
+  const std::uint64_t lattice = 4;
+  r.x = rng.NextBool() ? (rng.NextBool() ? u.x_min() : u.x_max())
+                       : Snap(u.x_min(), u.x_max(), lattice, rng());
+  r.y = rng.NextBool() ? (rng.NextBool() ? u.y_min() : u.y_max())
+                       : Snap(u.y_min(), u.y_max(), lattice, rng());
+  r.time = rng.NextBool()
+               ? static_cast<std::int64_t>(rng.NextBool() ? u.t_min()
+                                                          : u.t_max())
+               : static_cast<std::int64_t>(
+                     Snap(u.t_min(), u.t_max(), lattice, rng()));
+  return r;
+}
+
+}  // namespace
+
+STRange DefaultTestUniverse() {
+  // Powers of two everywhere: every lattice point and every midpoint used
+  // by median splits is exactly representable.
+  return STRange::FromBounds(0.0, 64.0, -32.0, 32.0, 0.0, 4096.0);
+}
+
+Record ExtremeRecord(Rng& rng, const STRange& u) {
+  Record r = OrdinaryRecord(rng, u);
+  switch (rng.NextUint64(4)) {
+    case 0:  // every integer field at its maximum width
+      r.oid = std::numeric_limits<std::uint32_t>::max();
+      r.heading = std::numeric_limits<std::uint16_t>::max();
+      r.status = std::numeric_limits<std::uint8_t>::max();
+      r.passengers = std::numeric_limits<std::uint8_t>::max();
+      r.fare_cents = std::numeric_limits<std::uint32_t>::max();
+      r.speed = std::numeric_limits<float>::max();
+      break;
+    case 1:  // all-zero attributes
+      r.oid = 0;
+      r.heading = 0;
+      r.status = 0;
+      r.passengers = 0;
+      r.fare_cents = 0;
+      r.speed = 0.0f;
+      break;
+    case 2:  // coordinates one ulp inside the universe edges
+      r.x = std::nextafter(u.x_max(), u.x_min());
+      r.y = std::nextafter(u.y_min(), u.y_max());
+      r.speed = std::numeric_limits<float>::denorm_min();
+      break;
+    case 3:  // negative-zero coordinates (must compare equal to +0.0)
+      if (u.x_min() <= 0.0 && 0.0 <= u.x_max()) r.x = -0.0;
+      if (u.y_min() <= 0.0 && 0.0 <= u.y_max()) r.y = -0.0;
+      break;
+  }
+  return r;
+}
+
+Dataset GenerateDataset(Rng& rng, const STRange& universe,
+                        const DatasetProfile& profile) {
+  require(!universe.empty(), "GenerateDataset: empty universe");
+  require(profile.min_records <= profile.max_records,
+          "GenerateDataset: min_records > max_records");
+  const std::size_t n =
+      profile.min_records +
+      static_cast<std::size_t>(rng.NextUint64(
+          profile.max_records - profile.min_records + 1));
+  Dataset dataset;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double roll = rng.NextDouble();
+    if (!dataset.empty() && roll < profile.duplicate_fraction) {
+      const Record& prev =
+          dataset.records()[rng.NextUint64(dataset.size())];
+      if (rng.NextBool()) {
+        // Exact duplicate record.
+        dataset.Append(prev);
+      } else {
+        // Same position, fresh attributes: breaks any assumption that
+        // position identifies a record.
+        Record r = OrdinaryRecord(rng, universe);
+        r.x = prev.x;
+        r.y = prev.y;
+        r.time = prev.time;
+        dataset.Append(r);
+      }
+    } else if (roll < profile.duplicate_fraction + profile.boundary_fraction) {
+      dataset.Append(BoundaryRecord(rng, universe));
+    } else if (roll < profile.duplicate_fraction + profile.boundary_fraction +
+                          profile.extreme_fraction) {
+      dataset.Append(ExtremeRecord(rng, universe));
+    } else {
+      dataset.Append(OrdinaryRecord(rng, universe));
+    }
+  }
+  return dataset;
+}
+
+std::string QueryShapeName(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kEmpty: return "empty";
+    case QueryShape::kPoint: return "point";
+    case QueryShape::kFullExtent: return "full-extent";
+    case QueryShape::kBoundary: return "boundary";
+    case QueryShape::kThinSlab: return "thin-slab";
+    case QueryShape::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+STRange GenerateQuery(Rng& rng, QueryShape shape, const STRange& u,
+                      const Dataset& dataset) {
+  const auto random_query = [&] {
+    double x0 = rng.NextDouble(u.x_min(), u.x_max());
+    double x1 = rng.NextDouble(u.x_min(), u.x_max());
+    double y0 = rng.NextDouble(u.y_min(), u.y_max());
+    double y1 = rng.NextDouble(u.y_min(), u.y_max());
+    double t0 = rng.NextDouble(u.t_min(), u.t_max());
+    double t1 = rng.NextDouble(u.t_min(), u.t_max());
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    if (t0 > t1) std::swap(t0, t1);
+    return STRange::FromBounds(x0, x1, y0, y1, t0, t1);
+  };
+  if (dataset.empty() &&
+      (shape == QueryShape::kPoint || shape == QueryShape::kBoundary))
+    shape = QueryShape::kRandom;
+  switch (shape) {
+    case QueryShape::kEmpty:
+      return STRange();
+    case QueryShape::kPoint: {
+      const Record& r = dataset.records()[rng.NextUint64(dataset.size())];
+      const double t = static_cast<double>(r.time);
+      return STRange::FromBounds(r.x, r.x, r.y, r.y, t, t);
+    }
+    case QueryShape::kFullExtent:
+      return u;
+    case QueryShape::kBoundary: {
+      // A random sub-range with each bound independently snapped to a
+      // record coordinate, so records sit exactly on the closed edges.
+      const STRange base = random_query();
+      const auto pick = [&] {
+        return dataset.records()[rng.NextUint64(dataset.size())];
+      };
+      double x0 = rng.NextBool() ? pick().x : base.x_min();
+      double x1 = rng.NextBool() ? pick().x : base.x_max();
+      double y0 = rng.NextBool() ? pick().y : base.y_min();
+      double y1 = rng.NextBool() ? pick().y : base.y_max();
+      double t0 = rng.NextBool() ? static_cast<double>(pick().time)
+                                 : base.t_min();
+      double t1 = rng.NextBool() ? static_cast<double>(pick().time)
+                                 : base.t_max();
+      if (x0 > x1) std::swap(x0, x1);
+      if (y0 > y1) std::swap(y0, y1);
+      if (t0 > t1) std::swap(t0, t1);
+      return STRange::FromBounds(x0, x1, y0, y1, t0, t1);
+    }
+    case QueryShape::kThinSlab: {
+      double x0 = u.x_min(), x1 = u.x_max();
+      double y0 = u.y_min(), y1 = u.y_max();
+      double t0 = u.t_min(), t1 = u.t_max();
+      switch (rng.NextUint64(3)) {
+        case 0: x0 = x1 = rng.NextDouble(u.x_min(), u.x_max()); break;
+        case 1: y0 = y1 = rng.NextDouble(u.y_min(), u.y_max()); break;
+        default: t0 = t1 = rng.NextDouble(u.t_min(), u.t_max()); break;
+      }
+      return STRange::FromBounds(x0, x1, y0, y1, t0, t1);
+    }
+    case QueryShape::kRandom:
+      return random_query();
+  }
+  return random_query();
+}
+
+std::vector<STRange> GenerateQueries(Rng& rng, std::size_t n,
+                                     const STRange& universe,
+                                     const Dataset& dataset) {
+  static constexpr QueryShape kAllShapes[] = {
+      QueryShape::kEmpty,    QueryShape::kPoint,    QueryShape::kFullExtent,
+      QueryShape::kBoundary, QueryShape::kThinSlab, QueryShape::kRandom,
+  };
+  constexpr std::size_t kNumShapes = std::size(kAllShapes);
+  std::vector<STRange> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const QueryShape shape = i < kNumShapes
+                                 ? kAllShapes[i]
+                                 : kAllShapes[rng.NextUint64(kNumShapes)];
+    queries.push_back(GenerateQuery(rng, shape, universe, dataset));
+  }
+  return queries;
+}
+
+}  // namespace blot::testing

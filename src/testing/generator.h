@@ -1,0 +1,80 @@
+// Deterministic property-based generation of adversarial datasets and
+// degenerate queries.
+//
+// The taxi-fleet generator (src/gen) produces *realistic* data; this one
+// produces *hostile* data — the coordinate collisions, boundary-exact
+// positions, extreme attribute values and degenerate query shapes where
+// partitioning, layout and codec bugs actually live. Everything is a pure
+// function of the Rng passed in, so a differential-harness failure is
+// reproducible from the single 64-bit seed that built the Rng.
+#ifndef BLOT_TESTING_GENERATOR_H_
+#define BLOT_TESTING_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blot/dataset.h"
+#include "util/range.h"
+#include "util/rng.h"
+
+namespace blot::testing {
+
+// Shape of a generated dataset. Fractions need not sum to 1; the
+// remainder is filled with clustered-but-ordinary records.
+struct DatasetProfile {
+  std::size_t min_records = 1;
+  std::size_t max_records = 384;
+  // Records that exactly duplicate an earlier record's position (and
+  // sometimes the whole record): repeated coordinates stress delta
+  // encodings and equal-count median splits.
+  double duplicate_fraction = 0.2;
+  // Records placed exactly on universe corners/edges and on simple
+  // lattice coordinates that k-d median splits are likely to cut through.
+  double boundary_fraction = 0.2;
+  // Records with extreme attribute values (max widths, zero, denormal-
+  // adjacent doubles) at ordinary positions.
+  double extreme_fraction = 0.1;
+};
+
+// A compact universe whose bounds are exactly representable doubles, so
+// boundary-exact records and queries compare bit-for-bit.
+STRange DefaultTestUniverse();
+
+// Draws a dataset of rng-chosen size within `universe` under `profile`.
+// Every record lies inside `universe` (closed bounds).
+Dataset GenerateDataset(Rng& rng, const STRange& universe,
+                        const DatasetProfile& profile = {});
+
+// One record with attribute values at the extreme of each field's width
+// (position drawn inside `universe`).
+Record ExtremeRecord(Rng& rng, const STRange& universe);
+
+// The degenerate query shapes every iteration must exercise.
+enum class QueryShape {
+  kEmpty,       // the empty range: matches nothing by definition
+  kPoint,       // zero-volume range at an existing record's position
+  kFullExtent,  // the whole universe
+  kBoundary,    // bounds snapped to record coordinates (closed-bound
+                // straddling: the record sits exactly on the edge)
+  kThinSlab,    // zero extent in one dimension, full in the others
+  kRandom,      // uniform sub-range of the universe
+};
+
+std::string QueryShapeName(QueryShape shape);
+
+// Draws one query of the given shape. Shapes that reference records
+// (kPoint, kBoundary) fall back to kRandom on an empty dataset.
+STRange GenerateQuery(Rng& rng, QueryShape shape, const STRange& universe,
+                      const Dataset& dataset);
+
+// A mixed batch: the first queries cycle through every shape (so each
+// batch of >= 6 covers all of them), the rest are rng-chosen shapes.
+std::vector<STRange> GenerateQueries(Rng& rng, std::size_t n,
+                                     const STRange& universe,
+                                     const Dataset& dataset);
+
+}  // namespace blot::testing
+
+#endif  // BLOT_TESTING_GENERATOR_H_

@@ -1,0 +1,98 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace blot::testing {
+namespace {
+
+auto FieldTuple(const Record& r) {
+  return std::tie(r.oid, r.time, r.x, r.y, r.speed, r.heading, r.status,
+                  r.passengers, r.fare_cents);
+}
+
+}  // namespace
+
+bool RecordTotalLess(const Record& a, const Record& b) {
+  return FieldTuple(a) < FieldTuple(b);
+}
+
+std::vector<Record> Canonical(std::vector<Record> records) {
+  std::sort(records.begin(), records.end(), RecordTotalLess);
+  return records;
+}
+
+std::vector<Record> Oracle::RangeQuery(const STRange& query) const {
+  std::vector<Record> matches;
+  if (query.empty()) return matches;
+  // Deliberately not STRange::Contains: the oracle re-derives closed-bound
+  // containment from the raw bounds so a predicate bug cannot cancel out.
+  const double x_lo = query.x_min(), x_hi = query.x_max();
+  const double y_lo = query.y_min(), y_hi = query.y_max();
+  const double t_lo = query.t_min(), t_hi = query.t_max();
+  for (const Record& r : records_) {
+    const double t = static_cast<double>(r.time);
+    if (r.x >= x_lo && r.x <= x_hi && r.y >= y_lo && r.y <= y_hi &&
+        t >= t_lo && t <= t_hi) {
+      matches.push_back(r);
+    }
+  }
+  return matches;
+}
+
+std::size_t Oracle::Count(const STRange& query) const {
+  if (query.empty()) return 0;
+  std::size_t count = 0;
+  const double x_lo = query.x_min(), x_hi = query.x_max();
+  const double y_lo = query.y_min(), y_hi = query.y_max();
+  const double t_lo = query.t_min(), t_hi = query.t_max();
+  for (const Record& r : records_) {
+    const double t = static_cast<double>(r.time);
+    if (r.x >= x_lo && r.x <= x_hi && r.y >= y_lo && r.y <= y_hi &&
+        t >= t_lo && t <= t_hi) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+RecordDiff DiffRecords(std::vector<Record> actual,
+                       std::vector<Record> expected) {
+  actual = Canonical(std::move(actual));
+  expected = Canonical(std::move(expected));
+  RecordDiff diff;
+  std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                      actual.end(), std::back_inserter(diff.missing),
+                      RecordTotalLess);
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(), std::back_inserter(diff.unexpected),
+                      RecordTotalLess);
+  return diff;
+}
+
+std::string DescribeRecord(const Record& r) {
+  std::ostringstream os;
+  os << "{oid=" << r.oid << " t=" << r.time << " x=" << r.x << " y=" << r.y
+     << " speed=" << r.speed << " heading=" << r.heading
+     << " status=" << static_cast<unsigned>(r.status)
+     << " passengers=" << static_cast<unsigned>(r.passengers)
+     << " fare=" << r.fare_cents << "}";
+  return os.str();
+}
+
+std::string DescribeDiff(const RecordDiff& diff, std::size_t max_examples) {
+  if (diff.empty()) return "";
+  std::ostringstream os;
+  os << diff.missing.size() << " missing, " << diff.unexpected.size()
+     << " unexpected";
+  const auto show = [&](const char* label, const std::vector<Record>& side) {
+    for (std::size_t i = 0; i < side.size() && i < max_examples; ++i)
+      os << "; " << label << " " << DescribeRecord(side[i]);
+  };
+  show("missing", diff.missing);
+  show("unexpected", diff.unexpected);
+  return os.str();
+}
+
+}  // namespace blot::testing

@@ -1,0 +1,83 @@
+// The reference oracle: codec- and partition-free ground truth for every
+// query path in the system.
+//
+// The paper's central claim is that all physical organizations of one
+// logical dataset are interchangeable — a query must return the same
+// records no matter which of the 150 replicas, cache states or failover
+// paths serves it. The oracle is the independent arbiter of that claim:
+// it answers range queries by brute force over a private copy of the
+// records, sharing no code with the partitioning index, the layouts, the
+// codecs or STRange's containment predicates, so a bug in any of those
+// cannot hide in the oracle too.
+//
+// Alongside the query engine this header provides the canonical record
+// order (a total order over every field, so equal multisets always
+// compare equal) and multiset diffing with human-readable output — the
+// vocabulary every differential check reports mismatches in.
+#ifndef BLOT_TESTING_ORACLE_H_
+#define BLOT_TESTING_ORACLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "blot/dataset.h"
+#include "blot/record.h"
+#include "util/range.h"
+
+namespace blot::testing {
+
+// The canonical total order over records: every field participates, so
+// two equal multisets sort to identical sequences. This is the shared
+// definition the ad-hoc Sorted() helpers in older tests duplicated.
+bool RecordTotalLess(const Record& a, const Record& b);
+
+// A copy of `records` in canonical order.
+std::vector<Record> Canonical(std::vector<Record> records);
+
+// Brute-force reference engine over the logical dataset. Intentionally
+// primitive: one flat copy of the records, one pass per query, explicit
+// closed-bound comparisons per dimension.
+class Oracle {
+ public:
+  explicit Oracle(const Dataset& dataset) : records_(dataset.records()) {}
+  explicit Oracle(std::vector<Record> records)
+      : records_(std::move(records)) {}
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  // All records inside `query` (closed bounds on every dimension), in
+  // dataset order. The empty range matches nothing.
+  std::vector<Record> RangeQuery(const STRange& query) const;
+
+  // |RangeQuery(query)| without materializing it.
+  std::size_t Count(const STRange& query) const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+// Multiset difference between a checked path's answer and the oracle's.
+struct RecordDiff {
+  std::vector<Record> missing;     // expected but absent from actual
+  std::vector<Record> unexpected;  // present in actual but not expected
+
+  bool empty() const { return missing.empty() && unexpected.empty(); }
+};
+
+// Multiset-compares `actual` against `expected` (order-insensitive).
+RecordDiff DiffRecords(std::vector<Record> actual,
+                       std::vector<Record> expected);
+
+// One-line rendering of a record for mismatch reports.
+std::string DescribeRecord(const Record& r);
+
+// Compact human-readable summary of a diff: counts plus up to
+// `max_examples` example records from each side. Empty string for an
+// empty diff.
+std::string DescribeDiff(const RecordDiff& diff, std::size_t max_examples = 3);
+
+}  // namespace blot::testing
+
+#endif  // BLOT_TESTING_ORACLE_H_

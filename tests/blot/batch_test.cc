@@ -5,43 +5,24 @@
 #include <algorithm>
 #include <tuple>
 
+#include "common/fixtures.h"
 #include "core/workload.h"
-#include "gen/taxi_generator.h"
 
 namespace blot {
 namespace {
 
-std::vector<Record> Sorted(std::vector<Record> records) {
-  std::sort(records.begin(), records.end(),
-            [](const Record& a, const Record& b) {
-              return std::tie(a.oid, a.time, a.x, a.y, a.speed, a.heading,
-                              a.status, a.passengers, a.fare_cents) <
-                     std::tie(b.oid, b.time, b.x, b.y, b.speed, b.heading,
-                              b.status, b.passengers, b.fare_cents);
-            });
-  return records;
-}
+using test::Sorted;
 
-struct Fixture {
-  Dataset dataset;
-  STRange universe;
+struct Fixture : test::TaxiFixture {
   Replica replica;
 
   Fixture()
-      : replica(Build()) {}
-
-  Replica Build() {
-    TaxiFleetConfig config;
-    config.num_taxis = 12;
-    config.samples_per_taxi = 300;
-    dataset = GenerateTaxiFleet(config);
-    universe = config.Universe();
-    return Replica::Build(
-        dataset,
-        {{.spatial_partitions = 16, .temporal_partitions = 8},
-         EncodingScheme::FromName("COL-GZIP")},
-        universe);
-  }
+      : TaxiFixture(12, 300),
+        replica(Replica::Build(
+            dataset,
+            {{.spatial_partitions = 16, .temporal_partitions = 8},
+             EncodingScheme::FromName("COL-GZIP")},
+            universe)) {}
 
   // An overlapping grid of queries, like a heat-map computation.
   std::vector<STRange> GridQueries(int cells) const {

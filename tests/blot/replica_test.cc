@@ -4,39 +4,18 @@
 
 #include <algorithm>
 
+#include "common/fixtures.h"
 #include "core/workload.h"
-#include "gen/taxi_generator.h"
 #include "util/error.h"
 
 namespace blot {
 namespace {
 
-struct Fixture {
-  Dataset dataset;
-  STRange universe;
+using test::Sorted;
 
-  Fixture() {
-    TaxiFleetConfig config;
-    config.num_taxis = 12;
-    config.samples_per_taxi = 400;
-    dataset = GenerateTaxiFleet(config);
-    universe = config.Universe();
-  }
+struct Fixture : test::TaxiFixture {
+  Fixture() : TaxiFixture(12, 400) {}
 };
-
-// Sorted copies for order-insensitive comparison: different partitionings
-// return matching records in different orders. The order must be total
-// (all fields) so equal multisets always compare equal.
-std::vector<Record> Sorted(std::vector<Record> records) {
-  std::sort(records.begin(), records.end(),
-            [](const Record& a, const Record& b) {
-              return std::tie(a.oid, a.time, a.x, a.y, a.speed, a.heading,
-                              a.status, a.passengers, a.fare_cents) <
-                     std::tie(b.oid, b.time, b.x, b.y, b.speed, b.heading,
-                              b.status, b.passengers, b.fare_cents);
-            });
-  return records;
-}
 
 class ReplicaTest : public ::testing::TestWithParam<ReplicaConfig> {};
 

@@ -1,0 +1,66 @@
+#include "common/fixtures.h"
+
+#include "core/partition_cache.h"
+#include "gen/taxi_generator.h"
+#include "testing/oracle.h"
+
+namespace blot::test {
+
+std::vector<Record> Sorted(std::vector<Record> records) {
+  return testing::Canonical(std::move(records));
+}
+
+TaxiFixture::TaxiFixture(std::size_t taxis, std::size_t samples) {
+  TaxiFleetConfig config;
+  config.num_taxis = taxis;
+  config.samples_per_taxi = samples;
+  dataset = GenerateTaxiFleet(config);
+  universe = config.Universe();
+}
+
+STRange CentroidQuery(const STRange& universe, double fraction) {
+  return STRange::FromCentroid(
+      {universe.Width() * fraction, universe.Height() * fraction,
+       universe.Duration() * fraction},
+      universe.Centroid());
+}
+
+BlotStore MakeStandardStore(const Dataset& dataset, const STRange& universe,
+                            std::size_t replicas) {
+  BlotStore store(Dataset(dataset), universe);
+  store.AddReplica({{.spatial_partitions = 4, .temporal_partitions = 4},
+                    EncodingScheme::FromName("ROW-SNAPPY")});
+  if (replicas >= 2)
+    store.AddReplica({{.spatial_partitions = 16, .temporal_partitions = 8},
+                      EncodingScheme::FromName("COL-GZIP")});
+  if (replicas >= 3)
+    store.AddReplica({{.spatial_partitions = 8, .temporal_partitions = 4},
+                      EncodingScheme::FromName("ROW-GZIP")});
+  return store;
+}
+
+std::vector<std::size_t> CorruptInvolved(BlotStore& store,
+                                         std::size_t replica,
+                                         const STRange& query) {
+  std::vector<std::size_t> corrupted;
+  for (const std::size_t p :
+       store.replica(replica).index().InvolvedPartitions(query)) {
+    StoredPartition& unit = store.mutable_replica(replica).MutablePartition(p);
+    if (unit.data.empty()) continue;
+    unit.data[unit.data.size() / 2] ^= 0xFF;
+    corrupted.push_back(p);
+  }
+  return corrupted;
+}
+
+GlobalCacheGuard::GlobalCacheGuard(std::uint64_t budget) {
+  PartitionCache::Global().Configure(budget);
+  PartitionCache::Global().ResetStats();
+}
+
+GlobalCacheGuard::~GlobalCacheGuard() {
+  PartitionCache::Global().Configure(0);
+  PartitionCache::Global().ResetStats();
+}
+
+}  // namespace blot::test

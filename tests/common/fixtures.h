@@ -1,0 +1,66 @@
+// Shared fixtures for the gtest suites: the canonical record order, the
+// small deterministic taxi-fleet dataset, the standard diverse-replica
+// store, honest corruption helpers and scoped guards for process-global
+// state. Test binaries link blot_test_fixtures and include this via
+//   #include "common/fixtures.h"
+// (the tests/ directory is on every test target's include path).
+#ifndef BLOT_TESTS_COMMON_FIXTURES_H_
+#define BLOT_TESTS_COMMON_FIXTURES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "blot/dataset.h"
+#include "blot/record.h"
+#include "core/store.h"
+#include "util/range.h"
+
+namespace blot::test {
+
+// Sorted copy under the canonical total order over every record field
+// (delegates to the testing oracle's order), so equal multisets compare
+// equal regardless of the order partitions returned them in.
+std::vector<Record> Sorted(std::vector<Record> records);
+
+// The small deterministic taxi fleet most suites build by hand: 10
+// taxis x 300 samples unless overridden. Same seed, same dataset.
+struct TaxiFixture {
+  Dataset dataset;
+  STRange universe;
+
+  explicit TaxiFixture(std::size_t taxis = 10, std::size_t samples = 300);
+};
+
+// A query covering `fraction` of each dimension, centered on the
+// universe centroid.
+STRange CentroidQuery(const STRange& universe, double fraction);
+
+// The standard diverse-replica store used by the failover and routing
+// suites: up to three replicas with distinct partitionings and
+// encodings (ROW-SNAPPY / COL-GZIP / ROW-GZIP).
+BlotStore MakeStandardStore(const Dataset& dataset, const STRange& universe,
+                            std::size_t replicas = 2);
+
+// Corrupts every non-empty partition of `replica` the query needs,
+// through the honest path (MutablePartition re-arms checksum
+// verification and invalidates cached decodes). Returns the partitions
+// actually corrupted.
+std::vector<std::size_t> CorruptInvolved(BlotStore& store,
+                                         std::size_t replica,
+                                         const STRange& query);
+
+// Scopes a configuration of the process-wide decoded-partition cache;
+// restores the disabled default (budget 0, stats reset) on destruction
+// so no other test in the binary observes it.
+struct GlobalCacheGuard {
+  explicit GlobalCacheGuard(std::uint64_t budget);
+  ~GlobalCacheGuard();
+
+  GlobalCacheGuard(const GlobalCacheGuard&) = delete;
+  GlobalCacheGuard& operator=(const GlobalCacheGuard&) = delete;
+};
+
+}  // namespace blot::test
+
+#endif  // BLOT_TESTS_COMMON_FIXTURES_H_

@@ -10,27 +10,18 @@
 #include <string>
 #include <vector>
 
+#include "common/fixtures.h"
 #include "core/fault_injection.h"
 #include "core/health.h"
 #include "core/partition_cache.h"
 #include "core/store.h"
-#include "gen/taxi_generator.h"
 #include "obs/metrics.h"
 #include "util/error.h"
 
 namespace blot {
 namespace {
 
-std::vector<Record> Sorted(std::vector<Record> records) {
-  std::sort(records.begin(), records.end(),
-            [](const Record& a, const Record& b) {
-              return std::tie(a.oid, a.time, a.x, a.y, a.speed, a.heading,
-                              a.status, a.passengers, a.fare_cents) <
-                     std::tie(b.oid, b.time, b.x, b.y, b.speed, b.heading,
-                              b.status, b.passengers, b.fare_cents);
-            });
-  return records;
-}
+using test::Sorted;
 
 // --- HealthMap unit coverage -------------------------------------------
 
@@ -100,18 +91,8 @@ TEST(HealthMapTest, ResetReplicaReturnsEverythingToOk) {
 
 // --- Store-level failover, quarantine and repair -----------------------
 
-struct FailoverTest : ::testing::Test {
-  Dataset dataset;
-  STRange universe;
+struct FailoverTest : ::testing::Test, test::TaxiFixture {
   CostModel model{EnvironmentModel::LocalHadoop()};
-
-  FailoverTest() {
-    TaxiFleetConfig config;
-    config.num_taxis = 10;
-    config.samples_per_taxi = 300;
-    dataset = GenerateTaxiFleet(config);
-    universe = config.Universe();
-  }
 
   void TearDown() override {
     FaultInjector::Global().Disarm();
@@ -120,42 +101,17 @@ struct FailoverTest : ::testing::Test {
   }
 
   BlotStore MakeStore(std::size_t replicas = 2) {
-    BlotStore store(Dataset(dataset), universe);
-    store.AddReplica({{.spatial_partitions = 4, .temporal_partitions = 4},
-                      EncodingScheme::FromName("ROW-SNAPPY")});
-    if (replicas >= 2)
-      store.AddReplica(
-          {{.spatial_partitions = 16, .temporal_partitions = 8},
-           EncodingScheme::FromName("COL-GZIP")});
-    if (replicas >= 3)
-      store.AddReplica({{.spatial_partitions = 8, .temporal_partitions = 4},
-                        EncodingScheme::FromName("ROW-GZIP")});
-    return store;
+    return test::MakeStandardStore(dataset, universe, replicas);
   }
 
   STRange CentroidQuery(double fraction) const {
-    return STRange::FromCentroid(
-        {universe.Width() * fraction, universe.Height() * fraction,
-         universe.Duration() * fraction},
-        universe.Centroid());
+    return test::CentroidQuery(universe, fraction);
   }
 
-  // Corrupts every non-empty partition of `replica` the query needs,
-  // through the honest path (MutablePartition re-arms checksum
-  // verification). Returns the partitions actually corrupted.
   std::vector<std::size_t> CorruptInvolved(BlotStore& store,
                                            std::size_t replica,
                                            const STRange& query) {
-    std::vector<std::size_t> corrupted;
-    for (const std::size_t p :
-         store.replica(replica).index().InvolvedPartitions(query)) {
-      StoredPartition& unit =
-          store.mutable_replica(replica).MutablePartition(p);
-      if (unit.data.empty()) continue;
-      unit.data[unit.data.size() / 2] ^= 0xFF;
-      corrupted.push_back(p);
-    }
-    return corrupted;
+    return test::CorruptInvolved(store, replica, query);
   }
 };
 

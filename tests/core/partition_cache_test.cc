@@ -11,24 +11,17 @@
 
 #include "blot/batch.h"
 #include "blot/replica.h"
+#include "common/fixtures.h"
 #include "core/workload.h"
-#include "gen/taxi_generator.h"
 #include "util/error.h"
 #include "util/rng.h"
 
 namespace blot {
 namespace {
 
-std::vector<Record> Sorted(std::vector<Record> records) {
-  std::sort(records.begin(), records.end(),
-            [](const Record& a, const Record& b) {
-              return std::tie(a.oid, a.time, a.x, a.y, a.speed, a.heading,
-                              a.status, a.passengers, a.fare_cents) <
-                     std::tie(b.oid, b.time, b.x, b.y, b.speed, b.heading,
-                              b.status, b.passengers, b.fare_cents);
-            });
-  return records;
-}
+using test::GlobalCacheGuard;
+using test::Sorted;
+using Fixture = test::TaxiFixture;
 
 std::vector<Record> MakeRecords(std::size_t n, std::uint32_t oid) {
   std::vector<Record> records(n);
@@ -40,33 +33,6 @@ std::vector<Record> MakeRecords(std::size_t n, std::uint32_t oid) {
   }
   return records;
 }
-
-// Tests that touch the process-wide cache scope their configuration: the
-// global cache must stay disabled (the default) for every other test in
-// this binary.
-struct GlobalCacheGuard {
-  explicit GlobalCacheGuard(std::uint64_t budget) {
-    PartitionCache::Global().Configure(budget);
-    PartitionCache::Global().ResetStats();
-  }
-  ~GlobalCacheGuard() {
-    PartitionCache::Global().Configure(0);
-    PartitionCache::Global().ResetStats();
-  }
-};
-
-struct Fixture {
-  Dataset dataset;
-  STRange universe;
-
-  Fixture(std::size_t taxis = 10, std::size_t samples = 400) {
-    TaxiFleetConfig config;
-    config.num_taxis = taxis;
-    config.samples_per_taxi = samples;
-    dataset = GenerateTaxiFleet(config);
-    universe = config.Universe();
-  }
-};
 
 TEST(PartitionCacheTest, DisabledByDefaultAndInert) {
   PartitionCache& cache = PartitionCache::Global();

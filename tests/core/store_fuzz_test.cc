@@ -11,9 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "common/fixtures.h"
 #include "core/fault_injection.h"
 #include "core/store.h"
-#include "gen/taxi_generator.h"
 #include "util/error.h"
 
 namespace blot {
@@ -21,16 +21,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-std::vector<Record> Sorted(std::vector<Record> records) {
-  std::sort(records.begin(), records.end(),
-            [](const Record& a, const Record& b) {
-              return std::tie(a.oid, a.time, a.x, a.y, a.speed, a.heading,
-                              a.status, a.passengers, a.fare_cents) <
-                     std::tie(b.oid, b.time, b.x, b.y, b.speed, b.heading,
-                              b.status, b.passengers, b.fare_cents);
-            });
-  return records;
-}
+using test::Sorted;
 
 std::vector<std::string> AllSchemeNames() {
   std::vector<std::string> names;
@@ -46,11 +37,9 @@ class StoreFuzzTest : public ::testing::TestWithParam<std::string> {
     std::replace(safe.begin(), safe.end(), '/', '_');
     dir_ = fs::temp_directory_path() / ("blot_store_fuzz_" + safe);
     fs::remove_all(dir_);
-    TaxiFleetConfig config;
-    config.num_taxis = 6;
-    config.samples_per_taxi = 200;
-    dataset_ = GenerateTaxiFleet(config);
-    universe_ = config.Universe();
+    const test::TaxiFixture fleet(6, 200);
+    dataset_ = fleet.dataset;
+    universe_ = fleet.universe;
 
     BlotStore store(dataset_, universe_);
     store.AddReplica({{.spatial_partitions = 4, .temporal_partitions = 4},

@@ -4,37 +4,16 @@
 
 #include <algorithm>
 
-#include "gen/taxi_generator.h"
+#include "common/fixtures.h"
 #include "util/error.h"
 
 namespace blot {
 namespace {
 
-// Total order over every field so equal multisets compare equal
-// regardless of the order partitions returned them in.
-std::vector<Record> Sorted(std::vector<Record> records) {
-  std::sort(records.begin(), records.end(),
-            [](const Record& a, const Record& b) {
-              return std::tie(a.oid, a.time, a.x, a.y, a.speed, a.heading,
-                              a.status, a.passengers, a.fare_cents) <
-                     std::tie(b.oid, b.time, b.x, b.y, b.speed, b.heading,
-                              b.status, b.passengers, b.fare_cents);
-            });
-  return records;
-}
+using test::Sorted;
 
-struct Fixture {
-  Dataset dataset;
-  STRange universe;
+struct Fixture : test::TaxiFixture {
   CostModel model{EnvironmentModel::AmazonS3Emr()};
-
-  Fixture() {
-    TaxiFleetConfig config;
-    config.num_taxis = 10;
-    config.samples_per_taxi = 300;
-    dataset = GenerateTaxiFleet(config);
-    universe = config.Universe();
-  }
 };
 
 TEST(BlotStoreTest, RejectsEmptyDataset) {

@@ -1,0 +1,154 @@
+// Acceptance suite for the differential harness: a long clean run with
+// full encoding/partitioning coverage and zero mismatches, determinism of
+// the whole report, and the closed loop on failure injection — a fault
+// campaign with repair disabled must produce mismatches that replay
+// exactly from the printed iteration seed.
+#include "testing/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace blot::testing {
+namespace {
+
+TEST(IterationSeedTest, RoundZeroIsTheBaseSeedItself) {
+  // This is what makes `blotfuzz --seed=<iteration_seed> --rounds=1` an
+  // exact replay.
+  EXPECT_EQ(IterationSeed(42, 0), 42u);
+  EXPECT_EQ(IterationSeed(0xDEADBEEF, 0), 0xDEADBEEFu);
+  EXPECT_NE(IterationSeed(42, 1), IterationSeed(42, 2));
+  EXPECT_NE(IterationSeed(42, 1), IterationSeed(43, 1));
+}
+
+TEST(ReproCommandTest, CarriesEveryOptionThatShapesTheIteration) {
+  DifferentialOptions options;
+  options.queries_per_iteration = 5;
+  options.replicas_per_iteration = 2;
+  options.cache_budget_bytes = 1024;
+  options.fault_plan = ParseFaultSpec("p=0.3;kinds=bitflip");
+  options.failover_enabled = false;
+  const std::string repro = ReproCommand(options, 777);
+  EXPECT_NE(repro.find("--seed=777"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--rounds=1"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--queries=5"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--replicas=2"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--cache-bytes=1024"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--inject-faults="), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--no-repair"), std::string::npos) << repro;
+}
+
+// The acceptance bar: 200 seeded iterations, every execution path vs the
+// oracle, zero mismatches, with the seed-drawn replica configurations
+// covering all 7 encodings and at least 3 distinct partitionings.
+TEST(DifferentialHarnessTest, TwoHundredCleanIterationsWithFullCoverage) {
+  DifferentialOptions options;
+  options.seed = 20140714;  // ICDCS'14
+  options.iterations = 200;
+  options.queries_per_iteration = 6;
+  options.replicas_per_iteration = 3;
+  options.profile.max_records = 192;  // keep the suite fast
+
+  const DifferentialReport report = RunDifferential(options);
+  for (const Mismatch& m : report.mismatches)
+    ADD_FAILURE() << m.check << " " << m.query << ": " << m.detail << "\n  "
+                  << m.repro;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.iterations, 200u);
+  EXPECT_EQ(report.queries_checked, 200u * 6u);
+  EXPECT_GT(report.checks_run, report.queries_checked);
+  EXPECT_EQ(report.encodings_covered.size(), 7u)
+      << "encodings covered: " << report.encodings_covered.size();
+  EXPECT_GE(report.partitionings_covered.size(), 3u);
+}
+
+TEST(DifferentialHarnessTest, ReportIsDeterministic) {
+  DifferentialOptions options;
+  options.seed = 7;
+  options.iterations = 5;
+  const DifferentialReport a = RunDifferential(options);
+  const DifferentialReport b = RunDifferential(options);
+  EXPECT_EQ(a.checks_run, b.checks_run);
+  EXPECT_EQ(a.queries_checked, b.queries_checked);
+  EXPECT_EQ(a.encodings_covered, b.encodings_covered);
+  EXPECT_EQ(a.partitionings_covered, b.partitionings_covered);
+  EXPECT_EQ(a.mismatches.size(), b.mismatches.size());
+}
+
+TEST(DifferentialHarnessTest, FaultsWithFailoverStayEquivalent) {
+  // The paper's chaos-equivalence claim: with failover on, injected
+  // faults may cost availability (structured QueryFailedError) but never
+  // correctness.
+  DifferentialOptions options;
+  options.seed = 42;
+  options.iterations = 10;
+  options.fault_plan =
+      ParseFaultSpec("p=0.4;kinds=bitflip,readerror,truncate");
+  options.failover_enabled = true;
+  const DifferentialReport report = RunDifferential(options);
+  for (const Mismatch& m : report.mismatches)
+    ADD_FAILURE() << m.check << ": " << m.detail;
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(DifferentialHarnessTest, InjectedFaultsWithoutRepairAreCaught) {
+  // With failover and repair disabled every injected fault the routed
+  // query touches must surface as a mismatch — this is the harness
+  // proving its own detection machinery end to end.
+  DifferentialOptions options;
+  options.seed = 42;
+  options.iterations = 5;
+  options.fault_plan = ParseFaultSpec("p=0.6;kinds=bitflip");
+  options.failover_enabled = false;
+  const DifferentialReport report = RunDifferential(options);
+  ASSERT_FALSE(report.mismatches.empty());
+  for (const Mismatch& m : report.mismatches) {
+    EXPECT_NE(m.repro.find("--seed=" + std::to_string(m.iteration_seed)),
+              std::string::npos);
+    EXPECT_NE(m.repro.find("--no-repair"), std::string::npos);
+    EXPECT_FALSE(m.detail.empty());
+  }
+}
+
+TEST(DifferentialHarnessTest, MismatchReplaysExactlyFromIterationSeed) {
+  // Find a failing iteration in a multi-round campaign, then re-run just
+  // that iteration the way the printed repro command would: same
+  // mismatch set, independent of which round it originally was.
+  DifferentialOptions campaign;
+  campaign.seed = 1234;
+  campaign.iterations = 6;
+  campaign.fault_plan = ParseFaultSpec("p=0.6;kinds=bitflip,torn");
+  campaign.failover_enabled = false;
+  const DifferentialReport report = RunDifferential(campaign);
+  ASSERT_FALSE(report.mismatches.empty());
+
+  const Mismatch& found = report.mismatches.front();
+  DifferentialOptions replay = campaign;
+  replay.seed = found.iteration_seed;
+  replay.iterations = 1;
+  const DifferentialReport replayed = RunDifferential(replay);
+
+  ASSERT_FALSE(replayed.mismatches.empty());
+  const bool reproduced = std::any_of(
+      replayed.mismatches.begin(), replayed.mismatches.end(),
+      [&](const Mismatch& m) {
+        return m.check == found.check && m.query == found.query &&
+               m.detail == found.detail;
+      });
+  EXPECT_TRUE(reproduced)
+      << "original: " << found.check << " " << found.query
+      << "\n  not among " << replayed.mismatches.size()
+      << " replayed mismatches";
+
+  // And the replay is itself stable.
+  const DifferentialReport again = RunDifferential(replay);
+  ASSERT_EQ(again.mismatches.size(), replayed.mismatches.size());
+  for (std::size_t i = 0; i < again.mismatches.size(); ++i) {
+    EXPECT_EQ(again.mismatches[i].check, replayed.mismatches[i].check);
+    EXPECT_EQ(again.mismatches[i].detail, replayed.mismatches[i].detail);
+  }
+}
+
+}  // namespace
+}  // namespace blot::testing

@@ -1,0 +1,119 @@
+#include "testing/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "testing/generator.h"
+#include "util/rng.h"
+
+namespace blot::testing {
+namespace {
+
+Record At(double x, double y, std::int64_t time, std::uint32_t oid = 0) {
+  Record r;
+  r.oid = oid;
+  r.time = time;
+  r.x = x;
+  r.y = y;
+  return r;
+}
+
+TEST(RecordTotalLessTest, IsAStrictTotalOrderOverAllFields) {
+  const Record a = At(1, 2, 3, 4);
+  EXPECT_FALSE(RecordTotalLess(a, a));  // irreflexive
+
+  // Any single differing field breaks the tie, including the trailing
+  // attributes a position-only order would ignore.
+  Record b = a;
+  b.fare_cents = 1;
+  EXPECT_TRUE(RecordTotalLess(a, b) != RecordTotalLess(b, a));
+  Record c = a;
+  c.passengers = 9;
+  EXPECT_TRUE(RecordTotalLess(a, c) != RecordTotalLess(c, a));
+}
+
+TEST(CanonicalTest, ShuffledMultisetsSortIdentically) {
+  Rng rng(5);
+  const STRange universe = DefaultTestUniverse();
+  DatasetProfile profile;
+  profile.duplicate_fraction = 0.5;  // equal records stress tie-breaking
+  const Dataset dataset = GenerateDataset(rng, universe, profile);
+
+  std::vector<Record> shuffled = dataset.records();
+  for (std::size_t i = shuffled.size(); i > 1; --i)
+    std::swap(shuffled[i - 1], shuffled[rng.NextUint64(i)]);
+  EXPECT_EQ(Canonical(shuffled), Canonical(dataset.records()));
+}
+
+TEST(OracleTest, AgreesWithDatasetFilterOnGeneratedWorkloads) {
+  // Two independent containment implementations (the oracle rederives
+  // closed bounds from raw coordinates; FilterByRange uses STRange) must
+  // agree everywhere, including the degenerate query shapes.
+  for (std::uint64_t seed : {1u, 17u, 4242u}) {
+    Rng rng(seed);
+    const STRange universe = DefaultTestUniverse();
+    const Dataset dataset = GenerateDataset(rng, universe);
+    const Oracle oracle(dataset);
+    for (const STRange& query :
+         GenerateQueries(rng, 12, universe, dataset)) {
+      const std::vector<Record> got = oracle.RangeQuery(query);
+      EXPECT_EQ(Canonical(got), Canonical(dataset.FilterByRange(query)))
+          << "seed " << seed << " query " << query.ToString();
+      EXPECT_EQ(oracle.Count(query), got.size());
+    }
+  }
+}
+
+TEST(OracleTest, ClosedBoundsIncludeBoundaryExactRecords) {
+  const Oracle oracle(std::vector<Record>{At(0, 0, 0), At(4, 4, 100),
+                                          At(2, 2, 50)});
+  // Bounds exactly on the outer records: closed ranges include both.
+  EXPECT_EQ(oracle.Count(STRange::FromBounds(0, 4, 0, 4, 0, 100)), 3u);
+  EXPECT_EQ(oracle.Count(STRange::FromBounds(0, 0, 0, 0, 0, 0)), 1u);
+  // Nudged just inside, the boundary records fall out.
+  EXPECT_EQ(oracle.Count(STRange::FromBounds(0.5, 3.5, 0.5, 3.5, 1, 99)),
+            1u);
+}
+
+TEST(OracleTest, EmptyRangeMatchesNothing) {
+  const Oracle oracle(std::vector<Record>{At(1, 1, 1)});
+  const STRange empty;
+  ASSERT_TRUE(empty.empty());
+  EXPECT_TRUE(oracle.RangeQuery(empty).empty());
+  EXPECT_EQ(oracle.Count(empty), 0u);
+}
+
+TEST(DiffRecordsTest, EqualMultisetsInAnyOrderDiffEmpty) {
+  const std::vector<Record> a = {At(1, 1, 1), At(2, 2, 2), At(1, 1, 1)};
+  const std::vector<Record> b = {At(2, 2, 2), At(1, 1, 1), At(1, 1, 1)};
+  EXPECT_TRUE(DiffRecords(a, b).empty());
+  EXPECT_EQ(DescribeDiff(DiffRecords(a, b)), "");
+}
+
+TEST(DiffRecordsTest, ReportsMissingAndUnexpectedWithMultiplicity) {
+  const std::vector<Record> expected = {At(1, 1, 1), At(1, 1, 1),
+                                        At(3, 3, 3)};
+  const std::vector<Record> actual = {At(1, 1, 1), At(9, 9, 9)};
+  const RecordDiff diff = DiffRecords(actual, expected);
+  ASSERT_EQ(diff.missing.size(), 2u);  // one duplicate 1s + the 3s
+  ASSERT_EQ(diff.unexpected.size(), 1u);
+  EXPECT_EQ(diff.unexpected[0], At(9, 9, 9));
+
+  const std::string description = DescribeDiff(diff);
+  EXPECT_NE(description.find("2 missing"), std::string::npos)
+      << description;
+  EXPECT_NE(description.find("1 unexpected"), std::string::npos)
+      << description;
+}
+
+TEST(DescribeRecordTest, MentionsIdentityAndPosition) {
+  const std::string s = DescribeRecord(At(1.5, -2.5, 77, 42));
+  EXPECT_NE(s.find("42"), std::string::npos) << s;
+  EXPECT_NE(s.find("77"), std::string::npos) << s;
+  EXPECT_NE(s.find("1.5"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace blot::testing

@@ -24,6 +24,17 @@ TEST(FlagsTest, ParsesTypedValues) {
   EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.5);
 }
 
+TEST(FlagsTest, EqualsFormParsesLikeSpaceForm) {
+  // blotfuzz repro lines use --flag=value; values may themselves
+  // contain '=' (fault specs like p=0.5;kinds=bitflip).
+  const Flags flags =
+      Parse({"--name=fleet", "--count=42", "--spec=p=0.5;kinds=bitflip"},
+            {"name", "count", "spec"});
+  EXPECT_EQ(flags.GetString("name"), "fleet");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_EQ(flags.GetString("spec"), "p=0.5;kinds=bitflip");
+}
+
 TEST(FlagsTest, FallbacksApplyOnlyWhenMissing) {
   const Flags flags = Parse({"--count", "7"}, {"count", "other"});
   EXPECT_EQ(flags.GetInt("count", 99), 7);

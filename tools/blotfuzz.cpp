@@ -1,0 +1,117 @@
+// blotfuzz — long-running differential soak for the diverse-replica
+// store.
+//
+// Each round is one seeded iteration of the differential harness
+// (src/testing/differential.h): an adversarial dataset, a seed-chosen
+// replica set, and every execution path — fused scan, naive scan, cache
+// cold/warm, routed, batched, failover-degraded, self-healed — checked
+// against the brute-force oracle, plus the metamorphic relations.
+//
+// On any mismatch it prints a one-line repro command:
+//
+//   MISMATCH check=replica-execute[KD4xT4/ROW-GZIP] iter=17 seed=1234 ...
+//     repro: blotfuzz --seed=1234 --rounds=1 --queries=8 --replicas=3 ...
+//
+// Running that command replays exactly the failing iteration (round 0
+// under base seed S runs with seed S itself).
+//
+// `--inject-faults=SPEC` arms the deterministic fault injector each
+// round (seed derived from the round's seed); with failover on, every
+// routed query must still match the oracle (the paper's chaos-
+// equivalence claim). Add `--no-repair` to disable failover and repair:
+// injected faults then surface as mismatches, which is how the harness
+// proves its own detection and repro machinery works end to end.
+//
+// Exit codes: 0 clean, 1 mismatches found, 2 usage error.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/fault_injection.h"
+#include "testing/differential.h"
+#include "tools/flags.h"
+
+namespace blot::tools {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: blotfuzz [--seed S] [--rounds N] [--queries N] [--replicas N]\n"
+      "                [--cache-bytes N] [--max-records N]\n"
+      "                [--inject-faults SPEC] [--no-repair] [--quiet]\n"
+      "\n"
+      "  --seed S           base seed (default 1); round 0 runs seed S\n"
+      "                     itself, so a printed repro line replays exactly\n"
+      "  --rounds N         seeded iterations to run (default 100)\n"
+      "  --queries N        queries per round (default 8)\n"
+      "  --replicas N       replicas per round (default 3)\n"
+      "  --cache-bytes N    decoded-partition cache budget for the cache-on\n"
+      "                     checks (default 4 MiB; 0 skips them)\n"
+      "  --max-records N    dataset size cap per round (default 384)\n"
+      "  --inject-faults S  arm the deterministic fault injector each round\n"
+      "                     (grammar: docs/robustness.md); store-level\n"
+      "                     checks only\n"
+      "  --no-repair        disable failover and repair: injected faults\n"
+      "                     surface as reproducible mismatches\n"
+      "  --quiet            only print mismatches and the final summary\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv, 1,
+                    {"seed", "rounds", "queries", "replicas", "cache-bytes",
+                     "max-records", "inject-faults"},
+                    {"no-repair", "quiet"});
+
+  blot::testing::DifferentialOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  options.iterations = static_cast<std::size_t>(flags.GetInt("rounds", 100));
+  options.queries_per_iteration =
+      static_cast<std::size_t>(flags.GetInt("queries", 8));
+  options.replicas_per_iteration =
+      static_cast<std::size_t>(flags.GetInt("replicas", 3));
+  options.cache_budget_bytes = static_cast<std::uint64_t>(
+      flags.GetInt("cache-bytes", std::int64_t{4} << 20));
+  options.profile.max_records =
+      static_cast<std::size_t>(flags.GetInt("max-records", 384));
+  if (flags.Has("inject-faults"))
+    options.fault_plan = ParseFaultSpec(flags.GetString("inject-faults"));
+  options.failover_enabled = !flags.Has("no-repair");
+
+  const bool quiet = flags.Has("quiet");
+  if (!quiet)
+    std::cout << "blotfuzz: seed=" << options.seed
+              << " rounds=" << options.iterations
+              << " queries/round=" << options.queries_per_iteration
+              << " replicas/round=" << options.replicas_per_iteration
+              << (options.fault_plan.has_value() ? " (faults armed)" : "")
+              << (options.failover_enabled ? "" : " (failover disabled)")
+              << std::endl;
+
+  const blot::testing::DifferentialReport report =
+      blot::testing::RunDifferential(options, &std::cout);
+
+  std::cout << "blotfuzz: " << report.iterations << " rounds, "
+            << report.queries_checked << " queries, " << report.checks_run
+            << " checks, " << report.mismatches.size() << " mismatches ("
+            << report.encodings_covered.size() << " encodings, "
+            << report.partitionings_covered.size() << " partitionings)"
+            << std::endl;
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace blot::tools
+
+int main(int argc, char** argv) {
+  try {
+    return blot::tools::Run(argc, argv);
+  } catch (const blot::InvalidArgument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return blot::tools::Usage();
+  } catch (const blot::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

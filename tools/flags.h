@@ -1,6 +1,7 @@
-// Minimal command-line flag parsing for the blotctl tool.
+// Minimal command-line flag parsing for the blotctl and blotfuzz tools.
 //
-// Syntax: `blotctl <command> --flag value --flag2 value ...`. Flags are
+// Syntax: `blotctl <command> --flag value --flag2=value ...` (both value
+// forms are accepted; blotfuzz repro lines use the `=` form). Flags are
 // string-typed at parse time with typed accessors; unknown flags are an
 // error so typos fail fast.
 #ifndef BLOT_TOOLS_FLAGS_H_
@@ -30,10 +31,21 @@ class Flags {
       std::string flag = argv[i];
       require(flag.rfind("--", 0) == 0, "unexpected argument: " + flag);
       flag = flag.substr(2);
+      std::optional<std::string> inline_value;
+      if (const std::size_t eq = flag.find('='); eq != std::string::npos) {
+        inline_value = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+      }
       require(allowed.contains(flag) || flag_only.contains(flag),
               "unknown flag: --" + flag);
       if (flag_only.contains(flag)) {
+        require(!inline_value.has_value(),
+                "flag --" + flag + " takes no value");
         values_.emplace(flag, "1");
+        continue;
+      }
+      if (inline_value.has_value()) {
+        values_[flag] = *inline_value;
         continue;
       }
       require(i + 1 < argc, "flag --" + flag + " needs a value");
