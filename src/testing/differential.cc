@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <optional>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -214,7 +215,10 @@ struct Iteration {
 
   void CheckReplicaPaths(const BlotStore& store, const STRange& query,
                          const std::vector<Record>& expected) {
-    std::vector<std::vector<Record>> per_replica;
+    // per_replica[r] stays aligned with configs[r]; an entry whose
+    // Execute threw remains unset and is skipped by the pair check.
+    std::vector<std::optional<std::vector<Record>>> per_replica(
+        configs.size());
     for (std::size_t r = 0; r < configs.size(); ++r) {
       const Replica& replica = store.replica(r);
       const std::string tag = "[" + configs[r].Name() + "]";
@@ -222,7 +226,7 @@ struct Iteration {
       // Fused decode-filter scan (the cache-off default inside Execute).
       Check("replica-execute" + tag, query, expected, [&] {
         std::vector<Record> records = replica.Execute(query).records;
-        per_replica.push_back(records);
+        per_replica[r] = records;
         return records;
       });
 
@@ -252,11 +256,17 @@ struct Iteration {
     // checks above, but it localizes a failure to "replicas disagree"
     // even when the oracle itself is the buggy party.
     ++report.checks_run;
-    for (std::size_t r = 1; r < per_replica.size(); ++r) {
-      const RecordDiff diff = DiffRecords(per_replica[r], per_replica[0]);
+    std::size_t base = per_replica.size();
+    for (std::size_t r = 0; r < per_replica.size(); ++r) {
+      if (!per_replica[r].has_value()) continue;  // its Execute threw
+      if (base == per_replica.size()) {
+        base = r;
+        continue;
+      }
+      const RecordDiff diff = DiffRecords(*per_replica[r], *per_replica[base]);
       if (!diff.empty())
-        Fail("replica-pair[" + configs[0].Name() + " vs " + configs[r].Name() +
-                 "]",
+        Fail("replica-pair[" + configs[base].Name() + " vs " +
+                 configs[r].Name() + "]",
              query, DescribeDiff(diff));
     }
   }
@@ -465,7 +475,8 @@ std::string ReproCommand(const DifferentialOptions& options,
   os << "blotfuzz --seed=" << iteration_seed << " --rounds=1"
      << " --queries=" << options.queries_per_iteration
      << " --replicas=" << options.replicas_per_iteration
-     << " --cache-bytes=" << options.cache_budget_bytes;
+     << " --cache-bytes=" << options.cache_budget_bytes
+     << " --max-records=" << options.profile.max_records;
   if (options.fault_plan.has_value())
     os << " --inject-faults='" << FormatFaultSpec(*options.fault_plan) << "'";
   if (!options.failover_enabled) os << " --no-repair";

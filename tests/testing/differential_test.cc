@@ -27,14 +27,19 @@ TEST(ReproCommandTest, CarriesEveryOptionThatShapesTheIteration) {
   options.queries_per_iteration = 5;
   options.replicas_per_iteration = 2;
   options.cache_budget_bytes = 1024;
+  options.profile.max_records = 77;
   options.fault_plan = ParseFaultSpec("p=0.3;kinds=bitflip");
   options.failover_enabled = false;
-  const std::string repro = ReproCommand(options, 777);
-  EXPECT_NE(repro.find("--seed=777"), std::string::npos) << repro;
+  // Seeds are uniform uint64, frequently above INT64_MAX; the repro
+  // line must print them unsigned.
+  const std::string repro = ReproCommand(options, 11064657849904403925ull);
+  EXPECT_NE(repro.find("--seed=11064657849904403925"), std::string::npos)
+      << repro;
   EXPECT_NE(repro.find("--rounds=1"), std::string::npos) << repro;
   EXPECT_NE(repro.find("--queries=5"), std::string::npos) << repro;
   EXPECT_NE(repro.find("--replicas=2"), std::string::npos) << repro;
   EXPECT_NE(repro.find("--cache-bytes=1024"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--max-records=77"), std::string::npos) << repro;
   EXPECT_NE(repro.find("--inject-faults="), std::string::npos) << repro;
   EXPECT_NE(repro.find("--no-repair"), std::string::npos) << repro;
 }

@@ -27,19 +27,43 @@ status=$?
 status=$?
 [ "$status" -eq 2 ] || fail "bad fault spec exited $status, want 2"
 
-# --- 3. Faults + --no-repair: mismatches with repro lines. -------------
-out=$("$BLOTFUZZ" --rounds 5 --seed 42 \
+# --- 3. Seeds span the full uint64 range; parsing must not abort. ------
+# IterationSeed() yields uniform 64-bit values, so roughly half of all
+# printed repro seeds exceed INT64_MAX. A signed parse would throw
+# out_of_range and std::terminate instead of replaying.
+out=$("$BLOTFUZZ" --seed=11064657849904403925 --rounds=1 --quiet 2>&1)
+status=$?
+[ "$status" -eq 0 ] || fail "uint64 seed run exited $status, want 0: $out"
+
+"$BLOTFUZZ" --seed=notanumber >/dev/null 2>&1
+status=$?
+[ "$status" -eq 2 ] || fail "malformed seed exited $status, want 2"
+
+# --- 4. Faults + --no-repair: mismatches with repro lines. -------------
+# Non-default --max-records: the repro line must pin it, or the replay
+# regenerates a different dataset and silently fails to reproduce.
+out=$("$BLOTFUZZ" --rounds 5 --seed 42 --max-records 256 \
       --inject-faults 'p=0.6;kinds=bitflip' --no-repair --quiet 2>&1)
 status=$?
 [ "$status" -eq 1 ] || fail "fault campaign exited $status, want 1: $out"
 echo "$out" | grep -q "MISMATCH check=" || fail "no MISMATCH lines: $out"
 
-repro=$(echo "$out" | grep -m1 '  repro: blotfuzz ' | sed 's/^  repro: blotfuzz //')
-[ -n "$repro" ] || fail "no repro line in output: $out"
+# Prefer a mismatch from a round > 0: its SplitMix64-derived seed is
+# usually above INT64_MAX, so replaying it exercises the full-range seed
+# parse end to end (round 0's seed is just 42).
+mismatch=$(echo "$out" | awk '/^MISMATCH check=/ && $0 !~ / iter=0 / { print; exit }')
+[ -n "$mismatch" ] || mismatch=$(echo "$out" | grep -m1 '^MISMATCH check=')
+check=$(echo "$mismatch" | sed 's/.*check=\([^ ]*\).*/\1/')
+seed=$(echo "$mismatch" | sed 's/.*seed=\([^ ]*\).*/\1/')
+repro=$(echo "$out" | grep -m1 "  repro: blotfuzz --seed=$seed " |
+        sed 's/^  repro: blotfuzz //')
+[ -n "$repro" ] || fail "no repro line for seed $seed in output: $out"
 echo "$repro" | grep -q -- "--no-repair" ||
   fail "repro line lost --no-repair: $repro"
+echo "$repro" | grep -q -- "--max-records=256" ||
+  fail "repro line lost --max-records: $repro"
 
-# --- 4. The printed repro replays the same failure, deterministically. -
+# --- 5. The printed repro replays the same failure, deterministically. -
 # (eval honors the quoting of --inject-faults='...' in the repro line.)
 replay1=$(eval "\"$BLOTFUZZ\" $repro --quiet" 2>&1)
 s1=$?
@@ -51,8 +75,6 @@ s2=$?
 
 # The check that failed originally fails again in the replay (the repro
 # pins the iteration seed, so the iteration is identical).
-check=$(echo "$out" | grep -m1 "MISMATCH check=" |
-        sed 's/.*check=\([^ ]*\).*/\1/')
 echo "$replay1" | grep -qF "check=$check" ||
   fail "original failing check '$check' absent from replay: $replay1"
 

@@ -35,6 +35,30 @@ TEST(FlagsTest, EqualsFormParsesLikeSpaceForm) {
   EXPECT_EQ(flags.GetString("spec"), "p=0.5;kinds=bitflip");
 }
 
+TEST(FlagsTest, GetUint64CoversTheFullSeedRange) {
+  // IterationSeed() yields uniform 64-bit values, so repro lines
+  // routinely carry seeds above INT64_MAX; GetUint64 must round-trip
+  // them where GetInt's stoll would throw out_of_range.
+  const Flags flags =
+      Parse({"--seed=11064657849904403925", "--max=18446744073709551615"},
+            {"seed", "max"});
+  EXPECT_EQ(flags.GetUint64("seed"), 11064657849904403925ull);
+  EXPECT_EQ(flags.GetUint64("max"), 18446744073709551615ull);
+  EXPECT_EQ(flags.GetUint64("absent", 7u), 7u);
+}
+
+TEST(FlagsTest, BadNumericValuesAreUsageErrorsNotTerminate) {
+  const Flags flags = Parse({"--seed=abc", "--neg=-1", "--huge",
+                             "99999999999999999999999999", "--ratio=xyz"},
+                            {"seed", "neg", "huge", "ratio"});
+  EXPECT_THROW(flags.GetUint64("seed"), InvalidArgument);
+  EXPECT_THROW(flags.GetUint64("neg"), InvalidArgument);  // stoull would wrap
+  EXPECT_THROW(flags.GetUint64("huge"), InvalidArgument);
+  EXPECT_THROW(flags.GetInt("huge"), InvalidArgument);
+  EXPECT_THROW(flags.GetInt("seed"), InvalidArgument);
+  EXPECT_THROW(flags.GetDouble("ratio"), InvalidArgument);
+}
+
 TEST(FlagsTest, FallbacksApplyOnlyWhenMissing) {
   const Flags flags = Parse({"--count", "7"}, {"count", "other"});
   EXPECT_EQ(flags.GetInt("count", 99), 7);

@@ -186,7 +186,7 @@ int CmdGenerate(const Flags& flags) {
   config.num_taxis = static_cast<std::size_t>(flags.GetInt("taxis", 100));
   config.samples_per_taxi =
       static_cast<std::size_t>(flags.GetInt("samples", 1000));
-  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 20071101));
+  config.seed = flags.GetUint64("seed", 20071101);
   const std::string out = flags.GetString("out");
   const std::string format = flags.GetString("format", "bin");
   const Dataset dataset = GenerateTaxiFleet(config);
@@ -439,7 +439,7 @@ int CmdStats(const Flags& flags) {
   const CostModel model{env_name == "s3" ? EnvironmentModel::AmazonS3Emr()
                                          : EnvironmentModel::LocalHadoop()};
   ThreadPool pool(4);
-  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  Rng rng(flags.GetUint64("seed", 42));
   const STRange& universe = store.universe();
 
   // Probe mix: mostly selective queries with some large scans, echoing

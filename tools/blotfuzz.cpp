@@ -22,7 +22,8 @@
 // injected faults then surface as mismatches, which is how the harness
 // proves its own detection and repro machinery works end to end.
 //
-// Exit codes: 0 clean, 1 mismatches found, 2 usage error.
+// Exit codes: 0 clean, 1 mismatches found, 2 usage error, 3 internal
+// failure (the harness itself broke — NOT a differential mismatch).
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -65,16 +66,18 @@ int Run(int argc, char** argv) {
                     {"no-repair", "quiet"});
 
   blot::testing::DifferentialOptions options;
-  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  // Repro seeds come from IterationSeed() and span the full uint64
+  // range, so --seed must not go through a signed parse.
+  options.seed = flags.GetUint64("seed", 1);
   options.iterations = static_cast<std::size_t>(flags.GetInt("rounds", 100));
   options.queries_per_iteration =
       static_cast<std::size_t>(flags.GetInt("queries", 8));
   options.replicas_per_iteration =
       static_cast<std::size_t>(flags.GetInt("replicas", 3));
-  options.cache_budget_bytes = static_cast<std::uint64_t>(
-      flags.GetInt("cache-bytes", std::int64_t{4} << 20));
+  options.cache_budget_bytes =
+      flags.GetUint64("cache-bytes", std::uint64_t{4} << 20);
   options.profile.max_records =
-      static_cast<std::size_t>(flags.GetInt("max-records", 384));
+      static_cast<std::size_t>(flags.GetUint64("max-records", 384));
   if (flags.Has("inject-faults"))
     options.fault_plan = ParseFaultSpec(flags.GetString("inject-faults"));
   options.failover_enabled = !flags.Has("no-repair");
@@ -110,8 +113,11 @@ int main(int argc, char** argv) {
   } catch (const blot::InvalidArgument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return blot::tools::Usage();
-  } catch (const blot::Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  } catch (const std::exception& e) {
+    // Exit 1 is reserved for genuine differential mismatches; an
+    // unexpected Error (or any stray std::exception) is the harness
+    // itself failing, which CI must be able to tell apart.
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 3;
   }
 }

@@ -70,7 +70,24 @@ class Flags {
       require(fallback.has_value(), "missing required flag --" + name);
       return *fallback;
     }
-    return std::stoll(it->second);
+    return Parse<std::int64_t>(name, it->second,
+                               [](const std::string& v) { return std::stoll(v); });
+  }
+
+  // Full unsigned 64-bit range; blotfuzz repro seeds routinely exceed
+  // INT64_MAX, so these must not funnel through stoll.
+  std::uint64_t GetUint64(const std::string& name,
+                          std::optional<std::uint64_t> fallback = {}) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      require(fallback.has_value(), "missing required flag --" + name);
+      return *fallback;
+    }
+    // stoull silently wraps negative input; reject it explicitly.
+    require(it->second.find('-') == std::string::npos,
+            "flag --" + name + ": value must be non-negative: " + it->second);
+    return Parse<std::uint64_t>(
+        name, it->second, [](const std::string& v) { return std::stoull(v); });
   }
 
   double GetDouble(const std::string& name,
@@ -80,10 +97,23 @@ class Flags {
       require(fallback.has_value(), "missing required flag --" + name);
       return *fallback;
     }
-    return std::stod(it->second);
+    return Parse<double>(name, it->second,
+                         [](const std::string& v) { return std::stod(v); });
   }
 
  private:
+  // Maps std::sto* parse failures (invalid_argument, out_of_range) to
+  // InvalidArgument so tools report them as usage errors instead of
+  // dying via std::terminate.
+  template <typename T, typename Fn>
+  static T Parse(const std::string& name, const std::string& value, Fn parse) {
+    try {
+      return parse(value);
+    } catch (const std::exception&) {
+      throw InvalidArgument("flag --" + name + ": bad value: " + value);
+    }
+  }
+
   std::map<std::string, std::string> values_;
 };
 
