@@ -1,11 +1,14 @@
 // Shared fixtures for the paper-reproduction benches: the sampled taxi
-// dataset, the paper's candidate space (Section V-A), and the synthetic
+// dataset, the paper's candidate space (Section V-A), the synthetic
 // evaluation workload of Section V-C ("8 grouped queries with wildly
-// varied range size").
+// varied range size") — and the BENCH_<name>.json result writer every
+// micro bench emits for the CI perf tripwire.
 #ifndef BLOT_BENCH_BENCH_COMMON_H_
 #define BLOT_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/candidates.h"
@@ -13,6 +16,110 @@
 #include "gen/taxi_generator.h"
 
 namespace blot::bench {
+
+// ---------------------------------------------------------------------
+// BENCH_<name>.json writer (schema blot.bench.v1)
+//
+// Every micro bench reports through this so results share one shape the
+// tripwire (scripts/bench_tripwire.py) can diff against committed
+// baselines:
+//
+//   {"schema": "blot.bench.v1", "bench": "micro_x",
+//    "metrics": [{"name": "...", "value": 1.23, "tracked": true}, ...],
+//    "info": {"replica": "KD64xT32/COL-GZIP"},
+//    "extra": {"sweep": [...]}}
+//
+// `tracked: true` marks the metrics the tripwire enforces; keep those
+// machine-independent (ratios, percentages, speedups) so a faster or
+// slower CI runner doesn't move them. Raw timings go in untracked
+// metrics, free-form detail in `extra` (pre-rendered JSON).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void Metric(const std::string& name, double value, bool tracked = false) {
+    metrics_.push_back({name, value, tracked});
+  }
+  void Info(const std::string& key, const std::string& value) {
+    info_.emplace_back(key, value);
+  }
+  void Info(const std::string& key, std::uint64_t value) {
+    info_.emplace_back(key, std::to_string(value));
+  }
+  // `raw_json` must be a complete, pre-rendered JSON value.
+  void Extra(const std::string& key, std::string raw_json) {
+    extra_.emplace_back(key, std::move(raw_json));
+  }
+
+  bool Write(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out,
+                 "{\n  \"schema\": \"blot.bench.v1\",\n  \"bench\": \"%s\","
+                 "\n  \"metrics\": [\n",
+                 Escaped(bench_).c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i)
+      std::fprintf(out, "    {\"name\": \"%s\", \"value\": %.17g, "
+                        "\"tracked\": %s}%s\n",
+                   Escaped(metrics_[i].name).c_str(), metrics_[i].value,
+                   metrics_[i].tracked ? "true" : "false",
+                   i + 1 < metrics_.size() ? "," : "");
+    std::fprintf(out, "  ]");
+    if (!info_.empty()) {
+      std::fprintf(out, ",\n  \"info\": {\n");
+      for (std::size_t i = 0; i < info_.size(); ++i)
+        std::fprintf(out, "    \"%s\": \"%s\"%s\n",
+                     Escaped(info_[i].first).c_str(),
+                     Escaped(info_[i].second).c_str(),
+                     i + 1 < info_.size() ? "," : "");
+      std::fprintf(out, "  }");
+    }
+    if (!extra_.empty()) {
+      std::fprintf(out, ",\n  \"extra\": {\n");
+      for (std::size_t i = 0; i < extra_.size(); ++i)
+        std::fprintf(out, "    \"%s\": %s%s\n",
+                     Escaped(extra_[i].first).c_str(),
+                     extra_[i].second.c_str(),
+                     i + 1 < extra_.size() ? "," : "");
+      std::fprintf(out, "  }");
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  struct MetricEntry {
+    std::string name;
+    double value = 0;
+    bool tracked = false;
+  };
+
+  // Names and labels are bench-controlled; only the JSON specials need
+  // escaping.
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<MetricEntry> metrics_;
+  std::vector<std::pair<std::string, std::string>> info_;
+  std::vector<std::pair<std::string, std::string>> extra_;
+};
+
+// Output path convention shared by the handwritten benches: a leading
+// positional argument overrides the default BENCH_<name>.json.
+inline std::string OutputPath(int argc, char** argv, const char* fallback) {
+  return argc > 1 && argv[1][0] != '-' ? argv[1] : fallback;
+}
 
 // The paper's dataset: ~65M records = 3.7 GB of CSV. We sample it with
 // the generator and scale record counts in the sketches.

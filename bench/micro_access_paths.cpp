@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "bench_common.h"
+#include "gbench_capture.h"
 #include "blot/batch.h"
 #include "blot/segment_store.h"
 #include "blot/trajectory.h"
@@ -213,6 +214,34 @@ void BM_ExecuteFusedSelective(benchmark::State& state) {
 BENCHMARK(BM_ExecuteFusedSelective);
 
 }  // namespace
+
+namespace bench {
+namespace {
+
+// Tracked metrics for the CI perf tripwire: ratios between runs of this
+// same binary, so they hold across machines. The fused-kernel speedups
+// are the ones this bench exists to defend.
+void DeriveTracked(const CaptureReporter& reporter, BenchReport& report) {
+  const auto ratio = [&](const char* name, const std::string& numerator,
+                         const std::string& denominator) {
+    const double num = reporter.RealNs(numerator);
+    const double den = reporter.RealNs(denominator);
+    if (num > 0 && den > 0) report.Metric(name, num / den, /*tracked=*/true);
+  };
+  ratio("fused_speedup_row_1pct", "BM_ScanNaiveDecodeThenFilter/0/1",
+        "BM_ScanFusedDecodeFilter/0/1");
+  ratio("fused_speedup_col_1pct", "BM_ScanNaiveDecodeThenFilter/4/1",
+        "BM_ScanFusedDecodeFilter/4/1");
+  ratio("index_time_bucketing_speedup", "BM_IndexLookupTimeSelective/100",
+        "BM_IndexLookupTimeSelective/1");
+}
+
+}  // namespace
+}  // namespace bench
 }  // namespace blot
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return blot::bench::RunAndReport(argc, argv, "micro_access_paths",
+                                   "BENCH_access_paths.json",
+                                   blot::bench::DeriveTracked);
+}

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "gbench_capture.h"
 #include "blot/encoding_scheme.h"
 
 namespace blot {
@@ -81,4 +82,7 @@ BENCHMARK_CAPTURE(BM_DecodePartition, col_lzma, "COL-LZMA");
 }  // namespace
 }  // namespace blot
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return blot::bench::RunAndReport(argc, argv, "micro_codec",
+                                   "BENCH_codec.json");
+}

@@ -15,8 +15,11 @@
 // Plus a repair-throughput measurement: partitions/s and records/s for
 // partition-granular RecoverPartition over a fully corrupted replica.
 //
-// Writes machine-readable results to BENCH_failover.json (or argv[1]).
-// Consistency bar: every path must match the healthy record counts.
+// Writes machine-readable results to BENCH_failover.json (or argv[1],
+// schema blot.bench.v1). The overhead ratios (failover_overhead_x,
+// sync_heal_overhead_x) are machine-independent and tracked; raw
+// per-query timings are untracked metrics. Consistency bar: every path
+// must match the healthy record counts.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -54,7 +57,8 @@ std::size_t CorruptInvolved(BlotStore& store, std::size_t replica,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_failover.json";
+  const std::string json_path =
+      bench::OutputPath(argc, argv, "BENCH_failover.json");
 
   constexpr std::size_t kRecords = 60000;
   constexpr std::size_t kQueries = 48;
@@ -187,32 +191,23 @@ int main(int argc, char** argv) {
       repair_ms > 0 ? 1000.0 * repaired / repair_ms : 0.0,
       repair_ms > 0 ? 1000.0 * records_restored / repair_ms : 0.0);
 
-  std::FILE* out = std::fopen(json_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 1;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"micro_failover\",\n"
-               "  \"dataset_records\": %zu,\n"
-               "  \"queries\": %zu,\n"
-               "  \"healthy_ms_per_query\": %.4f,\n"
-               "  \"armed_noop_ms_per_query\": %.4f,\n"
-               "  \"failover_ms_per_query\": %.4f,\n"
-               "  \"sync_heal_ms_per_query\": %.4f,\n"
-               "  \"failover_overhead_x\": %.3f,\n"
-               "  \"sync_heal_overhead_x\": %.3f,\n"
-               "  \"repair_partitions\": %zu,\n"
-               "  \"repair_records\": %llu,\n"
-               "  \"repair_ms\": %.2f\n"
-               "}\n",
-               num_records, queries.size(), per_query_healthy, per_query_armed,
-               per_query_failover, per_query_heal,
-               per_query_failover / per_query_healthy,
-               per_query_heal / per_query_healthy, repaired,
-               static_cast<unsigned long long>(records_restored), repair_ms);
-  std::fclose(out);
+  bench::BenchReport report("micro_failover");
+  report.Metric("healthy_ms_per_query", per_query_healthy);
+  report.Metric("armed_noop_ms_per_query", per_query_armed);
+  report.Metric("failover_ms_per_query", per_query_failover);
+  report.Metric("sync_heal_ms_per_query", per_query_heal);
+  report.Metric("failover_overhead_x", per_query_failover / per_query_healthy,
+                /*tracked=*/true);
+  report.Metric("sync_heal_overhead_x", per_query_heal / per_query_healthy,
+                /*tracked=*/true);
+  report.Metric("repair_ms", repair_ms);
+  report.Metric("repair_partitions_per_s",
+                repair_ms > 0 ? 1000.0 * repaired / repair_ms : 0.0);
+  report.Info("dataset_records", static_cast<std::uint64_t>(num_records));
+  report.Info("queries", static_cast<std::uint64_t>(queries.size()));
+  report.Info("repair_partitions", static_cast<std::uint64_t>(repaired));
+  report.Info("repair_records", records_restored);
+  if (!report.Write(json_path)) return 1;
   std::printf("wrote %s\n", json_path.c_str());
 
   const bool consistent = failover_mismatches == 0 && heal_mismatches == 0 &&

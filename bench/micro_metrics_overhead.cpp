@@ -1,13 +1,34 @@
-// Overhead of the observability layer on the query hot path: the same
-// routed execution with the global metrics registry disabled (the
-// default — instrumentation reduces to one relaxed atomic load per
-// site) and enabled (clock reads + atomic bumps). The enabled/disabled
-// ratio is the number docs/observability.md budgets at <5%.
+// Overhead of the observability layer on the query hot path, with the
+// full telemetry stack compiled in: metrics registry, per-query stage
+// profiles, structured event log, and the background snapshotter.
+//
+// Variants of the same routed execution:
+//   MetricsDisabled   — everything off (the default): instrumentation
+//                       reduces to relaxed atomic guard loads.
+//   MetricsEnabled    — registry on: clock reads + atomic bumps + the
+//                       per-query stage profile.
+//   FullTelemetry     — registry + event log enabled and the snapshotter
+//                       sampling on its background thread while queries
+//                       run: the everything-on worst case.
+//   TelemetryGuards   — just the guard loads, isolated: the only cost an
+//                       instrumented site pays when telemetry is off.
+//
+// Results land in BENCH_obs_overhead.json. The tracked metrics are the
+// enabled/disabled and full/disabled overhead percentages, plus
+// disabled_overhead_pct — the guard cost modeled per query (guard time x
+// a generous per-query guard-site count over the disabled query time),
+// which docs/observability.md budgets at < 1%.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_common.h"
+#include "core/partition_cache.h"
 #include "core/store.h"
+#include "gbench_capture.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 
 namespace blot {
 namespace {
@@ -56,6 +77,35 @@ void BM_RoutedQuery_MetricsEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_RoutedQuery_MetricsEnabled);
 
+void BM_RoutedQuery_FullTelemetry(benchmark::State& state) {
+  // Everything on at once: registry (so stage profiles populate), event
+  // log (in-memory ring; the healthy path emits no events, so this
+  // prices the armed guards), and the snapshotter sampling the registry
+  // every 5 ms on its own thread while queries run.
+  BlotStore& store = SharedStore();
+  const CostModel model{EnvironmentModel::LocalHadoop()};
+  const STRange query = MidSizeQuery();
+  auto& registry = obs::MetricsRegistry::global();
+  auto& log = obs::EventLog::Global();
+  registry.set_enabled(true);
+  log.set_enabled(true);
+  obs::SnapshotterOptions options;
+  options.interval = std::chrono::milliseconds(5);
+  obs::MetricsSnapshotter snapshotter(options);
+  snapshotter.Start();
+  for (auto _ : state) {
+    auto routed = store.Execute(query, model);
+    benchmark::DoNotOptimize(routed);
+  }
+  snapshotter.Stop();
+  log.set_enabled(false);
+  registry.set_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["snapshots"] =
+      static_cast<double>(snapshotter.samples_taken());
+}
+BENCHMARK(BM_RoutedQuery_FullTelemetry);
+
 void BM_CodecDecode_MetricsDisabled(benchmark::State& state) {
   // Decode path in isolation: the per-partition codec timer is the
   // highest-frequency instrumentation point.
@@ -72,7 +122,61 @@ void BM_CodecDecode_MetricsDisabled(benchmark::State& state) {
 BENCHMARK(BM_CodecDecode_MetricsDisabled)->Arg(0)->Arg(1)
     ->Name("BM_FullScan_Metrics");
 
+void BM_TelemetryGuards(benchmark::State& state) {
+  // One iteration = the three guard loads an instrumented site performs
+  // when all telemetry is off (registry, event log, partition cache).
+  auto& registry = obs::MetricsRegistry::global();
+  auto& log = obs::EventLog::Global();
+  auto& cache = PartitionCache::Global();
+  for (auto _ : state) {
+    bool any = registry.enabled() || log.enabled() || cache.enabled();
+    benchmark::DoNotOptimize(any);
+  }
+}
+BENCHMARK(BM_TelemetryGuards);
+
 }  // namespace
+
+namespace bench {
+namespace {
+
+// A routed query passes a bounded number of guarded sites on the
+// disabled path: routing, per-stage profile gates, the per-partition
+// cache/codec gates. 64 is a deliberate overestimate (a mid-size query
+// touches ~10 partitions with a handful of gates each), so the modeled
+// disabled overhead is an upper bound.
+constexpr double kGuardSitesPerQuery = 64.0;
+
+void DeriveTracked(const CaptureReporter& reporter, BenchReport& report) {
+  const double disabled = reporter.RealNs("BM_RoutedQuery_MetricsDisabled");
+  const double enabled = reporter.RealNs("BM_RoutedQuery_MetricsEnabled");
+  const double full = reporter.RealNs("BM_RoutedQuery_FullTelemetry");
+  const double guards = reporter.RealNs("BM_TelemetryGuards");
+  const double scan_off = reporter.RealNs("BM_FullScan_Metrics/0");
+  const double scan_on = reporter.RealNs("BM_FullScan_Metrics/1");
+  if (disabled > 0 && enabled > 0)
+    report.Metric("metrics_enabled_overhead_pct",
+                  (enabled / disabled - 1.0) * 100.0, /*tracked=*/true);
+  if (disabled > 0 && full > 0)
+    report.Metric("full_telemetry_overhead_pct",
+                  (full / disabled - 1.0) * 100.0, /*tracked=*/true);
+  if (scan_off > 0 && scan_on > 0)
+    report.Metric("full_scan_enabled_overhead_pct",
+                  (scan_on / scan_off - 1.0) * 100.0);
+  if (disabled > 0 && guards >= 0)
+    report.Metric("disabled_overhead_pct",
+                  guards * kGuardSitesPerQuery / disabled * 100.0,
+                  /*tracked=*/true);
+  report.Info("guard_sites_per_query_model",
+              static_cast<std::uint64_t>(kGuardSitesPerQuery));
+}
+
+}  // namespace
+}  // namespace bench
 }  // namespace blot
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return blot::bench::RunAndReport(argc, argv, "micro_metrics_overhead",
+                                   "BENCH_obs_overhead.json",
+                                   blot::bench::DeriveTracked);
+}

@@ -9,8 +9,10 @@
 // the uncached baseline.
 //
 // Writes machine-readable results to BENCH_partition_cache.json (or
-// argv[1]); the acceptance bar is >= 3x speedup for a budget that holds
-// the hot working set.
+// argv[1], schema blot.bench.v1); the acceptance bar is >= 3x speedup
+// for a budget that holds the hot working set. The CI tripwire tracks
+// `speedup_cache_on_vs_off`; the per-budget sweep rides along in
+// `extra.sweep`.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -50,7 +52,7 @@ double RunWorkload(const Replica& replica,
 
 int main(int argc, char** argv) {
   const std::string json_path =
-      argc > 1 ? argv[1] : "BENCH_partition_cache.json";
+      bench::OutputPath(argc, argv, "BENCH_partition_cache.json");
 
   constexpr std::size_t kRecords = 150000;
   constexpr std::size_t kDistinctQueries = 64;
@@ -122,28 +124,32 @@ int main(int argc, char** argv) {
   std::printf("cache-on (%zu MB) vs cache-off: %.2fx  (bar: >= 3x)\n",
               budgets_mb.back(), best_speedup);
 
-  std::FILE* out = std::fopen(json_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 1;
+  bench::BenchReport report("micro_partition_cache");
+  report.Metric("speedup_cache_on_vs_off", best_speedup, /*tracked=*/true);
+  for (const SweepPoint& p : sweep) {
+    const std::string prefix = "budget_" + std::to_string(p.budget_mb) + "mb:";
+    report.Metric(prefix + "ms_per_query", p.total_ms / kAccesses);
+    report.Metric(prefix + "hit_ratio", p.hit_ratio);
+    report.Metric(prefix + "speedup_vs_uncached",
+                  sweep.front().total_ms / p.total_ms);
   }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"micro_partition_cache\",\n"
-               "  \"dataset_records\": %zu,\n"
-               "  \"replica\": \"%s\",\n"
-               "  \"distinct_query_cells\": %zu,\n"
-               "  \"accesses\": %zu,\n"
-               "  \"zipf_s\": %.2f,\n"
-               "  \"speedup_cache_on_vs_off\": %.3f,\n"
-               "  \"sweep\": [\n",
-               dataset.size(), config.Name().c_str(), kDistinctQueries,
-               kAccesses, kZipfS, best_speedup);
+  report.Info("dataset_records", static_cast<std::uint64_t>(dataset.size()));
+  report.Info("replica", config.Name());
+  report.Info("distinct_query_cells",
+              static_cast<std::uint64_t>(kDistinctQueries));
+  report.Info("accesses", static_cast<std::uint64_t>(kAccesses));
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", kZipfS);
+    report.Info("zipf_s", buf);
+  }
+  std::string sweep_json = "[\n";
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
-    std::fprintf(
-        out,
-        "    {\"budget_mb\": %zu, \"total_ms\": %.2f, \"ms_per_query\": "
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "      {\"budget_mb\": %zu, \"total_ms\": %.2f, \"ms_per_query\": "
         "%.4f, \"hit_ratio\": %.4f, \"hits\": %llu, \"misses\": %llu, "
         "\"evictions\": %llu, \"resident_bytes\": %llu, "
         "\"records_matched\": %llu, \"speedup_vs_uncached\": %.3f}%s\n",
@@ -155,9 +161,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(p.records_matched),
         sweep.front().total_ms / p.total_ms,
         i + 1 < sweep.size() ? "," : "");
+    sweep_json += line;
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
+  sweep_json += "    ]";
+  report.Extra("sweep", std::move(sweep_json));
+  if (!report.Write(json_path)) return 1;
   std::printf("wrote %s\n", json_path.c_str());
 
   // Results must be identical whether or not the cache served them.

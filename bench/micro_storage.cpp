@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "gbench_capture.h"
 #include "core/cost_model.h"
 #include "core/workload.h"
 
@@ -106,4 +107,7 @@ BENCHMARK(BM_CostModelGroupedQuery);
 }  // namespace
 }  // namespace blot
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return blot::bench::RunAndReport(argc, argv, "micro_storage",
+                                   "BENCH_storage.json");
+}

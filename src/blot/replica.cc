@@ -7,6 +7,7 @@
 
 #include "core/fault_injection.h"
 #include "core/partition_cache.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace blot {
@@ -194,14 +195,22 @@ StoredPartition& Replica::MutablePartition(std::size_t i) {
   return partitions_[i];
 }
 
-QueryResult Replica::Execute(const STRange& query, ThreadPool* pool) const {
+QueryResult Replica::Execute(const STRange& query, ThreadPool* pool,
+                             obs::QueryProfile* profile) const {
   const std::vector<std::size_t> involved = index_.InvolvedPartitions(query);
   QueryResult result;
   result.stats.partitions_scanned = involved.size();
 
   const bool use_cache = PartitionCache::Global().enabled();
+  const bool profiling = profile != nullptr;
   std::vector<std::vector<Record>> matches(involved.size());
   std::vector<QueryStats> stats(involved.size());
+  // Sub-stage wall time per partition, merged single-threaded below so
+  // the parallel scan never shares a profile accumulator.
+  struct PartitionTimes {
+    double probe_ms = 0.0, decode_ms = 0.0, filter_ms = 0.0;
+  };
+  std::vector<PartitionTimes> times(profiling ? involved.size() : 0);
   // Per-partition read faults land in `fault_messages` (empty string =
   // healthy) rather than aborting the scan, so one bad storage unit does
   // not hide the health of the rest and the store learns every failing
@@ -212,17 +221,29 @@ QueryResult Replica::Execute(const STRange& query, ThreadPool* pool) const {
     try {
       if (use_cache) {
         bool hit = false;
+        const std::uint64_t t0 = profiling ? obs::MonotonicNanos() : 0;
         const auto records = CachedPartitionRecords(p, &hit);
+        const std::uint64_t t1 = profiling ? obs::MonotonicNanos() : 0;
         stats[k].records_scanned = records->size();
         stats[k].bytes_read = hit ? 0 : partitions_[p].data.size();
         stats[k].cache_hits = hit ? 1 : 0;
         stats[k].cache_misses = hit ? 0 : 1;
         for (const Record& r : *records)
           if (query.Contains(r.Position())) matches[k].push_back(r);
+        if (profiling) {
+          const double lookup_ms = double(t1 - t0) * 1e-6;
+          // A hit's latency is the probe itself; a miss's is dominated
+          // by the decode (+ cache insert) behind the probe.
+          (hit ? times[k].probe_ms : times[k].decode_ms) = lookup_ms;
+          times[k].filter_ms = double(obs::MonotonicNanos() - t1) * 1e-6;
+        }
       } else {
         // Fused decode-filter kernel: no intermediate full-partition
         // vector on this path.
+        const std::uint64_t t0 = profiling ? obs::MonotonicNanos() : 0;
         matches[k] = ScanPartitionInRange(p, query);
+        if (profiling)
+          times[k].decode_ms = double(obs::MonotonicNanos() - t0) * 1e-6;
         stats[k].records_scanned = partitions_[p].num_records;
         stats[k].bytes_read = partitions_[p].data.size();
       }
@@ -259,6 +280,24 @@ QueryResult Replica::Execute(const STRange& query, ThreadPool* pool) const {
     result.stats.cache_misses += stats[k].cache_misses;
     result.records.insert(result.records.end(), matches[k].begin(),
                           matches[k].end());
+    if (profiling) {
+      const std::uint64_t encoded = partitions_[involved[k]].data.size();
+      profile->AddStage(obs::Stage::kCacheProbe, times[k].probe_ms,
+                        stats[k].cache_hits != 0 ? encoded : 0);
+      profile->AddStage(obs::Stage::kDecode, times[k].decode_ms,
+                        stats[k].bytes_read);
+      profile->AddStage(obs::Stage::kFilter, times[k].filter_ms);
+      profile->cache_hit_bytes += stats[k].cache_hits != 0 ? encoded : 0;
+      profile->cache_miss_bytes += stats[k].bytes_read;
+    }
+  }
+  if (profiling) {
+    profile->partitions_touched += involved.size();
+    profile->partitions_skipped += partitions_.size() - involved.size();
+    profile->records_scanned += result.stats.records_scanned;
+    profile->cache_hits += result.stats.cache_hits;
+    profile->cache_misses += result.stats.cache_misses;
+    if (pool != nullptr && involved.size() > 1) profile->parallel_scan = true;
   }
   return result;
 }

@@ -20,6 +20,7 @@
 #include "blot/encoding_scheme.h"
 #include "blot/partition_index.h"
 #include "blot/partitioner.h"
+#include "obs/profile.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -138,7 +139,16 @@ class Replica {
   // are collected across all involved partitions and rethrown as one
   // PartitionFaultError naming every failing partition, so a caller can
   // quarantine precisely and fail over. Other exceptions propagate as-is.
-  QueryResult Execute(const STRange& query, ThreadPool* pool = nullptr) const;
+  //
+  // When `profile` is non-null the scan fills in its sub-stages
+  // (cache_probe / decode / filter wall time and bytes), partition and
+  // cache counters. On the cache path a hit's lookup time lands in
+  // cache_probe and a miss's decode+insert in decode; the fused
+  // no-cache kernel decodes and filters in one pass, accounted as
+  // decode. Under a pool the sub-stages sum CPU time across workers
+  // (profile->parallel_scan is set).
+  QueryResult Execute(const STRange& query, ThreadPool* pool = nullptr,
+                      obs::QueryProfile* profile = nullptr) const;
 
   // Decodes one partition, verifying its checksum on first read (later
   // reads skip the hash; MutablePartition re-arms it); throws

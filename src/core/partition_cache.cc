@@ -1,5 +1,6 @@
 #include "core/partition_cache.h"
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "util/error.h"
 
@@ -179,13 +180,40 @@ PartitionCache::Stats PartitionCache::stats() const {
 }
 
 void PartitionCache::EvictLocked(Shard& shard, std::uint64_t budget) {
+  std::uint64_t evicted_bytes = 0;
   while (shard.bytes > budget && !shard.lru.empty()) {
     const auto it = shard.entries.find(shard.lru.back());
     require(it != shard.entries.end(),
             "PartitionCache: LRU list out of sync with entry map");
+    evicted_bytes += it->second.bytes;
     RemoveLocked(shard, it);
     evictions_.fetch_add(1, std::memory_order_relaxed);
     if (MetricsOn()) CacheMetrics::Get().evictions.Increment();
+  }
+  if (evicted_bytes == 0) return;
+  const std::uint64_t cumulative =
+      evicted_bytes_.fetch_add(evicted_bytes, std::memory_order_relaxed) +
+      evicted_bytes;
+  auto& log = obs::EventLog::Global();
+  if (!log.enabled()) return;
+  const std::uint64_t capacity = max_bytes_.load(std::memory_order_relaxed);
+  if (capacity == 0) return;
+  // One pressure event per full-capacity turnover of evicted bytes; the
+  // CAS keeps concurrent shards from double-reporting the same epoch.
+  const std::uint64_t epoch = cumulative / capacity;
+  std::uint64_t prev = pressure_epoch_.load(std::memory_order_relaxed);
+  while (epoch > prev) {
+    if (pressure_epoch_.compare_exchange_weak(prev, epoch,
+                                              std::memory_order_relaxed)) {
+      log.Warn("cache.pressure",
+               "evictions churned a full cache capacity of decoded bytes",
+               {obs::Field("turnovers", epoch),
+                obs::Field("capacity_bytes", capacity),
+                obs::Field("evicted_bytes_total", cumulative),
+                obs::Field("resident_bytes",
+                           bytes_.load(std::memory_order_relaxed))});
+      break;
+    }
   }
 }
 

@@ -27,7 +27,10 @@
 //
 // Observability: hits/misses/insertions/evictions/invalidations mirror
 // into the global metrics registry as cache.* counters, and cache.bytes /
-// cache.entries gauges track occupancy (docs/observability.md).
+// cache.entries gauges track occupancy (docs/observability.md). When the
+// event log is enabled, a structured `cache.pressure` warning fires each
+// time cumulative evicted bytes churn through a full cache capacity —
+// the signal that the working set no longer fits.
 //
 // This header lives in src/core next to the routing/store layer that
 // configures it, but the code is compiled into blot_storage because the
@@ -188,6 +191,11 @@ class PartitionCache {
   mutable std::atomic<std::uint64_t> invalidations_{0};
   mutable std::atomic<std::uint64_t> bytes_{0};
   mutable std::atomic<std::uint64_t> entries_{0};
+  // Eviction-pressure tracking: cumulative decoded bytes evicted, and
+  // the number of full-capacity turnovers already reported as a
+  // cache.pressure event (one event per turnover, not per eviction).
+  mutable std::atomic<std::uint64_t> evicted_bytes_{0};
+  mutable std::atomic<std::uint64_t> pressure_epoch_{0};
 };
 
 }  // namespace blot

@@ -13,6 +13,7 @@
 #include "blot/partitioner.h"
 #include "blot/segment_store.h"
 #include "core/partition_cache.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/error.h"
@@ -69,19 +70,50 @@ void RecordRoutedQuery(const std::string& replica_name,
   bytes_read.Increment(routed.result.stats.bytes_read);
 }
 
-// Records health-state transitions into the quarantine.* metrics.
-void RecordQuarantine(std::size_t newly_quarantined,
+// Renders a partition list as "3,17,42" for event fields. A mass
+// quarantine can name hundreds of partitions; the field keeps the first
+// few for orientation and summarizes the rest, so one incident never
+// bloats the log.
+std::string PartitionList(const std::vector<std::size_t>& partitions) {
+  constexpr std::size_t kMaxListed = 16;
+  std::string out;
+  for (std::size_t i = 0; i < partitions.size() && i < kMaxListed; ++i) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(partitions[i]);
+  }
+  if (partitions.size() > kMaxListed)
+    out += ",+" + std::to_string(partitions.size() - kMaxListed) + " more";
+  return out;
+}
+
+// Records health-state transitions into the quarantine.* metrics and
+// emits a typed `quarantine` event naming the affected partitions.
+void RecordQuarantine(std::string_view replica_name,
+                      const std::vector<std::size_t>& partitions,
+                      std::size_t newly_quarantined,
                       std::size_t newly_suspect, std::size_t active) {
   auto& registry = obs::MetricsRegistry::global();
-  if (!registry.enabled()) return;
-  static obs::Counter& partitions_total =
-      registry.GetCounter("quarantine.partitions_total");
-  static obs::Counter& suspects_total =
-      registry.GetCounter("quarantine.suspects_total");
-  static obs::Gauge& active_gauge = registry.GetGauge("quarantine.active");
-  partitions_total.Increment(newly_quarantined);
-  suspects_total.Increment(newly_suspect);
-  active_gauge.Set(static_cast<double>(active));
+  if (registry.enabled()) {
+    static obs::Counter& partitions_total =
+        registry.GetCounter("quarantine.partitions_total");
+    static obs::Counter& suspects_total =
+        registry.GetCounter("quarantine.suspects_total");
+    static obs::Gauge& active_gauge = registry.GetGauge("quarantine.active");
+    partitions_total.Increment(newly_quarantined);
+    suspects_total.Increment(newly_suspect);
+    active_gauge.Set(static_cast<double>(active));
+  }
+  obs::EventLog& log = obs::EventLog::Global();
+  if (log.enabled() && (newly_quarantined > 0 || newly_suspect > 0)) {
+    log.Warn("quarantine",
+             newly_quarantined > 0 ? "partitions quarantined"
+                                   : "partitions marked suspect",
+             {obs::Field("replica", std::string(replica_name)),
+              obs::Field("partitions", PartitionList(partitions)),
+              obs::Field("newly_quarantined", newly_quarantined),
+              obs::Field("newly_suspect", newly_suspect),
+              obs::Field("active_quarantined", active)});
+  }
 }
 
 // Total order over records so multiset containment can be checked by a
@@ -259,13 +291,20 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
     const STRange& query, const CostModel& model, ThreadPool* pool,
     obs::TraceSpan* trace) {
   RoutedResult routed;
+  const bool profiling =
+      obs::MetricsRegistry::global().enabled() || trace != nullptr;
+  obs::QueryProfile& profile = routed.profile;
   obs::TraceSpan* route_span =
       trace != nullptr ? &trace->AddChild("route") : nullptr;
   Ranking ranking;
+  const std::uint64_t route_start = profiling ? obs::MonotonicNanos() : 0;
   {
     obs::SpanTimer route_timer(route_span);
     ranking = RankCandidates(query, model);
   }
+  if (profiling)
+    profile.AddStage(obs::Stage::kRoute,
+                     double(obs::MonotonicNanos() - route_start) * 1e-6);
   require(ranking.covering > 0,
           "BlotStore::RouteQuery: no replica can serve the query (add a "
           "full replica)");
@@ -311,7 +350,7 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
     const std::uint64_t start_ns = obs::MonotonicNanos();
     try {
       obs::SpanTimer execute_timer(execute_span);
-      routed.result = rep.Execute(query, pool);
+      routed.result = rep.Execute(query, pool, profiling ? &profile : nullptr);
       routed.measured_cost_ms =
           double(obs::MonotonicNanos() - start_ns) * 1e-6;
       routed.replica_index = idx;
@@ -327,11 +366,28 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
         if (health_->Quarantine(idx, p)) ++newly_quarantined;
         PartitionCache::Global().Invalidate(rep.cache_id(), p);
       }
-      RecordQuarantine(newly_quarantined, 0, health_->QuarantinedCount());
+      RecordQuarantine(replica_name, e.partitions(), newly_quarantined, 0,
+                       health_->QuarantinedCount());
+      // The failed attempt's wall time is failover overhead, not
+      // execution of the serving replica.
+      if (profiling)
+        profile.AddStage(obs::Stage::kFailover,
+                         double(obs::MonotonicNanos() - start_ns) * 1e-6);
+      obs::EventLog& log = obs::EventLog::Global();
+      if (log.enabled()) {
+        log.Warn("failover",
+                 "read fault; failing over to next-cheapest replica",
+                 {obs::Field("replica", replica_name),
+                  obs::Field("attempt", attempts),
+                  obs::Field("faulty_partitions",
+                             PartitionList(e.partitions()))});
+      }
       if (execute_span != nullptr)
         execute_span->AddAttribute("fault", std::string(e.what()));
       continue;
     }
+    if (profiling)
+      profile.AddStage(obs::Stage::kExecute, routed.measured_cost_ms);
     if (execute_span != nullptr) {
       execute_span->AddAttribute(
           "partitions_scanned",
@@ -364,11 +420,25 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
           registry.GetCounter("failover.exhausted_total");
       exhausted_total.Increment();
     }
+    obs::EventLog& log = obs::EventLog::Global();
+    if (log.enabled()) {
+      log.Emit(obs::EventSeverity::kError, "failover.exhausted",
+               "no healthy replica could serve the query",
+               {obs::Field("attempts", attempts),
+                obs::Field("covering_replicas", ranking.covering)});
+    }
     throw UnservableError(query);
   }
 
   routed.attempts = attempts;
   routed.degraded = attempts > 1;
+  if (profiling) {
+    profile.replica_index = routed.replica_index;
+    profile.attempts = static_cast<std::uint32_t>(attempts);
+    profile.degraded = routed.degraded;
+    profile.estimated_cost_ms = routed.estimated_cost_ms;
+    profile.measured_cost_ms = routed.measured_cost_ms;
+  }
   if (registry.enabled() && routed.degraded) {
     static obs::Counter& rerouted_total =
         registry.GetCounter("failover.queries_rerouted_total");
@@ -405,13 +475,85 @@ BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
                                            ThreadPool* pool,
                                            obs::TraceSpan* trace) {
   require(!replicas_.empty(), "BlotStore::RouteQuery: no replicas");
+  const bool profiling =
+      obs::MetricsRegistry::global().enabled() || trace != nullptr;
   RoutedResult routed;
+  const std::uint64_t start_ns = profiling ? obs::MonotonicNanos() : 0;
   {
     std::shared_lock lock(sync_->state_mutex);
     routed = ExecuteWithFailover(query, model, pool, trace);
   }
+  const std::uint64_t repair_start = profiling ? obs::MonotonicNanos() : 0;
   MaybeScheduleRepairs(pool);
+  if (profiling) {
+    // Synchronous repair runs on this thread between the shared-lock
+    // release and here; background repair contributes only the submit.
+    routed.profile.AddStage(
+        obs::Stage::kRepair,
+        double(obs::MonotonicNanos() - repair_start) * 1e-6);
+    routed.profile.total_ms =
+        double(obs::MonotonicNanos() - start_ns) * 1e-6;
+    ObserveQueryTelemetry(query, routed.profile);
+    if (trace != nullptr) routed.profile.ExportToSpan(*trace);
+  }
   return routed;
+}
+
+void BlotStore::ObserveQueryTelemetry(const STRange& query,
+                                      const obs::QueryProfile& profile) {
+  obs::RecordProfile(profile);  // per-stage histograms (registry-gated)
+  Telemetry& t = *telemetry_;
+  t.cost_drift.Observe(profile);
+
+  std::lock_guard lock(t.workload_mutex);
+  t.workload.Observe(query.Size());
+  const std::size_t n = t.workload.observations();
+  if (!t.workload_drift.has_value()) {
+    if (n >= Telemetry::kWorkloadWarmup)
+      t.workload_drift.emplace(t.workload.Snapshot());
+    return;
+  }
+  if (n % Telemetry::kWorkloadCheckInterval != 0) return;
+  const Workload current = t.workload.Snapshot();
+  const double distance = t.workload_drift->DistanceTo(current);
+  auto& registry = obs::MetricsRegistry::global();
+  if (registry.enabled())
+    registry.GetGauge("drift.workload_distance").Set(distance);
+  const bool drifted = t.workload_drift->HasDrifted(current);
+  obs::EventLog& log = obs::EventLog::Global();
+  if (log.enabled()) {
+    if (drifted && !t.workload_alerting) {
+      log.Warn("workload_drift.alert",
+               "live workload drifted from the selection reference",
+               {obs::Field("distance", distance),
+                obs::Field("observations", n)});
+    } else if (!drifted && t.workload_alerting) {
+      log.Info("workload_drift.clear",
+               "live workload back near the selection reference",
+               {obs::Field("distance", distance),
+                obs::Field("observations", n)});
+    }
+  }
+  t.workload_alerting = drifted;
+}
+
+double BlotStore::WorkloadDriftDistance() const {
+  Telemetry& t = *telemetry_;
+  std::lock_guard lock(t.workload_mutex);
+  if (!t.workload_drift.has_value() || t.workload.observations() == 0)
+    return 0.0;
+  return t.workload_drift->DistanceTo(t.workload.Snapshot());
+}
+
+void BlotStore::RebaseWorkloadReference() {
+  Telemetry& t = *telemetry_;
+  std::lock_guard lock(t.workload_mutex);
+  t.workload_alerting = false;
+  if (t.workload.observations() == 0) {
+    t.workload_drift.reset();
+    return;
+  }
+  t.workload_drift.emplace(t.workload.Snapshot());
 }
 
 void BlotStore::MaybeScheduleRepairs(ThreadPool* pool) {
@@ -457,13 +599,21 @@ std::size_t BlotStore::RepairQuarantinedLocked(ThreadPool* pool,
       RecoverPartitionLocked(target.replica, target.partition, std::nullopt,
                              pool);
       ++repaired;
-    } catch (const Error&) {
+    } catch (const Error& e) {
       // No healthy source: the partition stays quarantined; queries keep
       // routing around it and a later repair pass retries.
       if (registry.enabled()) {
         static obs::Counter& failed_total =
             registry.GetCounter("repair.failed_total");
         failed_total.Increment();
+      }
+      if (obs::EventLog::Global().enabled()) {
+        obs::EventLog::Global().Warn(
+            "repair.failed", "partition repair failed; stays quarantined",
+            {obs::Field("replica",
+                        replicas_[target.replica].config().Name()),
+             obs::Field("partition", target.partition),
+             obs::Field("error", std::string(e.what()))});
       }
     }
   }
@@ -525,6 +675,13 @@ std::uint64_t BlotStore::RecoverPartitionLocked(
           registry.GetCounter("repair.full_rebuilds_total");
       full_rebuilds.Increment();
     }
+    if (obs::EventLog::Global().enabled()) {
+      obs::EventLog::Global().Warn(
+          "repair.full_rebuild",
+          "partition layout not re-derivable; rebuilding whole replica",
+          {obs::Field("replica", rep.config().Name()),
+           obs::Field("partition", partition)});
+    }
     std::vector<std::size_t> sources;
     if (source.has_value()) {
       sources.push_back(*source);
@@ -582,12 +739,15 @@ std::uint64_t BlotStore::RecoverPartitionLocked(
         if (health_->Quarantine(r, p)) ++newly_quarantined;
         PartitionCache::Global().Invalidate(replicas_[r].cache_id(), p);
       }
-      RecordQuarantine(newly_quarantined, 0, health_->QuarantinedCount());
+      RecordQuarantine(replicas_[r].config().Name(), e.partitions(),
+                       newly_quarantined, 0, health_->QuarantinedCount());
       continue;
     }
     rep.RestorePartition(partition, expected);
     sketches_[target] = ReplicaSketch::FromReplica(rep);
     health_->MarkOk(target, partition);
+    const double repair_ms_elapsed =
+        double(obs::MonotonicNanos() - start_ns) * 1e-6;
     if (registry.enabled()) {
       static obs::Counter& partitions_total =
           registry.GetCounter("repair.partitions_total");
@@ -597,7 +757,16 @@ std::uint64_t BlotStore::RecoverPartitionLocked(
           registry.GetHistogram("repair.ms");
       partitions_total.Increment();
       records_total.Increment(expected.size());
-      repair_ms.Observe(double(obs::MonotonicNanos() - start_ns) * 1e-6);
+      repair_ms.Observe(repair_ms_elapsed);
+    }
+    if (obs::EventLog::Global().enabled()) {
+      obs::EventLog::Global().Info(
+          "repair", "partition repaired from healthy replica",
+          {obs::Field("replica", rep.config().Name()),
+           obs::Field("partition", partition),
+           obs::Field("source", replicas_[r].config().Name()),
+           obs::Field("records", expected.size()),
+           obs::Field("ms", repair_ms_elapsed)});
     }
     return expected.size();
   }
@@ -611,6 +780,7 @@ BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
     std::span<const STRange> queries, const CostModel& model,
     ThreadPool* pool) {
   const std::uint64_t start_ns = obs::MonotonicNanos();
+  const bool profiling = obs::MetricsRegistry::global().enabled();
   RoutedBatchResult result;
   result.per_query.resize(queries.size());
   result.replica_of.resize(queries.size());
@@ -618,6 +788,8 @@ BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
   // Queries whose group's shared scan failed; retried one-by-one through
   // the failover path after the shared lock is released.
   std::vector<std::size_t> fallback;
+  std::uint64_t route_done_ns = start_ns;
+  std::uint64_t scans_done_ns = start_ns;
   {
     std::shared_lock lock(sync_->state_mutex);
     // Group queries by routed replica, preserving original indices. The
@@ -634,6 +806,7 @@ BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
       result.replica_of[q] = replica;
       groups[replica].push_back(q);
     }
+    if (profiling) route_done_ns = obs::MonotonicNanos();
     for (std::size_t replica = 0; replica < groups.size(); ++replica) {
       const std::vector<std::size_t>& query_ids = groups[replica];
       if (query_ids.empty()) continue;
@@ -657,26 +830,33 @@ BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
         // quarantine) and retry each query with per-query failover.
         std::size_t newly_suspect = 0;
         std::size_t newly_quarantined = 0;
+        std::vector<std::size_t> affected;
         for (const std::size_t q : query_ids) {
           for (const std::size_t p :
                sketches_[replica].index.InvolvedPartitions(queries[q])) {
             const PartitionHealth before = health_->Get(replica, p);
             const PartitionHealth after = health_->MarkSuspect(replica, p);
             if (after == PartitionHealth::kSuspect &&
-                before == PartitionHealth::kOk)
+                before == PartitionHealth::kOk) {
               ++newly_suspect;
+              affected.push_back(p);
+            }
             if (after == PartitionHealth::kQuarantined &&
-                before != PartitionHealth::kQuarantined)
+                before != PartitionHealth::kQuarantined) {
               ++newly_quarantined;
+              affected.push_back(p);
+            }
           }
         }
-        RecordQuarantine(newly_quarantined, newly_suspect,
+        RecordQuarantine(replicas_[replica].config().Name(), affected,
+                         newly_quarantined, newly_suspect,
                          health_->QuarantinedCount());
         fallback.insert(fallback.end(), query_ids.begin(), query_ids.end());
       } catch (const ReadError&) {
         fallback.insert(fallback.end(), query_ids.begin(), query_ids.end());
       }
     }
+    if (profiling) scans_done_ns = obs::MonotonicNanos();
   }
 
   for (const std::size_t q : fallback) {
@@ -690,7 +870,31 @@ BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
     result.stats.cache_misses += routed.result.stats.cache_misses;
     result.naive_partition_scans += routed.result.stats.partitions_scanned;
   }
-  result.measured_ms = double(obs::MonotonicNanos() - start_ns) * 1e-6;
+  const std::uint64_t end_ns = obs::MonotonicNanos();
+  result.measured_ms = double(end_ns - start_ns) * 1e-6;
+
+  if (profiling) {
+    // Batch-level stage breakdown: route = ranking every query, execute =
+    // the shared per-replica scans, failover = the one-by-one retries
+    // (those queries also produced their own full profiles via Execute).
+    obs::QueryProfile& profile = result.profile;
+    profile.AddStage(obs::Stage::kRoute,
+                     double(route_done_ns - start_ns) * 1e-6);
+    profile.AddStage(obs::Stage::kExecute,
+                     double(scans_done_ns - route_done_ns) * 1e-6,
+                     result.stats.bytes_read);
+    if (!fallback.empty())
+      profile.AddStage(obs::Stage::kFailover,
+                       double(end_ns - scans_done_ns) * 1e-6);
+    profile.partitions_touched = result.stats.partitions_scanned;
+    profile.records_scanned = result.stats.records_scanned;
+    profile.cache_hits = result.stats.cache_hits;
+    profile.cache_misses = result.stats.cache_misses;
+    profile.cache_miss_bytes = result.stats.bytes_read;
+    profile.parallel_scan = pool != nullptr;
+    profile.measured_cost_ms = result.measured_ms;
+    profile.total_ms = result.measured_ms;
+  }
 
   auto& registry = obs::MetricsRegistry::global();
   if (registry.enabled()) {
@@ -876,6 +1080,13 @@ std::uint64_t BlotStore::RecoverReplicaFromLocked(std::size_t i,
          "cache identity");
   sketches_[i] = ReplicaSketch::FromReplica(replicas_[i]);
   health_->ResetReplica(i, replicas_[i].NumPartitions());
+  if (obs::EventLog::Global().enabled()) {
+    obs::EventLog::Global().Info(
+        "repair.replica_rebuilt", "replica rebuilt from healthy source",
+        {obs::Field("replica", config.Name()),
+         obs::Field("source", replicas_[source].config().Name()),
+         obs::Field("records", replicas_[i].NumRecords())});
+  }
   return replicas_[i].NumRecords();
 }
 

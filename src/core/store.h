@@ -28,7 +28,10 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/drift.h"
 #include "core/health.h"
+#include "obs/drift_monitor.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -116,6 +119,20 @@ class BlotStore {
   // The per-replica, per-partition health map driving routing and repair.
   const HealthMap& health() const { return *health_; }
 
+  // Continuous telemetry fed by every routed query: per-replica cost-
+  // model error windows (cost_drift.alert events on threshold breach)
+  // and a decayed live-workload estimate checked against the reference
+  // workload (drift.workload_distance gauge, workload_drift.* events).
+  const obs::CostDriftMonitor& cost_drift_monitor() const {
+    return telemetry_->cost_drift;
+  }
+  // The live workload's distance from the reference (0 until enough
+  // queries have been observed to form both).
+  double WorkloadDriftDistance() const;
+  // Installs the current live workload as the drift reference (e.g.
+  // after replica reselection).
+  void RebaseWorkloadReference();
+
   struct RoutedResult {
     QueryResult result;
     std::size_t replica_index = 0;
@@ -128,6 +145,10 @@ class BlotStore {
     // a failover replica (correct, but routing was not optimal).
     bool degraded = false;
     std::string served_by;  // config name of the serving replica
+    // Per-stage breakdown of this query (docs/observability.md).
+    // Populated when the global metrics registry is enabled or a trace
+    // span was passed; all-zero otherwise.
+    obs::QueryProfile profile;
   };
 
   // Routes `query` to the cheapest healthy replica under `model` and
@@ -153,6 +174,10 @@ class BlotStore {
     QueryStats stats;                   // shared-scan accounting
     std::size_t naive_partition_scans = 0;
     double measured_ms = 0.0;           // wall clock of the whole batch
+    // Batch-level stage breakdown (route = routing all queries, execute
+    // = the shared scans; fallback queries profile through Execute).
+    // Populated when the global metrics registry is enabled.
+    obs::QueryProfile profile;
   };
 
   // Routes every query to its cheapest healthy replica, then executes
@@ -251,6 +276,12 @@ class BlotStore {
   // Per-policy repair scheduling after a query released the shared lock.
   void MaybeScheduleRepairs(ThreadPool* pool);
 
+  // Feeds one finished query's profile into the continuous-telemetry
+  // consumers (per-stage histograms, cost-drift windows, workload
+  // tracker).
+  void ObserveQueryTelemetry(const STRange& query,
+                             const obs::QueryProfile& profile);
+
   // Implementations that assume state_mutex is held unique.
   std::uint64_t RecoverReplicaFromLocked(std::size_t i, std::size_t source,
                                          ThreadPool* pool);
@@ -260,6 +291,21 @@ class BlotStore {
                                        ThreadPool* pool);
   std::size_t RepairQuarantinedLocked(ThreadPool* pool, std::size_t budget);
 
+  // Continuous-telemetry state, boxed so BlotStore stays movable.
+  struct Telemetry {
+    obs::CostDriftMonitor cost_drift;
+    std::mutex workload_mutex;  // guards the three fields below
+    WorkloadTracker workload;
+    std::optional<DriftMonitor> workload_drift;  // set after warmup
+    bool workload_alerting = false;
+    // The live workload needs a few queries before a snapshot is
+    // meaningful; the first snapshot becomes the drift reference.
+    static constexpr std::size_t kWorkloadWarmup = 64;
+    // Distance is recomputed every this many observations (snapshotting
+    // the tracker is not free).
+    static constexpr std::size_t kWorkloadCheckInterval = 32;
+  };
+
   Dataset dataset_;
   STRange universe_;
   std::vector<Replica> replicas_;
@@ -267,6 +313,7 @@ class BlotStore {
   FailoverPolicy policy_;
   std::unique_ptr<HealthMap> health_ = std::make_unique<HealthMap>();
   std::unique_ptr<SyncState> sync_ = std::make_unique<SyncState>();
+  std::unique_ptr<Telemetry> telemetry_ = std::make_unique<Telemetry>();
 };
 
 }  // namespace blot

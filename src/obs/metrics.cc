@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/error.h"
 
@@ -86,10 +87,11 @@ Labels Canonical(Labels labels) {
   return labels;
 }
 
-// Shared percentile estimator over (bounds, per-bucket counts).
-double PercentileImpl(const std::vector<double>& bounds,
-                      const std::vector<std::uint64_t>& counts,
-                      std::uint64_t total, double p) {
+}  // namespace
+
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<std::uint64_t>& counts,
+                           std::uint64_t total, double p) {
   if (total == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
   const double target = p / 100.0 * double(total);
@@ -113,7 +115,9 @@ double PercentileImpl(const std::vector<double>& bounds,
   return bounds.empty() ? 0.0 : bounds.back();
 }
 
-}  // namespace
+std::string FormatJsonNumber(double v) { return FormatDouble(v); }
+
+std::string JsonEscapeString(std::string_view s) { return JsonEscape(s); }
 
 std::uint64_t MonotonicNanos() {
   return static_cast<std::uint64_t>(
@@ -152,7 +156,7 @@ double Histogram::Mean() const {
 }
 
 double Histogram::Percentile(double p) const {
-  return PercentileImpl(bounds_, counts(), count(), p);
+  return HistogramPercentile(bounds_, counts(), count(), p);
 }
 
 void Histogram::Reset() {
@@ -170,7 +174,7 @@ const std::vector<double>& Histogram::DefaultLatencyBoundsMs() {
 }
 
 double HistogramSnapshot::Percentile(double p) const {
-  return PercentileImpl(bounds, counts, count, p);
+  return HistogramPercentile(bounds, counts, count, p);
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -275,6 +279,7 @@ std::string MetricsSnapshot::ToJson() const {
            ",\"mean\":" + FormatDouble(h.Mean()) +
            ",\"p50\":" + FormatDouble(h.Percentile(50)) +
            ",\"p90\":" + FormatDouble(h.Percentile(90)) +
+           ",\"p95\":" + FormatDouble(h.Percentile(95)) +
            ",\"p99\":" + FormatDouble(h.Percentile(99)) + ",\"buckets\":[";
     // Only occupied finite buckets are listed (snapshots stay small);
     // observations above the last bound appear as "overflow".
@@ -331,6 +336,16 @@ std::string MetricsSnapshot::ToPrometheus() const {
            FormatDouble(h.sum) + "\n";
     out += name + "_count" + PromLabels(h.labels) + " " +
            std::to_string(h.count) + "\n";
+    // Summary-style quantile lines so dashboards get latency quantiles
+    // without a PromQL histogram_quantile() step. Estimates use the same
+    // interpolation as the JSON exporter and blotmon.
+    // The label is the conventional short spelling ("0.95", not the
+    // 17-digit round-trip form FormatDouble would produce).
+    for (const char* q : {"0.5", "0.95", "0.99"}) {
+      out += name + PromLabels(h.labels,
+                               std::string("quantile=\"") + q + "\"") +
+             " " + FormatDouble(h.Percentile(std::atof(q) * 100.0)) + "\n";
+    }
   }
   return out;
 }

@@ -132,10 +132,12 @@ struct MetricsSnapshot {
                                          const Labels& labels = {}) const;
 
   // {"counters": [...], "gauges": [...], "histograms": [...]} — each
-  // histogram carries per-bucket counts plus count/sum/mean/p50/p90/p99.
+  // histogram carries per-bucket counts plus
+  // count/sum/mean/p50/p90/p95/p99.
   std::string ToJson() const;
   // Prometheus text exposition format ('.' in names becomes '_',
-  // histograms emit cumulative `_bucket{le=...}` series).
+  // histograms emit cumulative `_bucket{le=...}` series plus
+  // summary-style `{quantile="..."}` lines for p50/p95/p99).
   std::string ToPrometheus() const;
 };
 
@@ -200,6 +202,24 @@ class ScopedTimerMs {
 
 // Monotonic clock in nanoseconds, shared by all instrumentation.
 std::uint64_t MonotonicNanos();
+
+// The percentile estimator behind Histogram::Percentile, exposed so
+// out-of-process consumers of snapshot JSONL (blotmon --summary) can
+// reproduce the registry's quantiles bit-for-bit from (bounds, counts):
+// linear interpolation inside the covering bucket; the overflow bucket
+// reports its lower edge. `p` in [0, 100]; 0 for an empty histogram.
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<std::uint64_t>& counts,
+                           std::uint64_t total, double p);
+
+// JSON formatting helpers shared by the metrics, event-log and snapshot
+// exporters (and their tests).
+//
+// Shortest round-trippable number: integral values print bare, others
+// with enough digits to survive JSON parse-back.
+std::string FormatJsonNumber(double v);
+// Escapes `"` `\` and control characters for a JSON string literal.
+std::string JsonEscapeString(std::string_view s);
 
 }  // namespace blot::obs
 

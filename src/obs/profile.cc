@@ -1,0 +1,155 @@
+#include "obs/profile.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace blot::obs {
+namespace {
+
+constexpr std::array<std::string_view, kStageCount> kStageNames = {
+    "route",   "execute", "failover", "repair",
+    "cache_probe", "decode", "filter",
+};
+
+}  // namespace
+
+std::string_view StageName(Stage stage) {
+  return kStageNames[static_cast<std::size_t>(stage)];
+}
+
+double QueryProfile::TopLevelSumMs() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kTopLevelStageCount; ++i) sum += stage_ms[i];
+  return sum;
+}
+
+double QueryProfile::CostErrorPct() const {
+  if (measured_cost_ms <= 0.0) return 0.0;
+  return std::abs(measured_cost_ms - estimated_cost_ms) /
+         measured_cost_ms * 100.0;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\"stages\":{";
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + std::string(kStageNames[i]) +
+           "\":{\"ms\":" + FormatJsonNumber(stage_ms[i]) +
+           ",\"bytes\":" + std::to_string(stage_bytes[i]) + "}";
+  }
+  out += "},\"partitions_touched\":" + std::to_string(partitions_touched) +
+         ",\"partitions_skipped\":" + std::to_string(partitions_skipped) +
+         ",\"records_scanned\":" + std::to_string(records_scanned) +
+         ",\"cache_hits\":" + std::to_string(cache_hits) +
+         ",\"cache_misses\":" + std::to_string(cache_misses) +
+         ",\"cache_hit_bytes\":" + std::to_string(cache_hit_bytes) +
+         ",\"cache_miss_bytes\":" + std::to_string(cache_miss_bytes) +
+         ",\"replica_index\":" + std::to_string(replica_index) +
+         ",\"attempts\":" + std::to_string(attempts) +
+         ",\"degraded\":" + (degraded ? "true" : "false") +
+         ",\"parallel_scan\":" + (parallel_scan ? "true" : "false") +
+         ",\"estimated_cost_ms\":" + FormatJsonNumber(estimated_cost_ms) +
+         ",\"measured_cost_ms\":" + FormatJsonNumber(measured_cost_ms) +
+         ",\"cost_error_pct\":" + FormatJsonNumber(CostErrorPct()) +
+         ",\"total_ms\":" + FormatJsonNumber(total_ms) + "}";
+  return out;
+}
+
+void QueryProfile::ExportToSpan(TraceSpan& span) const {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (stage_ms[i] == 0.0 && stage_bytes[i] == 0) continue;
+    span.AddAttribute("profile." + std::string(kStageNames[i]) + "_ms",
+                      stage_ms[i]);
+    if (stage_bytes[i] != 0)
+      span.AddAttribute("profile." + std::string(kStageNames[i]) + "_bytes",
+                        stage_bytes[i]);
+  }
+  span.AddAttribute("profile.partitions_touched", partitions_touched);
+  span.AddAttribute("profile.partitions_skipped", partitions_skipped);
+  span.AddAttribute("profile.cache_hit_bytes", cache_hit_bytes);
+  span.AddAttribute("profile.cache_miss_bytes", cache_miss_bytes);
+  span.AddAttribute("profile.attempts", std::uint64_t{attempts});
+  span.AddAttribute("profile.cost_error_pct", CostErrorPct());
+  span.AddAttribute("profile.total_ms", total_ms);
+}
+
+std::string QueryProfile::Render() const {
+  char buf[160];
+  std::string out;
+  out += "stage            wall_ms      bytes\n";
+  out += "--------------- -------- ----------\n";
+  const auto line = [&](std::string_view name, double ms,
+                        std::uint64_t bytes, bool indent) {
+    std::snprintf(buf, sizeof(buf), "%s%-*s %8.3f %10llu\n",
+                  indent ? "  " : "", indent ? 13 : 15,
+                  std::string(name).c_str(), ms,
+                  static_cast<unsigned long long>(bytes));
+    out += buf;
+  };
+  for (std::size_t i = 0; i < kTopLevelStageCount; ++i) {
+    line(kStageNames[i], stage_ms[i], stage_bytes[i], false);
+    if (static_cast<Stage>(i) == Stage::kExecute) {
+      for (std::size_t s = kTopLevelStageCount; s < kStageCount; ++s)
+        line(kStageNames[s], stage_ms[s], stage_bytes[s], true);
+    }
+  }
+  std::snprintf(buf, sizeof(buf),
+                "total %.3f ms (stages sum %.3f ms)%s\n", total_ms,
+                TopLevelSumMs(),
+                parallel_scan ? " [parallel scan: sub-stages are CPU time]"
+                              : "");
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "replica=%zu attempts=%u degraded=%s partitions=%llu/%llu "
+      "cache_hits=%llu cache_misses=%llu\n",
+      replica_index, attempts, degraded ? "yes" : "no",
+      static_cast<unsigned long long>(partitions_touched),
+      static_cast<unsigned long long>(partitions_touched +
+                                      partitions_skipped),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "estimated_cost=%.3f ms measured_cost=%.3f ms "
+                "error=%.1f%%\n",
+                estimated_cost_ms, measured_cost_ms, CostErrorPct());
+  out += buf;
+  return out;
+}
+
+void RecordProfile(const QueryProfile& profile) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (!registry.enabled()) return;
+  // One histogram + bytes counter per stage, resolved once.
+  struct StageMetrics {
+    Histogram* ms;
+    Counter* bytes;
+  };
+  static const auto* stage_metrics = [] {
+    auto* metrics = new std::array<StageMetrics, kStageCount>();
+    MetricsRegistry& r = MetricsRegistry::global();
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      const Labels labels = {
+          {"stage", std::string(kStageNames[i])}};
+      (*metrics)[i] = {&r.GetHistogram("query.stage_ms", labels),
+                       &r.GetCounter("query.stage_bytes_total", labels)};
+    }
+    return metrics;
+  }();
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    // Skip stages this query never entered so p50s aren't drowned in
+    // zeros (failover/repair are rare; decode is absent on cache hits).
+    if (profile.stage_ms[i] == 0.0 && profile.stage_bytes[i] == 0) continue;
+    (*stage_metrics)[i].ms->Observe(profile.stage_ms[i]);
+    (*stage_metrics)[i].bytes->Increment(profile.stage_bytes[i]);
+  }
+  static Counter* profiled =
+      &MetricsRegistry::global().GetCounter("query.profiled_total");
+  profiled->Increment();
+}
+
+}  // namespace blot::obs

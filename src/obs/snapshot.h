@@ -1,0 +1,105 @@
+// Time-series metrics: periodic whole-registry snapshots in a ring.
+//
+// The registry's counters are end-of-process totals; for an always-on
+// store we need metrics *over time* — was the cache hit rate falling
+// before the incident, when did cost error start climbing? The
+// MetricsSnapshotter samples the entire registry on a background thread
+// at a fixed interval into a fixed-capacity ring buffer (oldest samples
+// evicted), and serializes the ring as delta-encoded JSONL that
+// `blotmon --summary` can reconstruct exactly (docs/observability.md
+// documents the schema).
+//
+// JSONL encoding (`blot.snapshot.v1`): the first retained sample is
+// absolute ("base":true); every later line stores counter values,
+// histogram bucket counts and histogram count/sum as deltas against the
+// previous line. Gauges are always absolute (they are point-in-time
+// readings, deltas would be meaningless). Histogram bucket bounds are
+// emitted only when the histogram first appears, so steady-state lines
+// stay small. Reconstruction is cumulative summation keyed by
+// (name, labels) — a metric's first appearance is its delta from zero.
+#ifndef BLOT_OBS_SNAPSHOT_H_
+#define BLOT_OBS_SNAPSHOT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace blot::obs {
+
+// One registry sample with its timestamps.
+struct TimedSnapshot {
+  std::uint64_t seq = 0;      // monotonically increasing sample number
+  std::uint64_t wall_ms = 0;  // unix epoch milliseconds
+  std::uint64_t mono_ns = 0;  // MonotonicNanos() at sampling
+  MetricsSnapshot metrics;
+};
+
+struct SnapshotterOptions {
+  std::chrono::milliseconds interval{1000};
+  std::size_t capacity = 256;  // ring size; oldest samples are evicted
+};
+
+class MetricsSnapshotter {
+ public:
+  explicit MetricsSnapshotter(
+      SnapshotterOptions options = {},
+      MetricsRegistry* registry = &MetricsRegistry::global());
+  ~MetricsSnapshotter();  // stops the background thread
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  // Starts the background sampling thread (idempotent).
+  void Start();
+  // Stops and joins it (idempotent; also called by the destructor).
+  void Stop();
+  bool running() const;
+
+  // Takes one sample synchronously on the calling thread — used by the
+  // background loop, by tools for a final sample before flushing, and
+  // by tests that want determinism without a thread.
+  void SampleNow();
+
+  // Copy of the ring, oldest first.
+  std::vector<TimedSnapshot> Samples() const;
+  std::size_t sample_count() const;
+  // Total samples ever taken (>= sample_count() once the ring wraps).
+  std::uint64_t samples_taken() const;
+
+  // The ring as delta-encoded JSONL (see file comment). Empty string
+  // when no samples have been taken.
+  std::string ToJsonl() const;
+
+  // Writes ToJsonl() to `path` (truncating) and emits a
+  // `snapshot.flush` event. Throws ReadError when the file cannot be
+  // written.
+  void WriteJsonlFile(const std::string& path) const;
+
+  const SnapshotterOptions& options() const { return options_; }
+
+ private:
+  void Loop();
+
+  const SnapshotterOptions options_;
+  MetricsRegistry* const registry_;
+
+  mutable std::mutex mutex_;            // guards ring_ and next_seq_
+  std::deque<TimedSnapshot> ring_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t samples_taken_ = 0;
+
+  mutable std::mutex thread_mutex_;     // guards thread_ and stop_
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace blot::obs
+
+#endif  // BLOT_OBS_SNAPSHOT_H_

@@ -13,6 +13,7 @@
 #include "core/cost_model.h"
 #include "core/partition_cache.h"
 #include "core/store.h"
+#include "obs/event_log.h"
 #include "simenv/environment.h"
 #include "testing/oracle.h"
 #include "util/error.h"
@@ -126,6 +127,19 @@ struct Iteration {
       *log << "MISMATCH check=" << m.check << " iter=" << m.iteration
            << " seed=" << m.iteration_seed << " query=" << m.query << "\n  "
            << m.detail << "\n  repro: " << m.repro << std::endl;
+    // Mirror the mismatch into the structured event log (when a sink is
+    // open, e.g. blotfuzz --event-log) so soak post-mortems line up with
+    // quarantine/failover/repair events on one timeline.
+    auto& elog = obs::EventLog::Global();
+    if (elog.enabled())
+      elog.Emit(obs::EventSeverity::kError, "soak.mismatch",
+                "differential check diverged from the oracle",
+                {obs::Field("check", m.check),
+                 obs::Field("round", m.iteration),
+                 obs::Field("seed", m.iteration_seed),
+                 obs::Field("query", m.query),
+                 obs::Field("detail", m.detail),
+                 obs::Field("repro", m.repro)});
     report.mismatches.push_back(std::move(m));
   }
 

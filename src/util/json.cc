@@ -1,0 +1,275 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace blot::util {
+namespace {
+
+[[noreturn]] void Bad(std::size_t offset, const std::string& what) {
+  throw CorruptData("json: " + what + " at offset " +
+                    std::to_string(offset));
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue value = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) Bad(pos_, "trailing garbage");
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Bad(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c)
+      Bad(pos_, std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void ExpectLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal)
+      Bad(pos_, "bad literal");
+    pos_ += literal.size();
+  }
+
+  JsonValue ParseValue() {
+    SkipWhitespace();
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = ParseString();
+        return v;
+      }
+      case 't': {
+        ExpectLiteral("true");
+        JsonValue v;
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        ExpectLiteral("false");
+        JsonValue v;
+        v.type_ = JsonValue::Type::kBool;
+        return v;
+      }
+      case 'n': {
+        ExpectLiteral("null");
+        return JsonValue();
+      }
+      default: return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      v.members_.emplace_back(std::move(key), ParseValue());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      Expect('}');
+      return v;
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    while (true) {
+      v.array_.push_back(ParseValue());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      Expect(']');
+      return v;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Bad(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Bad(pos_, "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Bad(pos_, "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else Bad(pos_ - 1, "bad \\u escape digit");
+          }
+          // Our exporters only emit \u for control characters; encode
+          // the BMP code point as UTF-8 without surrogate handling.
+          if (code < 0x80) {
+            out += char(code);
+          } else if (code < 0x800) {
+            out += char(0xC0 | (code >> 6));
+            out += char(0x80 | (code & 0x3F));
+          } else {
+            out += char(0xE0 | (code >> 12));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: Bad(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) Bad(start, "expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) Bad(start, "bad number");
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.number_ = value;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+bool JsonValue::AsBool() const {
+  if (type_ != Type::kBool) throw CorruptData("json: not a bool");
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  if (type_ != Type::kNumber) throw CorruptData("json: not a number");
+  return number_;
+}
+
+std::uint64_t JsonValue::AsUint64() const {
+  const double v = AsDouble();
+  if (v < 0.0 || v != std::floor(v))
+    throw CorruptData("json: not a non-negative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& JsonValue::AsString() const {
+  if (type_ != Type::kString) throw CorruptData("json: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  if (type_ != Type::kArray) throw CorruptData("json: not an array");
+  return array_;
+}
+
+const JsonValue::Members& JsonValue::AsObject() const {
+  if (type_ != Type::kObject) throw CorruptData("json: not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) throw CorruptData("json: not an object");
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::At(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr)
+    throw CorruptData("json: missing key: " + std::string(key));
+  return *v;
+}
+
+double JsonValue::DoubleOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v == nullptr ? fallback : v->AsDouble();
+}
+
+std::uint64_t JsonValue::Uint64Or(std::string_view key,
+                                  std::uint64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v == nullptr ? fallback : v->AsUint64();
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string fallback) const {
+  const JsonValue* v = Find(key);
+  return v == nullptr ? std::move(fallback) : v->AsString();
+}
+
+}  // namespace blot::util

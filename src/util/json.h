@@ -1,0 +1,77 @@
+// Minimal JSON DOM parser for the telemetry tooling.
+//
+// blotmon reads back what the obs layer writes — event-log lines,
+// snapshot JSONL, metrics dumps — and the tests assert on exported JSON
+// structurally instead of by substring. This parser covers exactly the
+// JSON the exporters produce (objects, arrays, strings with the escapes
+// JsonEscapeString emits, numbers, booleans, null); it is not a
+// general-purpose validating parser. Parse errors throw CorruptData
+// with a byte offset.
+#ifndef BLOT_UTIL_JSON_H_
+#define BLOT_UTIL_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace blot::util {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Object members keep document order.
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  // Parses one complete JSON document (trailing whitespace allowed,
+  // trailing garbage is an error). Throws CorruptData on malformed
+  // input.
+  static JsonValue Parse(std::string_view text);
+
+  JsonValue() = default;  // null
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  // Typed accessors; wrong-type access throws CorruptData (telemetry
+  // files are external input, not programmer error).
+  bool AsBool() const;
+  double AsDouble() const;
+  std::uint64_t AsUint64() const;  // requires a non-negative integer
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const Members& AsObject() const;
+
+  // Object lookup: Find returns nullptr when absent, At throws.
+  const JsonValue* Find(std::string_view key) const;
+  const JsonValue& At(std::string_view key) const;
+
+  // Convenience: At(key) coerced, with `fallback` when the key is
+  // absent.
+  double DoubleOr(std::string_view key, double fallback) const;
+  std::uint64_t Uint64Or(std::string_view key,
+                         std::uint64_t fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  Members members_;
+};
+
+}  // namespace blot::util
+
+#endif  // BLOT_UTIL_JSON_H_

@@ -254,5 +254,60 @@ TEST(JsonExportTest, EmptyRegistryIsValidJson) {
   EXPECT_TRUE(root.At("histograms").AsArray().empty());
 }
 
+TEST(JsonExportTest, EmptyHistogramExportsZeroQuantiles) {
+  MetricsRegistry registry;
+  registry.GetHistogram("edge.empty_ms", {}, {1.0, 2.0});
+  const std::string json = registry.Snapshot().ToJson();
+  JsonParser parser(json);
+  const JsonValue root = parser.Parse();
+  const JsonValue* hist =
+      FindByName(root.At("histograms").AsArray(), "edge.empty_ms");
+  ASSERT_NE(hist, nullptr) << json;
+  EXPECT_DOUBLE_EQ(hist->At("count").AsNumber(), 0.0);
+  EXPECT_TRUE(hist->At("buckets").AsArray().empty());
+  EXPECT_DOUBLE_EQ(hist->At("p50").AsNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(hist->At("p95").AsNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(hist->At("p99").AsNumber(), 0.0);
+}
+
+TEST(JsonExportTest, AllOverflowHistogramExportsLastBoundQuantiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("edge.overflow_ms", {}, {1.0, 2.0});
+  for (int i = 0; i < 5; ++i) h.Observe(1000.0);
+  const std::string json = registry.Snapshot().ToJson();
+  JsonParser parser(json);
+  const JsonValue root = parser.Parse();
+  const JsonValue* hist =
+      FindByName(root.At("histograms").AsArray(), "edge.overflow_ms");
+  ASSERT_NE(hist, nullptr) << json;
+  EXPECT_DOUBLE_EQ(hist->At("count").AsNumber(), 5.0);
+  EXPECT_DOUBLE_EQ(hist->At("overflow").AsNumber(), 5.0);
+  EXPECT_TRUE(hist->At("buckets").AsArray().empty());  // no finite mass
+  EXPECT_DOUBLE_EQ(hist->At("p50").AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(hist->At("p99").AsNumber(), 2.0);
+}
+
+TEST(PrometheusEdgeTest, EmptyAndOverflowHistograms) {
+  MetricsRegistry registry;
+  registry.GetHistogram("edge.empty_ms", {}, {1.0});
+  Histogram& over = registry.GetHistogram("edge.over_ms", {}, {1.0, 2.0});
+  over.Observe(50.0);
+  const std::string text = registry.Snapshot().ToPrometheus();
+  // Empty histogram still emits a complete, consistent family.
+  EXPECT_NE(text.find("edge_empty_ms_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("edge_empty_ms_count 0"), std::string::npos);
+  EXPECT_NE(text.find("edge_empty_ms{quantile=\"0.5\"} 0"),
+            std::string::npos);
+  // All-overflow: finite cumulative buckets stay 0, +Inf carries the
+  // count, quantiles degrade to the last finite bound.
+  EXPECT_NE(text.find("edge_over_ms_bucket{le=\"2\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("edge_over_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("edge_over_ms{quantile=\"0.99\"} 2"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace blot::obs

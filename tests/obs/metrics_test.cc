@@ -78,6 +78,44 @@ TEST(HistogramTest, PercentileInOverflowReturnsLastBound) {
   EXPECT_DOUBLE_EQ(h.Percentile(99), 2.0);
 }
 
+TEST(HistogramTest, PercentileWithSingleBucketInterpolatesFromZero) {
+  Histogram h({5.0});
+  for (int i = 0; i < 4; ++i) h.Observe(2.0);
+  // One finite bucket: the covering bucket's lower edge is 0, so the
+  // estimate interpolates across [0, 5].
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 2.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 5.0);
+}
+
+// The free-function estimator is the contract blotmon --summary relies
+// on to reproduce registry quantiles from snapshot JSONL: identical
+// inputs must give bit-identical outputs.
+TEST(HistogramPercentileTest, MatchesHistogramOnSameData) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (double v : {0.5, 3.0, 3.0, 42.0, 500.0}) h.Observe(v);
+  const std::vector<double> bounds = h.bounds();
+  const std::vector<std::uint64_t> counts = h.counts();
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(HistogramPercentile(bounds, counts, h.count(), p),
+                     h.Percentile(p))
+        << "p=" << p;
+}
+
+TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
+  EXPECT_DOUBLE_EQ(
+      HistogramPercentile({1.0, 2.0}, {0, 0, 0}, 0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile({}, {}, 0, 99.0), 0.0);
+}
+
+TEST(HistogramPercentileTest, AllMassInOverflowReportsLastBound) {
+  // The overflow bucket has no upper edge, so every percentile that
+  // lands in it degrades to the last finite bound.
+  for (double p : {1.0, 50.0, 99.0})
+    EXPECT_DOUBLE_EQ(
+        HistogramPercentile({1.0, 2.0}, {0, 0, 7}, 7, p), 2.0);
+}
+
 TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
   const auto& bounds = Histogram::DefaultLatencyBoundsMs();
   ASSERT_GE(bounds.size(), 2u);

@@ -1,0 +1,155 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace blot::obs {
+namespace {
+
+QueryProfile SampleProfile() {
+  QueryProfile p;
+  p.AddStage(Stage::kRoute, 0.25);
+  p.AddStage(Stage::kExecute, 3.0, 4096);
+  p.AddStage(Stage::kFailover, 0.75);
+  p.AddStage(Stage::kCacheProbe, 0.1, 1024);
+  p.AddStage(Stage::kDecode, 2.0, 4096);
+  p.AddStage(Stage::kFilter, 0.5);
+  p.partitions_touched = 6;
+  p.partitions_skipped = 58;
+  p.records_scanned = 1234;
+  p.cache_hits = 2;
+  p.cache_misses = 4;
+  p.cache_hit_bytes = 1024;
+  p.cache_miss_bytes = 4096;
+  p.replica_index = 1;
+  p.attempts = 2;
+  p.degraded = true;
+  p.estimated_cost_ms = 2.0;
+  p.measured_cost_ms = 4.0;
+  p.total_ms = 4.125;  // exactly representable: ToJson prints it verbatim
+  return p;
+}
+
+TEST(QueryProfileTest, StageNamesMatchEnumOrder) {
+  EXPECT_EQ(StageName(Stage::kRoute), "route");
+  EXPECT_EQ(StageName(Stage::kExecute), "execute");
+  EXPECT_EQ(StageName(Stage::kFailover), "failover");
+  EXPECT_EQ(StageName(Stage::kRepair), "repair");
+  EXPECT_EQ(StageName(Stage::kCacheProbe), "cache_probe");
+  EXPECT_EQ(StageName(Stage::kDecode), "decode");
+  EXPECT_EQ(StageName(Stage::kFilter), "filter");
+}
+
+TEST(QueryProfileTest, AddStageAccumulates) {
+  QueryProfile p;
+  p.AddStage(Stage::kDecode, 1.5, 100);
+  p.AddStage(Stage::kDecode, 0.5, 50);
+  EXPECT_DOUBLE_EQ(p.stage(Stage::kDecode), 2.0);
+  EXPECT_EQ(p.stage_bytes[static_cast<std::size_t>(Stage::kDecode)], 150u);
+}
+
+TEST(QueryProfileTest, TopLevelSumExcludesSubStages) {
+  const QueryProfile p = SampleProfile();
+  // route + execute + failover + repair only; cache_probe/decode/filter
+  // nest inside execute and must not double-count.
+  EXPECT_DOUBLE_EQ(p.TopLevelSumMs(), 0.25 + 3.0 + 0.75);
+}
+
+TEST(QueryProfileTest, CostErrorPct) {
+  QueryProfile p;
+  EXPECT_DOUBLE_EQ(p.CostErrorPct(), 0.0);  // unmeasured
+  p.measured_cost_ms = 4.0;
+  p.estimated_cost_ms = 2.0;
+  EXPECT_DOUBLE_EQ(p.CostErrorPct(), 50.0);
+  p.estimated_cost_ms = 6.0;  // overestimate: same magnitude
+  EXPECT_DOUBLE_EQ(p.CostErrorPct(), 50.0);
+}
+
+TEST(QueryProfileTest, ToJsonCarriesEveryField) {
+  const std::string json = SampleProfile().ToJson();
+  EXPECT_NE(json.find("\"route\":{\"ms\":0.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"execute\":{\"ms\":3,\"bytes\":4096}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"partitions_touched\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"partitions_skipped\":58"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit_bytes\":1024"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"cost_error_pct\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"total_ms\":4.125"), std::string::npos) << json;
+}
+
+TEST(QueryProfileTest, RenderShowsStagesAndConsistencyLine) {
+  const std::string text = SampleProfile().Render();
+  EXPECT_NE(text.find("route"), std::string::npos);
+  EXPECT_NE(text.find("decode"), std::string::npos);
+  EXPECT_NE(text.find("total 4.125 ms (stages sum 4.000 ms)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("replica=1 attempts=2 degraded=yes partitions=6/64"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("[parallel scan"), std::string::npos);
+}
+
+TEST(QueryProfileTest, RenderFlagsParallelScan) {
+  QueryProfile p = SampleProfile();
+  p.parallel_scan = true;
+  EXPECT_NE(p.Render().find("[parallel scan"), std::string::npos);
+}
+
+TEST(QueryProfileTest, ExportToSpanEmitsNonEmptyStagesOnly) {
+  const QueryProfile p = SampleProfile();
+  TraceSpan span("query");
+  p.ExportToSpan(span);
+  const std::string rendered = span.Render();
+  EXPECT_NE(rendered.find("profile.route_ms=0.25"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("profile.decode_bytes=4096"), std::string::npos);
+  EXPECT_NE(rendered.find("profile.cost_error_pct=50"), std::string::npos);
+  // kRepair never ran: no attribute at all.
+  EXPECT_EQ(rendered.find("profile.repair_ms"), std::string::npos);
+}
+
+TEST(QueryProfileMetricsTest, RecordProfileFillsStageHistograms) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.Reset();
+  registry.set_enabled(false);
+  RecordProfile(SampleProfile());  // disabled: must not register/observe
+  EXPECT_EQ(registry.Snapshot().FindCounter("query.profiled_total"),
+            nullptr);
+
+  registry.set_enabled(true);
+  RecordProfile(SampleProfile());
+  RecordProfile(SampleProfile());
+  registry.set_enabled(false);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  const CounterSnapshot* profiled = snap.FindCounter("query.profiled_total");
+  ASSERT_NE(profiled, nullptr);
+  EXPECT_EQ(profiled->value, 2u);
+  const HistogramSnapshot* decode =
+      snap.FindHistogram("query.stage_ms", {{"stage", "decode"}});
+  ASSERT_NE(decode, nullptr);
+  EXPECT_EQ(decode->count, 2u);
+  EXPECT_DOUBLE_EQ(decode->sum, 4.0);
+  // The repair stage never ran: its histogram exists (registered by the
+  // cached-handle table) but stays empty.
+  const HistogramSnapshot* repair =
+      snap.FindHistogram("query.stage_ms", {{"stage", "repair"}});
+  ASSERT_NE(repair, nullptr);
+  EXPECT_EQ(repair->count, 0u);
+  const CounterSnapshot* decode_bytes =
+      snap.FindCounter("query.stage_bytes_total", {{"stage", "decode"}});
+  ASSERT_NE(decode_bytes, nullptr);
+  EXPECT_EQ(decode_bytes->value, 2u * 4096u);
+  registry.Reset();
+}
+
+}  // namespace
+}  // namespace blot::obs

@@ -1,0 +1,201 @@
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "util/json.h"
+
+namespace blot::obs {
+namespace {
+
+using util::JsonValue;
+
+std::vector<JsonValue> ParseLines(const std::string& jsonl) {
+  std::vector<JsonValue> lines;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(JsonValue::Parse(line));
+  return lines;
+}
+
+const JsonValue* FindEntry(const JsonValue& array, const std::string& name) {
+  for (const JsonValue& entry : array.AsArray())
+    if (entry.At("name").AsString() == name) return &entry;
+  return nullptr;
+}
+
+TEST(SnapshotterTest, SampleNowFillsRingInOrder) {
+  MetricsRegistry registry;
+  MetricsSnapshotter snap({}, &registry);
+  EXPECT_EQ(snap.sample_count(), 0u);
+  EXPECT_EQ(snap.ToJsonl(), "");
+
+  registry.GetCounter("c").Increment(1);
+  snap.SampleNow();
+  registry.GetCounter("c").Increment(2);
+  snap.SampleNow();
+  const std::vector<TimedSnapshot> samples = snap.Samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_LT(samples[0].seq, samples[1].seq);
+  EXPECT_LE(samples[0].mono_ns, samples[1].mono_ns);
+  EXPECT_EQ(samples[0].metrics.FindCounter("c")->value, 1u);
+  EXPECT_EQ(samples[1].metrics.FindCounter("c")->value, 3u);
+  EXPECT_EQ(snap.samples_taken(), 2u);
+}
+
+TEST(SnapshotterTest, RingEvictsOldestBeyondCapacity) {
+  MetricsRegistry registry;
+  SnapshotterOptions options;
+  options.capacity = 2;
+  MetricsSnapshotter snap(options, &registry);
+  for (int i = 0; i < 3; ++i) {
+    registry.GetCounter("c").Increment();
+    snap.SampleNow();
+  }
+  EXPECT_EQ(snap.samples_taken(), 3u);
+  const std::vector<TimedSnapshot> samples = snap.Samples();
+  ASSERT_EQ(samples.size(), 2u);
+  // Oldest sample (counter == 1) was evicted.
+  EXPECT_EQ(samples[0].metrics.FindCounter("c")->value, 2u);
+  // After eviction the first retained line becomes the new base.
+  const std::vector<JsonValue> lines = ParseLines(snap.ToJsonl());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].At("base").AsBool());
+  EXPECT_FALSE(lines[1].At("base").AsBool());
+  EXPECT_EQ(FindEntry(lines[0].At("counters"), "c")->At("delta").AsUint64(),
+            2u);
+}
+
+TEST(SnapshotterTest, JsonlDeltaEncodingReconstructsExactly) {
+  MetricsRegistry registry;
+  Counter& busy = registry.GetCounter("busy.total");
+  Counter& idle = registry.GetCounter("idle.total");
+  Gauge& depth = registry.GetGauge("depth");
+  Histogram& lat = registry.GetHistogram("lat_ms", {}, {1.0, 10.0});
+
+  MetricsSnapshotter snap({}, &registry);
+  busy.Increment(5);
+  idle.Increment(1);
+  depth.Set(2.5);
+  lat.Observe(0.5);
+  snap.SampleNow();
+  busy.Increment(3);  // idle unchanged
+  depth.Set(1.25);
+  lat.Observe(5.0);
+  lat.Observe(99.0);  // overflow
+  snap.SampleNow();
+
+  const std::vector<JsonValue> lines = ParseLines(snap.ToJsonl());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const JsonValue& line : lines)
+    EXPECT_EQ(line.At("schema").AsString(), "blot.snapshot.v1");
+
+  // Base line: everything listed, deltas from zero.
+  EXPECT_EQ(FindEntry(lines[0].At("counters"), "busy.total")
+                ->At("delta").AsUint64(),
+            5u);
+  EXPECT_EQ(FindEntry(lines[0].At("counters"), "idle.total")
+                ->At("delta").AsUint64(),
+            1u);
+  const JsonValue* lat0 = FindEntry(lines[0].At("histograms"), "lat_ms");
+  ASSERT_NE(lat0, nullptr);
+  ASSERT_NE(lat0->Find("bounds"), nullptr);  // first appearance
+  EXPECT_EQ(lat0->At("dcount").AsUint64(), 1u);
+
+  // Second line: unchanged counter omitted, changed one carries its
+  // delta; gauges stay absolute; histogram bounds do not repeat.
+  EXPECT_EQ(FindEntry(lines[1].At("counters"), "idle.total"), nullptr);
+  EXPECT_EQ(FindEntry(lines[1].At("counters"), "busy.total")
+                ->At("delta").AsUint64(),
+            3u);
+  EXPECT_DOUBLE_EQ(
+      FindEntry(lines[0].At("gauges"), "depth")->At("value").AsDouble(),
+      2.5);
+  EXPECT_DOUBLE_EQ(
+      FindEntry(lines[1].At("gauges"), "depth")->At("value").AsDouble(),
+      1.25);
+  const JsonValue* lat1 = FindEntry(lines[1].At("histograms"), "lat_ms");
+  ASSERT_NE(lat1, nullptr);
+  EXPECT_EQ(lat1->Find("bounds"), nullptr);
+  EXPECT_EQ(lat1->At("dcount").AsUint64(), 2u);
+
+  // Reconstruction: cumulative sums must land exactly on the registry.
+  std::uint64_t busy_total = 0;
+  double lat_sum = 0.0;
+  std::vector<std::uint64_t> lat_counts(3, 0);
+  for (const JsonValue& line : lines) {
+    if (const JsonValue* c = FindEntry(line.At("counters"), "busy.total"))
+      busy_total += c->At("delta").AsUint64();
+    if (const JsonValue* h = FindEntry(line.At("histograms"), "lat_ms")) {
+      lat_sum += h->At("dsum").AsDouble();
+      const auto& dcounts = h->At("dcounts").AsArray();
+      ASSERT_EQ(dcounts.size(), lat_counts.size());
+      for (std::size_t i = 0; i < dcounts.size(); ++i)
+        lat_counts[i] += dcounts[i].AsUint64();
+    }
+  }
+  EXPECT_EQ(busy_total, busy.value());
+  EXPECT_DOUBLE_EQ(lat_sum, lat.sum());
+  EXPECT_EQ(lat_counts, lat.counts());
+}
+
+TEST(SnapshotterTest, BackgroundThreadSamplesUntilStopped) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment();
+  SnapshotterOptions options;
+  options.interval = std::chrono::milliseconds(2);
+  MetricsSnapshotter snap(options, &registry);
+  EXPECT_FALSE(snap.running());
+  snap.Start();
+  snap.Start();  // idempotent
+  EXPECT_TRUE(snap.running());
+  while (snap.samples_taken() < 3)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  snap.Stop();
+  EXPECT_FALSE(snap.running());
+  const std::uint64_t taken = snap.samples_taken();
+  EXPECT_GE(taken, 3u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(snap.samples_taken(), taken);  // really stopped
+}
+
+TEST(SnapshotterTest, WriteJsonlFileWritesAndEmitsFlushEvent) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment();
+  MetricsSnapshotter snap({}, &registry);
+  snap.SampleNow();
+
+  EventLog& log = EventLog::Global();
+  log.ResetForTest();
+  log.set_enabled(true);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/snapshot_test_out.jsonl";
+  std::remove(path.c_str());
+  snap.WriteJsonlFile(path);
+  log.set_enabled(false);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), snap.ToJsonl());
+
+  bool saw_flush = false;
+  for (const Event& e : log.Recent())
+    if (e.category == "snapshot.flush") saw_flush = true;
+  EXPECT_TRUE(saw_flush);
+  log.ResetForTest();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace blot::obs

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# End-to-end test of blotmon against real telemetry from blotctl: the
+# --profile stage sum stays consistent with the query total, a chaos run
+# leaves an event log blotmon renders as a coherent incident timeline,
+# and --summary reconstructs snapshot JSONL into the same quantiles the
+# in-process registry exported. Usage:
+#   blotmon_test.sh <path-to-blotmon> <path-to-blotctl>
+set -u
+BLOTMON="$1"
+BLOTCTL="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+RANGE="120,122,30,32,1193875200,1196294400"
+
+"$BLOTCTL" generate --out fleet.bin --taxis 12 --samples 200 --seed 9 \
+    || fail "generate"
+"$BLOTCTL" store-build --data fleet.bin --out duostore \
+    --schemes "KD4xT4/ROW-SNAPPY;KD16xT8/COL-GZIP" || fail "store-build"
+
+# --- 1. --profile: stage times sum to within 10% of the total. ---------
+# A whole-universe query so the work dwarfs the timing overhead around
+# the stage boundaries (tiny queries make the relative gap noisy).
+"$BLOTCTL" store-query --dir duostore --range "$RANGE" --profile \
+    >profile.txt 2>/dev/null || fail "profiled query"
+grep -q "stage            wall_ms" profile.txt || fail "profile table"
+grep -q "stages sum" profile.txt || fail "profile consistency line"
+awk '/stages sum/ {
+       total = $2; sum = $6;
+       gap = total - sum; if (gap < 0) gap = -gap;
+       if (total <= 0 || gap / total > 0.10) exit 1;
+     }' profile.txt || fail "stage sum deviates >10% from total: \
+$(grep 'stages sum' profile.txt)"
+
+# --- 2. Chaos run: the event log renders as an incident timeline. ------
+# Every partition of every replica is corrupted, so the query must
+# quarantine both replicas, exhaust failover, and exit 4 — leaving a
+# quarantine/failover event trail behind.
+"$BLOTCTL" store-query --dir duostore --range "$RANGE" \
+    --inject-faults "seed=7;p=1;kinds=bitflip;fires=0" \
+    --event-log events.jsonl >/dev/null 2>&1
+status=$?
+[ "$status" -eq 4 ] || fail "chaos query exited $status, want 4"
+[ -s events.jsonl ] || fail "chaos run left no event log"
+
+"$BLOTMON" events.jsonl >stream.txt 2>/dev/null || fail "blotmon stream"
+grep -q "quarantine" stream.txt || fail "stream missing quarantine events"
+grep -q "failover" stream.txt || fail "stream missing failover events"
+
+"$BLOTMON" events.jsonl --summary >postmortem.txt 2>/dev/null \
+    || fail "blotmon --summary"
+grep -q "^events: " postmortem.txt || fail "summary event counts"
+grep -q "^by category:" postmortem.txt || fail "summary category table"
+grep -q "^incident timeline:" postmortem.txt || fail "incident timeline"
+grep -q "quarantine" postmortem.txt || fail "timeline missing quarantine"
+grep -q "failover" postmortem.txt || fail "timeline missing failover"
+
+# Category filtering narrows the stream to one subsystem.
+"$BLOTMON" events.jsonl --category failover >failover_only.txt \
+    2>/dev/null || fail "blotmon --category"
+grep -q "failover" failover_only.txt || fail "category filter kept nothing"
+grep -q "quarantine" failover_only.txt \
+    && fail "category filter leaked quarantine events"
+
+# --- 3. --summary quantiles match the in-process registry exactly. -----
+# stats exports the registry as JSON (--out) and the same run's snapshot
+# time series (--snapshots-out); blotmon's reconstruction uses the same
+# HistogramPercentile interpolation, so p50/p95/p99 must be identical.
+"$BLOTCTL" stats --dir duostore --queries 24 --seed 5 \
+    --snapshots-out snaps.jsonl --snapshot-interval-ms 10 \
+    --out metrics.json --format json >/dev/null 2>&1 || fail "stats"
+[ -s snaps.jsonl ] || fail "stats left no snapshots"
+grep -q '"schema":"blot.snapshot.v1"' snaps.jsonl \
+    || fail "snapshot schema marker"
+
+"$BLOTMON" snaps.jsonl --summary >summary.txt 2>/dev/null \
+    || fail "blotmon snapshot summary"
+grep -q "per-stage latency (query.stage_ms):" summary.txt \
+    || fail "summary stage table"
+
+python3 - metrics.json summary.txt <<'EOF' || fail "quantile mismatch"
+import json, sys
+
+metrics = json.load(open(sys.argv[1]))
+rows = {}
+for line in open(sys.argv[2]):
+    parts = line.split()
+    if len(parts) == 5 and "{" in parts[0]:
+        rows[parts[0]] = parts[1:]
+
+checked = 0
+for hist in metrics["histograms"]:
+    if hist["name"] != "query.stage_ms":
+        continue
+    labels = ",".join(f"{k}={v}" for k, v in sorted(hist["labels"].items()))
+    key = f'{hist["name"]}{{{labels}}}'
+    if key not in rows:
+        sys.exit(f"stage row {key} missing from blotmon summary")
+    count, p50, p95, p99 = rows[key]
+    if int(count) != hist["count"]:
+        sys.exit(f"{key}: count {count} != registry {hist['count']}")
+    for name, got in (("p50", p50), ("p95", p95), ("p99", p99)):
+        if float(got) != float(hist[name]):
+            sys.exit(f"{key}: {name} {got} != registry {hist[name]}")
+    checked += 1
+if checked == 0:
+    sys.exit("no query.stage_ms histograms to compare")
+print(f"matched {checked} stage histograms exactly")
+EOF
+
+# --- 4. Usage and error paths. -----------------------------------------
+"$BLOTMON" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "no-args should exit 2"
+"$BLOTMON" --help >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--help should exit 2 (usage)"
+"$BLOTMON" events.jsonl --follow --summary >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--follow --summary conflict should exit 2"
+"$BLOTMON" events.jsonl --bogus >/dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown flag should exit 2"
+"$BLOTMON" no_such_file.jsonl >/dev/null 2>&1
+[ $? -eq 1 ] || fail "missing file should exit 1"
+
+# Malformed lines are skipped with a warning, not a crash.
+printf 'not json\n' >>snaps.jsonl
+"$BLOTMON" snaps.jsonl --summary >/dev/null 2>warn.txt \
+    || fail "malformed line crashed blotmon"
+grep -q "malformed line" warn.txt || fail "no malformed-line warning"
+
+echo "PASS"

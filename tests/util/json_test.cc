@@ -1,0 +1,80 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.h"
+
+namespace blot::util {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null").is_null());
+  EXPECT_TRUE(JsonValue::Parse("true").AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false").AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-2.5e2").AsDouble(), -250.0);
+  EXPECT_EQ(JsonValue::Parse("42").AsUint64(), 42u);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const JsonValue root = JsonValue::Parse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": true})");
+  ASSERT_TRUE(root.is_object());
+  const auto& a = root.At("a").AsArray();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].AsUint64(), 1u);
+  EXPECT_EQ(a[2].At("b").AsString(), "c");
+  EXPECT_TRUE(root.At("d").At("e").is_null());
+  EXPECT_TRUE(root.At("f").AsBool());
+}
+
+TEST(JsonTest, ObjectMembersKeepDocumentOrder) {
+  const JsonValue root = JsonValue::Parse(R"({"z": 1, "a": 2})");
+  const auto& members = root.AsObject();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+}
+
+TEST(JsonTest, DecodesStringEscapes) {
+  const JsonValue v =
+      JsonValue::Parse(R"("quote:\" slash:\\ nl:\n tab:\t u:\u0041")");
+  EXPECT_EQ(v.AsString(), "quote:\" slash:\\ nl:\n tab:\t u:A");
+}
+
+TEST(JsonTest, FindAndFallbackAccessors) {
+  const JsonValue root =
+      JsonValue::Parse(R"({"n": 7, "s": "x", "d": 1.5})");
+  EXPECT_EQ(root.Find("missing"), nullptr);
+  ASSERT_NE(root.Find("n"), nullptr);
+  EXPECT_EQ(root.Uint64Or("n", 0), 7u);
+  EXPECT_EQ(root.Uint64Or("missing", 9), 9u);
+  EXPECT_DOUBLE_EQ(root.DoubleOr("d", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(root.DoubleOr("missing", 3.5), 3.5);
+  EXPECT_EQ(root.StringOr("s", "fb"), "x");
+  EXPECT_EQ(root.StringOr("missing", "fb"), "fb");
+}
+
+TEST(JsonTest, MalformedInputThrows) {
+  EXPECT_THROW(JsonValue::Parse(""), CorruptData);
+  EXPECT_THROW(JsonValue::Parse("{"), CorruptData);
+  EXPECT_THROW(JsonValue::Parse("{\"a\": }"), CorruptData);
+  EXPECT_THROW(JsonValue::Parse("[1, 2"), CorruptData);
+  EXPECT_THROW(JsonValue::Parse("\"unterminated"), CorruptData);
+  EXPECT_THROW(JsonValue::Parse("nul"), CorruptData);
+  EXPECT_THROW(JsonValue::Parse("{} trailing"), CorruptData);
+}
+
+TEST(JsonTest, WrongTypeAccessThrows) {
+  const JsonValue v = JsonValue::Parse(R"({"a": "text"})");
+  EXPECT_THROW(v.At("a").AsDouble(), CorruptData);
+  EXPECT_THROW(v.At("a").AsArray(), CorruptData);
+  EXPECT_THROW(v.At("missing"), CorruptData);
+  EXPECT_THROW(JsonValue::Parse("-1").AsUint64(), CorruptData);
+  EXPECT_THROW(JsonValue::Parse("1.5").AsUint64(), CorruptData);
+}
+
+}  // namespace
+}  // namespace blot::util

@@ -18,9 +18,11 @@
 // JSON metrics snapshot when the command finishes (docs/observability.md).
 //
 // Run `blotctl help` (or any command with missing flags) for usage.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "blot/aggregate.h"
 #include "blot/segment_store.h"
@@ -30,7 +32,9 @@
 #include "core/partition_cache.h"
 #include "core/store.h"
 #include "gen/taxi_generator.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "tools/flags.h"
 
@@ -54,11 +58,12 @@ int Usage() {
       "  recover    --from DIR --to DIR\n"
       "  store-build --data FILE --out DIR [--schemes A;B;...]\n"
       "  store-query --dir DIR --range x0,x1,y0,y1,t0,t1 [--env s3|hadoop]\n"
-      "             [--trace] [--cache-mb N]\n"
+      "             [--trace] [--profile] [--cache-mb N]\n"
       "  advise     --data FILE [--records N] [--budget-gb G]\n"
       "             [--env s3|hadoop] [--algorithm greedy|mip]\n"
       "  stats      --dir DIR [--queries N] [--env s3|hadoop] [--seed S]\n"
       "             [--format json|prom] [--out FILE] [--cache-mb N]\n"
+      "             [--snapshots-out FILE] [--snapshot-interval-ms N]\n"
       "\n"
       "  build, query, recover, store-build, store-query and advise also\n"
       "  accept --metrics-out FILE (JSON metrics snapshot on completion).\n"
@@ -67,6 +72,12 @@ int Usage() {
       "  query, store-query and stats accept --inject-faults SPEC to arm\n"
       "  the deterministic fault injector on the read path, e.g.\n"
       "  \"seed=7;p=0.5;kinds=bitflip,readerror\" (docs/robustness.md).\n"
+      "  query, store-query and stats accept --event-log FILE to append\n"
+      "  structured JSONL events (quarantine/failover/repair/...); view\n"
+      "  them with blotmon. store-query --profile prints the per-query\n"
+      "  stage profile (single-threaded so stage times sum to the total).\n"
+      "  stats --snapshots-out FILE [--snapshot-interval-ms N] samples the\n"
+      "  registry on a background thread and writes snapshot JSONL.\n"
       "\n"
       "exit codes: 0 ok, 1 error, 2 usage/invalid argument,\n"
       "            3 corrupt data, 4 query failed (no healthy copy)\n");
@@ -86,6 +97,18 @@ void WriteMetricsIfRequested(const Flags& flags) {
   std::ofstream out(path, std::ios::trunc);
   require(out.good(), "cannot open metrics output: " + path);
   out << obs::MetricsRegistry::global().Snapshot().ToJson();
+}
+
+// --event-log FILE: append structured events to FILE for the duration of
+// the command (blotmon pretty-prints the result).
+void OpenEventLogIfRequested(const Flags& flags) {
+  if (flags.Has("event-log"))
+    obs::EventLog::Global().OpenSink(flags.GetString("event-log"));
+}
+
+void CloseEventLogIfOpen() {
+  auto& log = obs::EventLog::Global();
+  if (log.has_sink()) log.CloseSink();
 }
 
 // --inject-faults SPEC: arm the global deterministic fault injector for
@@ -240,6 +263,7 @@ int CmdQuery(const Flags& flags) {
   EnableMetricsIfRequested(flags);
   ConfigureCacheIfRequested(flags);
   ArmFaultsIfRequested(flags);
+  OpenEventLogIfRequested(flags);
   obs::TraceSpan root("query");
   obs::TraceSpan& load_span = root.AddChild("load");
   const std::uint64_t root_start_ns = obs::MonotonicNanos();
@@ -287,6 +311,7 @@ int CmdQuery(const Flags& flags) {
   PrintCacheSummaryIfEnabled();
   PrintFaultSummaryIfArmed(flags);
   WriteMetricsIfRequested(flags);
+  CloseEventLogIfOpen();
   return 0;
 }
 
@@ -388,6 +413,12 @@ int CmdStoreQuery(const Flags& flags) {
   EnableMetricsIfRequested(flags);
   ConfigureCacheIfRequested(flags);
   ArmFaultsIfRequested(flags);
+  OpenEventLogIfRequested(flags);
+  // --profile wants the stage breakdown, which is only populated when the
+  // registry (or a trace) is on; it also runs the scan single-threaded so
+  // the sub-stage wall times are additive and sum to the total.
+  const bool profile_requested = flags.Has("profile");
+  if (profile_requested) obs::MetricsRegistry::global().set_enabled(true);
   // Non-const: Execute may quarantine and self-heal faulty partitions.
   BlotStore store = BlotStore::Load(flags.GetString("dir"));
   const STRange range = ParseRange(flags.GetString("range"));
@@ -398,10 +429,12 @@ int CmdStoreQuery(const Flags& flags) {
   obs::TraceSpan root("store-query");
   const auto routed = [&] {
     obs::SpanTimer timer(&root);
-    return store.Execute(range, model, &pool,
+    return store.Execute(range, model,
+                         profile_requested ? nullptr : &pool,
                          flags.Has("trace") ? &root : nullptr);
   }();
   if (flags.Has("trace")) std::fputs(root.Render().c_str(), stdout);
+  if (profile_requested) std::fputs(routed.profile.Render().c_str(), stdout);
   std::printf("routed to replica %zu (%s), estimated %.1f s, "
               "measured %.2f ms\n",
               routed.replica_index,
@@ -419,6 +452,7 @@ int CmdStoreQuery(const Flags& flags) {
   PrintCacheSummaryIfEnabled();
   PrintFaultSummaryIfArmed(flags);
   WriteMetricsIfRequested(flags);
+  CloseEventLogIfOpen();
   return 0;
 }
 
@@ -431,6 +465,7 @@ int CmdStats(const Flags& flags) {
   registry.set_enabled(true);
   ConfigureCacheIfRequested(flags);
   ArmFaultsIfRequested(flags);
+  OpenEventLogIfRequested(flags);
   // Non-const: probe queries may quarantine and repair partitions.
   BlotStore store = BlotStore::Load(flags.GetString("dir"));
   const std::size_t num_queries =
@@ -442,6 +477,19 @@ int CmdStats(const Flags& flags) {
   Rng rng(flags.GetUint64("seed", 42));
   const STRange& universe = store.universe();
 
+  // --snapshots-out FILE: sample the registry into a time series while
+  // the probes run, and flush the ring as snapshot JSONL at the end
+  // (blotmon --summary reconstructs the registry from it).
+  std::unique_ptr<obs::MetricsSnapshotter> snapshotter;
+  if (flags.Has("snapshots-out")) {
+    obs::SnapshotterOptions options;
+    options.interval = std::chrono::milliseconds(
+        flags.GetInt("snapshot-interval-ms", 50));
+    snapshotter = std::make_unique<obs::MetricsSnapshotter>(options);
+    snapshotter->SampleNow();  // baseline before any probe runs
+    snapshotter->Start();
+  }
+
   // Probe mix: mostly selective queries with some large scans, echoing
   // the advisor's default workload shape.
   const double fractions[] = {0.01, 0.05, 0.2, 1.0};
@@ -452,6 +500,15 @@ int CmdStats(const Flags& flags) {
           universe.Duration() * frac}},
         universe, rng);
     store.Execute(query, model, &pool);
+  }
+
+  if (snapshotter) {
+    snapshotter->Stop();
+    snapshotter->SampleNow();  // final state after the last probe
+    const std::string path = flags.GetString("snapshots-out");
+    snapshotter->WriteJsonlFile(path);
+    std::fprintf(stderr, "%zu snapshots -> %s\n",
+                 snapshotter->sample_count(), path.c_str());
   }
 
   // Fold the cache's hit ratio into the snapshot so the exported stats
@@ -487,6 +544,7 @@ int CmdStats(const Flags& flags) {
                  100.0 * s.HitRatio(), double(s.bytes) / (1 << 20));
   }
   PrintFaultSummaryIfArmed(flags);
+  CloseEventLogIfOpen();
   return 0;
 }
 
@@ -547,7 +605,7 @@ int Run(int argc, char** argv) {
   if (command == "query")
     return CmdQuery({argc, argv, 2,
                      {"dir", "range", "limit", "metrics-out", "cache-mb",
-                      "inject-faults"},
+                      "inject-faults", "event-log"},
                      {"trace"}});
   if (command == "aggregate")
     return CmdAggregate({argc, argv, 2, {"dir", "range"}});
@@ -562,8 +620,8 @@ int Run(int argc, char** argv) {
   if (command == "store-query")
     return CmdStoreQuery({argc, argv, 2,
                           {"dir", "range", "env", "metrics-out",
-                           "cache-mb", "inject-faults"},
-                          {"trace"}});
+                           "cache-mb", "inject-faults", "event-log"},
+                          {"trace", "profile"}});
   if (command == "advise")
     return CmdAdvise({argc, argv, 2,
                       {"data", "records", "budget-gb", "env", "algorithm",
@@ -571,7 +629,8 @@ int Run(int argc, char** argv) {
   if (command == "stats")
     return CmdStats({argc, argv, 2,
                      {"dir", "queries", "env", "seed", "format", "out",
-                      "cache-mb", "inject-faults"}});
+                      "cache-mb", "inject-faults", "event-log",
+                      "snapshots-out", "snapshot-interval-ms"}});
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage();
 }

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "core/fault_injection.h"
+#include "obs/event_log.h"
 #include "testing/differential.h"
 #include "tools/flags.h"
 
@@ -41,6 +42,7 @@ int Usage() {
       "usage: blotfuzz [--seed S] [--rounds N] [--queries N] [--replicas N]\n"
       "                [--cache-bytes N] [--max-records N]\n"
       "                [--inject-faults SPEC] [--no-repair] [--quiet]\n"
+      "                [--event-log FILE]\n"
       "\n"
       "  --seed S           base seed (default 1); round 0 runs seed S\n"
       "                     itself, so a printed repro line replays exactly\n"
@@ -55,14 +57,18 @@ int Usage() {
       "                     checks only\n"
       "  --no-repair        disable failover and repair: injected faults\n"
       "                     surface as reproducible mismatches\n"
-      "  --quiet            only print mismatches and the final summary\n");
+      "  --quiet            only print mismatches and the final summary\n"
+      "  --event-log FILE   append structured JSONL events (soak.start,\n"
+      "                     soak.mismatch with seed/round/repro, quarantine/\n"
+      "                     failover/repair, soak.summary); view with\n"
+      "                     blotmon\n");
   return 2;
 }
 
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv, 1,
                     {"seed", "rounds", "queries", "replicas", "cache-bytes",
-                     "max-records", "inject-faults"},
+                     "max-records", "inject-faults", "event-log"},
                     {"no-repair", "quiet"});
 
   blot::testing::DifferentialOptions options;
@@ -92,6 +98,28 @@ int Run(int argc, char** argv) {
               << (options.failover_enabled ? "" : " (failover disabled)")
               << std::endl;
 
+  // --event-log FILE: a structured JSONL mirror of the run — soak.start /
+  // soak.summary bracket the store's own quarantine/failover/repair
+  // events and every soak.mismatch (with its repro command), so blotmon
+  // can post-mortem a soak as one incident timeline.
+  auto& elog = blot::obs::EventLog::Global();
+  if (flags.Has("event-log")) {
+    elog.OpenSink(flags.GetString("event-log"));
+    elog.Info("soak.start", "blotfuzz soak starting",
+              {blot::obs::Field("seed", options.seed),
+               blot::obs::Field("rounds", options.iterations),
+               blot::obs::Field("queries_per_round",
+                                options.queries_per_iteration),
+               blot::obs::Field("replicas_per_round",
+                                options.replicas_per_iteration),
+               blot::obs::Field("faults_armed",
+                                options.fault_plan.has_value() ? "true"
+                                                               : "false"),
+               blot::obs::Field("failover_enabled",
+                                options.failover_enabled ? "true"
+                                                         : "false")});
+  }
+
   const blot::testing::DifferentialReport report =
       blot::testing::RunDifferential(options, &std::cout);
 
@@ -101,6 +129,16 @@ int Run(int argc, char** argv) {
             << report.encodings_covered.size() << " encodings, "
             << report.partitionings_covered.size() << " partitionings)"
             << std::endl;
+  if (elog.has_sink()) {
+    elog.Emit(report.ok() ? blot::obs::EventSeverity::kInfo
+                          : blot::obs::EventSeverity::kError,
+              "soak.summary", "blotfuzz soak finished",
+              {blot::obs::Field("rounds", report.iterations),
+               blot::obs::Field("queries", report.queries_checked),
+               blot::obs::Field("checks", report.checks_run),
+               blot::obs::Field("mismatches", report.mismatches.size())});
+    elog.CloseSink();
+  }
   return report.ok() ? 0 : 1;
 }
 

@@ -1,0 +1,393 @@
+// blotmon — viewer for the BLOT store's telemetry files.
+//
+// Reads the JSONL files the other tools write — structured event logs
+// (blotctl --event-log, blotfuzz --event-log) and metrics snapshot
+// time series (blotctl stats --snapshots-out) — and renders them for
+// humans. Both kinds can share one file; every line is classified by
+// its schema.
+//
+//   blotmon FILE             pretty-print the timeline, oldest first
+//   blotmon FILE --follow    keep tailing the file as it grows
+//   blotmon FILE --summary   post-mortem: severity/category counts, an
+//                            incident timeline of the notable events,
+//                            and — for snapshot lines — the
+//                            reconstructed registry with a per-stage
+//                            latency table (p50/p95/p99)
+//
+// The summary's quantiles are computed with the same interpolation the
+// in-process registry uses (obs::HistogramPercentile over the
+// reconstructed bucket counts), so they match a `--metrics-out` JSON
+// snapshot of the same run exactly.
+//
+// Exit codes: 0 ok, 1 error (unreadable file / malformed line), 2 usage.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "tools/flags.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace blot::tools {
+namespace {
+
+using util::JsonValue;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: blotmon FILE [--follow] [--summary]\n"
+      "               [--min-severity debug|info|warn|error]\n"
+      "               [--category PREFIX]\n"
+      "\n"
+      "  FILE               JSONL telemetry: an event log (blotctl/blotfuzz\n"
+      "                     --event-log) and/or metrics snapshots (blotctl\n"
+      "                     stats --snapshots-out); kinds may share a file\n"
+      "  --follow           after printing, keep tailing FILE as it grows\n"
+      "  --summary          aggregate instead of streaming: event counts,\n"
+      "                     incident timeline, per-stage latency quantiles\n"
+      "  --min-severity L   drop events below severity L (default: debug\n"
+      "                     when streaming, info in --summary's timeline)\n"
+      "  --category P       only show events whose category starts with P\n");
+  return 2;
+}
+
+int SeverityRank(const std::string& severity) {
+  if (severity == "debug") return 0;
+  if (severity == "info") return 1;
+  if (severity == "warn") return 2;
+  if (severity == "error") return 3;
+  return 1;
+}
+
+// One parsed event line, kept for the --summary timeline.
+struct EventLine {
+  std::uint64_t seq = 0;
+  std::uint64_t wall_ms = 0;
+  std::string severity;
+  std::string category;
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+// Reconstructed state of one histogram across snapshot lines: bounds
+// travel on first appearance, dcounts/dsum accumulate.
+struct HistogramState {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow)
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+// Metric identity: name plus rendered labels, e.g. `query.stage_ms{stage=decode}`.
+std::string MetricKey(const std::string& name, const JsonValue& labels) {
+  std::string key = name;
+  const auto& members = labels.AsObject();
+  if (members.empty()) return key;
+  key += "{";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) key += ",";
+    key += members[i].first + "=" + members[i].second.AsString();
+  }
+  return key + "}";
+}
+
+struct Monitor {
+  bool summary = false;
+  int min_severity = 0;
+  std::string category_prefix;
+
+  // Streaming state.
+  bool have_t0 = false;
+  std::uint64_t t0_wall_ms = 0;
+
+  // Summary state.
+  std::vector<EventLine> events;
+  std::map<std::string, std::size_t> events_by_category;
+  std::size_t events_by_severity[4] = {0, 0, 0, 0};
+  std::size_t snapshot_lines = 0;
+  std::uint64_t first_snapshot_wall_ms = 0;
+  std::uint64_t last_snapshot_wall_ms = 0;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramState> histograms;
+  std::size_t malformed_lines = 0;
+
+  double RelativeSeconds(std::uint64_t wall_ms) {
+    if (!have_t0) {
+      have_t0 = true;
+      t0_wall_ms = wall_ms;
+    }
+    return double(wall_ms - t0_wall_ms) * 1e-3;
+  }
+
+  static std::string RenderFields(
+      const std::vector<std::pair<std::string, std::string>>& fields) {
+    if (fields.empty()) return "";
+    std::string out = " (";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fields[i].first + "=" + fields[i].second;
+    }
+    return out + ")";
+  }
+
+  void PrintEvent(const EventLine& e) {
+    std::printf("%+10.3fs  %-5s  %-24s %s%s\n", RelativeSeconds(e.wall_ms),
+                e.severity.c_str(), e.category.c_str(), e.message.c_str(),
+                RenderFields(e.fields).c_str());
+  }
+
+  void ConsumeEvent(const JsonValue& v) {
+    EventLine e;
+    e.seq = v.Uint64Or("seq", 0);
+    e.wall_ms = v.Uint64Or("wall_ms", 0);
+    e.severity = v.StringOr("severity", "info");
+    e.category = v.StringOr("category", "");
+    e.message = v.StringOr("message", "");
+    if (const JsonValue* fields = v.Find("fields"))
+      for (const auto& [key, value] : fields->AsObject())
+        e.fields.emplace_back(key, value.AsString());
+
+    if (!category_prefix.empty() &&
+        e.category.rfind(category_prefix, 0) != 0)
+      return;
+    const int rank = SeverityRank(e.severity);
+    if (summary) {
+      ++events_by_severity[rank];
+      ++events_by_category[e.category];
+      if (rank >= min_severity) events.push_back(std::move(e));
+    } else if (rank >= min_severity) {
+      PrintEvent(e);
+    }
+  }
+
+  void ConsumeSnapshot(const JsonValue& v) {
+    const std::uint64_t wall_ms = v.Uint64Or("wall_ms", 0);
+    if (snapshot_lines == 0) first_snapshot_wall_ms = wall_ms;
+    last_snapshot_wall_ms = wall_ms;
+    ++snapshot_lines;
+
+    if (!summary) {
+      std::size_t changed = 0;
+      if (const JsonValue* counters_json = v.Find("counters"))
+        changed += counters_json->AsArray().size();
+      if (const JsonValue* hists_json = v.Find("histograms"))
+        changed += hists_json->AsArray().size();
+      std::printf("%+10.3fs  snap   seq=%llu (%zu metrics changed)\n",
+                  RelativeSeconds(wall_ms),
+                  static_cast<unsigned long long>(v.Uint64Or("seq", 0)),
+                  changed);
+      return;
+    }
+
+    // Reconstruction is uniform cumulative summation: every delta —
+    // including a metric's first appearance — adds onto zero-initialized
+    // state, mirroring the writer's encoding (obs/snapshot.cc).
+    if (const JsonValue* counters_json = v.Find("counters"))
+      for (const JsonValue& c : counters_json->AsArray())
+        counters[MetricKey(c.At("name").AsString(), c.At("labels"))] +=
+            c.Uint64Or("delta", 0);
+    if (const JsonValue* gauges_json = v.Find("gauges"))
+      for (const JsonValue& g : gauges_json->AsArray())
+        gauges[MetricKey(g.At("name").AsString(), g.At("labels"))] =
+            g.DoubleOr("value", 0);
+    if (const JsonValue* hists_json = v.Find("histograms"))
+      for (const JsonValue& h : hists_json->AsArray()) {
+        HistogramState& state =
+            histograms[MetricKey(h.At("name").AsString(), h.At("labels"))];
+        if (const JsonValue* bounds = h.Find("bounds")) {
+          state.bounds.clear();
+          for (const JsonValue& b : bounds->AsArray())
+            state.bounds.push_back(b.AsDouble());
+          state.counts.assign(state.bounds.size() + 1, 0);
+        }
+        const auto& dcounts = h.At("dcounts").AsArray();
+        if (state.counts.size() < dcounts.size())
+          state.counts.resize(dcounts.size(), 0);
+        for (std::size_t i = 0; i < dcounts.size(); ++i)
+          state.counts[i] += dcounts[i].AsUint64();
+        state.count += h.Uint64Or("dcount", 0);
+        state.sum += h.DoubleOr("dsum", 0);
+      }
+  }
+
+  void ConsumeLine(const std::string& line) {
+    if (line.empty()) return;
+    JsonValue v;
+    try {
+      v = JsonValue::Parse(line);
+    } catch (const Error&) {
+      ++malformed_lines;
+      return;
+    }
+    if (!v.is_object()) {
+      ++malformed_lines;
+      return;
+    }
+    if (v.StringOr("schema", "") == "blot.snapshot.v1")
+      ConsumeSnapshot(v);
+    else if (v.Find("severity") != nullptr && v.Find("category") != nullptr)
+      ConsumeEvent(v);
+    else
+      ++malformed_lines;
+  }
+
+  void PrintHistogramRow(const std::string& key,
+                         const HistogramState& state) {
+    const double p50 =
+        obs::HistogramPercentile(state.bounds, state.counts, state.count, 50);
+    const double p95 =
+        obs::HistogramPercentile(state.bounds, state.counts, state.count, 95);
+    const double p99 =
+        obs::HistogramPercentile(state.bounds, state.counts, state.count, 99);
+    std::printf("  %-38s %10llu  %12s  %12s  %12s\n", key.c_str(),
+                static_cast<unsigned long long>(state.count),
+                obs::FormatJsonNumber(p50).c_str(),
+                obs::FormatJsonNumber(p95).c_str(),
+                obs::FormatJsonNumber(p99).c_str());
+  }
+
+  void PrintSummary() {
+    if (!events.empty() || events_by_severity[0] + events_by_severity[1] +
+                                   events_by_severity[2] +
+                                   events_by_severity[3] >
+                               0) {
+      std::printf("events: %zu (%zu error, %zu warn, %zu info, %zu debug)\n",
+                  events_by_severity[0] + events_by_severity[1] +
+                      events_by_severity[2] + events_by_severity[3],
+                  events_by_severity[3], events_by_severity[2],
+                  events_by_severity[1], events_by_severity[0]);
+      std::printf("by category:\n");
+      for (const auto& [category, count] : events_by_category)
+        std::printf("  %-32s %zu\n", category.c_str(), count);
+      std::printf("incident timeline:\n");
+      for (const EventLine& e : events) PrintEvent(e);
+    }
+
+    if (snapshot_lines > 0) {
+      std::printf("snapshots: %zu over %.3fs\n", snapshot_lines,
+                  double(last_snapshot_wall_ms - first_snapshot_wall_ms) *
+                      1e-3);
+
+      // The headline table: per-stage query latency, quantiles computed
+      // exactly as the in-process registry computes them.
+      bool stage_header = false;
+      for (const auto& [key, state] : histograms) {
+        if (key.rfind("query.stage_ms", 0) != 0) continue;
+        if (!stage_header) {
+          std::printf("per-stage latency (query.stage_ms):\n");
+          std::printf("  %-38s %10s  %12s  %12s  %12s\n", "stage", "count",
+                      "p50", "p95", "p99");
+          stage_header = true;
+        }
+        PrintHistogramRow(key, state);
+      }
+
+      bool other_header = false;
+      for (const auto& [key, state] : histograms) {
+        if (key.rfind("query.stage_ms", 0) == 0) continue;
+        if (!other_header) {
+          std::printf("other histograms:\n");
+          std::printf("  %-38s %10s  %12s  %12s  %12s\n", "histogram",
+                      "count", "p50", "p95", "p99");
+          other_header = true;
+        }
+        PrintHistogramRow(key, state);
+      }
+
+      if (!counters.empty()) {
+        std::printf("counters (final):\n");
+        for (const auto& [key, value] : counters)
+          std::printf("  %-38s %llu\n", key.c_str(),
+                      static_cast<unsigned long long>(value));
+      }
+      if (!gauges.empty()) {
+        std::printf("gauges (last):\n");
+        for (const auto& [key, value] : gauges)
+          std::printf("  %-38s %s\n", key.c_str(),
+                      obs::FormatJsonNumber(value).c_str());
+      }
+    }
+
+    if (malformed_lines > 0)
+      std::fprintf(stderr, "warning: %zu malformed line(s) skipped\n",
+                   malformed_lines);
+  }
+};
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string path = argv[1];
+  if (path == "help" || path == "--help") return Usage();
+  const Flags flags(argc, argv, 2, {"min-severity", "category"},
+                    {"follow", "summary"});
+
+  Monitor monitor;
+  monitor.summary = flags.Has("summary");
+  monitor.category_prefix = flags.GetString("category", "");
+  // Streaming shows everything by default; the summary timeline hides
+  // debug noise (the counts still include it).
+  monitor.min_severity = SeverityRank(
+      flags.GetString("min-severity", monitor.summary ? "info" : "debug"));
+  const bool follow = flags.Has("follow");
+  require(!(follow && monitor.summary),
+          "--follow and --summary are mutually exclusive");
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "blotmon: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  std::string buffer;
+  std::vector<char> chunk(1 << 16);
+  while (true) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::streamsize n = in.gcount();
+    if (n > 0) {
+      buffer.append(chunk.data(), static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (std::size_t nl = buffer.find('\n', start);
+           nl != std::string::npos; nl = buffer.find('\n', start)) {
+        monitor.ConsumeLine(buffer.substr(start, nl - start));
+        start = nl + 1;
+      }
+      buffer.erase(0, start);
+    } else {
+      if (!follow) break;
+      // Tail mode: the writer appends; clear EOF and poll.
+      in.clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  }
+  // A final unterminated line is still a complete JSON document when the
+  // writer finished without a trailing newline.
+  if (!buffer.empty()) monitor.ConsumeLine(buffer);
+
+  if (monitor.summary) monitor.PrintSummary();
+  if (!monitor.summary && monitor.malformed_lines > 0)
+    std::fprintf(stderr, "warning: %zu malformed line(s) skipped\n",
+                 monitor.malformed_lines);
+  return 0;
+}
+
+}  // namespace
+}  // namespace blot::tools
+
+int main(int argc, char** argv) {
+  try {
+    return blot::tools::Run(argc, argv);
+  } catch (const blot::InvalidArgument& e) {
+    std::fprintf(stderr, "invalid argument: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
