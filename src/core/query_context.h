@@ -1,0 +1,87 @@
+// Per-query execution state, threaded through the whole execution path.
+//
+// Before the serving layer existed, BlotStore::Execute interleaved
+// routing, scanning, failover and telemetry with ad-hoc locals; under N
+// concurrent callers every piece of per-query state must be owned by
+// exactly one query. QueryContext is that owner: the profile the scan
+// kernels fill, the optional trace span, the attempt log the failover
+// loop appends to, and a deterministic per-query RNG — everything that
+// belongs to one query and nothing that is shared. The shared structures
+// (HealthMap, PartitionCache, metrics registry, drift monitors) are
+// internally synchronized; a context is not, because it never crosses
+// queries.
+//
+// Contexts are cheap to construct on the query path: the profile is a
+// flat struct and the RNG seeds from the query id, so no global RNG is
+// contended. RouteQueryDetailed -> ExecuteWithFailover -> Replica::Execute
+// all write into the same context, and BlotStore::Execute moves its
+// pieces into the RoutedResult when the query finishes.
+#ifndef BLOT_CORE_QUERY_CONTEXT_H_
+#define BLOT_CORE_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace blot {
+
+// One execution attempt of the failover loop: which replica was tried,
+// what happened, and how long it took. RoutedResult carries the full
+// log so a caller (or the serving layer's slow-query diagnostics) can
+// reconstruct the query's path without re-reading the event log.
+struct QueryAttempt {
+  std::size_t replica_index = 0;
+  std::string replica;      // config name of the attempted replica
+  double ms = 0.0;          // wall time of this attempt
+  bool success = false;
+  std::string fault;        // error text when the attempt failed
+};
+
+// Everything owned by exactly one in-flight query.
+class QueryContext {
+ public:
+  // Builds a context for a fresh query: assigns a process-unique query
+  // id, derives the per-query RNG from it (deterministic across runs for
+  // the same arrival order), and latches whether profiling is on so the
+  // execution path checks one bool instead of re-probing the registry.
+  static QueryContext ForQuery(obs::TraceSpan* trace) {
+    static std::atomic<std::uint64_t> next_id{1};
+    QueryContext ctx(next_id.fetch_add(1, std::memory_order_relaxed));
+    ctx.trace = trace;
+    ctx.profiling =
+        obs::MetricsRegistry::global().enabled() || trace != nullptr;
+    return ctx;
+  }
+
+  std::uint64_t query_id() const { return query_id_; }
+
+  // Per-stage timings and counters, filled by routing, the scan kernels
+  // and the failover loop (obs/profile.h).
+  obs::QueryProfile profile;
+  // Caller-owned trace span; null when tracing is off.
+  obs::TraceSpan* trace = nullptr;
+  // One entry per failover-loop attempt, in order.
+  std::vector<QueryAttempt> attempts;
+  // Deterministic per-query randomness (event sampling, jitter). Seeded
+  // from the query id, so two runs issuing the same queries in the same
+  // order draw the same values.
+  Rng rng{0};
+  // MetricsRegistry::global().enabled() || trace != nullptr, latched at
+  // construction.
+  bool profiling = false;
+
+ private:
+  explicit QueryContext(std::uint64_t id) : rng(id), query_id_(id) {}
+
+  std::uint64_t query_id_ = 0;
+};
+
+}  // namespace blot
+
+#endif  // BLOT_CORE_QUERY_CONTEXT_H_

@@ -150,6 +150,49 @@ BlotStore::~BlotStore() {
   if (sync_ != nullptr) WaitForRepairs();
 }
 
+BlotStore::BlotStore(BlotStore&& other) noexcept {
+  // Drain background repairs first: their tasks captured `&other`, and
+  // moving the boxed state out from under a running task would leave it
+  // dereferencing null unique_ptrs.
+  if (other.sync_ != nullptr) other.WaitForRepairs();
+  dataset_ = std::move(other.dataset_);
+  universe_ = other.universe_;
+  replicas_ = std::move(other.replicas_);
+  sketches_ = std::move(other.sketches_);
+  policy_ = other.policy_;
+  health_ = std::move(other.health_);
+  sync_ = std::move(other.sync_);
+  telemetry_ = std::move(other.telemetry_);
+}
+
+BlotStore& BlotStore::operator=(BlotStore&& other) noexcept {
+  if (this == &other) return *this;
+  // Both sides drain: `other`'s tasks hold its address (about to be
+  // gutted), and this store's tasks hold ours (whose state is about to
+  // be replaced).
+  if (sync_ != nullptr) WaitForRepairs();
+  if (other.sync_ != nullptr) other.WaitForRepairs();
+  dataset_ = std::move(other.dataset_);
+  universe_ = other.universe_;
+  replicas_ = std::move(other.replicas_);
+  sketches_ = std::move(other.sketches_);
+  policy_ = other.policy_;
+  health_ = std::move(other.health_);
+  sync_ = std::move(other.sync_);
+  telemetry_ = std::move(other.telemetry_);
+  return *this;
+}
+
+FailoverPolicy BlotStore::failover_policy() const {
+  std::shared_lock lock(sync_->state_mutex);
+  return policy_;
+}
+
+void BlotStore::SetFailoverPolicy(const FailoverPolicy& policy) {
+  std::unique_lock lock(sync_->state_mutex);
+  policy_ = policy;
+}
+
 void BlotStore::WaitForRepairs() {
   std::vector<std::future<void>> pending;
   {
@@ -216,8 +259,9 @@ std::uint64_t BlotStore::TotalStorageBytes() const {
   return total;
 }
 
-BlotStore::Ranking BlotStore::RankCandidates(const STRange& query,
-                                             const CostModel& model) const {
+BlotStore::Ranking BlotStore::RankCandidates(
+    const STRange& query, const CostModel& model,
+    const FailoverPolicy& policy) const {
   Ranking out;
   // (adjusted cost, decision with the raw estimate): suspect penalties
   // steer the ordering but must not distort the reported estimate.
@@ -235,7 +279,7 @@ BlotStore::Ranking BlotStore::RankCandidates(const STRange& query,
           sketches_[i].index.InvolvedPartitions(query);
       if (health_->AnyQuarantined(i, involved)) continue;
       if (health_->AnySuspect(i, involved))
-        adjusted *= policy_.suspect_cost_penalty;
+        adjusted *= policy.suspect_cost_penalty;
     }
     scored.push_back(
         {adjusted, {i, cost, sketches_[i].index.CountInvolved(query)}});
@@ -274,7 +318,7 @@ BlotStore::RoutingDecision BlotStore::RouteQueryDetailed(
     const STRange& query, const CostModel& model) const {
   require(!replicas_.empty(), "BlotStore::RouteQuery: no replicas");
   std::shared_lock lock(sync_->state_mutex);
-  const Ranking ranking = RankCandidates(query, model);
+  const Ranking ranking = RankCandidates(query, model, policy_);
   require(ranking.covering > 0,
           "BlotStore::RouteQuery: no replica can serve the query (add a "
           "full replica)");
@@ -288,19 +332,19 @@ std::size_t BlotStore::RouteQuery(const STRange& query,
 }
 
 BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
-    const STRange& query, const CostModel& model, ThreadPool* pool,
-    obs::TraceSpan* trace) {
+    const STRange& query, const CostModel& model,
+    const FailoverPolicy& policy, ThreadPool* pool, QueryContext& ctx) {
   RoutedResult routed;
-  const bool profiling =
-      obs::MetricsRegistry::global().enabled() || trace != nullptr;
-  obs::QueryProfile& profile = routed.profile;
+  const bool profiling = ctx.profiling;
+  obs::QueryProfile& profile = ctx.profile;
+  obs::TraceSpan* trace = ctx.trace;
   obs::TraceSpan* route_span =
       trace != nullptr ? &trace->AddChild("route") : nullptr;
   Ranking ranking;
   const std::uint64_t route_start = profiling ? obs::MonotonicNanos() : 0;
   {
     obs::SpanTimer route_timer(route_span);
-    ranking = RankCandidates(query, model);
+    ranking = RankCandidates(query, model, policy);
   }
   if (profiling)
     profile.AddStage(obs::Stage::kRoute,
@@ -325,7 +369,7 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
 
   auto& registry = obs::MetricsRegistry::global();
   const std::size_t max_attempts =
-      std::max<std::size_t>(std::size_t{1}, policy_.max_attempts);
+      std::max<std::size_t>(std::size_t{1}, policy.max_attempts);
   std::size_t attempts = 0;
   bool success = false;
   for (const RoutingDecision& decision : ranking.ranked) {
@@ -357,6 +401,8 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
       routed.estimated_cost_ms = decision.estimated_cost_ms;
       routed.predicted_partitions = decision.predicted_partitions;
       routed.served_by = replica_name;
+      ctx.attempts.push_back(
+          {idx, replica_name, routed.measured_cost_ms, true, {}});
       success = true;
     } catch (const PartitionFaultError& e) {
       // Attributed read faults: quarantine exactly the failing storage
@@ -370,9 +416,11 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
                        health_->QuarantinedCount());
       // The failed attempt's wall time is failover overhead, not
       // execution of the serving replica.
-      if (profiling)
-        profile.AddStage(obs::Stage::kFailover,
-                         double(obs::MonotonicNanos() - start_ns) * 1e-6);
+      const double attempt_ms =
+          double(obs::MonotonicNanos() - start_ns) * 1e-6;
+      ctx.attempts.push_back(
+          {idx, replica_name, attempt_ms, false, std::string(e.what())});
+      if (profiling) profile.AddStage(obs::Stage::kFailover, attempt_ms);
       obs::EventLog& log = obs::EventLog::Global();
       if (log.enabled()) {
         log.Warn("failover",
@@ -475,27 +523,35 @@ BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
                                            ThreadPool* pool,
                                            obs::TraceSpan* trace) {
   require(!replicas_.empty(), "BlotStore::RouteQuery: no replicas");
-  const bool profiling =
-      obs::MetricsRegistry::global().enabled() || trace != nullptr;
+  // All per-query state lives in the context; this function is
+  // re-entrant under N concurrent callers (the serving layer's request
+  // workers), who share only the internally synchronized structures.
+  QueryContext ctx = QueryContext::ForQuery(trace);
   RoutedResult routed;
-  const std::uint64_t start_ns = profiling ? obs::MonotonicNanos() : 0;
+  FailoverPolicy policy;
+  const std::uint64_t start_ns = ctx.profiling ? obs::MonotonicNanos() : 0;
   {
     std::shared_lock lock(sync_->state_mutex);
-    routed = ExecuteWithFailover(query, model, pool, trace);
+    policy = policy_;  // per-query snapshot; retunes never tear a query
+    routed = ExecuteWithFailover(query, model, policy, pool, ctx);
   }
-  const std::uint64_t repair_start = profiling ? obs::MonotonicNanos() : 0;
-  MaybeScheduleRepairs(pool);
-  if (profiling) {
+  const std::uint64_t repair_start =
+      ctx.profiling ? obs::MonotonicNanos() : 0;
+  MaybeScheduleRepairs(pool, policy);
+  if (ctx.profiling) {
     // Synchronous repair runs on this thread between the shared-lock
     // release and here; background repair contributes only the submit.
-    routed.profile.AddStage(
+    ctx.profile.AddStage(
         obs::Stage::kRepair,
         double(obs::MonotonicNanos() - repair_start) * 1e-6);
-    routed.profile.total_ms =
+    ctx.profile.total_ms =
         double(obs::MonotonicNanos() - start_ns) * 1e-6;
-    ObserveQueryTelemetry(query, routed.profile);
-    if (trace != nullptr) routed.profile.ExportToSpan(*trace);
+    ObserveQueryTelemetry(query, ctx.profile);
+    if (trace != nullptr) ctx.profile.ExportToSpan(*trace);
   }
+  routed.query_id = ctx.query_id();
+  routed.attempt_log = std::move(ctx.attempts);
+  routed.profile = std::move(ctx.profile);
   return routed;
 }
 
@@ -556,22 +612,24 @@ void BlotStore::RebaseWorkloadReference() {
   t.workload_drift.emplace(t.workload.Snapshot());
 }
 
-void BlotStore::MaybeScheduleRepairs(ThreadPool* pool) {
-  if (policy_.repair == RepairMode::kNone) return;
+void BlotStore::MaybeScheduleRepairs(ThreadPool* pool,
+                                     const FailoverPolicy& policy) {
+  if (policy.repair == RepairMode::kNone) return;
   if (health_->QuarantinedCount() == 0) return;
-  if (policy_.repair == RepairMode::kSync || pool == nullptr) {
-    RepairQuarantined(pool, policy_.repair_budget);
+  if (policy.repair == RepairMode::kSync || pool == nullptr) {
+    RepairQuarantined(pool, policy.repair_budget);
     return;
   }
   std::lock_guard lock(sync_->futures_mutex);
-  sync_->repair_futures.push_back(pool->Submit([this] {
+  const std::size_t budget = policy.repair_budget;
+  sync_->repair_futures.push_back(pool->Submit([this, budget] {
     // try_to_lock: a repair task blocking on a query that is itself
     // waiting for pool workers would deadlock the pool; if the store is
     // busy the partitions stay quarantined and the next query
     // reschedules the repair.
     std::unique_lock lock(sync_->state_mutex, std::try_to_lock);
     if (!lock.owns_lock()) return;
-    RepairQuarantinedLocked(nullptr, policy_.repair_budget);
+    RepairQuarantinedLocked(nullptr, budget);
   }));
 }
 
@@ -797,7 +855,7 @@ BlotStore::RoutedBatchResult BlotStore::ExecuteBatch(
     // replaces the ordered map (allocator churn on large batches).
     std::vector<std::vector<std::size_t>> groups(replicas_.size());
     for (std::size_t q = 0; q < queries.size(); ++q) {
-      const Ranking ranking = RankCandidates(queries[q], model);
+      const Ranking ranking = RankCandidates(queries[q], model, policy_);
       require(ranking.covering > 0,
               "BlotStore::RouteQuery: no replica can serve the query (add "
               "a full replica)");

@@ -30,6 +30,7 @@
 #include "core/cost_model.h"
 #include "core/drift.h"
 #include "core/health.h"
+#include "core/query_context.h"
 #include "obs/drift_monitor.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -85,8 +86,16 @@ class BlotStore {
 
   // Waits for outstanding background repairs.
   ~BlotStore();
-  BlotStore(BlotStore&&) noexcept = default;
-  BlotStore& operator=(BlotStore&&) noexcept = default;
+
+  // Moves wait for the source's (and, on assignment, the target's)
+  // outstanding background repairs first: repair tasks capture the
+  // store's address, so transferring the state out from under a running
+  // task would leave it dereferencing a gutted object. (The previously
+  // defaulted moves did exactly that — see the regression test.) Moving
+  // while queries are concurrently executing remains undefined, as for
+  // any standard container.
+  BlotStore(BlotStore&& other) noexcept;
+  BlotStore& operator=(BlotStore&& other) noexcept;
 
   const Dataset& dataset() const { return dataset_; }
   const STRange& universe() const { return universe_; }
@@ -113,8 +122,11 @@ class BlotStore {
   Replica& mutable_replica(std::size_t i);
   std::uint64_t TotalStorageBytes() const;
 
-  const FailoverPolicy& failover_policy() const { return policy_; }
-  void SetFailoverPolicy(const FailoverPolicy& policy) { policy_ = policy; }
+  // Policy reads/writes synchronize on the store's state mutex, so the
+  // policy may be retuned while queries are in flight (each query sees
+  // a consistent snapshot taken when it starts).
+  FailoverPolicy failover_policy() const;
+  void SetFailoverPolicy(const FailoverPolicy& policy);
 
   // The per-replica, per-partition health map driving routing and repair.
   const HealthMap& health() const { return *health_; }
@@ -145,6 +157,11 @@ class BlotStore {
     // a failover replica (correct, but routing was not optimal).
     bool degraded = false;
     std::string served_by;  // config name of the serving replica
+    // Process-unique id of this execution (QueryContext::query_id).
+    std::uint64_t query_id = 0;
+    // One entry per failover-loop attempt, in order (the last entry is
+    // the serving replica when the query succeeded).
+    std::vector<QueryAttempt> attempt_log;
     // Per-stage breakdown of this query (docs/observability.md).
     // Populated when the global metrics registry is enabled or a trace
     // span was passed; all-zero otherwise.
@@ -265,16 +282,21 @@ class BlotStore {
   };
 
   // Health-aware candidate ranking; no locking (callers hold state_mutex).
-  Ranking RankCandidates(const STRange& query, const CostModel& model) const;
+  Ranking RankCandidates(const STRange& query, const CostModel& model,
+                         const FailoverPolicy& policy) const;
   // Builds the QueryFailedError for `query` from the current health map.
   QueryFailedError UnservableError(const STRange& query) const;
 
-  // The failover loop; caller holds state_mutex shared.
+  // The failover loop; caller holds state_mutex shared. All per-query
+  // state (profile, trace, attempt log) lives in `ctx`; shared state is
+  // only touched through the internally synchronized HealthMap, cache
+  // and metrics.
   RoutedResult ExecuteWithFailover(const STRange& query,
-                                   const CostModel& model, ThreadPool* pool,
-                                   obs::TraceSpan* trace);
+                                   const CostModel& model,
+                                   const FailoverPolicy& policy,
+                                   ThreadPool* pool, QueryContext& ctx);
   // Per-policy repair scheduling after a query released the shared lock.
-  void MaybeScheduleRepairs(ThreadPool* pool);
+  void MaybeScheduleRepairs(ThreadPool* pool, const FailoverPolicy& policy);
 
   // Feeds one finished query's profile into the continuous-telemetry
   // consumers (per-stage histograms, cost-drift windows, workload
@@ -310,7 +332,7 @@ class BlotStore {
   STRange universe_;
   std::vector<Replica> replicas_;
   std::vector<ReplicaSketch> sketches_;
-  FailoverPolicy policy_;
+  FailoverPolicy policy_;  // guarded by sync_->state_mutex
   std::unique_ptr<HealthMap> health_ = std::make_unique<HealthMap>();
   std::unique_ptr<SyncState> sync_ = std::make_unique<SyncState>();
   std::unique_ptr<Telemetry> telemetry_ = std::make_unique<Telemetry>();

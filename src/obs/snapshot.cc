@@ -59,6 +59,9 @@ void MetricsSnapshotter::Stop() {
   }
   stop_cv_.notify_all();
   to_join.join();
+  // Final flush: capture whatever changed since the last periodic tick
+  // (and guarantee a briefly-run snapshotter still records something).
+  SampleNow();
 }
 
 bool MetricsSnapshotter::running() const {

@@ -57,7 +57,11 @@ class MetricsSnapshotter {
 
   // Starts the background sampling thread (idempotent).
   void Start();
-  // Stops and joins it (idempotent; also called by the destructor).
+  // Stops and joins it, then records one final sample so the state
+  // between the last periodic tick and shutdown is never lost — a
+  // started snapshotter always ends with >= 1 sample, however briefly
+  // it ran. Idempotent (the flush happens only when a thread was
+  // actually joined); also called by the destructor.
   void Stop();
   bool running() const;
 

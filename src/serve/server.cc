@@ -1,0 +1,220 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "obs/event_log.h"
+#include "util/range.h"
+
+namespace blot::serve {
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& admitted;
+  obs::Counter& shed;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Gauge& queue_depth;
+  obs::Gauge& inflight_bytes;
+  obs::Histogram& latency_ms;
+
+  static ServeMetrics& Get() {
+    auto& r = obs::MetricsRegistry::global();
+    static ServeMetrics m{r.GetCounter("serve.admitted_total"),
+                          r.GetCounter("serve.shed_total"),
+                          r.GetCounter("serve.completed_total"),
+                          r.GetCounter("serve.failed_total"),
+                          r.GetGauge("serve.queue_depth"),
+                          r.GetGauge("serve.inflight_bytes"),
+                          r.GetHistogram("serve.latency_ms")};
+    return m;
+  }
+};
+
+}  // namespace
+
+QueryServer::QueryServer(BlotStore& store, CostModel model,
+                         ServerOptions options)
+    : store_(store),
+      model_(std::move(model)),
+      options_(options),
+      total_storage_bytes_(store.TotalStorageBytes()) {
+  require(options_.worker_threads >= 1,
+          "QueryServer: need at least one request worker");
+  require(options_.max_inflight >= 1,
+          "QueryServer: max_inflight must be at least 1");
+  require(options_.latency_ewma_alpha > 0.0 &&
+              options_.latency_ewma_alpha <= 1.0,
+          "QueryServer: latency_ewma_alpha must be in (0, 1]");
+  if (options_.scan_threads > 0)
+    scan_pool_ = std::make_unique<ThreadPool>(options_.scan_threads, "scan");
+  request_pool_ =
+      std::make_unique<ThreadPool>(options_.worker_threads, "request");
+}
+
+QueryServer::~QueryServer() { Drain(); }
+
+std::uint64_t QueryServer::EstimateBytes(const STRange& query) const {
+  const STRange& universe = store_.universe();
+  // Fractional coverage per dimension; a degenerate universe dimension
+  // (or a query spanning it fully) contributes factor 1.
+  auto fraction = [](double query_extent, double universe_extent) {
+    if (universe_extent <= 0.0) return 1.0;
+    return std::clamp(query_extent / universe_extent, 0.0, 1.0);
+  };
+  const double coverage = fraction(query.Width(), universe.Width()) *
+                          fraction(query.Height(), universe.Height()) *
+                          fraction(query.Duration(), universe.Duration());
+  // Floor at 1: even an empty-range query occupies a worker.
+  return std::max<std::uint64_t>(
+      1, std::uint64_t(coverage * double(total_storage_bytes_)));
+}
+
+double QueryServer::RetryAfterMs(std::size_t inflight) const {
+  // Time for the backlog (plus the rejected query itself) to clear at
+  // the recently observed per-query service time across the workers.
+  const double ewma = latency_ewma_ms_.load(std::memory_order_relaxed);
+  const double per_query_ms =
+      ewma > 0.0 ? ewma : std::max(options_.simulate_io_ms, 1.0);
+  return per_query_ms * double(inflight + 1) /
+         double(options_.worker_threads);
+}
+
+std::future<BlotStore::RoutedResult> QueryServer::Submit(
+    const STRange& query) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto& metrics = ServeMetrics::Get();
+  const std::uint64_t bytes = EstimateBytes(query);
+  {
+    std::unique_lock lock(admission_mutex_);
+    if (draining_) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      metrics.shed.Increment();
+      throw OverloadedError("QueryServer: draining, not admitting queries",
+                            /*retry_after_ms=*/0.0, inflight_,
+                            /*shutting_down=*/true);
+    }
+    const bool over_count = inflight_ >= options_.max_inflight;
+    // The byte budget never blocks an otherwise-idle server: a query
+    // larger than the whole budget must still be runnable alone.
+    const bool over_bytes =
+        options_.max_inflight_bytes > 0 && inflight_ > 0 &&
+        inflight_bytes_ + bytes > options_.max_inflight_bytes;
+    if (over_count || over_bytes) {
+      const std::size_t depth = inflight_;
+      const double retry_ms = RetryAfterMs(depth);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      metrics.shed.Increment();
+      lock.unlock();
+      auto& log = obs::EventLog::Global();
+      if (log.enabled()) {
+        log.Warn("serve", "query shed",
+                 {obs::Field("reason", over_count ? "inflight" : "bytes"),
+                  obs::Field("queue_depth", depth),
+                  obs::Field("retry_after_ms", retry_ms)});
+      }
+      std::ostringstream what;
+      what << "QueryServer overloaded ("
+           << (over_count ? "inflight limit" : "byte budget")
+           << ", depth " << depth << "); retry after " << retry_ms << " ms";
+      throw OverloadedError(what.str(), retry_ms, depth);
+    }
+    ++inflight_;
+    inflight_bytes_ += bytes;
+    metrics.queue_depth.Set(double(inflight_));
+    metrics.inflight_bytes.Set(double(inflight_bytes_));
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics.admitted.Increment();
+
+  return request_pool_->Submit([this, query, bytes] {
+    const std::uint64_t start_ns = obs::MonotonicNanos();
+    if (options_.simulate_io_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.simulate_io_ms));
+    }
+    try {
+      BlotStore::RoutedResult result =
+          store_.Execute(query, model_, scan_pool_.get());
+      FinishQuery(bytes, double(obs::MonotonicNanos() - start_ns) * 1e-6,
+                  /*failed=*/false);
+      return result;
+    } catch (...) {
+      FinishQuery(bytes, double(obs::MonotonicNanos() - start_ns) * 1e-6,
+                  /*failed=*/true);
+      throw;
+    }
+  });
+}
+
+BlotStore::RoutedResult QueryServer::Execute(const STRange& query) {
+  return Submit(query).get();
+}
+
+void QueryServer::FinishQuery(std::uint64_t bytes, double latency_ms,
+                              bool failed) {
+  auto& metrics = ServeMetrics::Get();
+  if (failed) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.failed.Increment();
+  } else {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.completed.Increment();
+  }
+  metrics.latency_ms.Observe(latency_ms);
+  bool notify = false;
+  {
+    std::lock_guard lock(admission_mutex_);
+    --inflight_;
+    inflight_bytes_ -= bytes;
+    metrics.queue_depth.Set(double(inflight_));
+    metrics.inflight_bytes.Set(double(inflight_bytes_));
+    // Single-writer-under-mutex EWMA: relaxed atomics are only for the
+    // lock-free readers in RetryAfterMs and stats().
+    const double prev = latency_ewma_ms_.load(std::memory_order_relaxed);
+    const double next =
+        prev == 0.0 ? latency_ms
+                    : prev + options_.latency_ewma_alpha * (latency_ms - prev);
+    latency_ewma_ms_.store(next, std::memory_order_relaxed);
+    notify = draining_ && inflight_ == 0;
+  }
+  if (notify) drained_cv_.notify_all();
+}
+
+ServerStatsSnapshot QueryServer::stats() const {
+  ServerStatsSnapshot snap;
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.admitted = admitted_.load(std::memory_order_relaxed);
+  snap.shed = shed_.load(std::memory_order_relaxed);
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.failed = failed_.load(std::memory_order_relaxed);
+  snap.latency_ewma_ms = latency_ewma_ms_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(admission_mutex_);
+    snap.inflight = inflight_;
+    snap.inflight_bytes = inflight_bytes_;
+  }
+  return snap;
+}
+
+void QueryServer::Drain() {
+  std::unique_lock lock(admission_mutex_);
+  const bool first = !draining_;
+  draining_ = true;
+  drained_cv_.wait(lock, [this] { return inflight_ == 0; });
+  lock.unlock();
+  if (first) {
+    auto& log = obs::EventLog::Global();
+    if (log.enabled()) {
+      log.Info("serve", "drained",
+               {obs::Field("completed",
+                           completed_.load(std::memory_order_relaxed)),
+                obs::Field("failed", failed_.load(std::memory_order_relaxed)),
+                obs::Field("shed", shed_.load(std::memory_order_relaxed))});
+    }
+  }
+}
+
+}  // namespace blot::serve

@@ -1,0 +1,180 @@
+// Concurrent serving layer: a query scheduler with admission control,
+// backpressure and graceful drain over a BlotStore.
+//
+// The paper's cost model assumes queries are served *continuously*
+// against the diverse replica set; QueryServer is the always-on front
+// end that makes that true. It separates the two kinds of parallelism
+// the engine offers:
+//
+//   - request parallelism: N whole queries in flight at once, each
+//     running BlotStore::Execute on a worker of the request pool;
+//   - scan parallelism: one query fanning its involved partitions
+//     across a *separate* scan pool.
+//
+// The split is what makes the system deadlock-free: a request worker
+// may block waiting for scan workers, but never for other request
+// workers, and scan workers never block on anything
+// (util/thread_pool.h's no-nested-blocking contract).
+//
+// Admission control bounds what the server accepts rather than letting
+// the queue grow without limit: a query is admitted only while both the
+// in-flight count and the in-flight byte budget (estimated from the
+// query's coverage of the stored bytes) have room. Rejected queries get
+// a structured OverloadedError carrying a retry-after hint derived from
+// the current backlog and the recent service rate — the caller sheds
+// load instead of timing out, and *admitted* queries keep their latency.
+//
+// Shutdown drains: Drain() (also run by the destructor) stops admitting
+// and waits for every admitted query to finish, so no accepted work is
+// ever dropped. docs/serving.md covers the policy knobs and the
+// serve.* metrics/events this layer emits.
+#ifndef BLOT_SERVE_SERVER_H_
+#define BLOT_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "core/cost_model.h"
+#include "core/store.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace blot::serve {
+
+// The server refused a query to protect the queries it already
+// admitted. Structured: callers read the backlog and the retry-after
+// hint instead of parsing the message. Also raised (with
+// shutting_down() true and no useful retry hint) for submissions after
+// Drain() began.
+class OverloadedError : public Error {
+ public:
+  OverloadedError(const std::string& what, double retry_after_ms,
+                  std::size_t queue_depth, bool shutting_down = false)
+      : Error(what),
+        retry_after_ms_(retry_after_ms),
+        queue_depth_(queue_depth),
+        shutting_down_(shutting_down) {}
+
+  // Suggested client backoff: roughly the time for the current backlog
+  // to clear at the recently observed service rate. Never negative.
+  double retry_after_ms() const { return retry_after_ms_; }
+  // Queries in flight (admitted, not yet finished) at rejection time.
+  std::size_t queue_depth() const { return queue_depth_; }
+  // True when the rejection is due to shutdown, not load: retrying the
+  // same server is pointless.
+  bool shutting_down() const { return shutting_down_; }
+
+ private:
+  double retry_after_ms_ = 0.0;
+  std::size_t queue_depth_ = 0;
+  bool shutting_down_ = false;
+};
+
+struct ServerOptions {
+  // Request pool size: queries executing (or queued) concurrently.
+  std::size_t worker_threads = 4;
+  // Scan pool size for intra-query partition parallelism; 0 disables
+  // the second pool (each query scans single-threaded).
+  std::size_t scan_threads = 0;
+  // Admission ceiling on in-flight queries (admitted, not finished).
+  // Must be >= 1.
+  std::size_t max_inflight = 64;
+  // Admission ceiling on the summed byte estimates of in-flight
+  // queries; 0 disables the byte budget. A query's estimate is its
+  // fractional coverage of the universe times the store's total encoded
+  // bytes — crude, but monotone in the real decode work and free to
+  // compute before routing.
+  std::uint64_t max_inflight_bytes = 0;
+  // Emulated storage round-trip per query, slept on the request worker
+  // before execution. Models the remote-storage environments of the
+  // paper (S3/HDFS) whose latency the local benches don't have; also
+  // what makes closed-loop throughput scaling with worker_threads
+  // machine-independent (docs/serving.md). 0 disables.
+  double simulate_io_ms = 0.0;
+  // Smoothing factor of the service-latency EWMA behind retry-after
+  // hints, in (0, 1]; higher weighs recent queries more.
+  double latency_ewma_alpha = 0.2;
+};
+
+// Monotone counters + point-in-time levels, readable while serving.
+struct ServerStatsSnapshot {
+  std::uint64_t submitted = 0;  // Submit calls, admitted or not
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;       // rejected with OverloadedError
+  std::uint64_t completed = 0;  // admitted and returned a result
+  std::uint64_t failed = 0;     // admitted and threw (QueryFailedError...)
+  std::size_t inflight = 0;
+  std::uint64_t inflight_bytes = 0;
+  double latency_ewma_ms = 0.0;
+};
+
+class QueryServer {
+ public:
+  // The server borrows `store`; it must outlive the server. Queries are
+  // routed with `model`.
+  QueryServer(BlotStore& store, CostModel model, ServerOptions options = {});
+
+  // Drains: admitted queries finish, new submissions are refused.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  const ServerOptions& options() const { return options_; }
+
+  // Admission-controlled asynchronous execution. On admission, returns
+  // the future of the query's RoutedResult (which may itself hold a
+  // QueryFailedError etc. — admission is about capacity, not
+  // correctness). Throws OverloadedError synchronously when the
+  // in-flight or byte budget is exhausted, or after Drain() began.
+  std::future<BlotStore::RoutedResult> Submit(const STRange& query);
+
+  // Blocking convenience: Submit + get.
+  BlotStore::RoutedResult Execute(const STRange& query);
+
+  ServerStatsSnapshot stats() const;
+
+  // Stops admitting and blocks until every admitted query finished.
+  // Idempotent; Submit after Drain throws OverloadedError with
+  // shutting_down() set.
+  void Drain();
+
+ private:
+  // Coverage-proportional decode-byte estimate used by the admission
+  // byte budget.
+  std::uint64_t EstimateBytes(const STRange& query) const;
+  // Backlog / service-rate derived client backoff hint.
+  double RetryAfterMs(std::size_t inflight) const;
+  void FinishQuery(std::uint64_t bytes, double latency_ms, bool failed);
+
+  BlotStore& store_;
+  const CostModel model_;
+  const ServerOptions options_;
+  const std::uint64_t total_storage_bytes_;
+
+  // Scan pool first: request workers reference it, so it must outlive
+  // them during destruction.
+  std::unique_ptr<ThreadPool> scan_pool_;
+  std::unique_ptr<ThreadPool> request_pool_;
+
+  mutable std::mutex admission_mutex_;
+  std::condition_variable drained_cv_;
+  std::size_t inflight_ = 0;             // guarded by admission_mutex_
+  std::uint64_t inflight_bytes_ = 0;     // guarded by admission_mutex_
+  bool draining_ = false;                // guarded by admission_mutex_
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<double> latency_ewma_ms_{0.0};
+};
+
+}  // namespace blot::serve
+
+#endif  // BLOT_SERVE_SERVER_H_

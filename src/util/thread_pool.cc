@@ -1,14 +1,29 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <cassert>
 #include <exception>
 
 #include "util/error.h"
 
 namespace blot {
+namespace {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+// The pool whose WorkerLoop the current thread is running (null on
+// non-worker threads). One level is enough: a worker thread belongs to
+// exactly one pool for its whole life.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
+    : name_(std::move(name)) {
   require(num_threads >= 1, "ThreadPool: need at least one thread");
+  auto& registry = obs::MetricsRegistry::global();
+  queue_depth_gauge_ =
+      &registry.GetGauge("pool.queue_depth", {{"pool", name_}});
+  active_workers_gauge_ =
+      &registry.GetGauge("pool.active_workers", {{"pool", name_}});
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i)
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -23,13 +38,12 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::ObserveQueueDepth(std::size_t depth) {
-  static obs::Gauge& gauge =
-      obs::MetricsRegistry::global().GetGauge("threadpool.queue_depth");
-  gauge.Set(static_cast<double>(depth));
+bool ThreadPool::InWorkerThread() const {
+  return current_worker_pool == this;
 }
 
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   auto& registry = obs::MetricsRegistry::global();
   static obs::Counter& tasks_total =
       registry.GetCounter("threadpool.tasks_total");
@@ -45,7 +59,8 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
-      if (task.enqueue_ns != 0) ObserveQueueDepth(queue_.size());
+      if (task.enqueue_ns != 0)
+        queue_depth_gauge_->Set(double(queue_.size()));
     }
     // Tasks enqueued with metrics off carry no timestamp and charge no
     // clock reads here either.
@@ -53,8 +68,10 @@ void ThreadPool::WorkerLoop() {
       tasks_total.Increment();
       queue_wait_ms.Observe(
           double(obs::MonotonicNanos() - task.enqueue_ns) * 1e-6);
+      active_workers_gauge_->Add(1.0);
       obs::ScopedTimerMs timer(&task_ms);
       task.fn();
+      active_workers_gauge_->Add(-1.0);
     } else {
       task.fn();
     }
@@ -63,6 +80,13 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
+  // The no-nested-blocking contract: waiting for this pool's workers
+  // *from* one of this pool's workers deadlocks once every worker does
+  // it. The serving layer's two-pool split exists so cross-pool waits
+  // (request worker -> scan pool) are the only blocking waits.
+  assert(!InWorkerThread() &&
+         "ThreadPool::ParallelFor called from a worker of the same pool "
+         "(no-nested-blocking contract; use a separate pool)");
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;

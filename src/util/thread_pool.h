@@ -1,9 +1,34 @@
-// Fixed-size thread pool for parallel partition scans.
+// Fixed-size thread pool for parallel partition scans and request
+// scheduling.
 //
 // BLOT query processing is embarrassingly parallel over involved
 // partitions ("it is straightforward to conduct parallel query processing
 // by scanning multiple partitions simultaneously", Section II-D). The
-// executor uses this pool to decode and filter partitions concurrently.
+// executor uses this pool to decode and filter partitions concurrently;
+// the serving layer (src/serve) uses a second pool of the same type to
+// run whole queries concurrently.
+//
+// ## The no-nested-blocking contract
+//
+// A task running on a pool worker MUST NOT submit work to the *same*
+// pool and block on its completion: with all workers busy doing exactly
+// that, nobody is left to drain the queue and the pool deadlocks. This
+// is why the serving layer splits *request* parallelism (one pool
+// running whole queries) from *scan* parallelism (a second pool fanning
+// one query's partitions): a query task on the request pool may block on
+// ParallelFor of the scan pool, never of its own.
+//
+// The contract is enforced where the pool can see the blocking:
+// ParallelFor asserts (debug builds) that the calling thread is not a
+// worker of the pool it is about to wait on. Blocking on a future from
+// Submit cannot be intercepted; use InWorkerThread() to assert at such
+// call sites. Fire-and-forget Submit from a worker to its own pool is
+// fine (no wait, no deadlock) — the background-repair scheduling path
+// relies on that.
+//
+// Observability: each pool carries a name; `pool.queue_depth{pool=name}`
+// and `pool.active_workers{pool=name}` gauges track its load whenever
+// the global metrics registry is enabled (docs/observability.md).
 #ifndef BLOT_UTIL_THREAD_POOL_H_
 #define BLOT_UTIL_THREAD_POOL_H_
 
@@ -13,6 +38,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,8 +48,10 @@ namespace blot {
 
 class ThreadPool {
  public:
-  // Creates a pool with `num_threads` workers (>= 1).
-  explicit ThreadPool(std::size_t num_threads);
+  // Creates a pool with `num_threads` workers (>= 1). `name` labels the
+  // pool's gauges; pools sharing a name share gauge instances, so give
+  // long-lived pools distinct names ("scan", "request", ...).
+  explicit ThreadPool(std::size_t num_threads, std::string name = "scan");
 
   // Drains outstanding work and joins all workers.
   ~ThreadPool();
@@ -32,9 +60,17 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t num_threads() const { return workers_.size(); }
+  const std::string& name() const { return name_; }
 
-  // Enqueues a task and returns a future for its result. Tasks may not
-  // enqueue further tasks and wait on them (no nested blocking).
+  // True when the calling thread is one of this pool's workers. The
+  // building block for asserting the no-nested-blocking contract at
+  // call sites that wait on futures from Submit.
+  bool InWorkerThread() const;
+
+  // Enqueues a task and returns a future for its result. A task may
+  // submit further tasks to its own pool but must not block on them
+  // (see the contract above); waiting on the returned future from a
+  // worker of this same pool deadlocks when the pool is saturated.
   template <typename F>
   auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -49,7 +85,7 @@ class ThreadPool {
     {
       std::lock_guard lock(mutex_);
       queue_.push(QueuedTask{[task] { (*task)(); }, enqueue_ns});
-      if (enqueue_ns != 0) ObserveQueueDepth(queue_.size());
+      if (enqueue_ns != 0) queue_depth_gauge_->Set(double(queue_.size()));
     }
     cv_.notify_one();
     return future;
@@ -57,6 +93,8 @@ class ThreadPool {
 
   // Runs fn(i) for i in [0, n) across the pool and waits for completion.
   // Exceptions from tasks are rethrown (the first one encountered).
+  // Blocks, so it must not be called from a worker of this same pool
+  // (asserted in debug builds — the no-nested-blocking contract).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -66,8 +104,12 @@ class ThreadPool {
   };
 
   void WorkerLoop();
-  static void ObserveQueueDepth(std::size_t depth);
 
+  std::string name_;
+  // Stable gauge handles (metric handles never move once created), so
+  // the hot path skips the registry map lookup.
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* active_workers_gauge_ = nullptr;
   std::vector<std::thread> workers_;
   std::queue<QueuedTask> queue_;
   std::mutex mutex_;

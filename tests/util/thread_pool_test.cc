@@ -61,5 +61,48 @@ TEST(ThreadPoolTest, ManySmallBatches) {
   EXPECT_EQ(sum.load(), 20L * 4950L);
 }
 
+TEST(ThreadPoolTest, InWorkerThreadIdentifiesOwnPoolOnly) {
+  ThreadPool pool(2, "a");
+  ThreadPool other(1, "b");
+  EXPECT_FALSE(pool.InWorkerThread());
+  EXPECT_TRUE(pool.Submit([&] { return pool.InWorkerThread(); }).get());
+  EXPECT_FALSE(pool.Submit([&] { return other.InWorkerThread(); }).get());
+  // Cross-pool blocking is the sanctioned pattern (request -> scan).
+  EXPECT_EQ(pool.Submit([&] {
+                  int sum = 0;
+                  other.ParallelFor(4, [&](std::size_t) {});
+                  return sum + 1;
+                })
+                .get(),
+            1);
+}
+
+TEST(ThreadPoolTest, ExportsPerPoolGauges) {
+  auto& registry = obs::MetricsRegistry::global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  auto& depth = registry.GetGauge("pool.queue_depth", {{"pool", "gaugetest"}});
+  auto& active =
+      registry.GetGauge("pool.active_workers", {{"pool", "gaugetest"}});
+  {
+    ThreadPool pool(1, "gaugetest");
+    // One task parks the single worker; the next two sit in the queue,
+    // so the gauge must reach at least 2 at some enqueue.
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    auto a = pool.Submit([gate] { gate.wait(); });
+    auto b = pool.Submit([gate] { gate.wait(); });
+    auto c = pool.Submit([gate] { gate.wait(); });
+    EXPECT_GE(depth.value(), 2.0);
+    release.set_value();
+    a.get();
+    b.get();
+    c.get();
+  }
+  // All workers joined: nothing queued, nothing active.
+  EXPECT_EQ(active.value(), 0.0);
+  registry.set_enabled(was_enabled);
+}
+
 }  // namespace
 }  // namespace blot

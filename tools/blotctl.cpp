@@ -36,7 +36,9 @@
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
+#include "serve/server.h"
 #include "tools/flags.h"
+#include "util/stats.h"
 
 namespace blot::tools {
 namespace {
@@ -59,6 +61,7 @@ int Usage() {
       "  store-build --data FILE --out DIR [--schemes A;B;...]\n"
       "  store-query --dir DIR --range x0,x1,y0,y1,t0,t1 [--env s3|hadoop]\n"
       "             [--trace] [--profile] [--cache-mb N]\n"
+      "             [--concurrency N] [--repeat K]\n"
       "  advise     --data FILE [--records N] [--budget-gb G]\n"
       "             [--env s3|hadoop] [--algorithm greedy|mip]\n"
       "  stats      --dir DIR [--queries N] [--env s3|hadoop] [--seed S]\n"
@@ -76,6 +79,8 @@ int Usage() {
       "  structured JSONL events (quarantine/failover/repair/...); view\n"
       "  them with blotmon. store-query --profile prints the per-query\n"
       "  stage profile (single-threaded so stage times sum to the total).\n"
+      "  store-query --repeat K [--concurrency N] replays the query K\n"
+      "  times over N serving-layer workers and reports p50/p95.\n"
       "  stats --snapshots-out FILE [--snapshot-interval-ms N] samples the\n"
       "  registry on a background thread and writes snapshot JSONL.\n"
       "\n"
@@ -408,7 +413,12 @@ int CmdStoreBuild(const Flags& flags) {
   return 0;
 }
 
-// Routed query against a persisted multi-replica store.
+// Routed query against a persisted multi-replica store. With
+// --concurrency N and/or --repeat K the query runs K times scheduled
+// over N request workers through the serving layer (serve::QueryServer),
+// so the CLI exercises the same admission/scheduling path as a server;
+// exit codes are unchanged (a failing run surfaces its error, e.g. 4 on
+// QueryFailedError) and --profile prints the first run's stage profile.
 int CmdStoreQuery(const Flags& flags) {
   EnableMetricsIfRequested(flags);
   ConfigureCacheIfRequested(flags);
@@ -419,12 +429,70 @@ int CmdStoreQuery(const Flags& flags) {
   // the sub-stage wall times are additive and sum to the total.
   const bool profile_requested = flags.Has("profile");
   if (profile_requested) obs::MetricsRegistry::global().set_enabled(true);
+  const std::size_t concurrency =
+      static_cast<std::size_t>(flags.GetInt("concurrency", 1));
+  const std::size_t repeat =
+      static_cast<std::size_t>(flags.GetInt("repeat", 1));
+  require(concurrency >= 1, "--concurrency must be at least 1");
+  require(repeat >= 1, "--repeat must be at least 1");
+  const bool concurrent = concurrency > 1 || repeat > 1;
+  require(!(concurrent && flags.Has("trace")),
+          "--trace requires --concurrency 1 --repeat 1");
   // Non-const: Execute may quarantine and self-heal faulty partitions.
   BlotStore store = BlotStore::Load(flags.GetString("dir"));
   const STRange range = ParseRange(flags.GetString("range"));
   const std::string env_name = flags.GetString("env", "hadoop");
   const CostModel model{env_name == "s3" ? EnvironmentModel::AmazonS3Emr()
                                          : EnvironmentModel::LocalHadoop()};
+  if (concurrent) {
+    serve::ServerOptions options;
+    options.worker_threads = concurrency;
+    // The CLI never sheds its own runs: admit everything up front.
+    options.max_inflight = repeat + concurrency;
+    serve::QueryServer server(store, model, options);
+    std::vector<std::future<BlotStore::RoutedResult>> futures;
+    futures.reserve(repeat);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < repeat; ++k)
+      futures.push_back(server.Submit(range));
+    std::vector<double> run_ms;
+    run_ms.reserve(repeat);
+    std::size_t first_count = 0;
+    bool counts_agree = true;
+    for (std::size_t k = 0; k < repeat; ++k) {
+      // get() rethrows, so a failing run keeps the exit-code contract
+      // (QueryFailedError -> 4, CorruptData -> 3, ...).
+      const auto routed = futures[k].get();
+      run_ms.push_back(routed.measured_cost_ms);
+      if (k == 0) {
+        first_count = routed.result.records.size();
+        if (profile_requested)
+          std::fputs(routed.profile.Render().c_str(), stdout);
+        std::printf("routed to replica %zu (%s): %zu records\n",
+                    routed.replica_index,
+                    store.replica(routed.replica_index).config().Name().c_str(),
+                    first_count);
+      } else if (routed.result.records.size() != first_count) {
+        counts_agree = false;
+      }
+    }
+    server.Drain();
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    std::printf(
+        "%zu runs on %zu workers in %.2f ms (%.1f queries/s); "
+        "per-run p50 %.2f ms, p95 %.2f ms\n",
+        repeat, concurrency, wall_ms,
+        wall_ms > 0 ? 1000.0 * double(repeat) / wall_ms : 0.0,
+        Percentile(run_ms, 50), Percentile(run_ms, 95));
+    require(counts_agree, "concurrent runs returned differing record counts");
+    PrintCacheSummaryIfEnabled();
+    PrintFaultSummaryIfArmed(flags);
+    WriteMetricsIfRequested(flags);
+    CloseEventLogIfOpen();
+    return 0;
+  }
   ThreadPool pool(4);
   obs::TraceSpan root("store-query");
   const auto routed = [&] {
@@ -620,7 +688,8 @@ int Run(int argc, char** argv) {
   if (command == "store-query")
     return CmdStoreQuery({argc, argv, 2,
                           {"dir", "range", "env", "metrics-out",
-                           "cache-mb", "inject-faults", "event-log"},
+                           "cache-mb", "inject-faults", "event-log",
+                           "concurrency", "repeat"},
                           {"trace", "profile"}});
   if (command == "advise")
     return CmdAdvise({argc, argv, 2,
