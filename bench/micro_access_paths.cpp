@@ -6,11 +6,16 @@
 
 #include <filesystem>
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "gbench_capture.h"
 #include "blot/batch.h"
 #include "blot/segment_store.h"
 #include "blot/trajectory.h"
+#include "codec/columnar.h"
+#include "codec/simd/dispatch.h"
+#include "codec/simd/kernels.h"
 #include "core/workload.h"
 
 namespace blot {
@@ -197,6 +202,104 @@ BENCHMARK(BM_ScanNaiveDecodeThenFilter) FUSED_ARGS;
 BENCHMARK(BM_ScanFusedDecodeFilter) FUSED_ARGS;
 #undef FUSED_ARGS
 
+// --- Vectorized scan engine ---------------------------------------------
+//
+// Kernel-level scalar-vs-SIMD ratios and blocked-scan pruned-vs-unpruned
+// ratios. Arg 0 selects the engine (0 = scalar, 1 = the best engine this
+// binary + CPU supports) or the pruning mode (0 = off, 1 = on); ratios
+// between the two runs of the same binary are machine-independent.
+
+simd::ScanEngine BenchEngine(std::int64_t arg) {
+  return arg == 0 ? simd::ScanEngine::kScalar : simd::DetectScanEngine();
+}
+
+// Args: {engine, column}. Column 0 is the partition's oid column —
+// records are grouped per object, so its deltas are almost all zero:
+// the dense single-byte-varint shape the vector fast path targets, and
+// the tracked ratio. Column 1 is the time column, whose multi-byte
+// deltas mostly fall back to the scalar step — kept as untracked
+// context so a fast-path regression can't hide behind the mixed shape.
+void BM_DecodeDeltaKernel(benchmark::State& state) {
+  const simd::ScanEngine engine = BenchEngine(state.range(0));
+  std::vector<std::int64_t> values;
+  for (const Record& r : PartitionRecords())
+    values.push_back(state.range(1) == 0 ? std::int64_t(r.oid) : r.time);
+  ByteWriter writer;
+  EncodeDeltaColumn(writer, values);
+  const Bytes data = writer.buffer();
+  std::vector<std::int64_t> out(values.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::DecodeZigZagDeltaI64(
+        engine, data.data(), data.data() + data.size(), out.data(),
+        out.size()));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(std::string(simd::ScanEngineName(engine)) +
+                 (state.range(1) == 0 ? "/oid" : "/time"));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_DecodeDeltaKernel)
+    ->Args({0, 0})->Args({1, 0})->Args({0, 1})->Args({1, 1});
+
+void BM_FilterRangeKernel(benchmark::State& state) {
+  const simd::ScanEngine engine = BenchEngine(state.range(0));
+  std::vector<double> xs, ys, ts;
+  for (const Record& r : PartitionRecords()) {
+    xs.push_back(r.x);
+    ys.push_back(r.y);
+    ts.push_back(static_cast<double>(r.time));
+  }
+  const STRange q = SelectQuery(10);
+  const double bounds[6] = {q.x_min(), q.x_max(), q.y_min(),
+                            q.y_max(), q.t_min(), q.t_max()};
+  std::vector<std::uint64_t> bitmap((xs.size() + 63) / 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::FilterRangeBitmap(
+        engine, xs.data(), ys.data(), ts.data(), xs.size(), bounds,
+        bitmap.data()));
+    benchmark::DoNotOptimize(bitmap.data());
+  }
+  state.SetLabel(std::string(simd::ScanEngineName(engine)));
+  state.counters["records"] = static_cast<double>(xs.size());
+}
+BENCHMARK(BM_FilterRangeKernel)->Arg(0)->Arg(1);
+
+// Blocked scan with the zone map on/off over time-sorted, uncompressed
+// partitions and a 10% time window: sorted data gives blocks tight
+// disjoint time zones, and no codec keeps decode (the work pruning
+// saves) dominant. Args: {prune, selectivity pct}.
+const std::vector<Record>& SortedPartitionRecords() {
+  static const std::vector<Record> records = [] {
+    std::vector<Record> sorted = PartitionRecords();
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Record& a, const Record& b) { return a.time < b.time; });
+    return sorted;
+  }();
+  return records;
+}
+
+void BM_ScanBlockedZoneMap(benchmark::State& state) {
+  const bool prune = state.range(0) != 0;
+  const EncodingScheme scheme{Layout::kRow, CodecKind::kNone};
+  const Bytes data = EncodePartition(SortedPartitionRecords(), scheme);
+  const STRange query = SelectQuery(static_cast<int>(state.range(1)));
+  ScanCounters counters;
+  for (auto _ : state) {
+    std::vector<Record> matches =
+        DecodePartitionInRange(data, scheme, query, nullptr,
+                               LayoutFormat::kBlocked, prune, &counters);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetLabel(prune ? "pruned" : "unpruned");
+  state.counters["blocks_pruned_pct"] =
+      counters.blocks_total == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(counters.blocks_pruned) /
+                static_cast<double>(counters.blocks_total);
+}
+BENCHMARK(BM_ScanBlockedZoneMap)->Args({0, 10})->Args({1, 10});
+
 // End-to-end query path with the cache disabled: Replica::Execute runs
 // the fused kernel per involved partition.
 void BM_ExecuteFusedSelective(benchmark::State& state) {
@@ -234,6 +337,14 @@ void DeriveTracked(const CaptureReporter& reporter, BenchReport& report) {
         "BM_ScanFusedDecodeFilter/4/1");
   ratio("index_time_bucketing_speedup", "BM_IndexLookupTimeSelective/100",
         "BM_IndexLookupTimeSelective/1");
+  // Scan-engine ratios: scalar over the best engine / unpruned over
+  // pruned, runs of this same binary on the same data.
+  ratio("simd_speedup_delta_decode", "BM_DecodeDeltaKernel/0/0",
+        "BM_DecodeDeltaKernel/1/0");
+  ratio("simd_speedup_range_filter", "BM_FilterRangeKernel/0",
+        "BM_FilterRangeKernel/1");
+  ratio("zonemap_prune_speedup_row_10pct", "BM_ScanBlockedZoneMap/0/10",
+        "BM_ScanBlockedZoneMap/1/10");
 }
 
 }  // namespace

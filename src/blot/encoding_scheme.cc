@@ -29,24 +29,29 @@ std::vector<EncodingScheme> AllEncodingSchemes() {
 }
 
 Bytes EncodePartition(std::span<const Record> records,
-                      const EncodingScheme& scheme) {
-  const Bytes serialized = SerializeRecords(records, scheme.layout);
+                      const EncodingScheme& scheme, LayoutFormat format) {
+  const Bytes serialized = SerializeRecords(records, scheme.layout, format);
   return GetCodec(scheme.codec).Compress(serialized);
 }
 
 std::vector<Record> DecodePartition(BytesView data,
-                                    const EncodingScheme& scheme) {
+                                    const EncodingScheme& scheme,
+                                    LayoutFormat format) {
   const Bytes serialized = GetCodec(scheme.codec).Decompress(data);
-  return DeserializeRecords(serialized, scheme.layout);
+  return DeserializeRecords(serialized, scheme.layout, format);
 }
 
 std::vector<Record> DecodePartitionInRange(BytesView data,
                                            const EncodingScheme& scheme,
                                            const STRange& range,
-                                           std::uint64_t* total_records) {
+                                           std::uint64_t* total_records,
+                                           LayoutFormat format,
+                                           bool prune_blocks,
+                                           ScanCounters* counters) {
   const Bytes serialized = GetCodec(scheme.codec).Decompress(data);
   return DeserializeRecordsInRange(serialized, scheme.layout, range,
-                                   total_records);
+                                   total_records, format, prune_blocks,
+                                   counters);
 }
 
 double MeasureCompressionRatio(std::span<const Record> sample,

@@ -35,22 +35,29 @@ struct EncodingScheme {
 // performance in terms of both compression ratio and scan speed").
 std::vector<EncodingScheme> AllEncodingSchemes();
 
-// Encodes records: layout serialization followed by block compression.
+// Encodes records: layout serialization (under `format`) followed by
+// block compression.
 Bytes EncodePartition(std::span<const Record> records,
-                      const EncodingScheme& scheme);
+                      const EncodingScheme& scheme,
+                      LayoutFormat format = LayoutFormat::kBlocked);
 
-// Inverse of EncodePartition.
-std::vector<Record> DecodePartition(BytesView data,
-                                    const EncodingScheme& scheme);
+// Inverse of EncodePartition. `format` must match what the partition was
+// encoded with (segment manifests record it per partition).
+std::vector<Record> DecodePartition(
+    BytesView data, const EncodingScheme& scheme,
+    LayoutFormat format = LayoutFormat::kBlocked);
 
 // Fused decode-filter: decompresses, then deserializes only the records
 // inside `range` (layout.h's DeserializeRecordsInRange). Returns exactly
 // the records DecodePartition + filter would, in the same order;
 // `total_records` receives the partition's record count for scan
-// accounting.
+// accounting. Under kBlocked, `prune_blocks` controls zone-map block
+// skipping and `counters` receives block-level scan accounting.
 std::vector<Record> DecodePartitionInRange(
     BytesView data, const EncodingScheme& scheme, const STRange& range,
-    std::uint64_t* total_records = nullptr);
+    std::uint64_t* total_records = nullptr,
+    LayoutFormat format = LayoutFormat::kBlocked, bool prune_blocks = true,
+    ScanCounters* counters = nullptr);
 
 // Compressed bytes / uncompressed-row-layout bytes, measured on a sample
 // (Table I's metric; the paper estimates Storage(r) this way because

@@ -8,8 +8,19 @@
 //             delta+varint integers, XOR-coded doubles, RLE flags.
 //
 // Both layouts are lossless; a general-purpose codec is applied on top by
-// the encoding scheme. Serialized partitions begin with a varint record
-// count so decoders are self-contained.
+// the encoding scheme. Two wire formats exist:
+//
+//   kLegacy  — one monolithic run per partition (varint record count, then
+//              the whole payload). Retained so segments written before
+//              zone maps existed still load and scan.
+//   kBlocked — the partition is cut into blocks of kScanBlockRecords
+//              records; each block carries a zone-map header (min/max
+//              TIME and LOC over its records) plus its payload byte
+//              length, and every per-column transform restarts at the
+//              block boundary. Range scans consult the zone map and skip
+//              non-intersecting blocks without decoding them, and the
+//              surviving blocks decode through the vectorized kernels in
+//              codec/simd/ (engine picked at startup by CPUID).
 #ifndef BLOT_BLOT_LAYOUT_H_
 #define BLOT_BLOT_LAYOUT_H_
 
@@ -27,18 +38,45 @@ enum class Layout { kRow, kColumn };
 std::string_view LayoutName(Layout layout);
 Layout LayoutFromName(std::string_view name);
 
-// Serializes records under the given layout.
-Bytes SerializeRecords(std::span<const Record> records, Layout layout);
+// Wire format of a serialized partition. Numeric values are persisted in
+// segment manifests; never renumber.
+enum class LayoutFormat : std::uint8_t { kLegacy = 1, kBlocked = 2 };
+
+std::string_view LayoutFormatName(LayoutFormat format);
+
+// Records per block under kBlocked. Chosen so a block's columns stay
+// cache-resident while the per-block zone-map header (~55 bytes) stays
+// under 0.3% of a raw row block.
+inline constexpr std::size_t kScanBlockRecords = 512;
+
+// Scan-internal accounting for the blocked format, surfaced through the
+// query profile (zone_map_prune / simd sub-stages) and scan.* metrics.
+// Timings are captured only when `timed` is set — the two clock reads
+// per block are not free — counters always.
+struct ScanCounters {
+  std::uint64_t blocks_total = 0;   // blocks seen (scanned + pruned)
+  std::uint64_t blocks_pruned = 0;  // skipped via the zone map
+  std::uint64_t decode_ns = 0;      // decode+filter time in surviving blocks
+  std::uint64_t prune_ns = 0;       // header-parse+skip time of pruned blocks
+  bool timed = false;
+};
+
+// Serializes records under the given layout and wire format.
+Bytes SerializeRecords(std::span<const Record> records, Layout layout,
+                       LayoutFormat format = LayoutFormat::kBlocked);
 
 // Inverse of SerializeRecords; throws CorruptData on malformed input.
-std::vector<Record> DeserializeRecords(BytesView data, Layout layout);
+std::vector<Record> DeserializeRecords(
+    BytesView data, Layout layout,
+    LayoutFormat format = LayoutFormat::kBlocked);
 
 // Fused decode-filter kernel: deserializes `data` but materializes only
 // the records whose Position() lies inside `range` — exactly the records
 // DeserializeRecords + filter would return, in the same order.
 //
 //   kColumn — decodes the oid/time/x/y columns first, computes the match
-//             set against `range`, and only then materializes matching
+//             set against `range` (a selection bitmap via the vectorized
+//             filter under kBlocked), and only then materializes matching
 //             rows; when nothing matches, the five attribute columns are
 //             never decoded at all (predicate pushdown).
 //   kRow    — streams over the fixed-width rows, parsing the core
@@ -46,13 +84,18 @@ std::vector<Record> DeserializeRecords(BytesView data, Layout layout);
 //             that fall outside `range`; no intermediate full-partition
 //             vector is built.
 //
+// Under kBlocked with `prune_blocks`, whole blocks whose zone map does
+// not intersect `range` are skipped without touching their payload.
 // `total_records` (optional) receives the partition's record count from
-// the serialized header, for scan accounting and count validation. The
-// fused path validates the framing it actually touches; byte-level
+// the serialized header, for scan accounting and count validation;
+// `counters` (optional) receives block-level prune/decode accounting.
+// The fused path validates the framing it actually touches; byte-level
 // integrity is the caller's checksum's job.
 std::vector<Record> DeserializeRecordsInRange(
     BytesView data, Layout layout, const STRange& range,
-    std::uint64_t* total_records = nullptr);
+    std::uint64_t* total_records = nullptr,
+    LayoutFormat format = LayoutFormat::kBlocked, bool prune_blocks = true,
+    ScanCounters* counters = nullptr);
 
 }  // namespace blot
 

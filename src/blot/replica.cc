@@ -5,6 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include <cmath>
+
+#include "codec/simd/dispatch.h"
 #include "core/fault_injection.h"
 #include "core/partition_cache.h"
 #include "obs/metrics.h"
@@ -13,12 +16,40 @@
 namespace blot {
 namespace {
 
+// Exact TIME x LOC bounding cuboid over `records`, or nullopt when the
+// partition is empty or contains a NaN coordinate (no order → no zone).
+// Same semantics as the per-block zone maps in layout.cc, one level up.
+std::optional<STRange> ComputePartitionZone(
+    const std::vector<Record>& records) {
+  if (records.empty()) return std::nullopt;
+  double x_min = records[0].x, x_max = records[0].x;
+  double y_min = records[0].y, y_max = records[0].y;
+  std::int64_t t_min = records[0].time, t_max = records[0].time;
+  for (const Record& r : records) {
+    if (std::isnan(r.x) || std::isnan(r.y)) return std::nullopt;
+    x_min = std::min(x_min, r.x);
+    x_max = std::max(x_max, r.x);
+    y_min = std::min(y_min, r.y);
+    y_max = std::max(y_max, r.y);
+    t_min = std::min(t_min, r.time);
+    t_max = std::max(t_max, r.time);
+  }
+  return STRange::FromBounds(x_min, x_max, y_min, y_max,
+                             static_cast<double>(t_min),
+                             static_cast<double>(t_max));
+}
+
 // Encodes one partition's records under the replica's encoding config —
 // the shared physical-encode step of Build and RestorePartition.
 StoredPartition EncodeStoredPartition(const std::vector<Record>& records,
                                       const ReplicaConfig& config) {
   StoredPartition stored;
   stored.num_records = records.size();
+  stored.format = LayoutFormat::kBlocked;
+  if (const auto zone = ComputePartitionZone(records)) {
+    stored.has_zone = true;
+    stored.zone = *zone;
+  }
   if (config.policy == EncodingPolicy::kBestCodecPerPartition) {
     // Try every codec over the replica's layout and keep the smallest.
     const Bytes serialized = SerializeRecords(records, config.encoding.layout);
@@ -151,7 +182,7 @@ std::vector<Record> Replica::DecodePartitionRecords(
   VerifyPartition(partition);
   const StoredPartition& stored = partitions_[partition];
   std::vector<Record> records =
-      DecodePartition(stored.data, PartitionScheme(stored));
+      DecodePartition(stored.data, PartitionScheme(stored), stored.format);
   validate(records.size() == stored.num_records,
            "Replica: decoded record count mismatch");
   return records;
@@ -175,6 +206,13 @@ std::shared_ptr<const std::vector<Record>> Replica::CachedPartitionRecords(
 
 std::vector<Record> Replica::ScanPartitionInRange(
     std::size_t partition, const STRange& query) const {
+  return ScanPartitionInRange(partition, query,
+                              simd::ZoneMapPruningEnabled(), nullptr);
+}
+
+std::vector<Record> Replica::ScanPartitionInRange(
+    std::size_t partition, const STRange& query, bool prune_blocks,
+    ScanCounters* counters) const {
   require(partition < partitions_.size(),
           "Replica::ScanPartitionInRange: bad partition");
   MaybeInjectFault(partition);
@@ -182,7 +220,8 @@ std::vector<Record> Replica::ScanPartitionInRange(
   const StoredPartition& stored = partitions_[partition];
   std::uint64_t total_records = 0;
   std::vector<Record> matches = DecodePartitionInRange(
-      stored.data, PartitionScheme(stored), query, &total_records);
+      stored.data, PartitionScheme(stored), query, &total_records,
+      stored.format, prune_blocks, counters);
   validate(total_records == stored.num_records,
            "Replica: decoded record count mismatch");
   return matches;
@@ -197,7 +236,39 @@ StoredPartition& Replica::MutablePartition(std::size_t i) {
 
 QueryResult Replica::Execute(const STRange& query, ThreadPool* pool,
                              obs::QueryProfile* profile) const {
-  const std::vector<std::size_t> involved = index_.InvolvedPartitions(query);
+  ScanOptions options;
+  options.pool = pool;
+  options.profile = profile;
+  return Execute(query, options);
+}
+
+QueryResult Replica::Execute(const STRange& query,
+                             const ScanOptions& options) const {
+  ThreadPool* pool = options.pool;
+  obs::QueryProfile* profile = options.profile;
+  const bool prune =
+      options.zone_map_pruning.value_or(simd::ZoneMapPruningEnabled());
+  const std::vector<std::size_t> index_involved =
+      index_.InvolvedPartitions(query);
+  // Partition-level zone skip: the stored zone is the exact bounding
+  // cuboid over the partition's records, tighter than the partitioning
+  // cell the index tested, so a partition can survive the index and
+  // still be provably empty for this query.
+  std::vector<std::size_t> involved;
+  std::size_t zone_pruned = 0;
+  if (prune) {
+    involved.reserve(index_involved.size());
+    for (const std::size_t p : index_involved) {
+      const StoredPartition& sp = partitions_[p];
+      if (sp.has_zone && !query.Intersects(sp.zone)) {
+        ++zone_pruned;
+        continue;
+      }
+      involved.push_back(p);
+    }
+  } else {
+    involved = index_involved;
+  }
   QueryResult result;
   result.stats.partitions_scanned = involved.size();
 
@@ -205,6 +276,9 @@ QueryResult Replica::Execute(const STRange& query, ThreadPool* pool,
   const bool profiling = profile != nullptr;
   std::vector<std::vector<Record>> matches(involved.size());
   std::vector<QueryStats> stats(involved.size());
+  std::vector<ScanCounters> counters(involved.size());
+  if (profiling)
+    for (ScanCounters& c : counters) c.timed = true;
   // Sub-stage wall time per partition, merged single-threaded below so
   // the parallel scan never shares a profile accumulator.
   struct PartitionTimes {
@@ -241,7 +315,7 @@ QueryResult Replica::Execute(const STRange& query, ThreadPool* pool,
         // Fused decode-filter kernel: no intermediate full-partition
         // vector on this path.
         const std::uint64_t t0 = profiling ? obs::MonotonicNanos() : 0;
-        matches[k] = ScanPartitionInRange(p, query);
+        matches[k] = ScanPartitionInRange(p, query, prune, &counters[k]);
         if (profiling)
           times[k].decode_ms = double(obs::MonotonicNanos() - t0) * 1e-6;
         stats[k].records_scanned = partitions_[p].num_records;
@@ -253,8 +327,17 @@ QueryResult Replica::Execute(const STRange& query, ThreadPool* pool,
       fault_messages[k] = e.what();
     }
   };
-  if (pool != nullptr) {
-    pool->ParallelFor(involved.size(), scan_one);
+  // `workers` is the number of concurrent scan tasks; each walks the
+  // involved list with stride `workers`, so the k-indexed merge below is
+  // deterministic regardless of scheduling.
+  std::size_t workers = involved.size();
+  if (options.max_parallelism > 0)
+    workers = std::min(workers, options.max_parallelism);
+  if (pool != nullptr && workers > 1) {
+    const std::size_t n = involved.size();
+    pool->ParallelFor(workers, [&](std::size_t w) {
+      for (std::size_t k = w; k < n; k += workers) scan_one(k);
+    });
   } else {
     for (std::size_t k = 0; k < involved.size(); ++k) scan_one(k);
   }
@@ -287,17 +370,54 @@ QueryResult Replica::Execute(const STRange& query, ThreadPool* pool,
       profile->AddStage(obs::Stage::kDecode, times[k].decode_ms,
                         stats[k].bytes_read);
       profile->AddStage(obs::Stage::kFilter, times[k].filter_ms);
+      profile->AddStage(obs::Stage::kZoneMapPrune,
+                        double(counters[k].prune_ns) * 1e-6);
+      profile->AddStage(obs::Stage::kSimd,
+                        double(counters[k].decode_ns) * 1e-6);
       profile->cache_hit_bytes += stats[k].cache_hits != 0 ? encoded : 0;
       profile->cache_miss_bytes += stats[k].bytes_read;
     }
   }
+  std::uint64_t blocks_scanned = 0, blocks_pruned = 0;
+  for (const ScanCounters& c : counters) {
+    blocks_scanned += c.blocks_total - c.blocks_pruned;
+    blocks_pruned += c.blocks_pruned;
+  }
   if (profiling) {
     profile->partitions_touched += involved.size();
     profile->partitions_skipped += partitions_.size() - involved.size();
+    profile->partitions_zone_pruned += zone_pruned;
+    profile->blocks_scanned += blocks_scanned;
+    profile->blocks_pruned += blocks_pruned;
+    profile->scan_engine =
+        std::string(simd::ScanEngineName(simd::ActiveScanEngine()));
     profile->records_scanned += result.stats.records_scanned;
     profile->cache_hits += result.stats.cache_hits;
     profile->cache_misses += result.stats.cache_misses;
-    if (pool != nullptr && involved.size() > 1) profile->parallel_scan = true;
+    if (pool != nullptr && workers > 1) profile->parallel_scan = true;
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  if (registry.enabled()) {
+    static obs::Counter* blocks_scanned_total =
+        &registry.GetCounter("scan.blocks_scanned_total");
+    static obs::Counter* blocks_pruned_total =
+        &registry.GetCounter("scan.blocks_pruned_total");
+    static obs::Counter* zone_pruned_total =
+        &registry.GetCounter("scan.partitions_zone_pruned_total");
+    static auto* engine_scans = [] {
+      auto* counters = new std::array<obs::Counter*, 3>();
+      for (std::uint8_t e = 0; e < 3; ++e)
+        (*counters)[e] = &obs::MetricsRegistry::global().GetCounter(
+            "scan.engine_scans_total",
+            {{"engine", std::string(simd::ScanEngineName(
+                            static_cast<simd::ScanEngine>(e)))}});
+      return counters;
+    }();
+    blocks_scanned_total->Increment(blocks_scanned);
+    blocks_pruned_total->Increment(blocks_pruned);
+    zone_pruned_total->Increment(zone_pruned);
+    (*engine_scans)[static_cast<std::uint8_t>(simd::ActiveScanEngine())]
+        ->Increment();
   }
   return result;
 }

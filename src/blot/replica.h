@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -74,12 +75,21 @@ struct ReplicaConfig {
 
 // One storage unit: an encoded partition plus integrity metadata. `codec`
 // is the replica's codec under the uniform policy, or this partition's
-// chosen codec under kBestCodecPerPartition.
+// chosen codec under kBestCodecPerPartition. `format` is the wire format
+// the payload was serialized with (segments written before zone maps
+// existed load as kLegacy). `zone`, when `has_zone`, is the exact min/max
+// TIME x LOC cuboid over the partition's records — tighter than the
+// partitioning cell, so Execute can skip the whole partition without
+// touching its bytes; partitions containing NaN coordinates carry no
+// zone and are never skipped.
 struct StoredPartition {
   std::uint64_t num_records = 0;
   Bytes data;               // encoded (layout + codec) bytes
   std::uint64_t checksum = 0;  // FNV-1a of `data`
   CodecKind codec = CodecKind::kNone;
+  LayoutFormat format = LayoutFormat::kBlocked;
+  bool has_zone = false;
+  STRange zone;
 };
 
 // Per-query execution accounting, the raw inputs of the cost model:
@@ -99,6 +109,21 @@ struct QueryStats {
 struct QueryResult {
   std::vector<Record> records;
   QueryStats stats;
+};
+
+// Knobs for Replica::Execute. Results are byte-identical across every
+// combination — these trade time for resources, never answers.
+struct ScanOptions {
+  // Partitions scan concurrently when non-null.
+  ThreadPool* pool = nullptr;
+  // Filled with scan sub-stages and counters when non-null.
+  obs::QueryProfile* profile = nullptr;
+  // Cap on partitions scanned concurrently; 0 = one task per involved
+  // partition (the pool's width is the only limit).
+  std::size_t max_parallelism = 0;
+  // Overrides the process-wide zone-map toggle
+  // (simd::ZoneMapPruningEnabled) for this query when set.
+  std::optional<bool> zone_map_pruning;
 };
 
 class Replica {
@@ -147,6 +172,14 @@ class Replica {
   // no-cache kernel decodes and filters in one pass, accounted as
   // decode. Under a pool the sub-stages sum CPU time across workers
   // (profile->parallel_scan is set).
+  // Before any of that, partitions whose stored zone (see StoredPartition)
+  // does not intersect `query` are skipped outright — never read, decoded
+  // or fault-injected — and inside surviving blocked-format partitions the
+  // per-block zone maps prune non-intersecting blocks. The scan engine
+  // (scalar / SSE4.2 / AVX2, picked at startup) decodes the rest.
+  QueryResult Execute(const STRange& query, const ScanOptions& options) const;
+
+  // Convenience overload: default ScanOptions with the given pool/profile.
   QueryResult Execute(const STRange& query, ThreadPool* pool = nullptr,
                       obs::QueryProfile* profile = nullptr) const;
 
@@ -167,9 +200,15 @@ class Replica {
 
   // Fused decode-filter scan of one partition: the records of `partition`
   // inside `query`, without materializing the rest (layout.h). Verifies
-  // the checksum like DecodePartitionRecords.
+  // the checksum like DecodePartitionRecords. `prune_blocks` controls the
+  // block-level zone map (the two-arg overload follows the process-wide
+  // toggle); `counters` (optional) receives block-level accounting.
   std::vector<Record> ScanPartitionInRange(std::size_t partition,
                                            const STRange& query) const;
+  std::vector<Record> ScanPartitionInRange(std::size_t partition,
+                                           const STRange& query,
+                                           bool prune_blocks,
+                                           ScanCounters* counters) const;
 
   const StoredPartition& partition(std::size_t i) const {
     return partitions_[i];

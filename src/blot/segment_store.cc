@@ -9,7 +9,15 @@ namespace blot {
 namespace {
 
 constexpr std::uint64_t kManifestMagic = 0x31474553544F4C42ull;  // "BLOTSEG1"
-constexpr std::uint32_t kManifestVersion = 1;
+// Version history:
+//   1 — original layout: per-partition {range, num_records, offset, size,
+//       checksum, codec}. Payloads predate the blocked wire format.
+//   2 — adds per-partition {layout format, has_zone, zone range}: the
+//       wire format the payload was serialized with and the partition's
+//       exact bounding cuboid for zone-map pruning.
+// Load accepts both; version-1 partitions come back as kLegacy with no
+// zone, so old segment directories keep working unchanged.
+constexpr std::uint32_t kManifestVersion = 2;
 
 const char* kManifestName = "manifest.blot";
 const char* kSegmentsName = "segments.dat";
@@ -99,6 +107,9 @@ void SegmentStore::Save(const Replica& replica,
     manifest.PutVarint(stored.data.size());
     manifest.PutU64(stored.checksum);
     manifest.PutString(std::string(CodecKindName(stored.codec)));
+    manifest.PutU8(static_cast<std::uint8_t>(stored.format));
+    manifest.PutU8(stored.has_zone ? 1 : 0);
+    if (stored.has_zone) PutRange(manifest, stored.zone);
   }
   // Whole-manifest checksum excluding this trailing field.
   manifest.PutU64(Fnv1a64(manifest.buffer()));
@@ -118,7 +129,8 @@ Replica SegmentStore::Load(const std::filesystem::path& directory) {
   ByteReader manifest(body);
   validate(manifest.GetU64() == kManifestMagic,
            "SegmentStore: bad manifest magic");
-  validate(manifest.GetU32() == kManifestVersion,
+  const std::uint32_t version = manifest.GetU32();
+  validate(version == 1 || version == kManifestVersion,
            "SegmentStore: unsupported manifest version");
   ReplicaConfig config;
   config.encoding = EncodingScheme::FromName(manifest.GetString());
@@ -150,6 +162,22 @@ Replica SegmentStore::Load(const std::filesystem::path& directory) {
     const std::uint64_t size = manifest.GetVarint();
     stored.checksum = manifest.GetU64();
     stored.codec = CodecKindFromName(manifest.GetString());
+    if (version >= 2) {
+      const std::uint8_t format = manifest.GetU8();
+      validate(format == static_cast<std::uint8_t>(LayoutFormat::kLegacy) ||
+                   format == static_cast<std::uint8_t>(LayoutFormat::kBlocked),
+               "SegmentStore: unknown partition layout format");
+      stored.format = static_cast<LayoutFormat>(format);
+      const std::uint8_t has_zone = manifest.GetU8();
+      validate(has_zone <= 1, "SegmentStore: bad partition zone flag");
+      stored.has_zone = has_zone == 1;
+      if (stored.has_zone) stored.zone = GetRange(manifest);
+    } else {
+      // Pre-zone-map segment: the payload is the monolithic legacy wire
+      // format and no zone exists — the partition is never zone-skipped.
+      stored.format = LayoutFormat::kLegacy;
+      stored.has_zone = false;
+    }
     validate(offset + size <= segments.size(),
              "SegmentStore: segment extends past data file");
     stored.data.assign(segments.begin() + static_cast<std::ptrdiff_t>(offset),

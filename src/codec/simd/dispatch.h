@@ -1,0 +1,58 @@
+// Runtime dispatch for the vectorized scan engine.
+//
+// The scan kernels (codec/simd/kernels.h) come in up to three engine
+// flavors — scalar, SSE4.2 and AVX2 — that produce bit-identical output.
+// Which flavors exist in a given binary depends on compiler support
+// (CMake probes -msse4.2/-mavx2 and compiles the matching translation
+// units); which one runs is picked once at startup from CPUID, so a
+// binary built on a new machine still runs (scalar) on an old one.
+//
+// Overrides, in precedence order:
+//   BLOT_FORCE_SCALAR=1   — environment: pin the scalar fallback (CI runs
+//                           one leg this way so both paths stay tested).
+//   SetScanEngine(e)      — process-wide programmatic override for tests
+//                           and benchmarks; clamped to what the binary
+//                           and the CPU actually support.
+//
+// Zone-map block pruning has its own process-wide switch here (it is a
+// scan-engine concern: the blocked layout consults it before decode).
+// BLOT_DISABLE_ZONE_MAPS=1 turns it off at startup; per-query overrides
+// go through Replica::ScanOptions instead.
+#ifndef BLOT_CODEC_SIMD_DISPATCH_H_
+#define BLOT_CODEC_SIMD_DISPATCH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace blot::simd {
+
+enum class ScanEngine : std::uint8_t { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+// "scalar", "sse4.2", "avx2" — the label value of scan.engine metrics.
+std::string_view ScanEngineName(ScanEngine engine);
+
+// True when the engine's translation unit was compiled into this binary
+// (always true for kScalar).
+bool ScanEngineCompiledIn(ScanEngine engine);
+
+// The best engine this binary + CPU + environment supports: CPUID probe
+// clamped to compiled-in flavors, or kScalar under BLOT_FORCE_SCALAR=1.
+ScanEngine DetectScanEngine();
+
+// The process-wide engine the scan path uses; initialized lazily to
+// DetectScanEngine().
+ScanEngine ActiveScanEngine();
+
+// Overrides the active engine (clamped to supported flavors; returns the
+// engine actually installed). Tests use this to force the scalar path.
+ScanEngine SetScanEngine(ScanEngine engine);
+
+// Process-wide default for zone-map block pruning; per-query overrides
+// are threaded through the scan options. Defaults to on unless
+// BLOT_DISABLE_ZONE_MAPS=1 is set at startup.
+bool ZoneMapPruningEnabled();
+void SetZoneMapPruning(bool enabled);
+
+}  // namespace blot::simd
+
+#endif  // BLOT_CODEC_SIMD_DISPATCH_H_

@@ -1,0 +1,91 @@
+// Batch scan kernels: the hot inner loops of the blocked column scan.
+//
+// Each kernel decodes (or filters) one column block in a single call
+// over raw bytes, instead of value-at-a-time through ByteReader. All
+// engines are bit-identical: the SSE4.2/AVX2 flavors fast-path the dense
+// single-byte-varint case (the common shape for delta-coded oid/time
+// columns) and fall back to the scalar step otherwise, so output and
+// error behavior never depend on the engine. Decoders consume from
+// [p, end), write exactly `count` values to `out`, and return the number
+// of bytes consumed; malformed input (truncation, varint overflow,
+// overlong RLE runs) throws CorruptData with the same semantics as the
+// ByteReader-based decoders in codec/columnar.h.
+#ifndef BLOT_CODEC_SIMD_KERNELS_H_
+#define BLOT_CODEC_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "codec/simd/dispatch.h"
+
+namespace blot::simd {
+
+// Zig-zag varint deltas, prefix-summed from 0 (codec/columnar.h's
+// EncodeDeltaColumn inverse). Handles oid/time/heading/fare columns and
+// the integer half of quantized doubles.
+std::size_t DecodeZigZagDeltaI64(ScanEngine engine, const std::uint8_t* p,
+                                 const std::uint8_t* end, std::int64_t* out,
+                                 std::size_t count);
+
+// XOR-of-previous varint doubles (EncodeXorColumn inverse).
+std::size_t DecodeXorF64(ScanEngine engine, const std::uint8_t* p,
+                         const std::uint8_t* end, double* out,
+                         std::size_t count);
+
+// (value, varint run) pairs (EncodeRleColumn inverse).
+std::size_t DecodeRleU8(ScanEngine engine, const std::uint8_t* p,
+                        const std::uint8_t* end, std::uint8_t* out,
+                        std::size_t count);
+
+// Raw little-endian 32-bit floats (EncodeF32Column inverse).
+std::size_t DecodeF32(ScanEngine engine, const std::uint8_t* p,
+                      const std::uint8_t* end, float* out, std::size_t count);
+
+// Vectorized range filter: sets bit i of `bitmap` (little-endian 64-bit
+// words, zeroed by the kernel up to ceil(count/64) words) iff
+//   xs[i] in [bounds[0], bounds[1]] and ys[i] in [bounds[2], bounds[3]]
+//   and ts[i] in [bounds[4], bounds[5]]
+// with IEEE closed-interval compares (NaN coordinates never match), i.e.
+// exactly STRange::Contains on a non-empty range. Returns the match
+// count. Callers encode the empty range as inverted bounds (+inf, -inf).
+std::size_t FilterRangeBitmap(ScanEngine engine, const double* xs,
+                              const double* ys, const double* ts,
+                              std::size_t count, const double bounds[6],
+                              std::uint64_t* bitmap);
+
+namespace detail {
+
+// Per-engine flavors, linked only when CMake compiled the matching
+// translation unit (kernels_{sse42,avx2}.cc with -msse4.2/-mavx2).
+std::size_t DecodeZigZagDeltaI64Scalar(const std::uint8_t* p,
+                                       const std::uint8_t* end,
+                                       std::int64_t* out, std::size_t count);
+std::size_t DecodeZigZagDeltaI64Sse42(const std::uint8_t* p,
+                                      const std::uint8_t* end,
+                                      std::int64_t* out, std::size_t count);
+std::size_t DecodeZigZagDeltaI64Avx2(const std::uint8_t* p,
+                                     const std::uint8_t* end,
+                                     std::int64_t* out, std::size_t count);
+
+std::size_t FilterRangeBitmapScalar(const double* xs, const double* ys,
+                                    const double* ts, std::size_t count,
+                                    const double bounds[6],
+                                    std::uint64_t* bitmap);
+std::size_t FilterRangeBitmapSse42(const double* xs, const double* ys,
+                                   const double* ts, std::size_t count,
+                                   const double bounds[6],
+                                   std::uint64_t* bitmap);
+std::size_t FilterRangeBitmapAvx2(const double* xs, const double* ys,
+                                  const double* ts, std::size_t count,
+                                  const double bounds[6],
+                                  std::uint64_t* bitmap);
+
+// Shared scalar helpers for the vector flavors' leftovers: decode one
+// varint with ByteReader-equivalent error handling, advancing `p`.
+std::uint64_t GetVarint(const std::uint8_t*& p, const std::uint8_t* end);
+
+}  // namespace detail
+
+}  // namespace blot::simd
+
+#endif  // BLOT_CODEC_SIMD_KERNELS_H_

@@ -1,0 +1,103 @@
+// AVX2 kernel flavors. Compiled with -mavx2 only when the compiler
+// supports it (see src/codec/CMakeLists.txt); never executed unless
+// CPUID reports AVX2 at runtime (codec/simd/dispatch.cc).
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "codec/simd/kernels.h"
+#include "util/bytes.h"
+
+namespace blot::simd::detail {
+
+std::size_t DecodeZigZagDeltaI64Avx2(const std::uint8_t* p,
+                                     const std::uint8_t* end,
+                                     std::int64_t* out, std::size_t count) {
+  const std::uint8_t* start = p;
+  std::uint64_t prev = 0;
+  std::size_t i = 0;
+  const __m128i one = _mm_set1_epi8(1);
+  const __m128i low6 = _mm_set1_epi8(0x3F);
+  while (i + 16 <= count && end - p >= 16) {
+    const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    if (_mm_movemask_epi8(raw) != 0) {
+      // A continuation bit somewhere in the window: decode one varint the
+      // scalar way and retry the fast path at the next offset.
+      prev += static_cast<std::uint64_t>(ZigZagDecode(GetVarint(p, end)));
+      out[i++] = static_cast<std::int64_t>(prev);
+      continue;
+    }
+    // 16 single-byte varints: zig-zag decode in int8 lanes —
+    // (u >> 1) ^ -(u & 1) with u <= 0x7F, so u >> 1 fits in 6 bits.
+    const __m128i odd = _mm_cmpeq_epi8(_mm_and_si128(raw, one), one);
+    const __m128i half = _mm_and_si128(_mm_srli_epi16(raw, 1), low6);
+    const __m128i deltas = _mm_xor_si128(half, odd);
+    // Widen 4 deltas at a time to i64 lanes and prefix-sum across them.
+    const auto accumulate4 = [&](__m128i group) {
+      __m256i d = _mm256_cvtepi8_epi64(group);
+      d = _mm256_add_epi64(d, _mm256_slli_si256(d, 8));
+      __m256i carry = _mm256_permute4x64_epi64(d, _MM_SHUFFLE(1, 1, 1, 1));
+      carry = _mm256_blend_epi32(_mm256_setzero_si256(), carry, 0xF0);
+      d = _mm256_add_epi64(d, carry);
+      d = _mm256_add_epi64(
+          d, _mm256_set1_epi64x(static_cast<long long>(prev)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), d);
+      prev = static_cast<std::uint64_t>(_mm256_extract_epi64(d, 3));
+      i += 4;
+    };
+    accumulate4(deltas);
+    accumulate4(_mm_srli_si128(deltas, 4));
+    accumulate4(_mm_srli_si128(deltas, 8));
+    accumulate4(_mm_srli_si128(deltas, 12));
+    p += 16;
+  }
+  for (; i < count; ++i) {
+    prev += static_cast<std::uint64_t>(ZigZagDecode(GetVarint(p, end)));
+    out[i] = static_cast<std::int64_t>(prev);
+  }
+  return static_cast<std::size_t>(p - start);
+}
+
+std::size_t FilterRangeBitmapAvx2(const double* xs, const double* ys,
+                                  const double* ts, std::size_t count,
+                                  const double bounds[6],
+                                  std::uint64_t* bitmap) {
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) bitmap[w] = 0;
+  const __m256d x_lo = _mm256_set1_pd(bounds[0]);
+  const __m256d x_hi = _mm256_set1_pd(bounds[1]);
+  const __m256d y_lo = _mm256_set1_pd(bounds[2]);
+  const __m256d y_hi = _mm256_set1_pd(bounds[3]);
+  const __m256d t_lo = _mm256_set1_pd(bounds[4]);
+  const __m256d t_hi = _mm256_set1_pd(bounds[5]);
+  std::size_t matches = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d x = _mm256_loadu_pd(xs + i);
+    const __m256d y = _mm256_loadu_pd(ys + i);
+    const __m256d t = _mm256_loadu_pd(ts + i);
+    // Ordered-quiet compares: NaN lanes fail, matching the scalar flavor.
+    __m256d hit = _mm256_and_pd(_mm256_cmp_pd(x, x_lo, _CMP_GE_OQ),
+                                _mm256_cmp_pd(x, x_hi, _CMP_LE_OQ));
+    hit = _mm256_and_pd(hit, _mm256_cmp_pd(y, y_lo, _CMP_GE_OQ));
+    hit = _mm256_and_pd(hit, _mm256_cmp_pd(y, y_hi, _CMP_LE_OQ));
+    hit = _mm256_and_pd(hit, _mm256_cmp_pd(t, t_lo, _CMP_GE_OQ));
+    hit = _mm256_and_pd(hit, _mm256_cmp_pd(t, t_hi, _CMP_LE_OQ));
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_pd(hit)) & 0xF;
+    bitmap[i >> 6] |= static_cast<std::uint64_t>(mask) << (i & 63);
+    matches += static_cast<std::size_t>(__builtin_popcount(mask));
+  }
+  for (; i < count; ++i) {
+    const bool hit = xs[i] >= bounds[0] && xs[i] <= bounds[1] &&
+                     ys[i] >= bounds[2] && ys[i] <= bounds[3] &&
+                     ts[i] >= bounds[4] && ts[i] <= bounds[5];
+    bitmap[i >> 6] |= static_cast<std::uint64_t>(hit) << (i & 63);
+    matches += hit;
+  }
+  return matches;
+}
+
+}  // namespace blot::simd::detail
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,156 @@
+// Scalar reference kernels + the engine dispatchers. Always compiled:
+// this flavor defines the semantics the vector flavors must match
+// bit-for-bit, and is the fallback on CPUs (or builds) without SSE4.2 /
+// AVX2 support.
+#include <bit>
+#include <cstring>
+
+#include "codec/simd/kernels.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace blot::simd {
+
+namespace detail {
+
+std::uint64_t GetVarint(const std::uint8_t*& p, const std::uint8_t* end) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    validate(p < end, "simd: truncated varint");
+    const std::uint8_t byte = *p++;
+    validate(shift < 64, "simd: varint overflow");
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::size_t DecodeZigZagDeltaI64Scalar(const std::uint8_t* p,
+                                       const std::uint8_t* end,
+                                       std::int64_t* out, std::size_t count) {
+  const std::uint8_t* start = p;
+  // Deltas wrap modulo 2^64 like codec/columnar.h: unsigned accumulate.
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    prev += static_cast<std::uint64_t>(ZigZagDecode(GetVarint(p, end)));
+    out[i] = static_cast<std::int64_t>(prev);
+  }
+  return static_cast<std::size_t>(p - start);
+}
+
+std::size_t FilterRangeBitmapScalar(const double* xs, const double* ys,
+                                    const double* ts, std::size_t count,
+                                    const double bounds[6],
+                                    std::uint64_t* bitmap) {
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) bitmap[w] = 0;
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool hit = xs[i] >= bounds[0] && xs[i] <= bounds[1] &&
+                     ys[i] >= bounds[2] && ys[i] <= bounds[3] &&
+                     ts[i] >= bounds[4] && ts[i] <= bounds[5];
+    bitmap[i >> 6] |= static_cast<std::uint64_t>(hit) << (i & 63);
+    matches += hit;
+  }
+  return matches;
+}
+
+}  // namespace detail
+
+std::size_t DecodeZigZagDeltaI64(ScanEngine engine, const std::uint8_t* p,
+                                 const std::uint8_t* end, std::int64_t* out,
+                                 std::size_t count) {
+  switch (engine) {
+    case ScanEngine::kAvx2:
+#if BLOT_HAVE_AVX2
+      return detail::DecodeZigZagDeltaI64Avx2(p, end, out, count);
+#else
+      break;
+#endif
+    case ScanEngine::kSse42:
+#if BLOT_HAVE_SSE42
+      return detail::DecodeZigZagDeltaI64Sse42(p, end, out, count);
+#else
+      break;
+#endif
+    case ScanEngine::kScalar:
+      break;
+  }
+  return detail::DecodeZigZagDeltaI64Scalar(p, end, out, count);
+}
+
+std::size_t DecodeXorF64(ScanEngine /*engine*/, const std::uint8_t* p,
+                         const std::uint8_t* end, double* out,
+                         std::size_t count) {
+  // XOR'd IEEE bit patterns are mostly multi-byte varints, so the dense
+  // single-byte fast path never fires; one tuned flavor serves every
+  // engine.
+  const std::uint8_t* start = p;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    prev ^= detail::GetVarint(p, end);
+    out[i] = std::bit_cast<double>(prev);
+  }
+  return static_cast<std::size_t>(p - start);
+}
+
+std::size_t DecodeRleU8(ScanEngine /*engine*/, const std::uint8_t* p,
+                        const std::uint8_t* end, std::uint8_t* out,
+                        std::size_t count) {
+  // Run fills are memset-bound on every engine.
+  const std::uint8_t* start = p;
+  std::size_t filled = 0;
+  while (filled < count) {
+    validate(p < end, "simd: truncated RLE column");
+    const std::uint8_t value = *p++;
+    const std::uint64_t run = detail::GetVarint(p, end);
+    validate(run > 0 && run <= count - filled,
+             "DecodeRleColumn: run overflows column");
+    std::memset(out + filled, value, static_cast<std::size_t>(run));
+    filled += static_cast<std::size_t>(run);
+  }
+  return static_cast<std::size_t>(p - start);
+}
+
+std::size_t DecodeF32(ScanEngine /*engine*/, const std::uint8_t* p,
+                      const std::uint8_t* end, float* out, std::size_t count) {
+  validate(static_cast<std::size_t>(end - p) >= count * 4,
+           "simd: truncated f32 column");
+  for (std::size_t i = 0; i < count; ++i) {
+    // Explicit little-endian assembly, matching ByteReader::GetF32.
+    const std::uint32_t bits =
+        static_cast<std::uint32_t>(p[4 * i]) |
+        static_cast<std::uint32_t>(p[4 * i + 1]) << 8 |
+        static_cast<std::uint32_t>(p[4 * i + 2]) << 16 |
+        static_cast<std::uint32_t>(p[4 * i + 3]) << 24;
+    out[i] = std::bit_cast<float>(bits);
+  }
+  return count * 4;
+}
+
+std::size_t FilterRangeBitmap(ScanEngine engine, const double* xs,
+                              const double* ys, const double* ts,
+                              std::size_t count, const double bounds[6],
+                              std::uint64_t* bitmap) {
+  switch (engine) {
+    case ScanEngine::kAvx2:
+#if BLOT_HAVE_AVX2
+      return detail::FilterRangeBitmapAvx2(xs, ys, ts, count, bounds, bitmap);
+#else
+      break;
+#endif
+    case ScanEngine::kSse42:
+#if BLOT_HAVE_SSE42
+      return detail::FilterRangeBitmapSse42(xs, ys, ts, count, bounds,
+                                            bitmap);
+#else
+      break;
+#endif
+    case ScanEngine::kScalar:
+      break;
+  }
+  return detail::FilterRangeBitmapScalar(xs, ys, ts, count, bounds, bitmap);
+}
+
+}  // namespace blot::simd

@@ -1,0 +1,96 @@
+// SSE4.2 kernel flavors: the same fast paths as the AVX2 translation
+// unit at half width. Compiled with -msse4.2 only when the compiler
+// supports it; selected at runtime on CPUs with SSE4.2 but no AVX2.
+#if defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+#include <smmintrin.h>
+
+#include "codec/simd/kernels.h"
+#include "util/bytes.h"
+
+namespace blot::simd::detail {
+
+std::size_t DecodeZigZagDeltaI64Sse42(const std::uint8_t* p,
+                                      const std::uint8_t* end,
+                                      std::int64_t* out, std::size_t count) {
+  const std::uint8_t* start = p;
+  std::uint64_t prev = 0;
+  std::size_t i = 0;
+  const __m128i one = _mm_set1_epi8(1);
+  const __m128i low6 = _mm_set1_epi8(0x3F);
+  while (i + 16 <= count && end - p >= 16) {
+    const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    if (_mm_movemask_epi8(raw) != 0) {
+      prev += static_cast<std::uint64_t>(ZigZagDecode(GetVarint(p, end)));
+      out[i++] = static_cast<std::int64_t>(prev);
+      continue;
+    }
+    const __m128i odd = _mm_cmpeq_epi8(_mm_and_si128(raw, one), one);
+    const __m128i half = _mm_and_si128(_mm_srli_epi16(raw, 1), low6);
+    const __m128i deltas = _mm_xor_si128(half, odd);
+    const auto accumulate2 = [&](__m128i group) {
+      __m128i d = _mm_cvtepi8_epi64(group);
+      d = _mm_add_epi64(d, _mm_slli_si128(d, 8));
+      d = _mm_add_epi64(d, _mm_set1_epi64x(static_cast<long long>(prev)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), d);
+      prev = static_cast<std::uint64_t>(_mm_extract_epi64(d, 1));
+      i += 2;
+    };
+    accumulate2(deltas);
+    accumulate2(_mm_srli_si128(deltas, 2));
+    accumulate2(_mm_srli_si128(deltas, 4));
+    accumulate2(_mm_srli_si128(deltas, 6));
+    accumulate2(_mm_srli_si128(deltas, 8));
+    accumulate2(_mm_srli_si128(deltas, 10));
+    accumulate2(_mm_srli_si128(deltas, 12));
+    accumulate2(_mm_srli_si128(deltas, 14));
+    p += 16;
+  }
+  for (; i < count; ++i) {
+    prev += static_cast<std::uint64_t>(ZigZagDecode(GetVarint(p, end)));
+    out[i] = static_cast<std::int64_t>(prev);
+  }
+  return static_cast<std::size_t>(p - start);
+}
+
+std::size_t FilterRangeBitmapSse42(const double* xs, const double* ys,
+                                   const double* ts, std::size_t count,
+                                   const double bounds[6],
+                                   std::uint64_t* bitmap) {
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) bitmap[w] = 0;
+  const __m128d x_lo = _mm_set1_pd(bounds[0]);
+  const __m128d x_hi = _mm_set1_pd(bounds[1]);
+  const __m128d y_lo = _mm_set1_pd(bounds[2]);
+  const __m128d y_hi = _mm_set1_pd(bounds[3]);
+  const __m128d t_lo = _mm_set1_pd(bounds[4]);
+  const __m128d t_hi = _mm_set1_pd(bounds[5]);
+  std::size_t matches = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m128d x = _mm_loadu_pd(xs + i);
+    const __m128d y = _mm_loadu_pd(ys + i);
+    const __m128d t = _mm_loadu_pd(ts + i);
+    __m128d hit = _mm_and_pd(_mm_cmpge_pd(x, x_lo), _mm_cmple_pd(x, x_hi));
+    hit = _mm_and_pd(hit, _mm_cmpge_pd(y, y_lo));
+    hit = _mm_and_pd(hit, _mm_cmple_pd(y, y_hi));
+    hit = _mm_and_pd(hit, _mm_cmpge_pd(t, t_lo));
+    hit = _mm_and_pd(hit, _mm_cmple_pd(t, t_hi));
+    const unsigned mask = static_cast<unsigned>(_mm_movemask_pd(hit)) & 0x3;
+    bitmap[i >> 6] |= static_cast<std::uint64_t>(mask) << (i & 63);
+    matches += static_cast<std::size_t>(__builtin_popcount(mask));
+  }
+  for (; i < count; ++i) {
+    const bool hit = xs[i] >= bounds[0] && xs[i] <= bounds[1] &&
+                     ys[i] >= bounds[2] && ys[i] <= bounds[3] &&
+                     ts[i] >= bounds[4] && ts[i] <= bounds[5];
+    bitmap[i >> 6] |= static_cast<std::uint64_t>(hit) << (i & 63);
+    matches += hit;
+  }
+  return matches;
+}
+
+}  // namespace blot::simd::detail
+
+#endif  // defined(__SSE4_2__)

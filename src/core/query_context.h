@@ -75,6 +75,10 @@ class QueryContext {
   // MetricsRegistry::global().enabled() || trace != nullptr, latched at
   // construction.
   bool profiling = false;
+  // Cap on partitions scanned concurrently for this query
+  // (ScanOptions::max_parallelism); 0 = no cap beyond the pool's width.
+  // Snapshotted from the store's setting when the query starts.
+  std::size_t max_scan_parallelism = 0;
 
  private:
   explicit QueryContext(std::uint64_t id) : rng(id), query_id_(id) {}

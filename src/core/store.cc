@@ -193,6 +193,16 @@ void BlotStore::SetFailoverPolicy(const FailoverPolicy& policy) {
   policy_ = policy;
 }
 
+std::size_t BlotStore::max_scan_parallelism() const {
+  std::shared_lock lock(sync_->state_mutex);
+  return max_scan_parallelism_;
+}
+
+void BlotStore::SetMaxScanParallelism(std::size_t cap) {
+  std::unique_lock lock(sync_->state_mutex);
+  max_scan_parallelism_ = cap;
+}
+
 void BlotStore::WaitForRepairs() {
   std::vector<std::future<void>> pending;
   {
@@ -394,7 +404,11 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
     const std::uint64_t start_ns = obs::MonotonicNanos();
     try {
       obs::SpanTimer execute_timer(execute_span);
-      routed.result = rep.Execute(query, pool, profiling ? &profile : nullptr);
+      ScanOptions scan_options;
+      scan_options.pool = pool;
+      scan_options.profile = profiling ? &profile : nullptr;
+      scan_options.max_parallelism = ctx.max_scan_parallelism;
+      routed.result = rep.Execute(query, scan_options);
       routed.measured_cost_ms =
           double(obs::MonotonicNanos() - start_ns) * 1e-6;
       routed.replica_index = idx;
@@ -533,6 +547,7 @@ BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
   {
     std::shared_lock lock(sync_->state_mutex);
     policy = policy_;  // per-query snapshot; retunes never tear a query
+    ctx.max_scan_parallelism = max_scan_parallelism_;
     routed = ExecuteWithFailover(query, model, policy, pool, ctx);
   }
   const std::uint64_t repair_start =

@@ -128,6 +128,13 @@ class BlotStore {
   FailoverPolicy failover_policy() const;
   void SetFailoverPolicy(const FailoverPolicy& policy);
 
+  // Cap on partitions one query scans concurrently (Replica::ScanOptions
+  // ::max_parallelism); 0 = no cap beyond the pool's width. Lets a
+  // deployment bound per-query fan-out so one broad query cannot occupy
+  // the whole scan pool. Synchronizes like the failover policy.
+  std::size_t max_scan_parallelism() const;
+  void SetMaxScanParallelism(std::size_t cap);
+
   // The per-replica, per-partition health map driving routing and repair.
   const HealthMap& health() const { return *health_; }
 
@@ -333,6 +340,7 @@ class BlotStore {
   std::vector<Replica> replicas_;
   std::vector<ReplicaSketch> sketches_;
   FailoverPolicy policy_;  // guarded by sync_->state_mutex
+  std::size_t max_scan_parallelism_ = 0;  // guarded by sync_->state_mutex
   std::unique_ptr<HealthMap> health_ = std::make_unique<HealthMap>();
   std::unique_ptr<SyncState> sync_ = std::make_unique<SyncState>();
   std::unique_ptr<Telemetry> telemetry_ = std::make_unique<Telemetry>();

@@ -11,7 +11,7 @@ namespace {
 
 constexpr std::array<std::string_view, kStageCount> kStageNames = {
     "route",   "execute", "failover", "repair",
-    "cache_probe", "decode", "filter",
+    "cache_probe", "decode", "filter", "zone_map_prune", "simd",
 };
 
 }  // namespace
@@ -43,6 +43,11 @@ std::string QueryProfile::ToJson() const {
   out += "},\"partitions_touched\":" + std::to_string(partitions_touched) +
          ",\"partitions_skipped\":" + std::to_string(partitions_skipped) +
          ",\"records_scanned\":" + std::to_string(records_scanned) +
+         ",\"blocks_scanned\":" + std::to_string(blocks_scanned) +
+         ",\"blocks_pruned\":" + std::to_string(blocks_pruned) +
+         ",\"partitions_zone_pruned\":" +
+         std::to_string(partitions_zone_pruned) +
+         ",\"scan_engine\":\"" + scan_engine + "\"" +
          ",\"cache_hits\":" + std::to_string(cache_hits) +
          ",\"cache_misses\":" + std::to_string(cache_misses) +
          ",\"cache_hit_bytes\":" + std::to_string(cache_hit_bytes) +
@@ -69,6 +74,14 @@ void QueryProfile::ExportToSpan(TraceSpan& span) const {
   }
   span.AddAttribute("profile.partitions_touched", partitions_touched);
   span.AddAttribute("profile.partitions_skipped", partitions_skipped);
+  if (blocks_scanned != 0 || blocks_pruned != 0) {
+    span.AddAttribute("profile.blocks_scanned", blocks_scanned);
+    span.AddAttribute("profile.blocks_pruned", blocks_pruned);
+    span.AddAttribute("profile.partitions_zone_pruned",
+                      partitions_zone_pruned);
+  }
+  if (!scan_engine.empty())
+    span.AddAttribute("profile.scan_engine", scan_engine);
   span.AddAttribute("profile.cache_hit_bytes", cache_hit_bytes);
   span.AddAttribute("profile.cache_miss_bytes", cache_miss_bytes);
   span.AddAttribute("profile.attempts", std::uint64_t{attempts});
@@ -113,6 +126,17 @@ std::string QueryProfile::Render() const {
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses));
   out += buf;
+  if (blocks_scanned != 0 || blocks_pruned != 0 || !scan_engine.empty()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "engine=%s blocks=%llu scanned, %llu zone-pruned "
+        "(+%llu whole partitions)\n",
+        scan_engine.empty() ? "n/a" : scan_engine.c_str(),
+        static_cast<unsigned long long>(blocks_scanned),
+        static_cast<unsigned long long>(blocks_pruned),
+        static_cast<unsigned long long>(partitions_zone_pruned));
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "estimated_cost=%.3f ms measured_cost=%.3f ms "
                 "error=%.1f%%\n",

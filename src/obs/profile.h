@@ -12,11 +12,16 @@
 //    wall-clock intervals measured on the calling thread, so their sum
 //    tracks the query's total wall time (blotctl --profile relies on
 //    this: sum within 10% of total).
-//  * Sub-stages (cache_probe, decode, filter) are accumulated per
-//    partition inside the scan and nest within `execute`. Under a
-//    thread pool, partitions scan concurrently, so sub-stage times are
-//    CPU time across workers and may exceed the execute wall time;
-//    `parallel_scan` flags that case for tools.
+//  * Sub-stages (cache_probe, decode, filter, zone_map_prune, simd) are
+//    accumulated per partition inside the scan and nest within
+//    `execute`. Under a thread pool, partitions scan concurrently, so
+//    sub-stage times are CPU time across workers and may exceed the
+//    execute wall time; `parallel_scan` flags that case for tools.
+//
+// zone_map_prune is the time spent parsing-and-skipping block headers
+// that the zone map pruned; simd is the time spent inside the
+// vectorized block decode+filter kernels (surviving blocks only), a
+// refinement of decode/filter for the blocked wire format.
 #ifndef BLOT_OBS_PROFILE_H_
 #define BLOT_OBS_PROFILE_H_
 
@@ -39,9 +44,11 @@ enum class Stage : std::uint8_t {
   kCacheProbe,
   kDecode,
   kFilter,
+  kZoneMapPrune,  // appended after kFilter: persisted indices stay stable
+  kSimd,
 };
 inline constexpr std::size_t kTopLevelStageCount = 4;
-inline constexpr std::size_t kStageCount = 7;
+inline constexpr std::size_t kStageCount = 9;
 
 // "route", "execute", ... — the label value used by the
 // query.stage_ms{stage=...} histograms and every exporter.
@@ -58,6 +65,10 @@ struct QueryProfile {
   std::uint64_t partitions_touched = 0;  // scanned (cache or decode)
   std::uint64_t partitions_skipped = 0;  // pruned by the partition index
   std::uint64_t records_scanned = 0;
+  std::uint64_t blocks_scanned = 0;          // blocked format: decoded blocks
+  std::uint64_t blocks_pruned = 0;           // blocked format: zone-map skips
+  std::uint64_t partitions_zone_pruned = 0;  // whole-partition zone skips
+  std::string scan_engine;                   // "scalar"/"sse4.2"/"avx2"
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_hit_bytes = 0;

@@ -50,6 +50,8 @@ QueryServer::QueryServer(BlotStore& store, CostModel model,
           "QueryServer: latency_ewma_alpha must be in (0, 1]");
   if (options_.scan_threads > 0)
     scan_pool_ = std::make_unique<ThreadPool>(options_.scan_threads, "scan");
+  if (options_.max_scan_parallelism > 0)
+    store_.SetMaxScanParallelism(options_.max_scan_parallelism);
   request_pool_ =
       std::make_unique<ThreadPool>(options_.worker_threads, "request");
 }

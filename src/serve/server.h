@@ -80,6 +80,10 @@ struct ServerOptions {
   // Scan pool size for intra-query partition parallelism; 0 disables
   // the second pool (each query scans single-threaded).
   std::size_t scan_threads = 0;
+  // Cap on partitions one query scans concurrently on the scan pool
+  // (BlotStore::SetMaxScanParallelism); 0 = no per-query cap. Keeps one
+  // broad query from monopolizing the shared scan pool.
+  std::size_t max_scan_parallelism = 0;
   // Admission ceiling on in-flight queries (admitted, not finished).
   // Must be >= 1.
   std::size_t max_inflight = 64;

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "blot/batch.h"
+#include "codec/simd/dispatch.h"
 #include "core/cost_model.h"
 #include "core/partition_cache.h"
 #include "core/store.h"
@@ -17,9 +18,29 @@
 #include "simenv/environment.h"
 #include "testing/oracle.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace blot::testing {
 namespace {
+
+// Scoped overrides of the process-wide scan knobs, exception-safe so a
+// throwing check can't leak a forced engine into later iterations.
+struct EngineGuard {
+  simd::ScanEngine prev;
+  explicit EngineGuard(simd::ScanEngine engine)
+      : prev(simd::ActiveScanEngine()) {
+    simd::SetScanEngine(engine);
+  }
+  ~EngineGuard() { simd::SetScanEngine(prev); }
+};
+
+struct ZonePruneGuard {
+  bool prev;
+  explicit ZonePruneGuard(bool enabled) : prev(simd::ZoneMapPruningEnabled()) {
+    simd::SetZoneMapPruning(enabled);
+  }
+  ~ZonePruneGuard() { simd::SetZoneMapPruning(prev); }
+};
 
 std::uint64_t SplitMix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
@@ -83,6 +104,17 @@ struct Iteration {
   Dataset dataset;
   Oracle oracle;
   std::vector<ReplicaConfig> configs;
+  // Lazily created: only the parallel cells of the scan matrix pay for
+  // it. Parallel checks run in clean mode only — fault fire budgets are
+  // consumed in execution order, so a pooled scan would make injected
+  // faults land nondeterministically.
+  std::unique_ptr<ThreadPool> scan_pool;
+
+  ThreadPool& ScanPool() {
+    if (scan_pool == nullptr)
+      scan_pool = std::make_unique<ThreadPool>(2, "diff-scan");
+    return *scan_pool;
+  }
 
   Iteration(const DifferentialOptions& opts, std::size_t i,
             DifferentialReport& rep, std::ostream* out)
@@ -209,6 +241,14 @@ struct Iteration {
         CheckUnderFaults("store-routed", query, expected, [&] {
           return store.Execute(query, model).result.records;
         });
+        // Same routed path with zone-map pruning off: pruning changes
+        // which partition reads happen (a zone-skipped partition is
+        // never read, so its fault never fires), and quarantine/failover
+        // must stay correct in both worlds.
+        CheckUnderFaults("store-routed-unpruned", query, expected, [&] {
+          ZonePruneGuard prune_guard(false);
+          return store.Execute(query, model).result.records;
+        });
         continue;
       }
       CheckReplicaPaths(store, query, expected);
@@ -264,6 +304,36 @@ struct Iteration {
         Check("replica-cache-warm" + tag, query, expected,
               [&] { return replica.Execute(query).records; });
         PartitionCache::Global().Configure(0);
+      }
+
+      // Scan-engine matrix: {scalar, best engine} x {pruned, unpruned} x
+      // {serial, parallel} must all return the oracle's records. The
+      // best-engine/pruned/serial cell is replica-execute above; on a
+      // scalar-only machine the engine axis collapses to one value.
+      const simd::ScanEngine best = simd::ActiveScanEngine();
+      std::vector<simd::ScanEngine> engines{simd::ScanEngine::kScalar};
+      if (best != simd::ScanEngine::kScalar) engines.push_back(best);
+      for (const simd::ScanEngine engine : engines) {
+        for (const bool pruned : {true, false}) {
+          for (const bool parallel : {false, true}) {
+            if (engine == best && pruned && !parallel) continue;
+            const std::string name =
+                std::string("replica-scan[") +
+                std::string(simd::ScanEngineName(engine)) +
+                (pruned ? ";pruned" : ";unpruned") +
+                (parallel ? ";parallel" : ";serial") + "]" + tag;
+            Check(name, query, expected, [&] {
+              EngineGuard engine_guard(engine);
+              ScanOptions scan;
+              scan.pool = parallel ? &ScanPool() : nullptr;
+              // A tiny cap exercises the strided fan-out, not just the
+              // one-task-per-partition path.
+              scan.max_parallelism = parallel ? 2 : 0;
+              scan.zone_map_pruning = pruned;
+              return replica.Execute(query, scan).records;
+            });
+          }
+        }
       }
     }
     // Metamorphic replica-pair equivalence. Redundant given the oracle
@@ -450,6 +520,12 @@ struct Iteration {
       bool corrupted_any = false;
       for (const std::size_t p :
            store.replica(victim).index().InvolvedPartitions(query)) {
+        // Only corrupt partitions the scan will actually read: a
+        // partition whose stored zone misses the query is zone-skipped
+        // before its bytes are touched, so corrupting (and counting) it
+        // would let the victim serve the query non-degraded.
+        const StoredPartition& stored = store.replica(victim).partition(p);
+        if (stored.has_zone && !query.Intersects(stored.zone)) continue;
         StoredPartition& unit =
             store.mutable_replica(victim).MutablePartition(p);
         if (unit.data.empty()) continue;

@@ -87,9 +87,18 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(LayoutPropertyTest, RowLayoutIsFixedWidth) {
   const std::vector<Record> records = FleetRecords(2, 100);
-  const Bytes data = SerializeRecords(records, Layout::kRow);
+  const Bytes legacy =
+      SerializeRecords(records, Layout::kRow, LayoutFormat::kLegacy);
   // Varint count prefix (2 bytes for 200) + fixed rows.
-  EXPECT_EQ(data.size(), 2 + records.size() * kRecordRowBytes);
+  EXPECT_EQ(legacy.size(), 2 + records.size() * kRecordRowBytes);
+  // The blocked format adds only per-block framing on top of the same
+  // fixed rows: count + block size prefixes, then one ~55-byte header
+  // (count, flags, zone bounds, payload length) per 512-record block.
+  const Bytes blocked = SerializeRecords(records, Layout::kRow);
+  const std::size_t blocks =
+      (records.size() + kScanBlockRecords - 1) / kScanBlockRecords;
+  EXPECT_GT(blocked.size(), records.size() * kRecordRowBytes);
+  EXPECT_LE(blocked.size(), records.size() * kRecordRowBytes + 4 + 64 * blocks);
 }
 
 TEST(LayoutPropertyTest, ColumnLayoutIsSmallerOnTrajectoryData) {

@@ -1,0 +1,349 @@
+// Engine-equivalence and edge-case tests for the vectorized scan
+// kernels. Every compiled-in engine must produce bit-identical output
+// and identical error behavior to the scalar reference on the same
+// bytes — that is the contract that lets DetectScanEngine pick freely.
+#include "codec/simd/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "codec/columnar.h"
+#include "codec/simd/dispatch.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace blot::simd {
+namespace {
+
+std::vector<ScanEngine> CompiledEngines() {
+  std::vector<ScanEngine> engines{ScanEngine::kScalar};
+  if (ScanEngineCompiledIn(ScanEngine::kSse42))
+    engines.push_back(ScanEngine::kSse42);
+  if (ScanEngineCompiledIn(ScanEngine::kAvx2))
+    engines.push_back(ScanEngine::kAvx2);
+  return engines;
+}
+
+Bytes EncodeDelta(const std::vector<std::int64_t>& values) {
+  ByteWriter out;
+  EncodeDeltaColumn(out, values);
+  return out.Take();
+}
+
+// Checks all compiled-in engines against the values the column was
+// encoded from, and against each other's consumed-byte counts.
+void ExpectDeltaDecodes(const std::vector<std::int64_t>& values) {
+  const Bytes data = EncodeDelta(values);
+  const std::uint8_t* p = data.data();
+  const std::uint8_t* end = p + data.size();
+  for (const ScanEngine engine : CompiledEngines()) {
+    std::vector<std::int64_t> out(values.size());
+    const std::size_t used =
+        DecodeZigZagDeltaI64(engine, p, end, out.data(), out.size());
+    EXPECT_EQ(used, data.size()) << ScanEngineName(engine);
+    EXPECT_EQ(out, values) << ScanEngineName(engine);
+  }
+}
+
+TEST(SimdDeltaDecodeTest, AllEnginesMatchEncoderInverse) {
+  // Dense single-byte deltas: the vector fast path end to end.
+  std::vector<std::int64_t> dense;
+  for (int i = 0; i < 1000; ++i) dense.push_back(i * 3 - (i % 7));
+  ExpectDeltaDecodes(dense);
+
+  // Large jumps force multi-byte varints on every value.
+  std::vector<std::int64_t> sparse;
+  std::int64_t v = 0;
+  for (int i = 0; i < 300; ++i) {
+    v += (i % 2 ? 1 : -1) * (std::int64_t(1) << (i % 50));
+    sparse.push_back(v);
+  }
+  ExpectDeltaDecodes(sparse);
+}
+
+TEST(SimdDeltaDecodeTest, MixedRunsCrossTheSixteenByteFastPath) {
+  // Alternate long single-byte runs with multi-byte spikes so the
+  // vector flavors repeatedly enter and exit the 16-byte fast path at
+  // every offset mod 16.
+  std::mt19937_64 rng(42);
+  std::vector<std::int64_t> values;
+  std::int64_t v = 0;
+  for (int run = 0; run < 40; ++run) {
+    const std::size_t len = 1 + rng() % 37;
+    for (std::size_t i = 0; i < len; ++i) {
+      v += std::int64_t(rng() % 64) - 31;  // one-byte zig-zag deltas
+      values.push_back(v);
+    }
+    v += std::int64_t(rng()) % (std::int64_t(1) << 40);  // spike
+    values.push_back(v);
+  }
+  ExpectDeltaDecodes(values);
+}
+
+TEST(SimdDeltaDecodeTest, ExtremeValuesRoundTrip) {
+  ExpectDeltaDecodes({std::numeric_limits<std::int64_t>::max(),
+                      std::numeric_limits<std::int64_t>::min(), 0, -1, 1,
+                      std::numeric_limits<std::int64_t>::min()});
+}
+
+TEST(SimdDeltaDecodeTest, CountsOfEveryResidueMod16) {
+  // The fast path handles 16 values per step; make sure every leftover
+  // length through the scalar tail is exercised.
+  for (std::size_t n = 0; n <= 48; ++n) {
+    std::vector<std::int64_t> values;
+    for (std::size_t i = 0; i < n; ++i) values.push_back(std::int64_t(i) * 5);
+    ExpectDeltaDecodes(values);
+  }
+}
+
+TEST(SimdDeltaDecodeTest, TruncatedInputThrows) {
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 64; ++i) values.push_back(i * 1000003);  // multi-byte
+  const Bytes data = EncodeDelta(values);
+  for (const ScanEngine engine : CompiledEngines()) {
+    for (const std::size_t cut : {std::size_t(0), std::size_t(1),
+                                  data.size() / 2, data.size() - 1}) {
+      std::vector<std::int64_t> out(values.size());
+      EXPECT_THROW(DecodeZigZagDeltaI64(engine, data.data(),
+                                        data.data() + cut, out.data(),
+                                        out.size()),
+                   CorruptData)
+          << ScanEngineName(engine) << " cut=" << cut;
+    }
+  }
+}
+
+TEST(SimdDeltaDecodeTest, VarintOverflowThrows) {
+  // Eleven continuation bytes: shift reaches 70 before termination.
+  const std::vector<std::uint8_t> bad(11, 0x80);
+  for (const ScanEngine engine : CompiledEngines()) {
+    std::int64_t out = 0;
+    EXPECT_THROW(DecodeZigZagDeltaI64(engine, bad.data(),
+                                      bad.data() + bad.size(), &out, 1),
+                 CorruptData)
+        << ScanEngineName(engine);
+  }
+}
+
+TEST(SimdDeltaDecodeTest, MaxLengthVarintDecodes) {
+  // 10-byte varint carrying all 64 bits: zig-zag of UINT64_MAX is
+  // int64 min.
+  std::vector<std::uint8_t> max10(10, 0xFF);
+  max10[9] = 0x01;
+  for (const ScanEngine engine : CompiledEngines()) {
+    std::int64_t out = 0;
+    const std::size_t used = DecodeZigZagDeltaI64(
+        engine, max10.data(), max10.data() + max10.size(), &out, 1);
+    EXPECT_EQ(used, 10u) << ScanEngineName(engine);
+    EXPECT_EQ(out, std::numeric_limits<std::int64_t>::min())
+        << ScanEngineName(engine);
+  }
+}
+
+TEST(SimdXorDecodeTest, AllEnginesMatchEncoderInverse) {
+  std::mt19937_64 rng(7);
+  std::vector<double> values;
+  double x = 121.47;
+  for (int i = 0; i < 777; ++i) {
+    x += double(rng() % 1000) * 1e-6 - 5e-4;
+    values.push_back(x);
+  }
+  values.push_back(std::numeric_limits<double>::quiet_NaN());
+  values.push_back(-std::numeric_limits<double>::infinity());
+  ByteWriter enc;
+  EncodeXorColumn(enc, values);
+  const Bytes data = enc.buffer();
+  for (const ScanEngine engine : CompiledEngines()) {
+    std::vector<double> out(values.size());
+    const std::size_t used = DecodeXorF64(engine, data.data(),
+                                          data.data() + data.size(),
+                                          out.data(), out.size());
+    EXPECT_EQ(used, data.size()) << ScanEngineName(engine);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (std::isnan(values[i]))
+        EXPECT_TRUE(std::isnan(out[i])) << ScanEngineName(engine);
+      else
+        EXPECT_EQ(out[i], values[i]) << ScanEngineName(engine) << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdRleDecodeTest, AllEnginesMatchEncoderInverse) {
+  std::vector<std::uint8_t> values;
+  for (int run = 0; run < 30; ++run)
+    values.insert(values.end(), 1 + (run * 13) % 200,
+                  std::uint8_t(run % 5));
+  ByteWriter enc;
+  EncodeRleColumn(enc, values);
+  const Bytes data = enc.buffer();
+  for (const ScanEngine engine : CompiledEngines()) {
+    std::vector<std::uint8_t> out(values.size());
+    const std::size_t used =
+        DecodeRleU8(engine, data.data(), data.data() + data.size(),
+                    out.data(), out.size());
+    EXPECT_EQ(used, data.size()) << ScanEngineName(engine);
+    EXPECT_EQ(out, values) << ScanEngineName(engine);
+  }
+}
+
+TEST(SimdRleDecodeTest, OverlongRunThrows) {
+  // A run longer than the requested count must throw, not overflow out.
+  ByteWriter enc;
+  EncodeRleColumn(enc, std::vector<std::uint8_t>(10, 3));
+  const Bytes data = enc.buffer();
+  for (const ScanEngine engine : CompiledEngines()) {
+    std::vector<std::uint8_t> out(4);
+    EXPECT_THROW(DecodeRleU8(engine, data.data(),
+                             data.data() + data.size(), out.data(), 4),
+                 CorruptData)
+        << ScanEngineName(engine);
+  }
+}
+
+TEST(SimdF32DecodeTest, AllEnginesMatchEncoderInverse) {
+  std::vector<float> values;
+  for (int i = 0; i < 333; ++i) values.push_back(float(i) * 0.37f - 11.0f);
+  ByteWriter enc;
+  EncodeF32Column(enc, values);
+  const Bytes data = enc.buffer();
+  for (const ScanEngine engine : CompiledEngines()) {
+    std::vector<float> out(values.size());
+    const std::size_t used = DecodeF32(engine, data.data(),
+                                       data.data() + data.size(), out.data(),
+                                       out.size());
+    EXPECT_EQ(used, data.size()) << ScanEngineName(engine);
+    EXPECT_EQ(out, values) << ScanEngineName(engine);
+  }
+}
+
+struct FilterCase {
+  std::vector<double> xs, ys, ts;
+  double bounds[6];
+};
+
+FilterCase MakeFilterCase(std::size_t count, std::uint64_t seed) {
+  FilterCase c;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    c.xs.push_back(dist(rng));
+    c.ys.push_back(dist(rng));
+    c.ts.push_back(dist(rng));
+  }
+  const double b[6] = {20.0, 80.0, 10.0, 90.0, 5.0, 55.0};
+  std::copy(b, b + 6, c.bounds);
+  return c;
+}
+
+std::size_t ReferenceFilter(const FilterCase& c, std::vector<bool>* hits) {
+  std::size_t matched = 0;
+  hits->assign(c.xs.size(), false);
+  for (std::size_t i = 0; i < c.xs.size(); ++i) {
+    const bool hit = c.xs[i] >= c.bounds[0] && c.xs[i] <= c.bounds[1] &&
+                     c.ys[i] >= c.bounds[2] && c.ys[i] <= c.bounds[3] &&
+                     c.ts[i] >= c.bounds[4] && c.ts[i] <= c.bounds[5];
+    (*hits)[i] = hit;
+    matched += hit;
+  }
+  return matched;
+}
+
+void ExpectFilterMatchesReference(const FilterCase& c) {
+  std::vector<bool> expected_hits;
+  const std::size_t expected = ReferenceFilter(c, &expected_hits);
+  const std::size_t words = (c.xs.size() + 63) / 64;
+  for (const ScanEngine engine : CompiledEngines()) {
+    // Poisoned bitmap: the kernel must zero every word it owns.
+    std::vector<std::uint64_t> bitmap(words == 0 ? 1 : words, ~0ull);
+    const std::size_t matched =
+        FilterRangeBitmap(engine, c.xs.data(), c.ys.data(), c.ts.data(),
+                          c.xs.size(), c.bounds, bitmap.data());
+    EXPECT_EQ(matched, expected) << ScanEngineName(engine);
+    for (std::size_t i = 0; i < c.xs.size(); ++i) {
+      EXPECT_EQ((bitmap[i / 64] >> (i % 64)) & 1, expected_hits[i] ? 1u : 0u)
+          << ScanEngineName(engine) << " bit " << i;
+    }
+    // No stray bits past count in the last word.
+    if (c.xs.size() % 64 != 0 && words > 0) {
+      EXPECT_EQ(bitmap[words - 1] >> (c.xs.size() % 64), 0ull)
+          << ScanEngineName(engine);
+    }
+  }
+}
+
+TEST(SimdFilterRangeTest, MatchesScalarReferenceAtBoundaryCounts) {
+  // 16 and 64 are the vector-step and bitmap-word boundaries; the odd
+  // counts exercise the scalar tail and partial final words.
+  for (const std::size_t count : {std::size_t(0), std::size_t(1),
+                                  std::size_t(15), std::size_t(16),
+                                  std::size_t(17), std::size_t(63),
+                                  std::size_t(64), std::size_t(65),
+                                  std::size_t(100), std::size_t(512),
+                                  std::size_t(1000)}) {
+    ExpectFilterMatchesReference(MakeFilterCase(count, 1000 + count));
+  }
+}
+
+TEST(SimdFilterRangeTest, BoundaryValuesAreInclusive) {
+  FilterCase c;
+  c.xs = {20.0, 80.0, 19.999999, 80.000001};
+  c.ys = {10.0, 90.0, 10.0, 90.0};
+  c.ts = {5.0, 55.0, 5.0, 55.0};
+  const double b[6] = {20.0, 80.0, 10.0, 90.0, 5.0, 55.0};
+  std::copy(b, b + 6, c.bounds);
+  ExpectFilterMatchesReference(c);
+  std::vector<bool> hits;
+  EXPECT_EQ(ReferenceFilter(c, &hits), 2u);  // closed bounds keep 20 and 80
+}
+
+TEST(SimdFilterRangeTest, NanCoordinatesNeverMatch) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  FilterCase c;
+  for (int i = 0; i < 70; ++i) {
+    c.xs.push_back(i % 3 == 0 ? nan : 50.0);
+    c.ys.push_back(i % 5 == 1 ? nan : 50.0);
+    c.ts.push_back(i % 7 == 2 ? nan : 30.0);
+  }
+  const double b[6] = {0.0, 100.0, 0.0, 100.0, 0.0, 100.0};
+  std::copy(b, b + 6, c.bounds);
+  ExpectFilterMatchesReference(c);
+}
+
+TEST(SimdFilterRangeTest, InvertedBoundsMatchNothing) {
+  // The empty STRange is encoded as (+inf, -inf) bounds; every engine
+  // must return zero matches and an all-zero bitmap.
+  FilterCase c = MakeFilterCase(130, 9);
+  const double inf = std::numeric_limits<double>::infinity();
+  const double b[6] = {inf, -inf, inf, -inf, inf, -inf};
+  std::copy(b, b + 6, c.bounds);
+  std::vector<bool> hits;
+  EXPECT_EQ(ReferenceFilter(c, &hits), 0u);
+  ExpectFilterMatchesReference(c);
+}
+
+TEST(SimdDispatchTest, DetectionIsCompiledInAndInstallable) {
+  const ScanEngine detected = DetectScanEngine();
+  EXPECT_TRUE(ScanEngineCompiledIn(detected));
+  const ScanEngine prev = ActiveScanEngine();
+  // Installing the scalar engine always succeeds; restoring the prior
+  // engine must round-trip.
+  EXPECT_EQ(SetScanEngine(ScanEngine::kScalar), ScanEngine::kScalar);
+  EXPECT_EQ(ActiveScanEngine(), ScanEngine::kScalar);
+  EXPECT_EQ(SetScanEngine(prev), prev);
+  EXPECT_EQ(ActiveScanEngine(), prev);
+}
+
+TEST(SimdDispatchTest, EngineNamesAreStable) {
+  // These strings are metric label values; renaming breaks dashboards.
+  EXPECT_EQ(ScanEngineName(ScanEngine::kScalar), "scalar");
+  EXPECT_EQ(ScanEngineName(ScanEngine::kSse42), "sse4.2");
+  EXPECT_EQ(ScanEngineName(ScanEngine::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace blot::simd

@@ -61,6 +61,7 @@ int Usage() {
       "  store-build --data FILE --out DIR [--schemes A;B;...]\n"
       "  store-query --dir DIR --range x0,x1,y0,y1,t0,t1 [--env s3|hadoop]\n"
       "             [--trace] [--profile] [--cache-mb N]\n"
+      "             [--scan-parallelism N]\n"
       "             [--concurrency N] [--repeat K]\n"
       "  advise     --data FILE [--records N] [--budget-gb G]\n"
       "             [--env s3|hadoop] [--algorithm greedy|mip]\n"
@@ -440,6 +441,10 @@ int CmdStoreQuery(const Flags& flags) {
           "--trace requires --concurrency 1 --repeat 1");
   // Non-const: Execute may quarantine and self-heal faulty partitions.
   BlotStore store = BlotStore::Load(flags.GetString("dir"));
+  // --scan-parallelism N caps how many partitions one query scans
+  // concurrently (0 = uncapped); results are identical either way.
+  store.SetMaxScanParallelism(
+      static_cast<std::size_t>(flags.GetInt("scan-parallelism", 0)));
   const STRange range = ParseRange(flags.GetString("range"));
   const std::string env_name = flags.GetString("env", "hadoop");
   const CostModel model{env_name == "s3" ? EnvironmentModel::AmazonS3Emr()
@@ -689,7 +694,7 @@ int Run(int argc, char** argv) {
     return CmdStoreQuery({argc, argv, 2,
                           {"dir", "range", "env", "metrics-out",
                            "cache-mb", "inject-faults", "event-log",
-                           "concurrency", "repeat"},
+                           "concurrency", "repeat", "scan-parallelism"},
                           {"trace", "profile"}});
   if (command == "advise")
     return CmdAdvise({argc, argv, 2,
