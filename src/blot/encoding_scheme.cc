@@ -47,11 +47,17 @@ std::vector<Record> DecodePartitionInRange(BytesView data,
                                            std::uint64_t* total_records,
                                            LayoutFormat format,
                                            bool prune_blocks,
-                                           ScanCounters* counters) {
+                                           ScanCounters* counters,
+                                           const CancelToken* cancel) {
+  if (cancel != nullptr && counters != nullptr && cancel->ShouldStop()) {
+    counters->interrupted = true;
+    if (total_records != nullptr) *total_records = 0;
+    return {};
+  }
   const Bytes serialized = GetCodec(scheme.codec).Decompress(data);
   return DeserializeRecordsInRange(serialized, scheme.layout, range,
                                    total_records, format, prune_blocks,
-                                   counters);
+                                   counters, cancel);
 }
 
 double MeasureCompressionRatio(std::span<const Record> sample,

@@ -53,11 +53,14 @@ std::vector<Record> DecodePartition(
 // `total_records` receives the partition's record count for scan
 // accounting. Under kBlocked, `prune_blocks` controls zone-map block
 // skipping and `counters` receives block-level scan accounting.
+// `cancel` (requires `counters`) stops the scan at the next block
+// boundary, reporting `counters->interrupted`; an already-cancelled
+// token skips even the decompression.
 std::vector<Record> DecodePartitionInRange(
     BytesView data, const EncodingScheme& scheme, const STRange& range,
     std::uint64_t* total_records = nullptr,
     LayoutFormat format = LayoutFormat::kBlocked, bool prune_blocks = true,
-    ScanCounters* counters = nullptr);
+    ScanCounters* counters = nullptr, const CancelToken* cancel = nullptr);
 
 // Compressed bytes / uncompressed-row-layout bytes, measured on a sample
 // (Table I's metric; the paper estimates Storage(r) this way because

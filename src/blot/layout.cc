@@ -285,16 +285,24 @@ Bytes SerializeBlocked(std::span<const Record> records, Layout layout) {
 // Walks the block stream: parses + validates every header, prunes
 // non-intersecting blocks when `prune` is set, and hands surviving block
 // payloads to `scan_block(body, n)`. Counter/timing accounting lands in
-// `counters` when provided.
+// `counters` when provided. `cancel` (requires `counters`) is polled at
+// every block boundary: when it fires the walk returns early with
+// `counters->interrupted` set, skipping the trailing-bytes validation —
+// the stream is fine, the scan just left before its end.
 template <typename Fn>
 void WalkBlocks(ByteReader& in, std::uint64_t total, const STRange* prune,
-                ScanCounters* counters, Fn&& scan_block) {
+                ScanCounters* counters, const CancelToken* cancel,
+                Fn&& scan_block) {
   const std::uint64_t block_size = in.GetVarint();
   validate(total == 0 || (block_size > 0 && block_size <= kMaxBlockSize),
            "WalkBlocks: implausible block size");
   const bool timed = counters != nullptr && counters->timed;
   std::uint64_t done = 0;
   while (done < total) {
+    if (cancel != nullptr && counters != nullptr && cancel->ShouldStop()) {
+      counters->interrupted = true;
+      return;
+    }
     const std::uint64_t t0 = timed ? obs::MonotonicNanos() : 0;
     const std::uint64_t n64 = in.GetVarint();
     validate(n64 > 0 && n64 <= block_size && n64 <= total - done,
@@ -493,7 +501,7 @@ std::vector<Record> DeserializeRecords(BytesView data, Layout layout,
   std::vector<Record> records;
   if (format == LayoutFormat::kBlocked) {
     records.reserve(count);
-    WalkBlocks(in, count64, nullptr, nullptr,
+    WalkBlocks(in, count64, nullptr, nullptr, nullptr,
                [&](BytesView body, std::size_t n) {
                  ByteReader block(body);
                  std::vector<Record> chunk =
@@ -522,7 +530,10 @@ std::vector<Record> DeserializeRecords(BytesView data, Layout layout,
 std::vector<Record> DeserializeRecordsInRange(
     BytesView data, Layout layout, const STRange& range,
     std::uint64_t* total_records, LayoutFormat format, bool prune_blocks,
-    ScanCounters* counters) {
+    ScanCounters* counters, const CancelToken* cancel) {
+  // Cancellation needs `counters` to report the interruption; without it
+  // a partial prefix would masquerade as a full answer.
+  if (counters == nullptr) cancel = nullptr;
   ByteReader in(data);
   const std::uint64_t count64 = in.GetVarint();
   validate(count64 <= data.size(),
@@ -534,7 +545,7 @@ std::vector<Record> DeserializeRecordsInRange(
     std::vector<Record> matches;
     if (layout == Layout::kRow) {
       WalkBlocks(in, count64, prune_blocks ? &range : nullptr, counters,
-                 [&](BytesView body, std::size_t n) {
+                 cancel, [&](BytesView body, std::size_t n) {
                    ByteReader block(body);
                    std::vector<Record> chunk =
                        ScanRowsInRange(block, n, range);
@@ -543,11 +554,17 @@ std::vector<Record> DeserializeRecordsInRange(
     } else {
       ColumnScratch scratch;
       WalkBlocks(in, count64, prune_blocks ? &range : nullptr, counters,
-                 [&](BytesView body, std::size_t n) {
+                 cancel, [&](BytesView body, std::size_t n) {
                    ScanColumnBlock(body, n, range, engine, scratch, matches);
                  });
     }
     return matches;
+  }
+  // kLegacy has no block boundaries: the only cancellation point is the
+  // scan's entry.
+  if (cancel != nullptr && cancel->ShouldStop()) {
+    counters->interrupted = true;
+    return {};
   }
   switch (layout) {
     case Layout::kRow:

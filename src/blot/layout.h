@@ -30,6 +30,7 @@
 
 #include "blot/record.h"
 #include "util/bytes.h"
+#include "util/cancel.h"
 
 namespace blot {
 
@@ -59,6 +60,9 @@ struct ScanCounters {
   std::uint64_t decode_ns = 0;      // decode+filter time in surviving blocks
   std::uint64_t prune_ns = 0;       // header-parse+skip time of pruned blocks
   bool timed = false;
+  // The scan stopped at a cancellation point before covering the whole
+  // partition: the returned matches are a prefix, not the full answer.
+  bool interrupted = false;
 };
 
 // Serializes records under the given layout and wire format.
@@ -91,11 +95,19 @@ std::vector<Record> DeserializeRecords(
 // `counters` (optional) receives block-level prune/decode accounting.
 // The fused path validates the framing it actually touches; byte-level
 // integrity is the caller's checksum's job.
+//
+// `cancel` (optional) is polled at every block boundary (once at entry
+// for kLegacy, which has no blocks): when it fires, the walk stops,
+// `counters->interrupted` is set, and the records decoded so far are
+// returned — callers must treat an interrupted partition as not served.
+// Cancellation requires `counters`; without a place to report the
+// truncation, a partial prefix would be indistinguishable from a full
+// answer, so `cancel` is ignored when `counters` is null.
 std::vector<Record> DeserializeRecordsInRange(
     BytesView data, Layout layout, const STRange& range,
     std::uint64_t* total_records = nullptr,
     LayoutFormat format = LayoutFormat::kBlocked, bool prune_blocks = true,
-    ScanCounters* counters = nullptr);
+    ScanCounters* counters = nullptr, const CancelToken* cancel = nullptr);
 
 }  // namespace blot
 

@@ -212,7 +212,7 @@ std::vector<Record> Replica::ScanPartitionInRange(
 
 std::vector<Record> Replica::ScanPartitionInRange(
     std::size_t partition, const STRange& query, bool prune_blocks,
-    ScanCounters* counters) const {
+    ScanCounters* counters, const CancelToken* cancel) const {
   require(partition < partitions_.size(),
           "Replica::ScanPartitionInRange: bad partition");
   MaybeInjectFault(partition);
@@ -221,9 +221,12 @@ std::vector<Record> Replica::ScanPartitionInRange(
   std::uint64_t total_records = 0;
   std::vector<Record> matches = DecodePartitionInRange(
       stored.data, PartitionScheme(stored), query, &total_records,
-      stored.format, prune_blocks, counters);
-  validate(total_records == stored.num_records,
-           "Replica: decoded record count mismatch");
+      stored.format, prune_blocks, counters, cancel);
+  // An interrupted walk left before the end of the stream; the count it
+  // covered is by construction short, not corrupt.
+  if (counters == nullptr || !counters->interrupted)
+    validate(total_records == stored.num_records,
+             "Replica: decoded record count mismatch");
   return matches;
 }
 
@@ -269,14 +272,35 @@ QueryResult Replica::Execute(const STRange& query,
   } else {
     involved = index_involved;
   }
+  // Excluded partitions (degraded serving around quarantined units) are
+  // removed from the scan up front and reported missed.
+  std::vector<std::size_t> excluded;
+  if (options.exclude_partitions != nullptr &&
+      !options.exclude_partitions->empty()) {
+    std::vector<std::size_t> kept;
+    kept.reserve(involved.size());
+    for (const std::size_t p : involved) {
+      if (std::binary_search(options.exclude_partitions->begin(),
+                             options.exclude_partitions->end(), p)) {
+        excluded.push_back(p);
+      } else {
+        kept.push_back(p);
+      }
+    }
+    involved.swap(kept);
+  }
   QueryResult result;
-  result.stats.partitions_scanned = involved.size();
 
+  const CancelToken* cancel = options.cancel;
   const bool use_cache = PartitionCache::Global().enabled();
   const bool profiling = profile != nullptr;
   std::vector<std::vector<Record>> matches(involved.size());
   std::vector<QueryStats> stats(involved.size());
   std::vector<ScanCounters> counters(involved.size());
+  // One flag per involved partition: set when the scan never ran (cancel
+  // fired before it) or was interrupted mid-partition. Either way the
+  // partition counts wholly as missed.
+  std::vector<std::uint8_t> skipped(involved.size(), 0);
   if (profiling)
     for (ScanCounters& c : counters) c.timed = true;
   // Sub-stage wall time per partition, merged single-threaded below so
@@ -292,6 +316,10 @@ QueryResult Replica::Execute(const STRange& query,
   std::vector<std::string> fault_messages(involved.size());
   const auto scan_one = [&](std::size_t k) {
     const std::size_t p = involved[k];
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      skipped[k] = 1;
+      return;
+    }
     try {
       if (use_cache) {
         bool hit = false;
@@ -315,9 +343,17 @@ QueryResult Replica::Execute(const STRange& query,
         // Fused decode-filter kernel: no intermediate full-partition
         // vector on this path.
         const std::uint64_t t0 = profiling ? obs::MonotonicNanos() : 0;
-        matches[k] = ScanPartitionInRange(p, query, prune, &counters[k]);
+        matches[k] = ScanPartitionInRange(p, query, prune, &counters[k],
+                                          cancel);
         if (profiling)
           times[k].decode_ms = double(obs::MonotonicNanos() - t0) * 1e-6;
+        if (counters[k].interrupted) {
+          // Partition-granular coverage: the prefix scanned before the
+          // cancellation is discarded so `served` stays exact.
+          skipped[k] = 1;
+          matches[k].clear();
+          return;
+        }
         stats[k].records_scanned = partitions_[p].num_records;
         stats[k].bytes_read = partitions_[p].data.size();
       }
@@ -356,7 +392,31 @@ QueryResult Replica::Execute(const STRange& query,
     throw PartitionFaultError(what, config_.Name(), std::move(faulty));
   }
 
+  // Coverage report: exact served/missed partition sets whenever the
+  // scan was not complete (cancellation or exclusion).
+  std::size_t served_count = 0;
+  for (std::size_t k = 0; k < involved.size(); ++k)
+    if (skipped[k] == 0) ++served_count;
+  result.stats.partitions_scanned = served_count;
+  if (served_count < involved.size() || !excluded.empty()) {
+    result.truncated = true;
+    result.served_partitions.reserve(served_count);
+    result.missed_partitions.reserve(involved.size() - served_count +
+                                     excluded.size());
+    for (std::size_t k = 0; k < involved.size(); ++k) {
+      if (skipped[k] == 0)
+        result.served_partitions.push_back(involved[k]);
+      else
+        result.missed_partitions.push_back(involved[k]);
+    }
+    result.missed_partitions.insert(result.missed_partitions.end(),
+                                    excluded.begin(), excluded.end());
+    std::sort(result.missed_partitions.begin(),
+              result.missed_partitions.end());
+  }
+
   for (std::size_t k = 0; k < involved.size(); ++k) {
+    if (skipped[k] != 0) continue;
     result.stats.records_scanned += stats[k].records_scanned;
     result.stats.bytes_read += stats[k].bytes_read;
     result.stats.cache_hits += stats[k].cache_hits;
@@ -384,7 +444,7 @@ QueryResult Replica::Execute(const STRange& query,
     blocks_pruned += c.blocks_pruned;
   }
   if (profiling) {
-    profile->partitions_touched += involved.size();
+    profile->partitions_touched += served_count;
     profile->partitions_skipped += partitions_.size() - involved.size();
     profile->partitions_zone_pruned += zone_pruned;
     profile->blocks_scanned += blocks_scanned;

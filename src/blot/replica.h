@@ -109,10 +109,23 @@ struct QueryStats {
 struct QueryResult {
   std::vector<Record> records;
   QueryStats stats;
+  // True when the scan did not cover every involved partition — either a
+  // cancellation fired (ScanOptions::cancel) or partitions were excluded
+  // up front (ScanOptions::exclude_partitions). `records` then covers
+  // exactly `served_partitions`; an interrupted partition contributes no
+  // records at all (partition-granular coverage, never a silent prefix).
+  bool truncated = false;
+  // Filled only when truncated: involved partitions fully scanned /
+  // not scanned, ascending. Partitions pruned by the index or a zone
+  // map are provably empty for the query and appear in neither list.
+  std::vector<std::size_t> served_partitions;
+  std::vector<std::size_t> missed_partitions;
 };
 
 // Knobs for Replica::Execute. Results are byte-identical across every
-// combination — these trade time for resources, never answers.
+// combination — these trade time for resources, never answers — except
+// `cancel`/`exclude_partitions`, which trade *coverage* for time and
+// report exactly what was given up (QueryResult::truncated).
 struct ScanOptions {
   // Partitions scan concurrently when non-null.
   ThreadPool* pool = nullptr;
@@ -124,6 +137,16 @@ struct ScanOptions {
   // Overrides the process-wide zone-map toggle
   // (simd::ZoneMapPruningEnabled) for this query when set.
   std::optional<bool> zone_map_pruning;
+  // Cooperative cancellation, polled before each partition scan and at
+  // every block boundary inside it (so a parallel scan stops within one
+  // block per worker). A partition whose scan was interrupted counts
+  // wholly as missed: its partial matches are discarded so the coverage
+  // report stays exact.
+  const CancelToken* cancel = nullptr;
+  // Involved partitions to skip (sorted ascending); each is reported in
+  // missed_partitions. The degraded-serving path uses this to scan
+  // around quarantined partitions instead of failing the query.
+  const std::vector<std::size_t>* exclude_partitions = nullptr;
 };
 
 class Replica {
@@ -202,13 +225,14 @@ class Replica {
   // inside `query`, without materializing the rest (layout.h). Verifies
   // the checksum like DecodePartitionRecords. `prune_blocks` controls the
   // block-level zone map (the two-arg overload follows the process-wide
-  // toggle); `counters` (optional) receives block-level accounting.
+  // toggle); `counters` (optional) receives block-level accounting;
+  // `cancel` (requires `counters`) stops at the next block boundary with
+  // `counters->interrupted` set.
   std::vector<Record> ScanPartitionInRange(std::size_t partition,
                                            const STRange& query) const;
-  std::vector<Record> ScanPartitionInRange(std::size_t partition,
-                                           const STRange& query,
-                                           bool prune_blocks,
-                                           ScanCounters* counters) const;
+  std::vector<Record> ScanPartitionInRange(
+      std::size_t partition, const STRange& query, bool prune_blocks,
+      ScanCounters* counters, const CancelToken* cancel = nullptr) const;
 
   const StoredPartition& partition(std::size_t i) const {
     return partitions_[i];

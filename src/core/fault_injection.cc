@@ -1,6 +1,7 @@
 #include "core/fault_injection.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 
 #include "util/error.h"
@@ -132,7 +133,37 @@ FaultPlan ParseFaultSpec(const std::string& spec) {
       plan.max_fires_per_target =
           static_cast<std::size_t>(ParseU64(key, value));
     } else if (key == "latency") {
-      plan.latency_ms = static_cast<std::uint32_t>(ParseU64(key, value));
+      const std::vector<std::string> parts = SplitOn(value, ':');
+      if (parts.size() == 1) {
+        // Scalar grammar, unchanged: fixed delay in ms.
+        plan.latency_dist = FaultPlan::LatencyDist::kFixed;
+        plan.latency_ms = static_cast<std::uint32_t>(ParseU64(key, value));
+      } else if (parts[0] == "pareto") {
+        require(parts.size() == 3,
+                "ParseFaultSpec: latency=pareto wants pareto:MIN:MAX, got: " +
+                    value);
+        plan.latency_dist = FaultPlan::LatencyDist::kPareto;
+        plan.latency_min = ParseF64("latency min", parts[1]);
+        plan.latency_max = ParseF64("latency max", parts[2]);
+        require(plan.latency_min > 0.0 &&
+                    plan.latency_min <= plan.latency_max,
+                "ParseFaultSpec: latency=pareto wants 0 < MIN <= MAX");
+      } else if (parts[0] == "spike") {
+        require(parts.size() == 3,
+                "ParseFaultSpec: latency=spike wants spike:MS:PROB, got: " +
+                    value);
+        plan.latency_dist = FaultPlan::LatencyDist::kSpike;
+        plan.latency_min = ParseF64("latency ms", parts[1]);
+        plan.spike_probability = ParseF64("spike probability", parts[2]);
+        require(plan.latency_min > 0.0,
+                "ParseFaultSpec: latency=spike wants MS > 0");
+        require(plan.spike_probability >= 0.0 &&
+                    plan.spike_probability <= 1.0,
+                "ParseFaultSpec: spike probability must be in [0, 1]");
+      } else {
+        throw InvalidArgument(
+            "ParseFaultSpec: unknown latency distribution: " + parts[0]);
+      }
     } else {
       throw InvalidArgument("ParseFaultSpec: unknown key: " + key);
     }
@@ -155,6 +186,7 @@ void FaultInjector::Arm(const FaultPlan& plan) {
   std::lock_guard lock(mutex_);
   plan_ = plan;
   fires_.clear();
+  reads_.clear();
   stats_ = Stats{};
   armed_.store(true, std::memory_order_release);
 }
@@ -168,6 +200,7 @@ FaultDecision FaultInjector::OnPartitionRead(std::string_view replica,
                                              std::size_t data_size) {
   FaultDecision decision;
   if (!enabled()) return decision;
+  if (suspended_.load(std::memory_order_relaxed) > 0) return decision;
   std::lock_guard lock(mutex_);
   if (!armed_.load(std::memory_order_relaxed)) return decision;
   if (!plan_.replica.empty() && plan_.replica != replica) return decision;
@@ -191,6 +224,42 @@ FaultDecision FaultInjector::OnPartitionRead(std::string_view replica,
   if (is_corruption && data_size == 0) return decision;
 
   const TargetKey key{domain_hash, partition};
+  std::uint64_t latency_param = plan_.latency_ms;
+  if (decision.kind == FaultKind::kLatency) {
+    switch (plan_.latency_dist) {
+      case FaultPlan::LatencyDist::kFixed:
+        break;
+      case FaultPlan::LatencyDist::kPareto: {
+        // Deterministic per-target bounded Pareto draw (alpha 1.5):
+        // most targets sit near latency_min, a reproducible few near
+        // latency_max.
+        constexpr double kAlpha = 1.5;
+        const double u =
+            static_cast<double>(Mix64(target ^ 0x70617265746Full) >> 11) *
+            0x1.0p-53;
+        double ms = plan_.latency_min / std::pow(1.0 - u, 1.0 / kAlpha);
+        ms = std::min(ms, plan_.latency_max);
+        latency_param = static_cast<std::uint64_t>(
+            std::max(1.0, std::llround(ms) * 1.0));
+        break;
+      }
+      case FaultPlan::LatencyDist::kSpike: {
+        // Per-read draw, BEFORE the fires budget: a non-spiking read is
+        // not a fault and must not consume the target's budget. The
+        // sequence number makes the draw deterministic in read order.
+        const std::uint64_t seq = reads_[key]++;
+        const double read_draw =
+            static_cast<double>(Mix64(target ^ Mix64(seq) ^
+                                      0x7370696B65ull) >>
+                                11) *
+            0x1.0p-53;
+        if (read_draw >= plan_.spike_probability) return decision;
+        latency_param = static_cast<std::uint64_t>(
+            std::max(1.0, std::llround(plan_.latency_min) * 1.0));
+        break;
+      }
+    }
+  }
   std::size_t& fired = fires_[key];
   if (plan_.max_fires_per_target != 0 &&
       fired >= plan_.max_fires_per_target)
@@ -199,7 +268,7 @@ FaultDecision FaultInjector::OnPartitionRead(std::string_view replica,
 
   decision.fire = true;
   decision.param = decision.kind == FaultKind::kLatency
-                       ? plan_.latency_ms
+                       ? latency_param
                        : Mix64(target ^ 0xA5A5A5A5A5A5A5A5ull);
   ++stats_.fired_total;
   if (fired == 1) ++stats_.targets_hit;

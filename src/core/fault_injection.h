@@ -69,7 +69,25 @@ struct FaultPlan {
   // How many reads of one target fire before it goes quiet; 0 means
   // every read (a fault that survives until the unit is rebuilt).
   std::size_t max_fires_per_target = 1;
-  std::uint32_t latency_ms = 5;  // delay for kLatency faults
+  std::uint32_t latency_ms = 5;  // delay for kLatency faults (kFixed)
+
+  // Shape of kLatency delays. The scalar `latency=MS` grammar keeps its
+  // original fixed-delay meaning; the two distributions model real
+  // brownouts better than a constant:
+  //   kFixed  — every fire stalls latency_ms.
+  //   kPareto — per-target heavy-tailed delay in [latency_min,
+  //             latency_max] ms (alpha 1.5): most targets are mildly
+  //             slow, a deterministic few are terrible — the long-tail
+  //             shape hedged reads exist for.
+  //   kSpike  — each *read* independently stalls latency_min ms with
+  //             spike_probability (an intermittently wedged device);
+  //             non-spiking reads do not consume the target's fire
+  //             budget.
+  enum class LatencyDist : std::uint8_t { kFixed, kPareto, kSpike };
+  LatencyDist latency_dist = LatencyDist::kFixed;
+  double latency_min = 0.0;        // pareto scale / spike stall ms
+  double latency_max = 0.0;        // pareto clamp
+  double spike_probability = 0.0;  // spike: per-read stall probability
 };
 
 // Parses the `--inject-faults` spec grammar: semicolon-separated
@@ -77,8 +95,12 @@ struct FaultPlan {
 //   "seed=42;p=0.5;kinds=bitflip,readerror;replica=KD4xT4/ROW-SNAPPY;
 //    partition=3;fires=1;latency=5"
 // Keys: seed, p (probability), kinds (comma list of bitflip, truncate,
-// torn, readerror, latency), replica, partition, fires, latency (ms).
-// Unknown keys or malformed values throw InvalidArgument.
+// torn, readerror, latency), replica, partition, fires, latency.
+// The latency value is either a scalar delay in ms (`latency=5`,
+// unchanged) or a distribution spec: `latency=pareto:MIN:MAX` (heavy-
+// tailed per-target delay in [MIN, MAX] ms) or `latency=spike:MS:PROB`
+// (each read stalls MS ms with probability PROB). Unknown keys or
+// malformed values throw InvalidArgument.
 FaultPlan ParseFaultSpec(const std::string& spec);
 
 // The outcome of consulting the injector for one read.
@@ -116,6 +138,29 @@ class FaultInjector {
   // Stops injecting; stats survive until the next Arm().
   void Disarm();
   bool enabled() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Scoped suspension: reads made while at least one Suspend is alive are
+  // clean, and — unlike Disarm + re-Arm, which resets them — the plan,
+  // per-target fire budgets and read sequence numbers are untouched.
+  // Suspended reads are invisible to the spike distribution's per-read
+  // draws, so a verifier can re-read data mid-campaign without perturbing
+  // which later reads fault. Nestable; not a fairness point for
+  // concurrent readers (they simply observe clean reads while any
+  // suspension is alive).
+  class Suspend {
+   public:
+    explicit Suspend(FaultInjector& injector) : injector_(injector) {
+      injector_.suspended_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~Suspend() {
+      injector_.suspended_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    Suspend(const Suspend&) = delete;
+    Suspend& operator=(const Suspend&) = delete;
+
+   private:
+    FaultInjector& injector_;
+  };
 
   // Decides this read's fate. `data_size` bounds the mutation (empty
   // partitions cannot be corrupted, only read-errored or delayed).
@@ -156,9 +201,14 @@ class FaultInjector {
   };
 
   std::atomic<bool> armed_{false};
+  std::atomic<int> suspended_{0};
   mutable std::mutex mutex_;
   FaultPlan plan_;
   std::unordered_map<TargetKey, std::size_t, TargetKeyHash> fires_;
+  // Per-target read sequence numbers: the spike distribution draws per
+  // read, and determinism requires the draw to depend on the read's
+  // position in the target's read history, not wall time.
+  std::unordered_map<TargetKey, std::uint64_t, TargetKeyHash> reads_;
   Stats stats_;
 };
 

@@ -1,0 +1,75 @@
+#include "core/latency_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace blot {
+
+void LatencyMap::AddReplica() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cells_.emplace_back();
+}
+
+std::size_t LatencyMap::NumReplicas() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cells_.size();
+}
+
+void LatencyMap::Observe(std::size_t replica, std::size_t partitions,
+                         double attempt_ms) {
+  if (attempt_ms < 0.0) return;
+  const double per_partition =
+      attempt_ms / static_cast<double>(std::max<std::size_t>(partitions, 1));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (replica >= cells_.size()) return;
+  Cell& cell = cells_[replica];
+  if (cell.observations == 0) {
+    cell.ewma_ms_per_partition = per_partition;
+  } else {
+    cell.ewma_ms_per_partition = kAlpha * per_partition +
+                                 (1.0 - kAlpha) * cell.ewma_ms_per_partition;
+  }
+  ++cell.observations;
+}
+
+double LatencyMap::ExpectedMs(std::size_t replica,
+                              std::size_t partitions) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (replica >= cells_.size()) return 0.0;
+  const Cell& cell = cells_[replica];
+  if (cell.observations < kMinObservations) return 0.0;
+  return cell.ewma_ms_per_partition *
+         static_cast<double>(std::max<std::size_t>(partitions, 1));
+}
+
+double LatencyMap::BrownoutPenalty(std::size_t replica) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (replica >= cells_.size()) return 1.0;
+  const Cell& cell = cells_[replica];
+  if (cell.observations < kMinObservations) return 1.0;
+  // Baseline: the fastest replica that has also warmed up. Comparing
+  // against cold replicas would let the very first replica to serve
+  // traffic brown itself out against an unmeasured peer.
+  double fastest = std::numeric_limits<double>::infinity();
+  for (const Cell& other : cells_) {
+    if (other.observations < kMinObservations) continue;
+    fastest = std::min(fastest, other.ewma_ms_per_partition);
+  }
+  if (fastest <= 0.0 || !std::isfinite(fastest)) return 1.0;
+  const double ratio = cell.ewma_ms_per_partition / fastest;
+  if (ratio <= kBrownoutRatio) return 1.0;
+  return std::min(ratio, kMaxPenalty);
+}
+
+LatencyMap::Snapshot LatencyMap::Get(std::size_t replica) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  if (replica < cells_.size()) {
+    snap.ewma_ms_per_partition = cells_[replica].ewma_ms_per_partition;
+    snap.observations = cells_[replica].observations;
+  }
+  return snap;
+}
+
+}  // namespace blot

@@ -27,6 +27,7 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/rng.h"
 
 namespace blot {
@@ -79,6 +80,21 @@ class QueryContext {
   // (ScanOptions::max_parallelism); 0 = no cap beyond the pool's width.
   // Snapshotted from the store's setting when the query starts.
   std::size_t max_scan_parallelism = 0;
+  // Cooperative cancellation for this query: carries the deadline (when
+  // one is set) and is polled at failover-attempt, partition, and block
+  // boundaries. Invalid (inert) when the caller set no deadline and
+  // hedging is off, so undeadlined queries pay nothing.
+  CancelToken cancel;
+  // The caller's deadline in milliseconds (0 = none); the enforcing
+  // clock lives inside `cancel`, this is kept for error reporting.
+  double deadline_ms = 0.0;
+  // When true, deadline expiry or unrecoverable partition loss yields a
+  // partial RoutedResult with a coverage report instead of an error.
+  bool allow_partial = false;
+  // Hedged-read threshold in milliseconds (0 = hedging off): if the
+  // primary attempt runs past max(hedge_ms, 2x the replica's expected
+  // time), a backup attempt races it on the next-cheapest replica.
+  double hedge_ms = 0.0;
 
  private:
   explicit QueryContext(std::uint64_t id) : rng(id), query_id_(id) {}

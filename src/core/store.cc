@@ -1,7 +1,10 @@
 #include "core/store.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -161,6 +164,7 @@ BlotStore::BlotStore(BlotStore&& other) noexcept {
   sketches_ = std::move(other.sketches_);
   policy_ = other.policy_;
   health_ = std::move(other.health_);
+  latency_ = std::move(other.latency_);
   sync_ = std::move(other.sync_);
   telemetry_ = std::move(other.telemetry_);
 }
@@ -178,6 +182,7 @@ BlotStore& BlotStore::operator=(BlotStore&& other) noexcept {
   sketches_ = std::move(other.sketches_);
   policy_ = other.policy_;
   health_ = std::move(other.health_);
+  latency_ = std::move(other.latency_);
   sync_ = std::move(other.sync_);
   telemetry_ = std::move(other.telemetry_);
   return *this;
@@ -229,6 +234,7 @@ std::size_t BlotStore::AddReplica(const ReplicaConfig& config,
   replicas_.push_back(Replica::Build(dataset_, config, universe_, pool));
   sketches_.push_back(ReplicaSketch::FromReplica(replicas_.back()));
   health_->AddReplica(replicas_.back().NumPartitions());
+  latency_->AddReplica();
   return replicas_.size() - 1;
 }
 
@@ -245,6 +251,7 @@ std::size_t BlotStore::AddPartialReplica(const ReplicaConfig& config,
   replicas_.push_back(Replica::Build(covered, config, coverage, pool));
   sketches_.push_back(ReplicaSketch::FromReplica(replicas_.back()));
   health_->AddReplica(replicas_.back().NumPartitions());
+  latency_->AddReplica();
   return replicas_.size() - 1;
 }
 
@@ -291,6 +298,9 @@ BlotStore::Ranking BlotStore::RankCandidates(
       if (health_->AnySuspect(i, involved))
         adjusted *= policy.suspect_cost_penalty;
     }
+    // Brownout: a replica whose observed reads run far slower than its
+    // peers' is deprioritized (not quarantined — slow is not corrupt).
+    adjusted *= latency_->BrownoutPenalty(i);
     scored.push_back(
         {adjusted, {i, cost, sketches_[i].index.CountInvolved(query)}});
   }
@@ -384,6 +394,9 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
   bool success = false;
   for (const RoutingDecision& decision : ranking.ranked) {
     if (attempts >= max_attempts) break;
+    // Deadline expiry (or an external cancel) ends the failover loop:
+    // starting another full attempt cannot beat an already-blown budget.
+    if (ctx.cancel.ShouldStop()) break;
     const std::size_t idx = decision.replica_index;
     // An earlier attempt's fault may have quarantined this candidate's
     // copy of a needed partition since the ranking was computed.
@@ -408,6 +421,7 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
       scan_options.pool = pool;
       scan_options.profile = profiling ? &profile : nullptr;
       scan_options.max_parallelism = ctx.max_scan_parallelism;
+      scan_options.cancel = ctx.cancel.valid() ? &ctx.cancel : nullptr;
       routed.result = rep.Execute(query, scan_options);
       routed.measured_cost_ms =
           double(obs::MonotonicNanos() - start_ns) * 1e-6;
@@ -415,8 +429,14 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
       routed.estimated_cost_ms = decision.estimated_cost_ms;
       routed.predicted_partitions = decision.predicted_partitions;
       routed.served_by = replica_name;
+      routed.partial = routed.result.truncated;
       ctx.attempts.push_back(
           {idx, replica_name, routed.measured_cost_ms, true, {}});
+      // Only complete attempts teach the latency map: a cancelled scan's
+      // wall time reflects the budget, not the replica's speed.
+      if (!routed.result.truncated)
+        latency_->Observe(idx, routed.result.stats.partitions_scanned,
+                          routed.measured_cost_ms);
       success = true;
     } catch (const PartitionFaultError& e) {
       // Attributed read faults: quarantine exactly the failing storage
@@ -476,6 +496,71 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
         registry.GetCounter("failover.attempts_total");
     attempts_total.Increment(attempts);
   }
+  const bool deadline_hit = ctx.cancel.DeadlineExpired();
+  if (success && routed.partial) {
+    // The serving scan was interrupted mid-flight (deadline). Callers
+    // that opted in get the prefix plus the exact coverage split; the
+    // rest get the structured deadline error reporting how far we got.
+    if (registry.enabled()) {
+      static obs::Counter& deadline_total =
+          registry.GetCounter("query.deadline_exceeded_total");
+      deadline_total.Increment();
+    }
+    if (!ctx.allow_partial) {
+      throw DeadlineExceededError(
+          "BlotStore: deadline of " + std::to_string(ctx.deadline_ms) +
+              "ms exceeded after " + std::to_string(attempts) +
+              " attempt(s); scanned " +
+              std::to_string(routed.result.served_partitions.size()) +
+              " of " +
+              std::to_string(routed.result.served_partitions.size() +
+                             routed.result.missed_partitions.size()) +
+              " involved partitions",
+          ctx.deadline_ms, attempts, routed.result.served_partitions.size(),
+          routed.result.missed_partitions.size());
+    }
+    if (registry.enabled()) {
+      static obs::Counter& partial_total =
+          registry.GetCounter("query.partial_total");
+      partial_total.Increment();
+    }
+  }
+  if (!success && deadline_hit) {
+    if (registry.enabled()) {
+      static obs::Counter& deadline_total =
+          registry.GetCounter("query.deadline_exceeded_total");
+      deadline_total.Increment();
+    }
+    // The deadline expired before any attempt completed (or between
+    // attempts). No records were assembled; every involved partition of
+    // the best candidate is missed.
+    const RoutingDecision& best = ranking.ranked.front();
+    std::vector<std::size_t> missed =
+        sketches_[best.replica_index].index.InvolvedPartitions(query);
+    std::sort(missed.begin(), missed.end());
+    if (!ctx.allow_partial) {
+      throw DeadlineExceededError(
+          "BlotStore: deadline of " + std::to_string(ctx.deadline_ms) +
+              "ms exceeded after " + std::to_string(attempts) +
+              " attempt(s); no attempt completed (0 of " +
+              std::to_string(missed.size()) + " involved partitions)",
+          ctx.deadline_ms, attempts, 0, missed.size());
+    }
+    if (registry.enabled()) {
+      static obs::Counter& partial_total =
+          registry.GetCounter("query.partial_total");
+      partial_total.Increment();
+    }
+    routed.result = QueryResult{};
+    routed.result.truncated = true;
+    routed.result.missed_partitions = std::move(missed);
+    routed.replica_index = best.replica_index;
+    routed.estimated_cost_ms = best.estimated_cost_ms;
+    routed.predicted_partitions = best.predicted_partitions;
+    routed.served_by = replicas_[best.replica_index].config().Name();
+    routed.partial = true;
+    success = true;
+  }
   if (!success) {
     if (registry.enabled()) {
       static obs::Counter& exhausted_total =
@@ -488,6 +573,11 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
                "no healthy replica could serve the query",
                {obs::Field("attempts", attempts),
                 obs::Field("covering_replicas", ranking.covering)});
+    }
+    if (ctx.allow_partial) {
+      // Graceful degradation: serve what survives by scanning around the
+      // quarantined partitions of the best covering replica.
+      return TryPartialFallback(query, model, policy, pool, ctx);
     }
     throw UnservableError(query);
   }
@@ -507,8 +597,9 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
     rerouted_total.Increment();
   }
   // A clean read clears suspicion: suspect involved partitions of the
-  // serving replica return to ok.
-  if (!health_->AllOk(routed.replica_index)) {
+  // serving replica return to ok. A partial read proves nothing about
+  // the partitions it never reached, so it clears nothing.
+  if (!routed.partial && !health_->AllOk(routed.replica_index)) {
     for (const std::size_t p :
          sketches_[routed.replica_index].index.InvolvedPartitions(query)) {
       if (health_->Get(routed.replica_index, p) == PartitionHealth::kSuspect)
@@ -527,6 +618,14 @@ BlotStore::RoutedResult BlotStore::ExecuteWithFailover(
       trace->AddAttribute("attempts", std::uint64_t{routed.attempts});
       trace->AddAttribute("degraded", std::string("true"));
     }
+    if (routed.partial) {
+      trace->AddAttribute(
+          "partial_served",
+          std::uint64_t{routed.result.served_partitions.size()});
+      trace->AddAttribute(
+          "partial_missed",
+          std::uint64_t{routed.result.missed_partitions.size()});
+    }
   }
   if (registry.enabled()) RecordRoutedQuery(routed.served_by, routed);
   return routed;
@@ -536,20 +635,45 @@ BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
                                            const CostModel& model,
                                            ThreadPool* pool,
                                            obs::TraceSpan* trace) {
+  ExecOptions options;
+  options.pool = pool;
+  options.trace = trace;
+  return Execute(query, model, options);
+}
+
+BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
+                                           const CostModel& model,
+                                           const ExecOptions& options) {
   require(!replicas_.empty(), "BlotStore::RouteQuery: no replicas");
+  require(options.deadline_ms >= 0.0 && options.hedge_ms >= 0.0,
+          "BlotStore::Execute: negative deadline/hedge threshold");
   // All per-query state lives in the context; this function is
   // re-entrant under N concurrent callers (the serving layer's request
   // workers), who share only the internally synchronized structures.
-  QueryContext ctx = QueryContext::ForQuery(trace);
+  QueryContext ctx = QueryContext::ForQuery(options.trace);
+  ctx.deadline_ms = options.deadline_ms;
+  ctx.allow_partial = options.allow_partial;
+  ctx.hedge_ms = options.hedge_ms;
+  if (options.deadline_ms > 0.0)
+    ctx.cancel = CancelToken::WithDeadline(options.deadline_ms);
+  else if (options.hedge_ms > 0.0)
+    ctx.cancel = CancelToken::Create();  // hedge losers need a live token
+  ThreadPool* pool = options.pool;
   RoutedResult routed;
   FailoverPolicy policy;
   const std::uint64_t start_ns = ctx.profiling ? obs::MonotonicNanos() : 0;
+  bool hedging = false;
   {
     std::shared_lock lock(sync_->state_mutex);
     policy = policy_;  // per-query snapshot; retunes never tear a query
     ctx.max_scan_parallelism = max_scan_parallelism_;
-    routed = ExecuteWithFailover(query, model, policy, pool, ctx);
+    // Hedging needs a second replica to race; the coordinator manages
+    // its own locking (each attempt takes its own shared lock).
+    hedging = ctx.hedge_ms > 0.0 && replicas_.size() > 1;
+    if (!hedging)
+      routed = ExecuteWithFailover(query, model, policy, pool, ctx);
   }
+  if (hedging) routed = ExecuteHedged(query, model, policy, pool, ctx);
   const std::uint64_t repair_start =
       ctx.profiling ? obs::MonotonicNanos() : 0;
   MaybeScheduleRepairs(pool, policy);
@@ -562,11 +686,479 @@ BlotStore::RoutedResult BlotStore::Execute(const STRange& query,
     ctx.profile.total_ms =
         double(obs::MonotonicNanos() - start_ns) * 1e-6;
     ObserveQueryTelemetry(query, ctx.profile);
-    if (trace != nullptr) ctx.profile.ExportToSpan(*trace);
+    if (options.trace != nullptr) ctx.profile.ExportToSpan(*options.trace);
   }
   routed.query_id = ctx.query_id();
   routed.attempt_log = std::move(ctx.attempts);
   routed.profile = std::move(ctx.profile);
+  return routed;
+}
+
+BlotStore::RoutedResult BlotStore::TryPartialFallback(
+    const STRange& query, const CostModel& model,
+    const FailoverPolicy& policy, ThreadPool* pool, QueryContext& ctx) {
+  (void)policy;
+  auto& registry = obs::MetricsRegistry::global();
+  // Pick the covering replica losing the fewest involved partitions to
+  // quarantine; ties go to the cheaper estimate. Even an all-quarantined
+  // candidate stays eligible — for an opted-in caller an empty answer
+  // with an honest coverage report beats an error.
+  std::size_t best = replicas_.size();
+  std::size_t best_lost = std::numeric_limits<std::size_t>::max();
+  double best_cost = 0.0;
+  std::vector<std::size_t> best_excluded;
+  for (std::size_t i = 0; i < sketches_.size(); ++i) {
+    if (!IsFullReplica(i) && !replicas_[i].universe().Contains(query))
+      continue;
+    std::vector<std::size_t> quarantined;
+    for (const std::size_t p :
+         sketches_[i].index.InvolvedPartitions(query)) {
+      if (health_->Get(i, p) == PartitionHealth::kQuarantined)
+        quarantined.push_back(p);
+    }
+    const double cost = model.QueryCostMs(sketches_[i], query);
+    if (quarantined.size() < best_lost ||
+        (quarantined.size() == best_lost && cost < best_cost)) {
+      best = i;
+      best_lost = quarantined.size();
+      best_cost = cost;
+      best_excluded = std::move(quarantined);
+    }
+  }
+  if (best == replicas_.size()) throw UnservableError(query);
+  std::sort(best_excluded.begin(), best_excluded.end());
+
+  const Replica& rep = replicas_[best];
+  const std::string replica_name = rep.config().Name();
+  RoutedResult routed;
+  const std::uint64_t start_ns = obs::MonotonicNanos();
+  try {
+    ScanOptions scan_options;
+    scan_options.pool = pool;
+    scan_options.profile = ctx.profiling ? &ctx.profile : nullptr;
+    scan_options.max_parallelism = ctx.max_scan_parallelism;
+    scan_options.cancel = ctx.cancel.valid() ? &ctx.cancel : nullptr;
+    scan_options.exclude_partitions =
+        best_excluded.empty() ? nullptr : &best_excluded;
+    routed.result = rep.Execute(query, scan_options);
+  } catch (const PartitionFaultError& e) {
+    // Even the degraded scan faulted: quarantine what it named and give
+    // up — there is nothing left to serve from.
+    std::size_t newly_quarantined = 0;
+    for (const std::size_t p : e.partitions()) {
+      if (health_->Quarantine(best, p)) ++newly_quarantined;
+      PartitionCache::Global().Invalidate(rep.cache_id(), p);
+    }
+    RecordQuarantine(replica_name, e.partitions(), newly_quarantined, 0,
+                     health_->QuarantinedCount());
+    ctx.attempts.push_back({best, replica_name,
+                            double(obs::MonotonicNanos() - start_ns) * 1e-6,
+                            false, std::string(e.what())});
+    throw UnservableError(query);
+  }
+  routed.measured_cost_ms = double(obs::MonotonicNanos() - start_ns) * 1e-6;
+  routed.replica_index = best;
+  routed.estimated_cost_ms = best_cost;
+  routed.predicted_partitions = sketches_[best].index.CountInvolved(query);
+  routed.served_by = replica_name;
+  routed.partial = routed.result.truncated;
+  routed.degraded = true;
+  ctx.attempts.push_back(
+      {best, replica_name, routed.measured_cost_ms, true, {}});
+  routed.attempts = ctx.attempts.size();
+  if (ctx.profiling) {
+    ctx.profile.AddStage(obs::Stage::kExecute, routed.measured_cost_ms);
+    ctx.profile.replica_index = best;
+    ctx.profile.attempts = static_cast<std::uint32_t>(routed.attempts);
+    ctx.profile.degraded = true;
+    ctx.profile.estimated_cost_ms = routed.estimated_cost_ms;
+    ctx.profile.measured_cost_ms = routed.measured_cost_ms;
+  }
+  if (registry.enabled()) {
+    static obs::Counter& partial_total =
+        registry.GetCounter("query.partial_total");
+    partial_total.Increment();
+    RecordRoutedQuery(routed.served_by, routed);
+  }
+  obs::EventLog& log = obs::EventLog::Global();
+  if (log.enabled() && routed.partial) {
+    log.Warn("query.partial", "serving partial result around lost partitions",
+             {obs::Field("replica", replica_name),
+              obs::Field("served",
+                         routed.result.served_partitions.size()),
+              obs::Field("missed",
+                         PartitionList(routed.result.missed_partitions))});
+  }
+  return routed;
+}
+
+BlotStore::RoutedResult BlotStore::ExecuteHedged(const STRange& query,
+                                                 const CostModel& model,
+                                                 const FailoverPolicy& policy,
+                                                 ThreadPool* pool,
+                                                 QueryContext& ctx) {
+  using Clock = std::chrono::steady_clock;
+  const bool profiling = ctx.profiling;
+  auto& registry = obs::MetricsRegistry::global();
+
+  Ranking ranking;
+  std::array<std::string, 2> names;
+  const std::uint64_t route_start = profiling ? obs::MonotonicNanos() : 0;
+  {
+    std::shared_lock lock(sync_->state_mutex);
+    ranking = RankCandidates(query, model, policy);
+    require(ranking.covering > 0,
+            "BlotStore::RouteQuery: no replica can serve the query (add a "
+            "full replica)");
+    if (ranking.ranked.empty()) throw UnservableError(query);
+    if (ranking.ranked.size() < 2) {
+      // One healthy candidate: nothing to race — plain failover, under
+      // the shared lock the failover loop expects.
+      return ExecuteWithFailover(query, model, policy, pool, ctx);
+    }
+    names[0] = replicas_[ranking.ranked[0].replica_index].config().Name();
+    names[1] = replicas_[ranking.ranked[1].replica_index].config().Name();
+  }
+  if (profiling)
+    ctx.profile.AddStage(obs::Stage::kRoute,
+                         double(obs::MonotonicNanos() - route_start) * 1e-6);
+
+  struct HedgeAttempt {
+    bool done = false;
+    bool ok = false;
+    bool fault = false;
+    QueryResult result;
+    double ms = 0.0;
+    std::string error;
+    obs::QueryProfile profile;
+  };
+  struct HedgeRace {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::array<HedgeAttempt, 2> attempts;
+    std::array<CancelToken, 2> tokens;
+  };
+  auto race = std::make_shared<HedgeRace>();
+  // Child tokens observe the query deadline but cancel independently, so
+  // cancelling the loser never touches the winner.
+  race->tokens = {ctx.cancel.Child(), ctx.cancel.Child()};
+
+  // `query` is captured by value: the losing attempt may be parked
+  // un-joined in repair_futures and must not reference coordinator
+  // stack frames after Execute returns.
+  const std::size_t max_par = ctx.max_scan_parallelism;
+  auto run_attempt = [this, race, query, pool, profiling, max_par](
+                         std::size_t replica_idx, std::size_t slot) {
+    HedgeAttempt out;
+    const std::uint64_t start_ns = obs::MonotonicNanos();
+    // Each attempt holds its own shared lock: the coordinator holds none,
+    // so a queued writer can never wedge it between its attempts.
+    std::shared_lock lock(sync_->state_mutex);
+    try {
+      const Replica& rep = replicas_[replica_idx];
+      // The other attempt's fault may have quarantined this candidate
+      // since the ranking was computed.
+      if (!health_->AllOk(replica_idx) &&
+          health_->AnyQuarantined(
+              replica_idx,
+              sketches_[replica_idx].index.InvolvedPartitions(query))) {
+        out.error = "replica quarantined since ranking";
+      } else {
+        ScanOptions scan_options;
+        scan_options.pool = pool;
+        scan_options.profile = profiling ? &out.profile : nullptr;
+        scan_options.max_parallelism = max_par;
+        scan_options.cancel = &race->tokens[slot];
+        out.result = rep.Execute(query, scan_options);
+        // A truncated result means this attempt was cancelled (lost the
+        // race or hit the deadline); it is not a win, but its partial
+        // coverage stays available for the deadline path.
+        out.ok = !out.result.truncated;
+        if (!out.ok) out.error = "cancelled mid-scan";
+      }
+    } catch (const PartitionFaultError& e) {
+      std::size_t newly_quarantined = 0;
+      for (const std::size_t p : e.partitions()) {
+        if (health_->Quarantine(replica_idx, p)) ++newly_quarantined;
+        PartitionCache::Global().Invalidate(replicas_[replica_idx].cache_id(),
+                                            p);
+      }
+      RecordQuarantine(replicas_[replica_idx].config().Name(),
+                       e.partitions(), newly_quarantined, 0,
+                       health_->QuarantinedCount());
+      out.error = e.what();
+      out.fault = true;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+    out.ms = double(obs::MonotonicNanos() - start_ns) * 1e-6;
+    {
+      std::lock_guard<std::mutex> done_lock(race->mutex);
+      out.done = true;
+      race->attempts[slot] = std::move(out);
+    }
+    race->cv.notify_all();
+  };
+
+  const std::size_t primary = ranking.ranked[0].replica_index;
+  const std::size_t backup = ranking.ranked[1].replica_index;
+  // Hedge when the primary runs past the caller's floor or 2x its own
+  // learned expectation, whichever is larger (a cold LatencyMap
+  // contributes nothing).
+  double threshold_ms = ctx.hedge_ms;
+  const double expected = latency_->ExpectedMs(
+      primary, ranking.ranked[0].predicted_partitions);
+  if (expected > 0.0) threshold_ms = std::max(threshold_ms, 2.0 * expected);
+
+  auto primary_future =
+      std::async(std::launch::async, run_attempt, primary, std::size_t{0});
+  std::future<void> backup_future;
+  bool hedged = false;
+  {
+    std::unique_lock<std::mutex> wait_lock(race->mutex);
+    const auto hedge_at =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               threshold_ms));
+    race->cv.wait_until(wait_lock, hedge_at,
+                        [&] { return race->attempts[0].done; });
+    if (!race->attempts[0].done) {
+      hedged = true;
+      wait_lock.unlock();
+      backup_future = std::async(std::launch::async, run_attempt, backup,
+                                 std::size_t{1});
+      wait_lock.lock();
+    }
+    // Resolved: someone won, or every launched attempt is done (all
+    // failed / all cancelled by the deadline).
+    race->cv.wait(wait_lock, [&] {
+      const HedgeAttempt& a0 = race->attempts[0];
+      const HedgeAttempt& a1 = race->attempts[1];
+      if (a0.done && a0.ok) return true;
+      if (hedged && a1.done && a1.ok) return true;
+      return hedged ? (a0.done && a1.done) : a0.done;
+    });
+  }
+
+  int winner = -1;
+  HedgeAttempt win;
+  std::array<bool, 2> done_snapshot = {false, false};
+  std::array<double, 2> ms_snapshot = {0.0, 0.0};
+  std::array<std::string, 2> error_snapshot;
+  {
+    std::lock_guard<std::mutex> snap_lock(race->mutex);
+    if (race->attempts[0].done && race->attempts[0].ok)
+      winner = 0;
+    else if (hedged && race->attempts[1].done && race->attempts[1].ok)
+      winner = 1;
+    for (std::size_t s = 0; s < 2; ++s) {
+      done_snapshot[s] = race->attempts[s].done;
+      ms_snapshot[s] = race->attempts[s].ms;
+      error_snapshot[s] = race->attempts[s].error;
+    }
+    if (winner >= 0) win = std::move(race->attempts[winner]);
+  }
+  // First complete answer wins; tell the loser to stop (it halts within
+  // one block and its cache/quarantine effects remain valid).
+  if (winner == 0 && hedged)
+    race->tokens[1].Cancel(CancelReason::kHedgeLost);
+  if (winner == 1) race->tokens[0].Cancel(CancelReason::kHedgeLost);
+
+  // Done attempts join immediately; a still-running loser is parked with
+  // the background repairs (std::async futures block on destruction) and
+  // drained by WaitForRepairs / the destructor.
+  auto settle = [this](std::future<void>&& f) {
+    if (!f.valid()) return;
+    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      f.get();
+      return;
+    }
+    std::lock_guard<std::mutex> futures_lock(sync_->futures_mutex);
+    sync_->repair_futures.push_back(std::move(f));
+  };
+  settle(std::move(primary_future));
+  settle(std::move(backup_future));
+
+  if (registry.enabled() && hedged) {
+    static obs::Counter& fired_total =
+        registry.GetCounter("hedge.fired_total");
+    fired_total.Increment();
+  }
+
+  // Attempt log: primary first, then the backup if it launched.
+  const std::size_t launched = hedged ? 2 : 1;
+  for (std::size_t s = 0; s < launched; ++s) {
+    const std::size_t idx = s == 0 ? primary : backup;
+    const bool attempt_ok = winner == static_cast<int>(s);
+    ctx.attempts.push_back({idx, names[s],
+                            done_snapshot[s] ? ms_snapshot[s] : 0.0,
+                            attempt_ok,
+                            attempt_ok ? std::string()
+                            : done_snapshot[s]
+                                ? error_snapshot[s]
+                                : std::string("hedge lost (cancelled)")});
+  }
+
+  if (winner < 0) {
+    // Nobody produced a complete answer. With partial coverage banked by
+    // a deadline-cancelled attempt, report (or serve) that; otherwise
+    // fall back to the failover loop, which re-ranks around whatever the
+    // attempts quarantined and handles deadline/partial uniformly.
+    int best_partial = -1;
+    {
+      std::lock_guard<std::mutex> snap_lock(race->mutex);
+      std::size_t best_served = 0;
+      for (std::size_t s = 0; s < launched; ++s) {
+        const HedgeAttempt& a = race->attempts[s];
+        if (!a.done || !a.result.truncated) continue;
+        if (best_partial < 0 ||
+            a.result.served_partitions.size() > best_served) {
+          best_partial = static_cast<int>(s);
+          best_served = a.result.served_partitions.size();
+        }
+      }
+      if (best_partial >= 0) win = std::move(race->attempts[best_partial]);
+    }
+    if (ctx.cancel.DeadlineExpired() && best_partial >= 0) {
+      if (registry.enabled()) {
+        static obs::Counter& deadline_total =
+            registry.GetCounter("query.deadline_exceeded_total");
+        deadline_total.Increment();
+      }
+      const std::size_t served = win.result.served_partitions.size();
+      const std::size_t missed = win.result.missed_partitions.size();
+      if (!ctx.allow_partial) {
+        throw DeadlineExceededError(
+            "BlotStore: deadline of " + std::to_string(ctx.deadline_ms) +
+                "ms exceeded after " + std::to_string(launched) +
+                " attempt(s); scanned " + std::to_string(served) + " of " +
+                std::to_string(served + missed) + " involved partitions",
+            ctx.deadline_ms, launched, served, missed);
+      }
+      if (registry.enabled()) {
+        static obs::Counter& partial_total =
+            registry.GetCounter("query.partial_total");
+        partial_total.Increment();
+      }
+      const std::size_t widx = best_partial == 0 ? primary : backup;
+      const RoutingDecision& decision = ranking.ranked[best_partial];
+      RoutedResult routed;
+      routed.result = std::move(win.result);
+      routed.replica_index = widx;
+      routed.estimated_cost_ms = decision.estimated_cost_ms;
+      routed.predicted_partitions = decision.predicted_partitions;
+      routed.measured_cost_ms = win.ms;
+      routed.served_by = names[best_partial];
+      routed.attempts = launched;
+      routed.degraded = best_partial != 0;
+      routed.hedged = hedged;
+      routed.hedge_backup_won = best_partial == 1;
+      routed.partial = true;
+      if (profiling) {
+        ctx.profile.MergeScanFrom(win.profile);
+        ctx.profile.AddStage(obs::Stage::kExecute, win.ms);
+        ctx.profile.replica_index = widx;
+        ctx.profile.attempts = static_cast<std::uint32_t>(launched);
+        ctx.profile.degraded = routed.degraded;
+        ctx.profile.estimated_cost_ms = routed.estimated_cost_ms;
+        ctx.profile.measured_cost_ms = routed.measured_cost_ms;
+      }
+      if (registry.enabled()) RecordRoutedQuery(routed.served_by, routed);
+      return routed;
+    }
+    std::shared_lock lock(sync_->state_mutex);
+    return ExecuteWithFailover(query, model, policy, pool, ctx);
+  }
+
+  const RoutingDecision& decision = ranking.ranked[winner];
+  const std::size_t widx = winner == 0 ? primary : backup;
+  RoutedResult routed;
+  routed.result = std::move(win.result);
+  routed.replica_index = widx;
+  routed.estimated_cost_ms = decision.estimated_cost_ms;
+  routed.predicted_partitions = decision.predicted_partitions;
+  routed.measured_cost_ms = win.ms;
+  routed.served_by = names[winner];
+  routed.attempts = launched;
+  // A hedge win is not a failover: routing's first choice still served
+  // unless the backup beat it.
+  routed.degraded = winner != 0;
+  routed.hedged = hedged;
+  routed.hedge_backup_won = winner == 1;
+
+  // Complete attempts (winner, and a loser that finished before the
+  // cancel landed) teach the latency map — including the slowness that
+  // triggered the hedge, which is exactly the brownout signal.
+  for (std::size_t s = 0; s < launched; ++s) {
+    bool complete = false;
+    std::size_t scanned = 0;
+    if (static_cast<int>(s) == winner) {
+      complete = true;
+      scanned = routed.result.stats.partitions_scanned;
+    } else {
+      std::lock_guard<std::mutex> snap_lock(race->mutex);
+      const HedgeAttempt& a = race->attempts[s];
+      if (a.done && a.ok) {
+        complete = true;
+        scanned = a.result.stats.partitions_scanned;
+      }
+    }
+    if (complete)
+      latency_->Observe(s == 0 ? primary : backup, scanned, ms_snapshot[s]);
+  }
+
+  if (profiling) {
+    ctx.profile.MergeScanFrom(win.profile);
+    ctx.profile.AddStage(obs::Stage::kExecute, win.ms);
+    if (hedged && winner == 0 && done_snapshot[1])
+      ctx.profile.AddStage(obs::Stage::kHedge, ms_snapshot[1]);
+    if (winner == 1 && done_snapshot[0])
+      ctx.profile.AddStage(obs::Stage::kHedge, ms_snapshot[0]);
+    ctx.profile.replica_index = widx;
+    ctx.profile.attempts = static_cast<std::uint32_t>(launched);
+    ctx.profile.degraded = routed.degraded;
+    ctx.profile.estimated_cost_ms = routed.estimated_cost_ms;
+    ctx.profile.measured_cost_ms = routed.measured_cost_ms;
+  }
+  if (registry.enabled()) {
+    static obs::Counter& attempts_total =
+        registry.GetCounter("failover.attempts_total");
+    attempts_total.Increment(launched);
+    if (routed.hedge_backup_won) {
+      static obs::Counter& backup_wins =
+          registry.GetCounter("hedge.backup_wins_total");
+      backup_wins.Increment();
+    }
+  }
+  obs::EventLog& log = obs::EventLog::Global();
+  if (log.enabled() && hedged) {
+    log.Info("hedge", routed.hedge_backup_won
+                          ? "backup attempt won the hedged race"
+                          : "primary finished; backup cancelled",
+             {obs::Field("primary", names[0]),
+              obs::Field("backup", names[1]),
+              obs::Field("winner_ms", routed.measured_cost_ms)});
+  }
+  // A clean full read clears suspicion on the winner's involved
+  // partitions (same contract as the failover loop).
+  if (!health_->AllOk(widx)) {
+    std::shared_lock lock(sync_->state_mutex);
+    for (const std::size_t p :
+         sketches_[widx].index.InvolvedPartitions(query)) {
+      if (health_->Get(widx, p) == PartitionHealth::kSuspect)
+        health_->MarkOk(widx, p);
+    }
+  }
+  if (ctx.trace != nullptr) {
+    ctx.trace->AddAttribute("replica", routed.served_by);
+    ctx.trace->AddAttribute("hedged", std::string(hedged ? "true" : "false"));
+    if (hedged)
+      ctx.trace->AddAttribute(
+          "hedge_backup_won",
+          std::string(routed.hedge_backup_won ? "true" : "false"));
+    ctx.trace->AddAttribute("measured_cost_ms", routed.measured_cost_ms);
+  }
+  if (registry.enabled()) RecordRoutedQuery(routed.served_by, routed);
   return routed;
 }
 

@@ -30,6 +30,7 @@
 #include "core/cost_model.h"
 #include "core/drift.h"
 #include "core/health.h"
+#include "core/latency_map.h"
 #include "core/query_context.h"
 #include "obs/drift_monitor.h"
 #include "obs/profile.h"
@@ -58,6 +59,36 @@ class QueryFailedError : public Error {
 
  private:
   std::vector<Lost> lost_;
+};
+
+// The query's deadline expired before a complete answer was assembled
+// and the caller did not opt into partial results. Reports how far the
+// query got: attempts spent and the served/missed partition split of the
+// furthest attempt, so callers can distinguish "barely missed" (one
+// partition short) from "never started" (admission queue ate the whole
+// budget).
+class DeadlineExceededError : public Error {
+ public:
+  DeadlineExceededError(const std::string& what, double deadline_ms,
+                        std::size_t attempts, std::size_t partitions_served,
+                        std::size_t partitions_missed)
+      : Error(what),
+        deadline_ms_(deadline_ms),
+        attempts_(attempts),
+        partitions_served_(partitions_served),
+        partitions_missed_(partitions_missed) {}
+
+  double deadline_ms() const { return deadline_ms_; }
+  std::size_t attempts() const { return attempts_; }
+  // Partition coverage of the furthest attempt when the deadline hit.
+  std::size_t partitions_served() const { return partitions_served_; }
+  std::size_t partitions_missed() const { return partitions_missed_; }
+
+ private:
+  double deadline_ms_ = 0.0;
+  std::size_t attempts_ = 0;
+  std::size_t partitions_served_ = 0;
+  std::size_t partitions_missed_ = 0;
 };
 
 // What the store does about quarantined partitions after a query.
@@ -138,6 +169,10 @@ class BlotStore {
   // The per-replica, per-partition health map driving routing and repair.
   const HealthMap& health() const { return *health_; }
 
+  // Per-replica latency EWMAs feeding hedged-read thresholds and brownout
+  // deprioritization in routing (core/latency_map.h).
+  const LatencyMap& latency() const { return *latency_; }
+
   // Continuous telemetry fed by every routed query: per-replica cost-
   // model error windows (cost_drift.alert events on threshold breach)
   // and a decayed live-workload estimate checked against the reference
@@ -173,6 +208,37 @@ class BlotStore {
     // Populated when the global metrics registry is enabled or a trace
     // span was passed; all-zero otherwise.
     obs::QueryProfile profile;
+    // True when this is a *partial* answer (ExecOptions::allow_partial):
+    // `result.records` holds everything found in the served partitions and
+    // `result.served_partitions` / `result.missed_partitions` carry the
+    // exact coverage split. Never set without allow_partial.
+    bool partial = false;
+    // True when a backup attempt was raced against a slow primary
+    // (ExecOptions::hedge_ms); hedge_backup_won says which attempt's
+    // records were returned.
+    bool hedged = false;
+    bool hedge_backup_won = false;
+  };
+
+  // Per-call execution knobs beyond the query itself. The 4-argument
+  // Execute overload is the everything-default spelling.
+  struct ExecOptions {
+    ThreadPool* pool = nullptr;
+    obs::TraceSpan* trace = nullptr;
+    // Wall-clock budget for the whole call, measured from entry
+    // (0 = none). Expiry cancels in-flight scans cooperatively at
+    // partition and block boundaries, then either throws
+    // DeadlineExceededError or — with allow_partial — returns what was
+    // found plus the coverage report.
+    double deadline_ms = 0.0;
+    // Opt into graceful degradation: deadline expiry or unrecoverable
+    // partition loss yields a partial RoutedResult instead of throwing.
+    bool allow_partial = false;
+    // Hedged reads (0 = off): when the primary attempt exceeds
+    // max(hedge_ms, 2x the primary replica's LatencyMap expectation), a
+    // backup attempt races it on the next-cheapest covering replica; the
+    // first complete answer wins and the loser is cancelled.
+    double hedge_ms = 0.0;
   };
 
   // Routes `query` to the cheapest healthy replica under `model` and
@@ -189,6 +255,12 @@ class BlotStore {
   RoutedResult Execute(const STRange& query, const CostModel& model,
                        ThreadPool* pool = nullptr,
                        obs::TraceSpan* trace = nullptr);
+
+  // As above with the full knob set: deadline, partial-result opt-in and
+  // hedged reads (see ExecOptions). Throws DeadlineExceededError when the
+  // deadline expires without allow_partial.
+  RoutedResult Execute(const STRange& query, const CostModel& model,
+                       const ExecOptions& options);
 
   struct RoutedBatchResult {
     // per_query[i]: records matching queries[i].
@@ -302,6 +374,24 @@ class BlotStore {
                                    const CostModel& model,
                                    const FailoverPolicy& policy,
                                    ThreadPool* pool, QueryContext& ctx);
+  // Hedged-read coordinator (ctx.hedge_ms > 0 and >= 2 covering
+  // replicas): runs the primary attempt on its own thread, races a
+  // backup on the next-cheapest replica if the primary exceeds the hedge
+  // threshold, returns the first complete answer and cancels the loser.
+  // Unlike ExecuteWithFailover the caller holds NO lock; each attempt
+  // takes its own shared lock so a queued writer cannot deadlock the
+  // coordinator against its attempts.
+  RoutedResult ExecuteHedged(const STRange& query, const CostModel& model,
+                             const FailoverPolicy& policy, ThreadPool* pool,
+                             QueryContext& ctx);
+  // Graceful degradation after failover exhausted every healthy replica:
+  // serves what remains by scanning the best covering replica around its
+  // quarantined partitions, reporting them as missed. Caller holds
+  // state_mutex shared. Throws UnservableError when even that fails.
+  RoutedResult TryPartialFallback(const STRange& query,
+                                  const CostModel& model,
+                                  const FailoverPolicy& policy,
+                                  ThreadPool* pool, QueryContext& ctx);
   // Per-policy repair scheduling after a query released the shared lock.
   void MaybeScheduleRepairs(ThreadPool* pool, const FailoverPolicy& policy);
 
@@ -342,6 +432,7 @@ class BlotStore {
   FailoverPolicy policy_;  // guarded by sync_->state_mutex
   std::size_t max_scan_parallelism_ = 0;  // guarded by sync_->state_mutex
   std::unique_ptr<HealthMap> health_ = std::make_unique<HealthMap>();
+  std::unique_ptr<LatencyMap> latency_ = std::make_unique<LatencyMap>();
   std::unique_ptr<SyncState> sync_ = std::make_unique<SyncState>();
   std::unique_ptr<Telemetry> telemetry_ = std::make_unique<Telemetry>();
 };

@@ -11,7 +11,7 @@ namespace {
 
 constexpr std::array<std::string_view, kStageCount> kStageNames = {
     "route",   "execute", "failover", "repair",
-    "cache_probe", "decode", "filter", "zone_map_prune", "simd",
+    "cache_probe", "decode", "filter", "zone_map_prune", "simd", "hedge",
 };
 
 }  // namespace
@@ -24,6 +24,25 @@ double QueryProfile::TopLevelSumMs() const {
   double sum = 0.0;
   for (std::size_t i = 0; i < kTopLevelStageCount; ++i) sum += stage_ms[i];
   return sum;
+}
+
+void QueryProfile::MergeScanFrom(const QueryProfile& other) {
+  for (std::size_t i = kTopLevelStageCount; i < kStageCount; ++i) {
+    stage_ms[i] += other.stage_ms[i];
+    stage_bytes[i] += other.stage_bytes[i];
+  }
+  partitions_touched += other.partitions_touched;
+  partitions_skipped += other.partitions_skipped;
+  records_scanned += other.records_scanned;
+  blocks_scanned += other.blocks_scanned;
+  blocks_pruned += other.blocks_pruned;
+  partitions_zone_pruned += other.partitions_zone_pruned;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_hit_bytes += other.cache_hit_bytes;
+  cache_miss_bytes += other.cache_miss_bytes;
+  if (scan_engine.empty()) scan_engine = other.scan_engine;
+  parallel_scan = parallel_scan || other.parallel_scan;
 }
 
 double QueryProfile::CostErrorPct() const {

@@ -46,9 +46,10 @@ enum class Stage : std::uint8_t {
   kFilter,
   kZoneMapPrune,  // appended after kFilter: persisted indices stay stable
   kSimd,
+  kHedge,  // wall time of the backup attempt in a hedged read
 };
 inline constexpr std::size_t kTopLevelStageCount = 4;
-inline constexpr std::size_t kStageCount = 9;
+inline constexpr std::size_t kStageCount = 10;
 
 // "route", "execute", ... — the label value used by the
 // query.stage_ms{stage=...} histograms and every exporter.
@@ -94,6 +95,13 @@ struct QueryProfile {
   // Sum of the disjoint top-level stages — the additive decomposition of
   // total_ms.
   double TopLevelSumMs() const;
+
+  // Folds another profile's scan sub-stages (everything past the
+  // top-level stages) and scan-shape counters into this one. Used by the
+  // hedged-read coordinator: each racing attempt fills its own profile
+  // off-thread, and the winner's is merged into the query's profile
+  // after the race — the query profile is never written concurrently.
+  void MergeScanFrom(const QueryProfile& other);
 
   // |measured - estimated| / measured * 100, 0 when unmeasured.
   double CostErrorPct() const;

@@ -16,6 +16,8 @@ struct ServeMetrics {
   obs::Counter& shed;
   obs::Counter& completed;
   obs::Counter& failed;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& partial;
   obs::Gauge& queue_depth;
   obs::Gauge& inflight_bytes;
   obs::Histogram& latency_ms;
@@ -26,6 +28,8 @@ struct ServeMetrics {
                           r.GetCounter("serve.shed_total"),
                           r.GetCounter("serve.completed_total"),
                           r.GetCounter("serve.failed_total"),
+                          r.GetCounter("serve.deadline_exceeded_total"),
+                          r.GetCounter("serve.partial_total"),
                           r.GetGauge("serve.queue_depth"),
                           r.GetGauge("serve.inflight_bytes"),
                           r.GetHistogram("serve.latency_ms")};
@@ -85,7 +89,8 @@ double QueryServer::RetryAfterMs(std::size_t inflight) const {
 }
 
 std::future<BlotStore::RoutedResult> QueryServer::Submit(
-    const STRange& query) {
+    const STRange& query, double deadline_ms) {
+  require(deadline_ms >= 0.0, "QueryServer::Submit: negative deadline");
   submitted_.fetch_add(1, std::memory_order_relaxed);
   auto& metrics = ServeMetrics::Get();
   const std::uint64_t bytes = EstimateBytes(query);
@@ -131,18 +136,57 @@ std::future<BlotStore::RoutedResult> QueryServer::Submit(
   admitted_.fetch_add(1, std::memory_order_relaxed);
   metrics.admitted.Increment();
 
-  return request_pool_->Submit([this, query, bytes] {
+  // The deadline clock starts at admission: time spent queued behind
+  // other requests is part of the caller's wait and counts against the
+  // budget.
+  const double effective_deadline =
+      deadline_ms > 0.0 ? deadline_ms : options_.default_deadline_ms;
+  const std::uint64_t admit_ns = obs::MonotonicNanos();
+  return request_pool_->Submit([this, query, bytes, effective_deadline,
+                                admit_ns] {
     const std::uint64_t start_ns = obs::MonotonicNanos();
     if (options_.simulate_io_ms > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           options_.simulate_io_ms));
     }
+    auto& metrics = ServeMetrics::Get();
     try {
-      BlotStore::RoutedResult result =
-          store_.Execute(query, model_, scan_pool_.get());
+      BlotStore::ExecOptions exec;
+      exec.pool = scan_pool_.get();
+      exec.allow_partial = options_.allow_partial;
+      exec.hedge_ms = options_.hedge_ms;
+      if (effective_deadline > 0.0) {
+        // Abandon work whose deadline already passed in the queue (or
+        // during the emulated storage round-trip): executing it would
+        // only delay queries that can still make theirs.
+        const double waited_ms =
+            double(obs::MonotonicNanos() - admit_ns) * 1e-6;
+        const double remaining = effective_deadline - waited_ms;
+        if (remaining <= 0.0) {
+          // Accounting happens in the DeadlineExceededError catch below.
+          throw DeadlineExceededError(
+              "QueryServer: deadline of " +
+                  std::to_string(effective_deadline) +
+                  "ms expired in the admission queue (waited " +
+                  std::to_string(waited_ms) + "ms); query abandoned",
+              effective_deadline, 0, 0, 0);
+        }
+        exec.deadline_ms = remaining;
+      }
+      BlotStore::RoutedResult result = store_.Execute(query, model_, exec);
+      if (result.partial) {
+        partial_.fetch_add(1, std::memory_order_relaxed);
+        metrics.partial.Increment();
+      }
       FinishQuery(bytes, double(obs::MonotonicNanos() - start_ns) * 1e-6,
                   /*failed=*/false);
       return result;
+    } catch (const DeadlineExceededError&) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      metrics.deadline_exceeded.Increment();
+      FinishQuery(bytes, double(obs::MonotonicNanos() - start_ns) * 1e-6,
+                  /*failed=*/true);
+      throw;
     } catch (...) {
       FinishQuery(bytes, double(obs::MonotonicNanos() - start_ns) * 1e-6,
                   /*failed=*/true);
@@ -151,8 +195,9 @@ std::future<BlotStore::RoutedResult> QueryServer::Submit(
   });
 }
 
-BlotStore::RoutedResult QueryServer::Execute(const STRange& query) {
-  return Submit(query).get();
+BlotStore::RoutedResult QueryServer::Execute(const STRange& query,
+                                             double deadline_ms) {
+  return Submit(query, deadline_ms).get();
 }
 
 void QueryServer::FinishQuery(std::uint64_t bytes, double latency_ms,
@@ -192,6 +237,9 @@ ServerStatsSnapshot QueryServer::stats() const {
   snap.shed = shed_.load(std::memory_order_relaxed);
   snap.completed = completed_.load(std::memory_order_relaxed);
   snap.failed = failed_.load(std::memory_order_relaxed);
+  snap.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  snap.partial = partial_.load(std::memory_order_relaxed);
   snap.latency_ewma_ms = latency_ewma_ms_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(admission_mutex_);

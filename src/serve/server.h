@@ -102,6 +102,20 @@ struct ServerOptions {
   // Smoothing factor of the service-latency EWMA behind retry-after
   // hints, in (0, 1]; higher weighs recent queries more.
   double latency_ewma_alpha = 0.2;
+  // Default per-query deadline in ms, measured from *admission* (queue
+  // wait counts against the budget — a query that waited out its whole
+  // deadline in the queue fails fast without executing). 0 = none. A
+  // per-request deadline passed to Submit overrides it. Expiry surfaces
+  // as DeadlineExceededError through the returned future, or as a
+  // partial result when allow_partial is set (docs/serving.md).
+  double default_deadline_ms = 0.0;
+  // Hedged reads for every served query (BlotStore::ExecOptions::
+  // hedge_ms): 0 = off.
+  double hedge_ms = 0.0;
+  // Opt all served queries into graceful degradation: deadline expiry or
+  // unrecoverable partition loss yields a partial RoutedResult with a
+  // coverage report instead of an error.
+  bool allow_partial = false;
 };
 
 // Monotone counters + point-in-time levels, readable while serving.
@@ -111,6 +125,12 @@ struct ServerStatsSnapshot {
   std::uint64_t shed = 0;       // rejected with OverloadedError
   std::uint64_t completed = 0;  // admitted and returned a result
   std::uint64_t failed = 0;     // admitted and threw (QueryFailedError...)
+  // Admitted queries whose deadline expired (threw DeadlineExceededError;
+  // a subset of `failed`). Partial results do not count here.
+  std::uint64_t deadline_exceeded = 0;
+  // Completed queries that returned a partial result (subset of
+  // `completed`; only possible with ServerOptions::allow_partial).
+  std::uint64_t partial = 0;
   std::size_t inflight = 0;
   std::uint64_t inflight_bytes = 0;
   double latency_ewma_ms = 0.0;
@@ -135,10 +155,18 @@ class QueryServer {
   // QueryFailedError etc. — admission is about capacity, not
   // correctness). Throws OverloadedError synchronously when the
   // in-flight or byte budget is exhausted, or after Drain() began.
-  std::future<BlotStore::RoutedResult> Submit(const STRange& query);
+  //
+  // `deadline_ms` overrides ServerOptions::default_deadline_ms for this
+  // request (0 = use the default; the default itself may be 0 = none).
+  // The deadline clock starts now — at admission — so queue wait counts;
+  // a query still queued when its deadline passes is abandoned without
+  // executing and its future carries DeadlineExceededError.
+  std::future<BlotStore::RoutedResult> Submit(const STRange& query,
+                                              double deadline_ms = 0.0);
 
   // Blocking convenience: Submit + get.
-  BlotStore::RoutedResult Execute(const STRange& query);
+  BlotStore::RoutedResult Execute(const STRange& query,
+                                  double deadline_ms = 0.0);
 
   ServerStatsSnapshot stats() const;
 
@@ -176,6 +204,8 @@ class QueryServer {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> partial_{0};
   std::atomic<double> latency_ewma_ms_{0.0};
 };
 

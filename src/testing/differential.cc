@@ -85,7 +85,18 @@ std::string FormatFaultSpec(const FaultPlan& plan) {
   for (std::size_t i = 0; i < plan.kinds.size(); ++i)
     os << (i ? "," : "") << FaultKindName(plan.kinds[i]);
   os << ";fires=" << plan.max_fires_per_target;
-  os << ";latency=" << plan.latency_ms;
+  switch (plan.latency_dist) {
+    case FaultPlan::LatencyDist::kFixed:
+      os << ";latency=" << plan.latency_ms;
+      break;
+    case FaultPlan::LatencyDist::kPareto:
+      os << ";latency=pareto:" << plan.latency_min << ":" << plan.latency_max;
+      break;
+    case FaultPlan::LatencyDist::kSpike:
+      os << ";latency=spike:" << plan.latency_min << ":"
+         << plan.spike_probability;
+      break;
+  }
   if (!plan.replica.empty()) os << ";replica=" << plan.replica;
   if (plan.partition.has_value()) os << ";partition=" << *plan.partition;
   return os.str();
@@ -249,6 +260,21 @@ struct Iteration {
           ZonePruneGuard prune_guard(false);
           return store.Execute(query, model).result.records;
         });
+        // Hedged leg: a stalled primary races a backup attempt; whichever
+        // wins, the answer must stay bit-identical to the oracle. The
+        // race makes the budget-consumption order between the two
+        // attempts scheduling-dependent, but the contract checked here —
+        // oracle match or structured QueryFailedError — holds for every
+        // interleaving.
+        if (options.hedge_ms > 0.0 && configs.size() >= 2) {
+          CheckUnderFaults("store-routed-hedged", query, expected, [&] {
+            BlotStore::ExecOptions exec;
+            exec.hedge_ms = options.hedge_ms;
+            return store.Execute(query, model, exec).result.records;
+          });
+        }
+        if (options.deadline_ms > 0.0)
+          CheckDeadlinePartial(store, model, query, expected);
         continue;
       }
       CheckReplicaPaths(store, query, expected);
@@ -265,6 +291,73 @@ struct Iteration {
     if (!faults && options.check_failover && configs.size() >= 2)
       CheckFailover(store, model, queries);
     if (faults) FaultInjector::Global().Disarm();
+  }
+
+  // Deadline leg: execute with options.deadline_ms and allow_partial. A
+  // full answer must match the oracle exactly; a partial answer must
+  // match the oracle restricted to the served partitions. The restricted
+  // expectation is computed by clean-decoding exactly those partitions of
+  // the serving replica under FaultInjector::Suspend — a served partition
+  // contributes all of its matching records or none (blot/replica.h), so
+  // the expected multiset is exact, and suspension leaves the campaign's
+  // fire budgets and read sequences untouched for later checks.
+  void CheckDeadlinePartial(BlotStore& store, const CostModel& model,
+                            const STRange& query,
+                            const std::vector<Record>& expected) {
+    ++report.checks_run;
+    const std::string name = "store-routed-deadline";
+    try {
+      BlotStore::ExecOptions exec;
+      exec.deadline_ms = options.deadline_ms;
+      exec.allow_partial = true;
+      const BlotStore::RoutedResult routed = store.Execute(query, model, exec);
+      if (!routed.partial) {
+        const RecordDiff diff = DiffRecords(routed.result.records, expected);
+        if (!diff.empty()) Fail(name, query, DescribeDiff(diff));
+        return;
+      }
+      // Coverage sanity before the record diff: a partial answer must
+      // actually miss something, and no partition may be reported on both
+      // sides of the split.
+      if (routed.result.missed_partitions.empty()) {
+        Fail(name, query, "partial result with an empty missed set");
+        return;
+      }
+      const std::set<std::size_t> served(
+          routed.result.served_partitions.begin(),
+          routed.result.served_partitions.end());
+      for (const std::size_t p : routed.result.missed_partitions) {
+        if (served.count(p) != 0) {
+          Fail(name, query, "partition " + std::to_string(p) +
+                                " reported both served and missed");
+          return;
+        }
+      }
+      FaultInjector::Suspend suspend(FaultInjector::Global());
+      const Replica& replica = store.replica(routed.replica_index);
+      std::vector<Record> expected_served;
+      for (const std::size_t p : served)
+        for (const Record& rec : replica.DecodePartitionRecords(p))
+          if (query.Contains(rec.Position())) expected_served.push_back(rec);
+      const RecordDiff diff =
+          DiffRecords(routed.result.records, expected_served);
+      if (!diff.empty())
+        Fail(name, query,
+             "partial coverage (" + std::to_string(served.size()) + " of " +
+                 std::to_string(served.size() +
+                                routed.result.missed_partitions.size()) +
+                 " partitions) diverges from the oracle on the served set: " +
+                 DescribeDiff(diff));
+    } catch (const DeadlineExceededError& e) {
+      // allow_partial was set: expiry must degrade, never throw.
+      Fail(name, query,
+           std::string("threw despite allow_partial: ") + e.what());
+    } catch (const QueryFailedError& e) {
+      if (!options.failover_enabled)
+        Fail(name, query, std::string("threw: ") + e.what());
+    } catch (const Error& e) {
+      Fail(name, query, std::string("threw: ") + e.what());
+    }
   }
 
   void CheckReplicaPaths(const BlotStore& store, const STRange& query,
@@ -570,6 +663,9 @@ std::string ReproCommand(const DifferentialOptions& options,
   if (options.fault_plan.has_value())
     os << " --inject-faults='" << FormatFaultSpec(*options.fault_plan) << "'";
   if (!options.failover_enabled) os << " --no-repair";
+  if (options.hedge_ms > 0.0) os << " --hedge-ms=" << options.hedge_ms;
+  if (options.deadline_ms > 0.0)
+    os << " --deadline-ms=" << options.deadline_ms;
   return os.str();
 }
 

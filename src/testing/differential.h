@@ -63,6 +63,23 @@ struct DifferentialOptions {
   // mismatches — the harness's own failure detection, reproducible from
   // the printed seed.
   bool failover_enabled = true;
+  // Hedged chaos leg (> 0, needs faults armed and >= 2 replicas): each
+  // query is additionally executed with ExecOptions::hedge_ms set, so a
+  // stalled primary races a backup attempt. The winning answer must stay
+  // bit-identical to the oracle whichever attempt produced it. The race
+  // means *which* attempt consumes a target's fire budget is no longer a
+  // pure function of the seed — the correctness contract (oracle match or
+  // structured QueryFailedError) is what this leg pins down, not the
+  // fault landing sites.
+  double hedge_ms = 0.0;
+  // Deadline chaos leg (> 0, needs faults armed): each query is
+  // additionally executed with this deadline and allow_partial set. A
+  // full result must match the oracle exactly; a partial result must
+  // match the oracle restricted to the served partitions — verified by
+  // clean-decoding exactly those partitions of the serving replica under
+  // FaultInjector::Suspend, so the fault campaign's budgets are not
+  // perturbed.
+  double deadline_ms = 0.0;
 };
 
 // One check that diverged from the oracle (or threw).

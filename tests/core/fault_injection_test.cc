@@ -56,6 +56,63 @@ TEST(FaultSpecTest, RejectsMalformedSpecs) {
   EXPECT_THROW(ParseFaultSpec("seed"), InvalidArgument);
 }
 
+TEST(FaultSpecTest, ParsesLatencyDistributions) {
+  const FaultPlan pareto = ParseFaultSpec("kinds=latency;latency=pareto:5:50");
+  EXPECT_EQ(pareto.latency_dist, FaultPlan::LatencyDist::kPareto);
+  EXPECT_DOUBLE_EQ(pareto.latency_min, 5.0);
+  EXPECT_DOUBLE_EQ(pareto.latency_max, 50.0);
+
+  const FaultPlan spike =
+      ParseFaultSpec("kinds=latency;latency=spike:200:0.05");
+  EXPECT_EQ(spike.latency_dist, FaultPlan::LatencyDist::kSpike);
+  EXPECT_DOUBLE_EQ(spike.latency_min, 200.0);
+  EXPECT_DOUBLE_EQ(spike.spike_probability, 0.05);
+
+  // The scalar grammar keeps its original fixed-delay meaning.
+  const FaultPlan fixed = ParseFaultSpec("kinds=latency;latency=7");
+  EXPECT_EQ(fixed.latency_dist, FaultPlan::LatencyDist::kFixed);
+  EXPECT_EQ(fixed.latency_ms, 7u);
+}
+
+TEST(FaultSpecTest, RejectsMalformedLatencyDistributions) {
+  EXPECT_THROW(ParseFaultSpec("latency=pareto:5"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("latency=pareto:50:5"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("latency=pareto:0:5"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("latency=pareto:abc:5"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("latency=spike:200"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("latency=spike:200:1.5"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("latency=spike:0:0.5"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("latency=weibull:1:2"), InvalidArgument);
+}
+
+TEST(FaultInjectorTest, SuspendMakesReadsCleanWithoutTouchingBudgets) {
+  FaultInjector injector;
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.probability = 1.0;
+  plan.max_fires_per_target = 1;
+  injector.Arm(plan);
+
+  {
+    // Every read under suspension is clean, however many targets fire
+    // without it.
+    FaultInjector::Suspend suspend(injector);
+    for (std::size_t p = 0; p < 16; ++p)
+      EXPECT_FALSE(injector.OnPartitionRead("R", p, 64).fire);
+    EXPECT_EQ(injector.stats().fired_total, 0u);
+  }
+
+  // The suspended reads consumed no fire budget: each target's single
+  // allotted fire is still available afterwards.
+  std::size_t fired = 0;
+  for (std::size_t p = 0; p < 16; ++p)
+    if (injector.OnPartitionRead("R", p, 64).fire) ++fired;
+  EXPECT_EQ(fired, 16u);
+  // And the budget now really is spent.
+  for (std::size_t p = 0; p < 16; ++p)
+    EXPECT_FALSE(injector.OnPartitionRead("R", p, 64).fire);
+}
+
 TEST(FaultInjectorTest, DecisionsAreDeterministicPerSeed) {
   FaultPlan plan;
   plan.seed = 1234;

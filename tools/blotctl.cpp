@@ -63,6 +63,7 @@ int Usage() {
       "             [--trace] [--profile] [--cache-mb N]\n"
       "             [--scan-parallelism N]\n"
       "             [--concurrency N] [--repeat K]\n"
+      "             [--deadline-ms D] [--allow-partial] [--hedge-ms H]\n"
       "  advise     --data FILE [--records N] [--budget-gb G]\n"
       "             [--env s3|hadoop] [--algorithm greedy|mip]\n"
       "  stats      --dir DIR [--queries N] [--env s3|hadoop] [--seed S]\n"
@@ -84,9 +85,16 @@ int Usage() {
       "  times over N serving-layer workers and reports p50/p95.\n"
       "  stats --snapshots-out FILE [--snapshot-interval-ms N] samples the\n"
       "  registry on a background thread and writes snapshot JSONL.\n"
+      "  store-query --deadline-ms D bounds the query's wall time;\n"
+      "  --allow-partial serves what was found (with a coverage report)\n"
+      "  when the deadline expires or partitions are lost; --hedge-ms H\n"
+      "  races a backup replica when the primary stalls past H ms\n"
+      "  (docs/robustness.md).\n"
       "\n"
       "exit codes: 0 ok, 1 error, 2 usage/invalid argument,\n"
-      "            3 corrupt data, 4 query failed (no healthy copy)\n");
+      "            3 corrupt data, 4 query failed (no healthy copy),\n"
+      "            5 partial result served (--allow-partial),\n"
+      "            6 deadline exceeded (--deadline-ms)\n");
   return 2;
 }
 
@@ -449,11 +457,19 @@ int CmdStoreQuery(const Flags& flags) {
   const std::string env_name = flags.GetString("env", "hadoop");
   const CostModel model{env_name == "s3" ? EnvironmentModel::AmazonS3Emr()
                                          : EnvironmentModel::LocalHadoop()};
+  const double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  const double hedge_ms = flags.GetDouble("hedge-ms", 0.0);
+  const bool allow_partial = flags.Has("allow-partial");
+  require(deadline_ms >= 0.0, "--deadline-ms must be >= 0");
+  require(hedge_ms >= 0.0, "--hedge-ms must be >= 0");
   if (concurrent) {
     serve::ServerOptions options;
     options.worker_threads = concurrency;
     // The CLI never sheds its own runs: admit everything up front.
     options.max_inflight = repeat + concurrency;
+    options.default_deadline_ms = deadline_ms;
+    options.hedge_ms = hedge_ms;
+    options.allow_partial = allow_partial;
     serve::QueryServer server(store, model, options);
     std::vector<std::future<BlotStore::RoutedResult>> futures;
     futures.reserve(repeat);
@@ -464,19 +480,33 @@ int CmdStoreQuery(const Flags& flags) {
     run_ms.reserve(repeat);
     std::size_t first_count = 0;
     bool counts_agree = true;
+    bool first_full_seen = false;
+    std::size_t partial_runs = 0;
+    std::size_t partial_served = 0, partial_total = 0;
     for (std::size_t k = 0; k < repeat; ++k) {
       // get() rethrows, so a failing run keeps the exit-code contract
       // (QueryFailedError -> 4, CorruptData -> 3, ...).
       const auto routed = futures[k].get();
       run_ms.push_back(routed.measured_cost_ms);
       if (k == 0) {
-        first_count = routed.result.records.size();
         if (profile_requested)
           std::fputs(routed.profile.Render().c_str(), stdout);
         std::printf("routed to replica %zu (%s): %zu records\n",
                     routed.replica_index,
                     store.replica(routed.replica_index).config().Name().c_str(),
-                    first_count);
+                    routed.result.records.size());
+      }
+      if (routed.partial) {
+        // A partial run legitimately returns fewer records; it reports
+        // its coverage instead of entering the count agreement check.
+        ++partial_runs;
+        partial_served = routed.result.served_partitions.size();
+        partial_total = partial_served + routed.result.missed_partitions.size();
+        continue;
+      }
+      if (!first_full_seen) {
+        first_full_seen = true;
+        first_count = routed.result.records.size();
       } else if (routed.result.records.size() != first_count) {
         counts_agree = false;
       }
@@ -492,19 +522,26 @@ int CmdStoreQuery(const Flags& flags) {
         wall_ms > 0 ? 1000.0 * double(repeat) / wall_ms : 0.0,
         Percentile(run_ms, 50), Percentile(run_ms, 95));
     require(counts_agree, "concurrent runs returned differing record counts");
+    if (partial_runs > 0)
+      std::printf("partial: served %zu/%zu partitions (%zu of %zu runs)\n",
+                  partial_served, partial_total, partial_runs, repeat);
     PrintCacheSummaryIfEnabled();
     PrintFaultSummaryIfArmed(flags);
     WriteMetricsIfRequested(flags);
     CloseEventLogIfOpen();
-    return 0;
+    return partial_runs > 0 ? 5 : 0;
   }
   ThreadPool pool(4);
   obs::TraceSpan root("store-query");
   const auto routed = [&] {
     obs::SpanTimer timer(&root);
-    return store.Execute(range, model,
-                         profile_requested ? nullptr : &pool,
-                         flags.Has("trace") ? &root : nullptr);
+    BlotStore::ExecOptions exec;
+    exec.pool = profile_requested ? nullptr : &pool;
+    exec.trace = flags.Has("trace") ? &root : nullptr;
+    exec.deadline_ms = deadline_ms;
+    exec.allow_partial = allow_partial;
+    exec.hedge_ms = hedge_ms;
+    return store.Execute(range, model, exec);
   }();
   if (flags.Has("trace")) std::fputs(root.Render().c_str(), stdout);
   if (profile_requested) std::fputs(routed.profile.Render().c_str(), stdout);
@@ -517,16 +554,24 @@ int CmdStoreQuery(const Flags& flags) {
     std::printf("degraded: served by %s after %zu attempt(s) "
                 "(faulty copies quarantined)\n",
                 routed.served_by.c_str(), routed.attempts);
+  if (routed.hedged)
+    std::printf("hedged: backup attempt %s\n",
+                routed.hedge_backup_won ? "won" : "lost");
   std::printf("%zu records (scanned %llu in %zu partitions)\n",
               routed.result.records.size(),
               static_cast<unsigned long long>(
                   routed.result.stats.records_scanned),
               routed.result.stats.partitions_scanned);
+  if (routed.partial)
+    std::printf("partial: served %zu/%zu partitions\n",
+                routed.result.served_partitions.size(),
+                routed.result.served_partitions.size() +
+                    routed.result.missed_partitions.size());
   PrintCacheSummaryIfEnabled();
   PrintFaultSummaryIfArmed(flags);
   WriteMetricsIfRequested(flags);
   CloseEventLogIfOpen();
-  return 0;
+  return routed.partial ? 5 : 0;
 }
 
 // Probes a persisted store with a routed sample workload and emits the
@@ -694,8 +739,9 @@ int Run(int argc, char** argv) {
     return CmdStoreQuery({argc, argv, 2,
                           {"dir", "range", "env", "metrics-out",
                            "cache-mb", "inject-faults", "event-log",
-                           "concurrency", "repeat", "scan-parallelism"},
-                          {"trace", "profile"}});
+                           "concurrency", "repeat", "scan-parallelism",
+                           "deadline-ms", "hedge-ms"},
+                          {"trace", "profile", "allow-partial"}});
   if (command == "advise")
     return CmdAdvise({argc, argv, 2,
                       {"data", "records", "budget-gb", "env", "algorithm",
@@ -714,11 +760,17 @@ int Run(int argc, char** argv) {
 
 // Exit codes are part of the CLI contract (asserted by the tools tests
 // and usable from shell scripts): 2 = caller error, 3 = data corruption
-// detected, 4 = query unservable (every healthy copy gone), 1 = any
-// other failure. Each gets a one-line diagnostic naming the class.
+// detected, 4 = query unservable (every healthy copy gone), 5 = partial
+// result served (returned by CmdStoreQuery, not thrown), 6 = deadline
+// exceeded, 1 = any other failure. Each gets a one-line diagnostic
+// naming the class. DeadlineExceededError must be caught before
+// blot::Error, which it derives from.
 int main(int argc, char** argv) {
   try {
     return blot::tools::Run(argc, argv);
+  } catch (const blot::DeadlineExceededError& e) {
+    std::fprintf(stderr, "deadline exceeded: %s\n", e.what());
+    return 6;
   } catch (const blot::QueryFailedError& e) {
     std::fprintf(stderr, "query failed: %s\n", e.what());
     return 4;

@@ -41,7 +41,8 @@ int Usage() {
       stderr,
       "usage: blotfuzz [--seed S] [--rounds N] [--queries N] [--replicas N]\n"
       "                [--cache-bytes N] [--max-records N]\n"
-      "                [--inject-faults SPEC] [--no-repair] [--quiet]\n"
+      "                [--inject-faults SPEC] [--no-repair]\n"
+      "                [--hedge-ms MS] [--deadline-ms MS] [--quiet]\n"
       "                [--event-log FILE]\n"
       "\n"
       "  --seed S           base seed (default 1); round 0 runs seed S\n"
@@ -57,6 +58,14 @@ int Usage() {
       "                     checks only\n"
       "  --no-repair        disable failover and repair: injected faults\n"
       "                     surface as reproducible mismatches\n"
+      "  --hedge-ms MS      with faults armed: also run every query hedged\n"
+      "                     (backup attempt races a slow primary); the\n"
+      "                     winning answer must stay bit-identical to the\n"
+      "                     oracle\n"
+      "  --deadline-ms MS   with faults armed: also run every query under\n"
+      "                     this deadline with partial results allowed;\n"
+      "                     partial coverage must match the oracle on the\n"
+      "                     served partitions exactly\n"
       "  --quiet            only print mismatches and the final summary\n"
       "  --event-log FILE   append structured JSONL events (soak.start,\n"
       "                     soak.mismatch with seed/round/repro, quarantine/\n"
@@ -68,7 +77,8 @@ int Usage() {
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv, 1,
                     {"seed", "rounds", "queries", "replicas", "cache-bytes",
-                     "max-records", "inject-faults", "event-log"},
+                     "max-records", "inject-faults", "event-log", "hedge-ms",
+                     "deadline-ms"},
                     {"no-repair", "quiet"});
 
   blot::testing::DifferentialOptions options;
@@ -87,6 +97,16 @@ int Run(int argc, char** argv) {
   if (flags.Has("inject-faults"))
     options.fault_plan = ParseFaultSpec(flags.GetString("inject-faults"));
   options.failover_enabled = !flags.Has("no-repair");
+  options.hedge_ms = flags.GetDouble("hedge-ms", 0.0);
+  options.deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  if (options.hedge_ms < 0.0 || options.deadline_ms < 0.0)
+    throw blot::InvalidArgument(
+        "blotfuzz: --hedge-ms and --deadline-ms must be >= 0");
+  if ((options.hedge_ms > 0.0 || options.deadline_ms > 0.0) &&
+      !options.fault_plan.has_value())
+    throw blot::InvalidArgument(
+        "blotfuzz: --hedge-ms/--deadline-ms need --inject-faults (the "
+        "hedged and deadline legs only run with faults armed)");
 
   const bool quiet = flags.Has("quiet");
   if (!quiet)
@@ -95,6 +115,8 @@ int Run(int argc, char** argv) {
               << " queries/round=" << options.queries_per_iteration
               << " replicas/round=" << options.replicas_per_iteration
               << (options.fault_plan.has_value() ? " (faults armed)" : "")
+              << (options.hedge_ms > 0.0 ? " (hedged leg)" : "")
+              << (options.deadline_ms > 0.0 ? " (deadline leg)" : "")
               << (options.failover_enabled ? "" : " (failover disabled)")
               << std::endl;
 

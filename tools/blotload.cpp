@@ -15,17 +15,26 @@
 //     the server must shed the excess with structured OverloadedError
 //     while every admitted query completes. Tracked: the shed rate.
 //
+//   latency faults — the deterministic fault injector arms heavy-tailed
+//     (pareto) per-target read stalls and the workload replays twice
+//     under a per-query deadline with graceful degradation on: once with
+//     hedged reads off, once on. Tracked: the hedging-off deadline miss
+//     rate, and the p99 improvement hedging buys at equal correctness
+//     (docs/robustness.md).
+//
 // Correctness bar: every admitted query's record count must match the
 // single-threaded reference count for its query shape, in every phase;
-// shed queries are counted, never wrong. Exit 0 only when consistent.
+// shed queries are counted, never wrong; a partial result may only
+// undercount, never fabricate records. Exit 0 only when consistent.
 //
 // Results go to BENCH_serving.json (or --out, schema blot.bench.v1) for
 // scripts/bench_tripwire.py. Usage:
 //
-//   blotload [--out path] [--mode all|closed|open] [--records N]
+//   blotload [--out path] [--mode all|closed|open|latency] [--records N]
 //            [--shapes K] [--threads 1,8] [--clients C] [--duration-s S]
 //            [--io-ms MS] [--overload-factor F] [--max-inflight N]
 //            [--cache-mb MB] [--seed S]
+//            [--deadline-ms D] [--hedge-ms H]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -36,6 +45,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/fault_injection.h"
 #include "core/partition_cache.h"
 #include "core/store.h"
 #include "serve/server.h"
@@ -103,17 +113,77 @@ PhaseResult RunClosedLoop(serve::QueryServer& server,
   return phase;
 }
 
+struct LatencyLegResult {
+  std::uint64_t total = 0;
+  std::uint64_t misses = 0;  // partial results + deadline errors
+  std::vector<double> latencies_ms;
+
+  double MissRatePct() const {
+    return total > 0 ? 100.0 * double(misses) / double(total) : 0.0;
+  }
+};
+
+// Replays every query shape `rounds` times under a deadline with
+// graceful degradation on. A query that came back partial (or threw
+// DeadlineExceededError from the admission queue) counts as a deadline
+// miss; a partial may only undercount its shape's reference result.
+LatencyLegResult RunLatencyLeg(serve::QueryServer& server,
+                               const std::vector<STRange>& queries,
+                               const std::vector<std::size_t>& expected,
+                               std::size_t clients, std::size_t rounds,
+                               std::atomic<std::uint64_t>& mismatches) {
+  LatencyLegResult leg;
+  leg.total = queries.size() * rounds;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::vector<std::vector<double>> per_client_ms(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& ms = per_client_ms[c];
+      for (;;) {
+        const std::size_t n = next.fetch_add(1, std::memory_order_relaxed);
+        if (n >= leg.total) break;
+        const std::size_t i = n % queries.size();
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          const auto routed = server.Execute(queries[i]);
+          ms.push_back(SecondsSince(t0) * 1000.0);
+          if (routed.partial) {
+            misses.fetch_add(1, std::memory_order_relaxed);
+            if (routed.result.records.size() > expected[i])
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+          } else if (routed.result.records.size() != expected[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const DeadlineExceededError&) {
+          ms.push_back(SecondsSince(t0) * 1000.0);
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  leg.misses = misses.load();
+  for (auto& ms : per_client_ms)
+    leg.latencies_ms.insert(leg.latencies_ms.end(), ms.begin(), ms.end());
+  return leg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   tools::Flags flags(argc, argv, 1,
                      {"out", "mode", "records", "shapes", "threads",
                       "clients", "duration-s", "io-ms", "overload-factor",
-                      "max-inflight", "cache-mb", "seed"});
+                      "max-inflight", "cache-mb", "seed", "deadline-ms",
+                      "hedge-ms"});
   const std::string out = flags.GetString("out", "BENCH_serving.json");
   const std::string mode = flags.GetString("mode", "all");
-  require(mode == "all" || mode == "closed" || mode == "open",
-          "--mode must be all, closed or open");
+  require(mode == "all" || mode == "closed" || mode == "open" ||
+              mode == "latency",
+          "--mode must be all, closed, open or latency");
   const std::size_t records = std::size_t(flags.GetInt("records", 20000));
   const std::size_t shapes = std::size_t(flags.GetInt("shapes", 64));
   const double duration_s = flags.GetDouble("duration-s", 1.5);
@@ -123,6 +193,10 @@ int main(int argc, char** argv) {
       std::size_t(flags.GetInt("max-inflight", 16));
   const std::uint64_t cache_mb = flags.GetUint64("cache-mb", 64);
   const std::uint64_t seed = flags.GetUint64("seed", 20140623);
+  const double deadline_ms = flags.GetDouble("deadline-ms", 45.0);
+  const double hedge_ms = flags.GetDouble("hedge-ms", 10.0);
+  require(deadline_ms > 0.0, "--deadline-ms must be > 0");
+  require(hedge_ms > 0.0, "--hedge-ms must be > 0");
   std::vector<std::size_t> worker_counts;
   for (const double w : tools::SplitDoubles(flags.GetString("threads", "1,8")))
     worker_counts.push_back(std::size_t(w));
@@ -135,7 +209,7 @@ int main(int argc, char** argv) {
   Dataset dataset = bench::MakeSample(records);
   const std::size_t num_records = dataset.size();
   const STRange universe = bench::PaperUniverse();
-  BlotStore store(std::move(dataset), universe);
+  BlotStore store(Dataset(dataset), universe);
   {
     ThreadPool build_pool(2, "build");
     store.AddReplica({{.spatial_partitions = 16, .temporal_partitions = 8},
@@ -145,6 +219,27 @@ int main(int argc, char** argv) {
                       EncodingScheme::FromName("COL-GZIP")},
                      &build_pool);
   }
+  // The latency-fault legs build their own store per leg, from the same
+  // dataset: routing state (health, latency EWMAs) must start cold and
+  // identical in both legs for the hedging comparison to be fair. The
+  // replica pair is deliberately near-peer (same partitioning, different
+  // encoding): hedging races the next-cheapest *covering* replica, and a
+  // backup can only win the race when its cost is comparable — with the
+  // stall maps independent per replica name, a stalled primary partition
+  // is almost always healthy on the peer.
+  const auto build_latency_store = [&dataset, &universe] {
+    BlotStore lat_store(Dataset(dataset), universe);
+    ThreadPool build_pool(2, "build");
+    lat_store.AddReplica(
+        {{.spatial_partitions = 16, .temporal_partitions = 8},
+         EncodingScheme::FromName("ROW-SNAPPY")},
+        &build_pool);
+    lat_store.AddReplica(
+        {{.spatial_partitions = 16, .temporal_partitions = 8},
+         EncodingScheme::FromName("COL-SNAPPY")},
+        &build_pool);
+    return lat_store;
+  };
   const CostModel model{EnvironmentModel::LocalHadoop()};
 
   // Query shapes: mid-size ranges sampled deterministically, so every
@@ -174,7 +269,7 @@ int main(int argc, char** argv) {
 
   // ---- closed loop: throughput vs request-worker count ----------------
   std::vector<std::pair<std::size_t, double>> qps_by_workers;
-  if (mode != "open") {
+  if (mode == "all" || mode == "closed") {
     bench::PrintRule('-', 70);
     std::printf("%-10s %10s %10s %10s %10s %10s\n", "workers", "qps",
                 "p50 ms", "p95 ms", "p99 ms", "queries");
@@ -224,7 +319,7 @@ int main(int argc, char** argv) {
   }
 
   // ---- open loop: offered load beyond capacity must shed, not fail ----
-  if (mode != "closed") {
+  if (mode == "all" || mode == "open") {
     serve::ServerOptions options;
     options.worker_threads = 8;
     options.simulate_io_ms = io_ms;
@@ -291,6 +386,103 @@ int main(int argc, char** argv) {
                       : 0.0);
     report.Info("overload_factor", std::uint64_t(overload_factor));
     report.Info("overload_max_inflight", std::uint64_t(max_inflight_overload));
+  }
+
+  // ---- latency faults: deadlines + hedged reads under pareto stalls ----
+  if (mode == "all" || mode == "latency") {
+    // Stalls are injected at the partition *read* boundary, which a warm
+    // decoded-partition cache never crosses — run this leg uncached.
+    PartitionCache::Global().Configure(0);
+    // The hedge/deadline counters only tick while the registry is on;
+    // both legs pay the same (tiny) profiling overhead, so the ratio
+    // between them is unaffected.
+    auto& registry = obs::MetricsRegistry::global();
+    registry.set_enabled(true);
+    obs::Counter& hedge_fired = registry.GetCounter("hedge.fired_total");
+    obs::Counter& hedge_wins =
+        registry.GetCounter("hedge.backup_wins_total");
+    // Rare-but-harsh brownouts: a few percent of the storage units
+    // stall, a deterministic few catastrophically (up to 4x the
+    // deadline). That shape is what hedging wins against — a stalled
+    // primary races a backup replica whose units are healthy with high
+    // probability. Keeping stalls rare also keeps the LatencyMap EWMA
+    // near the healthy baseline, so the 2x-expected hedge trigger fires
+    // on genuine outliers instead of sliding up with a uniformly slow
+    // fleet (where a backup would not help anyway).
+    FaultPlan plan;
+    plan.seed = seed ^ 0x6c6174656e6379ULL;
+    plan.probability = 0.04;
+    plan.kinds = {FaultKind::kLatency};
+    plan.max_fires_per_target = 0;  // a stall persists until repaired
+    plan.latency_dist = FaultPlan::LatencyDist::kPareto;
+    plan.latency_min = 5.0;
+    plan.latency_max = 400.0;
+
+    // Fixed replay (not time-bound) so both legs run the identical
+    // query sequence against the identical deterministic stall map.
+    const std::size_t rounds = 4;
+    const std::size_t lat_clients = 4;
+    bench::PrintRule('-', 70);
+    std::printf("%-10s %10s %10s %10s %10s %10s\n", "hedging", "queries",
+                "miss %", "p50 ms", "p95 ms", "p99 ms");
+    bench::PrintRule('-', 70);
+    double p99_off = 0.0, p99_on = 0.0;
+    const std::uint64_t fired_before = hedge_fired.value();
+    const std::uint64_t wins_before = hedge_wins.value();
+    for (const bool hedged : {false, true}) {
+      // Re-arm per leg: fire/read counters reset, so the second leg sees
+      // the same per-target stalls as the first. A fresh store per leg
+      // resets the routing feedback (latency EWMAs, brownout penalties)
+      // the same way — otherwise the first leg's observations would let
+      // the second leg route around every stall it is meant to hedge.
+      BlotStore lat_store = build_latency_store();  // before Arm
+      FaultInjector::Global().Arm(plan);
+      serve::ServerOptions options;
+      options.worker_threads = lat_clients;
+      options.max_inflight = 2 * lat_clients;
+      options.default_deadline_ms = deadline_ms;
+      options.allow_partial = true;
+      options.hedge_ms = hedged ? hedge_ms : 0.0;
+      serve::QueryServer server(lat_store, model, options);
+      const LatencyLegResult leg = RunLatencyLeg(
+          server, queries, expected, lat_clients, rounds, mismatches);
+      server.Drain();
+      const double p50 = Percentile(leg.latencies_ms, 50);
+      const double p95 = Percentile(leg.latencies_ms, 95);
+      const double p99 = Percentile(leg.latencies_ms, 99);
+      (hedged ? p99_on : p99_off) = p99;
+      std::printf("%-10s %10llu %10.1f %10.2f %10.2f %10.2f\n",
+                  hedged ? "on" : "off",
+                  static_cast<unsigned long long>(leg.total),
+                  leg.MissRatePct(), p50, p95, p99);
+      const std::string suffix = hedged ? "_hedged" : "";
+      report.Metric("latency_fault_p50_ms" + suffix, p50);
+      report.Metric("latency_fault_p99_ms" + suffix, p99);
+      if (hedged) {
+        report.Metric("deadline_miss_rate_hedged_pct", leg.MissRatePct());
+      } else {
+        // Lower is better ("_pct"): how often the unhedged store blows a
+        // deadline under the fixed pareto stall plan.
+        report.Metric("deadline_miss_rate_pct", leg.MissRatePct(),
+                      /*tracked=*/true);
+      }
+    }
+    FaultInjector::Global().Disarm();
+    const std::uint64_t fired = hedge_fired.value() - fired_before;
+    const std::uint64_t wins = hedge_wins.value() - wins_before;
+    // Higher is better: p99 ratio of hedging off over on at equal
+    // correctness — the tail latency the backup attempt buys back.
+    const double improvement = p99_on > 0.0 ? p99_off / p99_on : 1.0;
+    std::printf("hedge p99 improvement: %.2fx (deadline %.0f ms, hedge "
+                "after %.0f ms; %llu hedges fired, %llu backup wins)\n",
+                improvement, deadline_ms, hedge_ms,
+                static_cast<unsigned long long>(fired),
+                static_cast<unsigned long long>(wins));
+    report.Metric("hedge_fired", double(fired));
+    report.Metric("hedge_backup_wins", double(wins));
+    report.Metric("hedge_p99_improvement", improvement, /*tracked=*/true);
+    report.Metric("latency_fault_deadline_ms", deadline_ms);
+    report.Metric("latency_fault_hedge_ms", hedge_ms);
   }
 
   const std::uint64_t bad = mismatches.load();
